@@ -1,0 +1,50 @@
+//! Ablation: scaling of the three ground-state engines (exhaustive
+//! Gray-code sweep, branch-and-bound QuickExact, SimAnneal) with layout
+//! size — the design-choice analysis behind using QuickExact in the gate
+//! designer's inner loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sidb_sim::exgs::exhaustive_ground_state;
+use sidb_sim::layout::SidbLayout;
+use sidb_sim::model::PhysicalParams;
+use sidb_sim::quickexact::quick_exact_ground_state;
+use sidb_sim::simanneal::{simulated_annealing, AnnealParams};
+
+/// A BDL chain of `pairs` horizontal pairs at a three-row pitch.
+fn chain(pairs: usize) -> SidbLayout {
+    let mut l = SidbLayout::new();
+    for k in 0..pairs as i32 {
+        l.add_site((14, 3 * k, 0));
+        l.add_site((16, 3 * k, 0));
+    }
+    l.add_site((14, -2, 1));
+    l
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let params = PhysicalParams::default();
+    let mut group = c.benchmark_group("ground_state_engines");
+    group.sample_size(10);
+    for pairs in [4usize, 6, 8, 10] {
+        let layout = chain(pairs);
+        if pairs <= 8 {
+            group.bench_with_input(
+                BenchmarkId::new("exhaustive", pairs),
+                &layout,
+                |b, l| b.iter(|| exhaustive_ground_state(l, &params)),
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("quick_exact", pairs), &layout, |b, l| {
+            b.iter(|| quick_exact_ground_state(l, &params))
+        });
+        group.bench_with_input(BenchmarkId::new("simanneal", pairs), &layout, |b, l| {
+            b.iter(|| {
+                simulated_annealing(l, &params, &AnnealParams { instances: 4, ..Default::default() })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

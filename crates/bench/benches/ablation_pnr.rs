@@ -1,0 +1,31 @@
+//! Ablation A2: exact vs heuristic physical design — runtime here,
+//! area-quality numbers in the `fig3_topology`/`table1` examples.
+
+use bestagon_core::benchmarks::benchmark;
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcn_logic::techmap::{map_xag, MapOptions};
+use fcn_pnr::{exact_pnr, heuristic_pnr, ExactOptions, NetGraph};
+
+fn graph_for(name: &str) -> NetGraph {
+    let b = benchmark(name);
+    let net = map_xag(&b.xag, MapOptions::default()).expect("mappable");
+    NetGraph::new(net).expect("legalized")
+}
+
+fn bench_pnr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pnr_engines");
+    group.sample_size(10);
+    for name in ["xor2", "par_gen", "mux21"] {
+        let graph = graph_for(name);
+        group.bench_function(format!("exact/{name}"), |b| {
+            b.iter(|| exact_pnr(&graph, &ExactOptions { max_area: 100, ..Default::default() }))
+        });
+        group.bench_function(format!("heuristic/{name}"), |b| {
+            b.iter(|| heuristic_pnr(&graph))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pnr);
+criterion_main!(benches);

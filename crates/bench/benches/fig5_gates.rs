@@ -1,0 +1,27 @@
+//! Figure 5 bench: tile-validation runtime for the library designs that
+//! pass their truth tables under exact simulation.
+
+use bestagon_lib::tiles::{double_wire, huff_style_or, inverter_nw_sw, wire_nw_sw};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sidb_sim::model::PhysicalParams;
+use sidb_sim::operational::Engine;
+
+fn bench_fig5(c: &mut Criterion) {
+    let params = PhysicalParams::default();
+    let mut group = c.benchmark_group("fig5_tile_validation");
+    group.sample_size(20);
+    for (name, design) in [
+        ("huff_or", huff_style_or()),
+        ("wire", wire_nw_sw()),
+        ("inverter", inverter_nw_sw()),
+        ("double_wire", double_wire()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| design.check_operational(&params, Engine::QuickExact))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

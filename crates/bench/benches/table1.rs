@@ -1,0 +1,19 @@
+//! Table 1 bench: full-flow runtime on the evaluation benchmarks.
+
+use bench::{flow_for, timing_benchmarks};
+use bestagon_core::flow::PnrMethod;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_flow");
+    group.sample_size(10);
+    for name in timing_benchmarks() {
+        group.bench_function(name, |b| {
+            b.iter(|| flow_for(name, PnrMethod::ExactWithFallback { max_area: 100 }))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

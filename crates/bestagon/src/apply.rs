@@ -1,0 +1,217 @@
+//! Gate-library application (flow step 7): turning a placed & routed
+//! gate-level layout into one dot-accurate SiDB layout.
+//!
+//! Every occupied tile of the [`HexGateLayout`] is looked up in the
+//! [`BestagonLibrary`] by function and port directions; the tile design's
+//! dots are translated to the tile's lattice origin
+//! ([`fcn_coords::siqad::hex_tile_origin`]) and merged into one surface.
+
+use crate::tiles::BestagonLibrary;
+use fcn_coords::siqad::{bestagon_layout_area_nm2, hex_tile_origin};
+use fcn_coords::{AspectRatio, HexCoord, HexDirection};
+use fcn_layout::hexagonal::HexGateLayout;
+use fcn_layout::tile::TileContents;
+use fcn_logic::GateKind;
+use sidb_sim::layout::SidbLayout;
+
+/// The dot-accurate result of applying the gate library.
+#[derive(Debug, Clone)]
+pub struct CellLevelLayout {
+    /// All SiDBs of the circuit.
+    pub sidb: SidbLayout,
+    /// The gate-level aspect ratio (tiles).
+    pub ratio: AspectRatio,
+    /// Physical area in nm² (the Table 1 bounding-box formula).
+    pub area_nm2: f64,
+}
+
+impl CellLevelLayout {
+    /// Number of SiDBs in the layout — the `SiDBs` column of Table 1.
+    pub fn num_sidbs(&self) -> usize {
+        self.sidb.num_sites()
+    }
+}
+
+/// An error during library application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApplyError {
+    /// No library tile matches the given function and port directions.
+    MissingTile {
+        /// The tile coordinate.
+        tile: (i32, i32),
+        /// Human-readable description of the missing variant.
+        what: String,
+    },
+}
+
+impl core::fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ApplyError::MissingTile { tile, what } => {
+                write!(f, "tile ({}, {}): no library design for {what}", tile.0, tile.1)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+/// Applies the gate library to a layout.
+///
+/// # Errors
+///
+/// Fails when a tile requires a gate/port-direction combination the
+/// library does not provide.
+pub fn apply_gate_library(
+    layout: &HexGateLayout,
+    library: &BestagonLibrary,
+) -> Result<CellLevelLayout, ApplyError> {
+    let mut sidb = SidbLayout::new();
+    for (coord, contents) in layout.occupied_tiles() {
+        let design = tile_design(library, coord, contents)?;
+        let (ox, oy) = hex_tile_origin(coord.x, coord.y);
+        sidb.merge(&design.translated(ox, oy));
+    }
+    Ok(CellLevelLayout {
+        sidb,
+        ratio: layout.ratio(),
+        area_nm2: bestagon_layout_area_nm2(layout.ratio()),
+    })
+}
+
+/// Resolves the SiDB body for one tile.
+fn tile_design(
+    library: &BestagonLibrary,
+    coord: HexCoord,
+    contents: &TileContents<HexDirection>,
+) -> Result<SidbLayout, ApplyError> {
+    use HexDirection::{NorthEast as NE, NorthWest as NW, SouthEast as SE, SouthWest as SW};
+    let missing = |what: String| ApplyError::MissingTile { tile: (coord.x, coord.y), what };
+
+    match contents {
+        TileContents::Gate { kind, inputs, outputs, .. } => {
+            let (kind, inputs, outputs) = match kind {
+                // I/O pads are realized as wire tiles: a PI drives its
+                // output chain from the top border, a PO terminates its
+                // input chain at the bottom border.
+                GateKind::Pi => {
+                    let out = outputs.first().copied().unwrap_or(SW);
+                    let implied_in = if out == SW { NW } else { NE };
+                    (GateKind::Buf, vec![implied_in], vec![out])
+                }
+                GateKind::Po => {
+                    let inp = inputs.first().copied().unwrap_or(NW);
+                    let implied_out = if inp == NW { SW } else { SE };
+                    (GateKind::Buf, vec![inp], vec![implied_out])
+                }
+                k => (*k, inputs.clone(), outputs.clone()),
+            };
+            let tile = library
+                .tile(kind, &inputs, &outputs)
+                .ok_or_else(|| missing(format!("{kind} {inputs:?} → {outputs:?}")))?;
+            Ok(tile.design.body.clone())
+        }
+        TileContents::Wire { segments } => match segments.as_slice() {
+            [(i, o)] => {
+                let tile = library
+                    .tile(GateKind::Buf, &[*i], &[*o])
+                    .ok_or_else(|| missing(format!("wire {i} → {o}")))?;
+                Ok(tile.design.body.clone())
+            }
+            [a, b] => {
+                let set: std::collections::BTreeSet<(HexDirection, HexDirection)> =
+                    [*a, *b].into_iter().collect();
+                let crossing: std::collections::BTreeSet<_> =
+                    [(NW, SE), (NE, SW)].into_iter().collect();
+                let parallel: std::collections::BTreeSet<_> =
+                    [(NW, SW), (NE, SE)].into_iter().collect();
+                if set == crossing {
+                    Ok(library.crossing_design().body)
+                } else if set == parallel {
+                    let tile = library
+                        .tile(GateKind::Buf, &[NW], &[SW])
+                        .ok_or_else(|| missing("double wire".into()))?;
+                    let mirrored = library
+                        .tile(GateKind::Buf, &[NE], &[SE])
+                        .ok_or_else(|| missing("double wire".into()))?;
+                    let mut body = tile.design.body.clone();
+                    body.merge(&mirrored.design.body);
+                    Ok(body)
+                } else {
+                    Err(missing(format!("wire pair {set:?}")))
+                }
+            }
+            other => Err(missing(format!("{}-segment wire tile", other.len()))),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcn_layout::clocking::ClockingScheme;
+
+    fn pi_wire_po_layout() -> HexGateLayout {
+        use HexDirection::{NorthEast as NE, NorthWest as NW, SouthEast as SE, SouthWest as SW};
+        let mut l = HexGateLayout::new(AspectRatio::new(2, 3), ClockingScheme::Row);
+        l.place(
+            HexCoord::new(1, 0),
+            TileContents::gate(GateKind::Pi, vec![], vec![SW], Some("a".into())),
+        );
+        l.place(HexCoord::new(0, 1), TileContents::wire(NE, SE));
+        l.place(
+            HexCoord::new(1, 2),
+            TileContents::gate(GateKind::Po, vec![NW], vec![], Some("f".into())),
+        );
+        l
+    }
+
+    #[test]
+    fn applies_wire_chain() {
+        use fcn_coords::HexDirection::{NorthWest, SouthWest};
+        let layout = pi_wire_po_layout();
+        let lib = BestagonLibrary::new();
+        let cell = apply_gate_library(&layout, &lib).expect("library covers wires");
+        // Three straight-wire tile bodies (the PI/PO pads render as wires).
+        let wire_dots = lib
+            .tile(GateKind::Buf, &[NorthWest], &[SouthWest])
+            .expect("wire tile")
+            .design
+            .body
+            .num_sites();
+        assert_eq!(cell.num_sidbs(), 3 * wire_dots);
+        assert_eq!(cell.ratio, AspectRatio::new(2, 3));
+        assert!((cell.area_nm2 - 2403.98).abs() < 0.01);
+    }
+
+    #[test]
+    fn tiles_land_at_their_origins() {
+        let layout = pi_wire_po_layout();
+        let lib = BestagonLibrary::new();
+        let cell = apply_gate_library(&layout, &lib).expect("ok");
+        // The PI tile at (1,0) occupies lattice columns 60..120.
+        assert!(cell
+            .sidb
+            .sites()
+            .iter()
+            .any(|s| (60..120).contains(&s.x) && s.y < 23));
+        // The wire tile at (0,1) is shifted by the odd-row offset.
+        assert!(cell
+            .sidb
+            .sites()
+            .iter()
+            .any(|s| (30..90).contains(&s.x) && (23..46).contains(&s.y)));
+    }
+
+    #[test]
+    fn missing_tile_is_reported() {
+        use HexDirection::{East, West};
+        let mut l = HexGateLayout::new(AspectRatio::new(1, 1), ClockingScheme::Row);
+        l.place(HexCoord::new(0, 0), TileContents::wire(West, East));
+        let lib = BestagonLibrary::new();
+        assert!(matches!(
+            apply_gate_library(&l, &lib),
+            Err(ApplyError::MissingTile { .. })
+        ));
+    }
+}

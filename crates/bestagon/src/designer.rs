@@ -1,0 +1,199 @@
+//! An automated gate designer — the reproduction's stand-in for the
+//! paper's reinforcement-learning agent [Lupoiu et al., 2022].
+//!
+//! Given a partial gate design (ports, wire stubs, and a truth table),
+//! the designer searches for *canvas* dots that make the design
+//! operational: stochastic hill climbing over dot positions inside a
+//! canvas region, scored by exact ground-state simulation
+//! ([`sidb_sim::quickexact`]) across all input patterns — the same
+//! accept/reject signal the RL agent received. Designs that pass are
+//! returned for manual review and inclusion in the library, mirroring the
+//! paper's workflow ("the layouts are manually reviewed and edited as
+//! needed").
+
+use fcn_coords::LatticeCoord;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sidb_sim::model::PhysicalParams;
+use sidb_sim::operational::{Engine, GateDesign};
+
+/// Options controlling the canvas search.
+#[derive(Debug, Clone, Copy)]
+pub struct DesignerOptions {
+    /// Canvas region `(min_x, min_y, max_x, max_y)` in tile-local cells.
+    pub region: (i32, i32, i32, i32),
+    /// Maximum number of canvas dots.
+    pub max_dots: usize,
+    /// Hill-climbing iterations per restart.
+    pub iterations: usize,
+    /// Number of random restarts.
+    pub restarts: usize,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for DesignerOptions {
+    fn default() -> Self {
+        DesignerOptions {
+            region: (22, 8, 38, 18),
+            max_dots: 4,
+            iterations: 300,
+            restarts: 6,
+            seed: 0xbe57a607,
+        }
+    }
+}
+
+/// The score of a candidate: patterns correct, then read-out crispness.
+fn score(design: &GateDesign, params: &PhysicalParams) -> (u32, i32) {
+    let mut correct = 0u32;
+    let mut crisp = 0i32;
+    for pattern in 0..design.num_patterns() {
+        let Some(sim) = design.simulate_pattern(pattern, params, Engine::QuickExact) else {
+            continue;
+        };
+        let expected = &design.truth_table[pattern as usize];
+        for (obs, exp) in sim.outputs.iter().zip(expected) {
+            match obs {
+                Some(v) if v == exp => {
+                    correct += 1;
+                    crisp += 1;
+                }
+                Some(_) => {}
+                None => crisp -= 1, // ambiguous reads are worse than wrong
+            }
+        }
+    }
+    (correct, crisp)
+}
+
+/// The perfect score for a design (every output of every pattern right).
+fn max_score(design: &GateDesign) -> u32 {
+    design.num_patterns() * design.outputs.len() as u32
+}
+
+/// Runs the canvas search. Returns the first fully operational design
+/// found, or `None` when the budget is exhausted.
+///
+/// # Examples
+///
+/// Designing is expensive; see the `bestagon-lib` tests and the design
+/// binaries for realistic invocations. The API itself is simple:
+///
+/// ```no_run
+/// use bestagon_lib::designer::{design_canvas, DesignerOptions};
+/// use bestagon_lib::tiles::wire_nw_sw;
+/// use sidb_sim::model::PhysicalParams;
+///
+/// let base = wire_nw_sw(); // already operational, returned unchanged
+/// let result = design_canvas(&base, &DesignerOptions::default(), &PhysicalParams::default());
+/// assert!(result.is_some());
+/// ```
+pub fn design_canvas(
+    base: &GateDesign,
+    options: &DesignerOptions,
+    params: &PhysicalParams,
+) -> Option<GateDesign> {
+    let target = max_score(base);
+    if score(base, params).0 == target {
+        return Some(base.clone());
+    }
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let (x0, y0, x1, y1) = options.region;
+    let random_dot = |rng: &mut StdRng| {
+        LatticeCoord::new(rng.gen_range(x0..=x1), rng.gen_range(y0..=y1), rng.gen_range(0..2))
+    };
+
+    for _ in 0..options.restarts {
+        // Random initial canvas.
+        let mut canvas: Vec<LatticeCoord> = (0..rng.gen_range(1..=options.max_dots))
+            .map(|_| random_dot(&mut rng))
+            .collect();
+        let mut current = with_canvas(base, &canvas);
+        let mut best = score(&current, params);
+        if best.0 == target {
+            return Some(current);
+        }
+        for _ in 0..options.iterations {
+            // Propose a mutation.
+            let mut next = canvas.clone();
+            match rng.gen_range(0..3) {
+                0 if next.len() < options.max_dots => next.push(random_dot(&mut rng)),
+                1 if next.len() > 1 => {
+                    let i = rng.gen_range(0..next.len());
+                    next.swap_remove(i);
+                }
+                _ => {
+                    if next.is_empty() {
+                        next.push(random_dot(&mut rng));
+                    } else {
+                        let i = rng.gen_range(0..next.len());
+                        // Local move or teleport.
+                        if rng.gen_bool(0.7) {
+                            let d = &mut next[i];
+                            *d = LatticeCoord::new(
+                                (d.x + rng.gen_range(-2..=2)).clamp(x0, x1),
+                                (d.y + rng.gen_range(-2..=2)).clamp(y0, y1),
+                                d.b,
+                            );
+                        } else {
+                            next[i] = random_dot(&mut rng);
+                        }
+                    }
+                }
+            }
+            let candidate = with_canvas(base, &next);
+            let s = score(&candidate, params);
+            if s.0 == target {
+                return Some(candidate);
+            }
+            if s >= best {
+                best = s;
+                canvas = next;
+                current = candidate;
+            }
+        }
+        let _ = current;
+    }
+    None
+}
+
+/// Returns `base` with the given canvas dots added to its body.
+pub fn with_canvas(base: &GateDesign, canvas: &[LatticeCoord]) -> GateDesign {
+    let mut d = base.clone();
+    for &dot in canvas {
+        d.body.add_site(dot);
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiles::wire_nw_sw;
+
+    #[test]
+    fn operational_bases_are_returned_unchanged() {
+        let base = wire_nw_sw();
+        let params = PhysicalParams::default();
+        let result = design_canvas(&base, &DesignerOptions::default(), &params)
+            .expect("wire is operational");
+        assert_eq!(result.body, base.body);
+    }
+
+    #[test]
+    fn scoring_counts_correct_patterns() {
+        let base = wire_nw_sw();
+        let params = PhysicalParams::default();
+        let (correct, _) = score(&base, &params);
+        assert_eq!(correct, max_score(&base));
+        // Flipping the truth table makes every pattern wrong.
+        let mut broken = base.clone();
+        for row in &mut broken.truth_table {
+            for v in row {
+                *v = !*v;
+            }
+        }
+        assert_eq!(score(&broken, &params).0, 0);
+    }
+}

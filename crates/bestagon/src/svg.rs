@@ -1,0 +1,190 @@
+//! SVG rendering of gate-level layouts and dot-accurate SiDB surfaces.
+//!
+//! The paper presents its results as dot-accurate figures (Figures 1c,
+//! 5, 6); this module produces the equivalent vector graphics: hexagonal
+//! tile outlines colored by clock zone with gate labels, and SiDB dots at
+//! their physical H-Si(100)-2×1 positions.
+
+use crate::geometry::{TILE_PITCH_ROWS, TILE_WIDTH};
+use fcn_coords::siqad::{hex_tile_origin, SIQAD_LATTICE};
+use fcn_layout::hexagonal::HexGateLayout;
+use sidb_sim::layout::SidbLayout;
+use std::fmt::Write as _;
+
+/// Clock-zone fill colors (phases 0–3), colorblind-safe pastels.
+const ZONE_COLORS: [&str; 4] = ["#bdd7ee", "#c6e0b4", "#ffe699", "#f8cbad"];
+
+/// Renders a gate-level hexagonal layout as SVG: one pointy-top hexagon
+/// per tile, filled by clock zone, labelled with the tile's gate.
+///
+/// # Examples
+///
+/// ```
+/// use bestagon_lib::svg::layout_to_svg;
+/// use fcn_coords::AspectRatio;
+/// use fcn_layout::clocking::ClockingScheme;
+/// use fcn_layout::hexagonal::HexGateLayout;
+///
+/// let layout = HexGateLayout::new(AspectRatio::new(2, 2), ClockingScheme::Row);
+/// let svg = layout_to_svg(&layout);
+/// assert!(svg.starts_with("<svg"));
+/// ```
+pub fn layout_to_svg(layout: &HexGateLayout) -> String {
+    // One tile = 60 lattice cells wide (23.04 nm); draw at 4 px per nm.
+    const SCALE: f64 = 4.0;
+    let tile_w = TILE_WIDTH as f64 * SIQAD_LATTICE.a / 10.0 * SCALE;
+    let row_h = TILE_PITCH_ROWS as f64 * SIQAD_LATTICE.b / 10.0 * SCALE;
+    let w = layout.ratio().width as f64;
+    let h = layout.ratio().height as f64;
+    let width = (w + 0.5) * tile_w + 20.0;
+    let height = h * row_h + row_h + 20.0;
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}">"#
+    );
+    svg.push_str("<style>text{font-family:monospace;text-anchor:middle;}</style>");
+
+    for y in 0..layout.ratio().height as i32 {
+        for x in 0..layout.ratio().width as i32 {
+            let shift = if y % 2 == 1 { tile_w / 2.0 } else { 0.0 };
+            let cx = 10.0 + x as f64 * tile_w + tile_w / 2.0 + shift;
+            let cy = 10.0 + y as f64 * row_h + row_h / 2.0 + row_h / 2.0;
+            let zone = layout.clock_zone((x, y).into());
+            let color = ZONE_COLORS[zone as usize % 4];
+            // Pointy-top hexagon vertices.
+            let rx = tile_w / 2.0;
+            let ry = row_h * 0.72;
+            let points: Vec<String> = [
+                (0.0, -ry),
+                (rx, -ry / 2.0),
+                (rx, ry / 2.0),
+                (0.0, ry),
+                (-rx, ry / 2.0),
+                (-rx, -ry / 2.0),
+            ]
+            .iter()
+            .map(|(dx, dy)| format!("{:.1},{:.1}", cx + dx, cy + dy))
+            .collect();
+            let occupied = layout.tile((x, y).into()).is_some();
+            let opacity = if occupied { "1.0" } else { "0.35" };
+            let _ = write!(
+                svg,
+                r##"<polygon points="{}" fill="{color}" fill-opacity="{opacity}" stroke="#666" stroke-width="1"/>"##,
+                points.join(" ")
+            );
+            if let Some(contents) = layout.tile((x, y).into()) {
+                let _ = write!(
+                    svg,
+                    r#"<text x="{cx:.1}" y="{:.1}" font-size="{:.0}">{}</text>"#,
+                    cy + 4.0,
+                    (tile_w / 6.0).min(14.0),
+                    contents.label()
+                );
+            }
+        }
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Renders a dot-accurate SiDB layout as SVG: one circle per dangling
+/// bond at its physical surface position, with faint hexagonal tile
+/// outlines when `tiles` is given.
+pub fn sidb_to_svg(layout: &SidbLayout, tiles: Option<&HexGateLayout>) -> String {
+    const SCALE: f64 = 6.0; // px per nm
+    let (min, max) = match layout.bounding_box() {
+        Some(bb) => bb,
+        None => ((0, 0), (1, 1)),
+    };
+    let pad = 4.0 * SCALE;
+    let min_nm = (min.0 as f64 * SIQAD_LATTICE.a / 10.0, min.1 as f64 * SIQAD_LATTICE.b / 10.0);
+    let max_nm = (max.0 as f64 * SIQAD_LATTICE.a / 10.0, (max.1 as f64 + 1.0) * SIQAD_LATTICE.b / 10.0);
+    let width = (max_nm.0 - min_nm.0) * SCALE + 2.0 * pad;
+    let height = (max_nm.1 - min_nm.1) * SCALE + 2.0 * pad;
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}">"#
+    );
+    let _ = write!(
+        svg,
+        r##"<rect width="{width:.0}" height="{height:.0}" fill="#fcfcf7"/>"##
+    );
+
+    // Tile outlines underneath the dots.
+    if let Some(tile_layout) = tiles {
+        for (coord, _) in tile_layout.occupied_tiles() {
+            let (ox, oy) = hex_tile_origin(coord.x, coord.y);
+            let x_nm = ox as f64 * SIQAD_LATTICE.a / 10.0;
+            let y_nm = oy as f64 * SIQAD_LATTICE.b / 10.0;
+            let w_nm = TILE_WIDTH as f64 * SIQAD_LATTICE.a / 10.0;
+            let h_nm = TILE_PITCH_ROWS as f64 * SIQAD_LATTICE.b / 10.0;
+            let _ = write!(
+                svg,
+                r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="none" stroke="#c9b458" stroke-width="1" stroke-dasharray="4 3"/>"##,
+                (x_nm - min_nm.0) * SCALE + pad,
+                (y_nm - min_nm.1) * SCALE + pad,
+                w_nm * SCALE,
+                h_nm * SCALE,
+            );
+        }
+    }
+
+    for site in layout.sites() {
+        let (x_nm, y_nm) = site.position_nm();
+        let _ = write!(
+            svg,
+            r##"<circle cx="{:.1}" cy="{:.1}" r="{:.1}" fill="#127a8a" stroke="#0b4a54" stroke-width="0.5"/>"##,
+            (x_nm - min_nm.0) * SCALE + pad,
+            (y_nm - min_nm.1) * SCALE + pad,
+            0.35 * SCALE,
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcn_coords::AspectRatio;
+    use fcn_layout::clocking::ClockingScheme;
+    use fcn_layout::tile::TileContents;
+    use fcn_logic::GateKind;
+
+    #[test]
+    fn layout_svg_contains_one_hexagon_per_tile() {
+        let layout = HexGateLayout::new(AspectRatio::new(3, 2), ClockingScheme::Row);
+        let svg = layout_to_svg(&layout);
+        assert_eq!(svg.matches("<polygon").count(), 6);
+        assert!(svg.ends_with("</svg>"));
+    }
+
+    #[test]
+    fn occupied_tiles_are_labelled() {
+        let mut layout = HexGateLayout::new(AspectRatio::new(2, 2), ClockingScheme::Row);
+        layout.place(
+            (0, 0).into(),
+            TileContents::gate(GateKind::Pi, vec![], vec![fcn_coords::HexDirection::SouthEast], Some("a".into())),
+        );
+        let svg = layout_to_svg(&layout);
+        assert!(svg.contains(">PI:a</text>"));
+    }
+
+    #[test]
+    fn sidb_svg_has_one_circle_per_dot() {
+        let layout = SidbLayout::from_sites([(0, 0, 0), (5, 2, 1), (9, 4, 0)]);
+        let svg = sidb_to_svg(&layout, None);
+        assert_eq!(svg.matches("<circle").count(), 3);
+    }
+
+    #[test]
+    fn empty_sidb_layout_renders() {
+        let svg = sidb_to_svg(&SidbLayout::new(), None);
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("<circle").count(), 0);
+    }
+}

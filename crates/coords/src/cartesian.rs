@@ -1,0 +1,158 @@
+//! Cartesian tile coordinates for QCA-style floor plans.
+//!
+//! Established FCN design automation (for quantum-dot cellular automata)
+//! lays plus-shaped gates out on Cartesian grids. The Bestagon paper argues
+//! (Figure 3a) that such grids cannot reasonably accommodate the Y-shaped
+//! SiDB gates; this module provides the Cartesian substrate so that the
+//! comparison experiments can be run.
+
+/// A Cartesian tile position.
+///
+/// # Examples
+///
+/// ```
+/// use fcn_coords::cartesian::{CartCoord, CartDirection};
+///
+/// let t = CartCoord::new(1, 1);
+/// assert_eq!(t.neighbor(CartDirection::South), CartCoord::new(1, 2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CartCoord {
+    /// Column index.
+    pub x: i32,
+    /// Row index.
+    pub y: i32,
+}
+
+/// The four neighbor directions of a Cartesian tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CartDirection {
+    /// Towards decreasing `y`.
+    North,
+    /// Towards increasing `x`.
+    East,
+    /// Towards increasing `y`.
+    South,
+    /// Towards decreasing `x`.
+    West,
+}
+
+impl CartDirection {
+    /// All four directions, clockwise from north.
+    pub const ALL: [CartDirection; 4] = [
+        CartDirection::North,
+        CartDirection::East,
+        CartDirection::South,
+        CartDirection::West,
+    ];
+
+    /// The direction pointing back at the origin tile.
+    pub const fn opposite(self) -> CartDirection {
+        match self {
+            CartDirection::North => CartDirection::South,
+            CartDirection::East => CartDirection::West,
+            CartDirection::South => CartDirection::North,
+            CartDirection::West => CartDirection::East,
+        }
+    }
+
+    const fn delta(self) -> (i32, i32) {
+        match self {
+            CartDirection::North => (0, -1),
+            CartDirection::East => (1, 0),
+            CartDirection::South => (0, 1),
+            CartDirection::West => (-1, 0),
+        }
+    }
+}
+
+impl core::fmt::Display for CartDirection {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            CartDirection::North => "N",
+            CartDirection::East => "E",
+            CartDirection::South => "S",
+            CartDirection::West => "W",
+        };
+        f.write_str(s)
+    }
+}
+
+impl CartCoord {
+    /// Creates a new Cartesian coordinate at column `x`, row `y`.
+    pub const fn new(x: i32, y: i32) -> Self {
+        Self { x, y }
+    }
+
+    /// The neighboring tile in the given direction.
+    pub const fn neighbor(self, dir: CartDirection) -> CartCoord {
+        let (dx, dy) = dir.delta();
+        CartCoord::new(self.x + dx, self.y + dy)
+    }
+
+    /// All four neighbors, clockwise from north.
+    pub fn neighbors(self) -> [CartCoord; 4] {
+        let mut out = [CartCoord::default(); 4];
+        for (slot, dir) in out.iter_mut().zip(CartDirection::ALL) {
+            *slot = self.neighbor(dir);
+        }
+        out
+    }
+
+    /// The direction from `self` to the adjacent tile `other`, if adjacent.
+    pub fn direction_to(self, other: CartCoord) -> Option<CartDirection> {
+        CartDirection::ALL.into_iter().find(|&d| self.neighbor(d) == other)
+    }
+
+    /// Manhattan distance between two tiles.
+    ///
+    /// ```
+    /// use fcn_coords::cartesian::CartCoord;
+    /// assert_eq!(CartCoord::new(0, 0).manhattan_distance(CartCoord::new(2, 3)), 5);
+    /// ```
+    pub fn manhattan_distance(self, other: CartCoord) -> u32 {
+        ((self.x - other.x).abs() + (self.y - other.y).abs()) as u32
+    }
+}
+
+impl core::fmt::Display for CartCoord {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+impl From<(i32, i32)> for CartCoord {
+    fn from((x, y): (i32, i32)) -> Self {
+        CartCoord::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbor_round_trip() {
+        let c = CartCoord::new(5, -2);
+        for d in CartDirection::ALL {
+            assert_eq!(c.neighbor(d).neighbor(d.opposite()), c);
+        }
+    }
+
+    #[test]
+    fn manhattan_distance_to_neighbors_is_one() {
+        let c = CartCoord::new(0, 0);
+        for n in c.neighbors() {
+            assert_eq!(c.manhattan_distance(n), 1);
+        }
+    }
+
+    #[test]
+    fn direction_to_identifies_neighbors() {
+        let c = CartCoord::new(2, 2);
+        for d in CartDirection::ALL {
+            assert_eq!(c.direction_to(c.neighbor(d)), Some(d));
+        }
+        assert_eq!(c.direction_to(CartCoord::new(4, 2)), None);
+    }
+}

@@ -1,0 +1,349 @@
+//! Pointy-top hexagonal tile coordinates in *odd-row offset* ("odd-r") form.
+//!
+//! The Bestagon floor plan arranges pointy-top hexagons in rows, where odd
+//! rows are shifted half a tile to the right. Every tile has six neighbors;
+//! the four diagonal ones carry signals in a row-clocked layout:
+//!
+//! ```text
+//!        NW   NE
+//!          \ /
+//!     W --- T --- E
+//!          / \
+//!        SW   SE
+//! ```
+//!
+//! Information in the Bestagon scheme flows strictly from the two northern
+//! neighbors towards the two southern neighbors (the paper's Figure 3b: the
+//! input pins of all gates are accessible via the centers of the upper tile
+//! borders and outputs propagate to either of the two bottom directions).
+//!
+//! Conversions to axial/cube coordinates follow the conventions popularized
+//! by Amit Patel's *Red Blob Games* hexagonal-grid reference, which the
+//! paper's acknowledgments cite.
+
+/// A hexagonal tile position in odd-row offset coordinates.
+///
+/// `x` is the column, `y` the row. Odd rows are drawn shifted right by half
+/// a tile width.
+///
+/// # Examples
+///
+/// ```
+/// use fcn_coords::hex::{HexCoord, HexDirection};
+///
+/// // Southern neighbors depend on row parity:
+/// let even = HexCoord::new(2, 2);
+/// assert_eq!(even.neighbor(HexDirection::SouthWest), HexCoord::new(1, 3));
+/// assert_eq!(even.neighbor(HexDirection::SouthEast), HexCoord::new(2, 3));
+///
+/// let odd = HexCoord::new(2, 3);
+/// assert_eq!(odd.neighbor(HexDirection::SouthWest), HexCoord::new(2, 4));
+/// assert_eq!(odd.neighbor(HexDirection::SouthEast), HexCoord::new(3, 4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct HexCoord {
+    /// Column index.
+    pub x: i32,
+    /// Row index.
+    pub y: i32,
+}
+
+/// The six neighbor directions of a pointy-top hexagon.
+///
+/// In a row-clocked Bestagon layout only the four diagonal directions carry
+/// signals; [`HexDirection::East`] and [`HexDirection::West`] connect tiles
+/// within the same clock zone row and are therefore unusable for
+/// information transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HexDirection {
+    /// Upper-left neighbor (an input side).
+    NorthWest,
+    /// Upper-right neighbor (an input side).
+    NorthEast,
+    /// Same-row right neighbor.
+    East,
+    /// Lower-right neighbor (an output side).
+    SouthEast,
+    /// Lower-left neighbor (an output side).
+    SouthWest,
+    /// Same-row left neighbor.
+    West,
+}
+
+impl HexDirection {
+    /// All six directions, clockwise starting at north-west.
+    pub const ALL: [HexDirection; 6] = [
+        HexDirection::NorthWest,
+        HexDirection::NorthEast,
+        HexDirection::East,
+        HexDirection::SouthEast,
+        HexDirection::SouthWest,
+        HexDirection::West,
+    ];
+
+    /// The two incoming (northern) directions of a row-clocked tile.
+    pub const INPUTS: [HexDirection; 2] = [HexDirection::NorthWest, HexDirection::NorthEast];
+
+    /// The two outgoing (southern) directions of a row-clocked tile.
+    pub const OUTPUTS: [HexDirection; 2] = [HexDirection::SouthWest, HexDirection::SouthEast];
+
+    /// The direction pointing back at the origin tile.
+    ///
+    /// ```
+    /// use fcn_coords::hex::HexDirection;
+    /// assert_eq!(HexDirection::NorthWest.opposite(), HexDirection::SouthEast);
+    /// ```
+    pub const fn opposite(self) -> HexDirection {
+        match self {
+            HexDirection::NorthWest => HexDirection::SouthEast,
+            HexDirection::NorthEast => HexDirection::SouthWest,
+            HexDirection::East => HexDirection::West,
+            HexDirection::SouthEast => HexDirection::NorthWest,
+            HexDirection::SouthWest => HexDirection::NorthEast,
+            HexDirection::West => HexDirection::East,
+        }
+    }
+
+    /// True if this is one of the two northern (input) directions.
+    pub const fn is_incoming(self) -> bool {
+        matches!(self, HexDirection::NorthWest | HexDirection::NorthEast)
+    }
+
+    /// True if this is one of the two southern (output) directions.
+    pub const fn is_outgoing(self) -> bool {
+        matches!(self, HexDirection::SouthWest | HexDirection::SouthEast)
+    }
+
+    /// Axial-coordinate delta of this direction for a tile in a row of the
+    /// given parity (`odd_row == (y & 1) == 1`).
+    const fn offset_delta(self, odd_row: bool) -> (i32, i32) {
+        match (self, odd_row) {
+            (HexDirection::NorthWest, false) => (-1, -1),
+            (HexDirection::NorthWest, true) => (0, -1),
+            (HexDirection::NorthEast, false) => (0, -1),
+            (HexDirection::NorthEast, true) => (1, -1),
+            (HexDirection::East, _) => (1, 0),
+            (HexDirection::SouthEast, false) => (0, 1),
+            (HexDirection::SouthEast, true) => (1, 1),
+            (HexDirection::SouthWest, false) => (-1, 1),
+            (HexDirection::SouthWest, true) => (0, 1),
+            (HexDirection::West, _) => (-1, 0),
+        }
+    }
+}
+
+impl core::fmt::Display for HexDirection {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            HexDirection::NorthWest => "NW",
+            HexDirection::NorthEast => "NE",
+            HexDirection::East => "E",
+            HexDirection::SouthEast => "SE",
+            HexDirection::SouthWest => "SW",
+            HexDirection::West => "W",
+        };
+        f.write_str(s)
+    }
+}
+
+impl HexCoord {
+    /// Creates a new hexagonal coordinate at column `x`, row `y`.
+    pub const fn new(x: i32, y: i32) -> Self {
+        Self { x, y }
+    }
+
+    /// True if this tile sits in an odd (right-shifted) row.
+    pub const fn is_odd_row(self) -> bool {
+        self.y & 1 == 1
+    }
+
+    /// The neighboring tile in the given direction.
+    pub fn neighbor(self, dir: HexDirection) -> HexCoord {
+        let (dx, dy) = dir.offset_delta(self.is_odd_row());
+        HexCoord::new(self.x + dx, self.y + dy)
+    }
+
+    /// All six neighbors, clockwise from north-west.
+    pub fn neighbors(self) -> [HexCoord; 6] {
+        let mut out = [HexCoord::default(); 6];
+        for (slot, dir) in out.iter_mut().zip(HexDirection::ALL) {
+            *slot = self.neighbor(dir);
+        }
+        out
+    }
+
+    /// The direction from `self` to the adjacent tile `other`, if they are
+    /// in fact neighbors.
+    pub fn direction_to(self, other: HexCoord) -> Option<HexDirection> {
+        HexDirection::ALL.into_iter().find(|&d| self.neighbor(d) == other)
+    }
+
+    /// Converts odd-row offset coordinates to axial `(q, r)`.
+    pub const fn to_axial(self) -> (i32, i32) {
+        let q = self.x - (self.y - (self.y & 1)) / 2;
+        (q, self.y)
+    }
+
+    /// Constructs an offset coordinate from axial `(q, r)`.
+    pub const fn from_axial(q: i32, r: i32) -> Self {
+        HexCoord::new(q + (r - (r & 1)) / 2, r)
+    }
+
+    /// Converts to cube coordinates `(x, y, z)` with `x + y + z = 0`.
+    pub const fn to_cube(self) -> (i32, i32, i32) {
+        let (q, r) = self.to_axial();
+        (q, -q - r, r)
+    }
+
+    /// Hex-grid distance (minimum number of tile steps) to `other`.
+    ///
+    /// ```
+    /// use fcn_coords::hex::HexCoord;
+    /// assert_eq!(HexCoord::new(0, 0).distance(HexCoord::new(0, 0)), 0);
+    /// assert_eq!(HexCoord::new(0, 0).distance(HexCoord::new(3, 0)), 3);
+    /// ```
+    pub fn distance(self, other: HexCoord) -> u32 {
+        let (ax, ay, az) = self.to_cube();
+        let (bx, by, bz) = other.to_cube();
+        let d = (ax - bx).abs().max((ay - by).abs()).max((az - bz).abs());
+        d as u32
+    }
+
+    /// The two southern (output-side) neighbors, west first.
+    pub fn southern_neighbors(self) -> [HexCoord; 2] {
+        [
+            self.neighbor(HexDirection::SouthWest),
+            self.neighbor(HexDirection::SouthEast),
+        ]
+    }
+
+    /// The two northern (input-side) neighbors, west first.
+    pub fn northern_neighbors(self) -> [HexCoord; 2] {
+        [
+            self.neighbor(HexDirection::NorthWest),
+            self.neighbor(HexDirection::NorthEast),
+        ]
+    }
+}
+
+impl core::fmt::Display for HexCoord {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+impl From<(i32, i32)> for HexCoord {
+    fn from((x, y): (i32, i32)) -> Self {
+        HexCoord::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbor_round_trip_via_opposite() {
+        for y in -3..4 {
+            for x in -3..4 {
+                let c = HexCoord::new(x, y);
+                for d in HexDirection::ALL {
+                    assert_eq!(c.neighbor(d).neighbor(d.opposite()), c, "{c} {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn axial_round_trip() {
+        for y in -5..6 {
+            for x in -5..6 {
+                let c = HexCoord::new(x, y);
+                let (q, r) = c.to_axial();
+                assert_eq!(HexCoord::from_axial(q, r), c);
+            }
+        }
+    }
+
+    #[test]
+    fn cube_coordinates_sum_to_zero() {
+        for y in -5..6 {
+            for x in -5..6 {
+                let (cx, cy, cz) = HexCoord::new(x, y).to_cube();
+                assert_eq!(cx + cy + cz, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_are_at_distance_one() {
+        for y in -2..3 {
+            for x in -2..3 {
+                let c = HexCoord::new(x, y);
+                for n in c.neighbors() {
+                    assert_eq!(c.distance(n), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_six_neighbors_are_distinct() {
+        let c = HexCoord::new(1, 1);
+        let n = c.neighbors();
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                assert_ne!(n[i], n[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn direction_to_identifies_neighbors() {
+        let c = HexCoord::new(3, 4);
+        for d in HexDirection::ALL {
+            assert_eq!(c.direction_to(c.neighbor(d)), Some(d));
+        }
+        assert_eq!(c.direction_to(HexCoord::new(3, 8)), None);
+    }
+
+    #[test]
+    fn southern_neighbors_match_paper_row_flow() {
+        // Even row y=0: SW goes left-down, SE straight down in offset coords.
+        let even = HexCoord::new(2, 0);
+        assert_eq!(even.southern_neighbors(), [HexCoord::new(1, 1), HexCoord::new(2, 1)]);
+        // Odd row y=1: SW straight down, SE right-down.
+        let odd = HexCoord::new(2, 1);
+        assert_eq!(odd.southern_neighbors(), [HexCoord::new(2, 2), HexCoord::new(3, 2)]);
+    }
+
+    #[test]
+    fn northern_and_southern_are_inverse_relations() {
+        for y in 0..4 {
+            for x in 0..4 {
+                let c = HexCoord::new(x, y);
+                for s in c.southern_neighbors() {
+                    assert!(s.northern_neighbors().contains(&c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_triangle() {
+        let pts = [
+            HexCoord::new(0, 0),
+            HexCoord::new(3, 1),
+            HexCoord::new(-2, 4),
+            HexCoord::new(5, 5),
+        ];
+        for &a in &pts {
+            for &b in &pts {
+                assert_eq!(a.distance(b), b.distance(a));
+                for &c in &pts {
+                    assert!(a.distance(c) <= a.distance(b) + b.distance(c));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Coordinate systems for field-coupled nanocomputing (FCN) layouts.
+//!
+//! This crate provides the geometric substrate for the Bestagon design
+//! automation flow (DAC 2022, "Hexagons are the Bestagons"):
+//!
+//! * [`hex`] — pointy-top hexagonal tile coordinates in *odd-row offset*
+//!   form, with axial/cube conversions, distances, and the four diagonal
+//!   port directions (NW/NE inputs, SW/SE outputs) that Y-shaped SiDB gates
+//!   expose.
+//! * [`cartesian`] — classic Cartesian tile coordinates used by QCA-style
+//!   floor plans; serves as the baseline topology the paper compares
+//!   against (Figure 3).
+//! * [`siqad`] — dot-accurate H-Si(100)-2×1 surface lattice coordinates as
+//!   used by the SiQAD CAD tool, including conversions to physical
+//!   nanometre positions.
+//!
+//! # Examples
+//!
+//! ```
+//! use fcn_coords::hex::{HexCoord, HexDirection};
+//!
+//! let t = HexCoord::new(2, 3);
+//! let below_right = t.neighbor(HexDirection::SouthEast);
+//! assert_eq!(t.distance(below_right), 1);
+//! ```
+
+pub mod cartesian;
+pub mod hex;
+pub mod siqad;
+
+pub use cartesian::{CartCoord, CartDirection};
+pub use hex::{HexCoord, HexDirection};
+pub use siqad::{LatticeCoord, SIQAD_LATTICE};
+
+/// A rectangular aspect ratio of a tile-based layout, in tiles.
+///
+/// The paper reports layout sizes as `w × h = A` where `A = w · h` is the
+/// number of available tiles (Table 1).
+///
+/// # Examples
+///
+/// ```
+/// use fcn_coords::AspectRatio;
+///
+/// let ar = AspectRatio::new(4, 7);
+/// assert_eq!(ar.tile_count(), 28);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct AspectRatio {
+    /// Width in tiles.
+    pub width: u32,
+    /// Height in tiles.
+    pub height: u32,
+}
+
+impl AspectRatio {
+    /// Creates a new aspect ratio of `width × height` tiles.
+    pub const fn new(width: u32, height: u32) -> Self {
+        Self { width, height }
+    }
+
+    /// Total number of tiles `w · h`.
+    pub const fn tile_count(self) -> u64 {
+        self.width as u64 * self.height as u64
+    }
+
+    /// Iterates over all aspect ratios with `tile_count() <= max_area`,
+    /// ordered by increasing area (then by height). This is the search
+    /// order of the *exact* physical design algorithm: it guarantees the
+    /// first satisfiable ratio is area-minimal.
+    pub fn in_area_order(max_area: u64) -> impl Iterator<Item = AspectRatio> {
+        let mut ratios: Vec<AspectRatio> = (1..=max_area as u32)
+            .flat_map(|w| {
+                (1..=max_area as u32)
+                    .take_while(move |h| (w as u64) * (*h as u64) <= max_area)
+                    .map(move |h| AspectRatio::new(w, h))
+            })
+            .collect();
+        ratios.sort_by_key(|r| (r.tile_count(), r.height, r.width));
+        ratios.into_iter()
+    }
+
+    /// Returns true if `coord` lies within this layout's bounds.
+    pub fn contains_hex(self, coord: HexCoord) -> bool {
+        coord.x >= 0
+            && coord.y >= 0
+            && (coord.x as u32) < self.width
+            && (coord.y as u32) < self.height
+    }
+
+    /// Returns true if the Cartesian `coord` lies within bounds.
+    pub fn contains_cart(self, coord: CartCoord) -> bool {
+        coord.x >= 0
+            && coord.y >= 0
+            && (coord.x as u32) < self.width
+            && (coord.y as u32) < self.height
+    }
+}
+
+impl core::fmt::Display for AspectRatio {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} × {} = {}", self.width, self.height, self.tile_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aspect_ratio_area_order_is_monotone() {
+        let mut prev = 0;
+        for r in AspectRatio::in_area_order(12) {
+            assert!(r.tile_count() >= prev);
+            prev = r.tile_count();
+        }
+    }
+
+    #[test]
+    fn aspect_ratio_area_order_is_exhaustive() {
+        let ratios: Vec<_> = AspectRatio::in_area_order(6).collect();
+        assert!(ratios.contains(&AspectRatio::new(1, 1)));
+        assert!(ratios.contains(&AspectRatio::new(2, 3)));
+        assert!(ratios.contains(&AspectRatio::new(6, 1)));
+        assert!(!ratios.iter().any(|r| r.tile_count() > 6));
+    }
+
+    #[test]
+    fn contains_checks_bounds() {
+        let ar = AspectRatio::new(3, 2);
+        assert!(ar.contains_hex(HexCoord::new(2, 1)));
+        assert!(!ar.contains_hex(HexCoord::new(3, 1)));
+        assert!(!ar.contains_hex(HexCoord::new(-1, 0)));
+        assert!(ar.contains_cart(CartCoord::new(0, 0)));
+        assert!(!ar.contains_cart(CartCoord::new(0, 2)));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(AspectRatio::new(4, 7).to_string(), "4 × 7 = 28");
+    }
+}

@@ -1,0 +1,340 @@
+//! The end-to-end design flow (paper Section 4.2).
+
+use bestagon_lib::apply::{apply_gate_library, ApplyError, CellLevelLayout};
+use bestagon_lib::tiles::BestagonLibrary;
+use fcn_equiv::{check_equivalence, EquivError, Equivalence};
+use fcn_layout::hexagonal::HexGateLayout;
+use fcn_layout::supertile::{plan_supertiles, SuperTilePlan};
+use fcn_logic::network::Xag;
+use fcn_logic::rewrite::{rewrite, RewriteOptions};
+use fcn_logic::techmap::{map_xag, MapError, MapOptions};
+use fcn_logic::verilog::{parse_verilog, ParseVerilogError};
+use fcn_pnr::{exact_pnr, heuristic_pnr, ExactOptions, NetGraph, PnrError};
+
+/// Which physical-design engine the flow uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PnrMethod {
+    /// Area-minimal SAT-based search (paper flow step 4).
+    Exact {
+        /// Area bound in tiles for the search.
+        max_area: u64,
+    },
+    /// The scalable one-pass baseline.
+    Heuristic,
+    /// Exact first; fall back to the heuristic if the bound is exhausted.
+    ExactWithFallback {
+        /// Area bound in tiles before falling back.
+        max_area: u64,
+    },
+}
+
+impl Default for PnrMethod {
+    fn default() -> Self {
+        PnrMethod::ExactWithFallback { max_area: 150 }
+    }
+}
+
+/// Options of the full flow.
+#[derive(Debug, Clone)]
+pub struct FlowOptions {
+    /// Logic rewriting (step 2); `None` skips the pass (ablation A3).
+    pub rewrite: Option<RewriteOptions>,
+    /// Technology mapping options (step 3).
+    pub map: MapOptions,
+    /// Physical-design engine (step 4).
+    pub pnr: PnrMethod,
+    /// Run SAT-based equivalence checking (step 5).
+    pub verify: bool,
+    /// Apply the Bestagon library for a dot-accurate layout (step 7).
+    pub apply_library: bool,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        FlowOptions {
+            rewrite: Some(RewriteOptions::default()),
+            map: MapOptions::default(),
+            pnr: PnrMethod::default(),
+            verify: true,
+            apply_library: true,
+        }
+    }
+}
+
+/// Everything the flow produces for one circuit.
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// Circuit name.
+    pub name: String,
+    /// The optimized XAG the layout implements (after rewriting).
+    pub optimized: Xag,
+    /// Gate count of the XAG before rewriting.
+    pub gates_before_rewrite: usize,
+    /// Gate count after rewriting.
+    pub gates_after_rewrite: usize,
+    /// XAG depth after rewriting.
+    pub depth: usize,
+    /// Gate-level layout (step 4).
+    pub layout: HexGateLayout,
+    /// Whether the exact engine produced the layout (false = heuristic).
+    pub exact: bool,
+    /// Equivalence verdict (step 5), when requested.
+    pub equivalence: Option<Equivalence>,
+    /// Super-tile plan (step 6).
+    pub supertiles: SuperTilePlan,
+    /// Dot-accurate SiDB layout (step 7), when requested.
+    pub cell: Option<CellLevelLayout>,
+}
+
+impl FlowResult {
+    /// Serializes the SiDB layout as SiQAD `.sqd` XML (step 8).
+    ///
+    /// Returns `None` when the library was not applied.
+    pub fn to_sqd(&self) -> Option<String> {
+        self.cell
+            .as_ref()
+            .map(|c| bestagon_lib::sqd::to_sqd_string(&c.sidb))
+    }
+
+    /// Exports the optimized network as gate-level Verilog.
+    pub fn to_verilog(&self) -> String {
+        fcn_logic::verilog::write_verilog(&self.name, &self.optimized)
+    }
+}
+
+/// A flow failure, tagged by the step that raised it.
+#[derive(Debug)]
+pub enum FlowError {
+    /// Step 1: specification parsing (Verilog).
+    Parse(ParseVerilogError),
+    /// Step 1: specification parsing (BLIF).
+    ParseBlif(fcn_logic::blif::ParseBlifError),
+    /// Step 3: technology mapping.
+    Map(MapError),
+    /// Step 4: netlist not placeable (dangling input etc.).
+    NetGraph(fcn_pnr::netgraph::NetGraphError),
+    /// Step 4: no feasible layout.
+    Pnr(PnrError),
+    /// Step 5: equivalence checking failed to run.
+    Equivalence(EquivError),
+    /// Step 5: the layout does not implement the specification — a flow
+    /// bug, surfaced loudly.
+    NotEquivalent {
+        /// The distinguishing input assignment.
+        counterexample: Vec<bool>,
+    },
+    /// Step 7: missing library tile.
+    Apply(ApplyError),
+}
+
+impl core::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FlowError::Parse(e) => write!(f, "parse: {e}"),
+            FlowError::ParseBlif(e) => write!(f, "parse: {e}"),
+            FlowError::Map(e) => write!(f, "technology mapping: {e}"),
+            FlowError::NetGraph(e) => write!(f, "netlist: {e}"),
+            FlowError::Pnr(e) => write!(f, "physical design: {e}"),
+            FlowError::Equivalence(e) => write!(f, "equivalence checking: {e}"),
+            FlowError::NotEquivalent { counterexample } => {
+                write!(f, "layout differs from specification at {counterexample:?}")
+            }
+            FlowError::Apply(e) => write!(f, "gate-library application: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// Runs the flow from Verilog source.
+///
+/// # Errors
+///
+/// Any step's failure is reported as a [`FlowError`].
+pub fn run_flow_from_verilog(source: &str, options: &FlowOptions) -> Result<FlowResult, FlowError> {
+    let (name, xag) = parse_verilog(source).map_err(FlowError::Parse)?;
+    run_flow(&name, &xag, options)
+}
+
+/// Runs the flow from BLIF source.
+///
+/// # Errors
+///
+/// Any step's failure is reported as a [`FlowError`].
+pub fn run_flow_from_blif(source: &str, options: &FlowOptions) -> Result<FlowResult, FlowError> {
+    let (name, xag) =
+        fcn_logic::blif::parse_blif(source).map_err(|e| FlowError::ParseBlif(e))?;
+    run_flow(&name, &xag, options)
+}
+
+/// Runs the flow from an already parsed XAG.
+///
+/// # Errors
+///
+/// Any step's failure is reported as a [`FlowError`].
+///
+/// # Examples
+///
+/// ```
+/// use bestagon_core::flow::{run_flow, FlowOptions};
+/// use fcn_logic::network::Xag;
+///
+/// let mut xag = Xag::new();
+/// let a = xag.primary_input("a");
+/// let b = xag.primary_input("b");
+/// let f = xag.or(a, b);
+/// xag.primary_output("f", f);
+/// let result = run_flow("or2", &xag, &FlowOptions::default())?;
+/// assert!(result.layout.verify().is_empty());
+/// assert!(result.cell.expect("library applied").num_sidbs() > 0);
+/// # Ok::<(), bestagon_core::flow::FlowError>(())
+/// ```
+pub fn run_flow(name: &str, xag: &Xag, options: &FlowOptions) -> Result<FlowResult, FlowError> {
+    // Step 2: cut rewriting.
+    let gates_before_rewrite = xag.cleaned().num_gates();
+    let optimized = match &options.rewrite {
+        Some(opts) => rewrite(xag, *opts),
+        None => xag.cleaned(),
+    };
+    let gates_after_rewrite = optimized.num_gates();
+    let depth = optimized.depth();
+
+    // Step 3: technology mapping.
+    let mapped = map_xag(&optimized, options.map).map_err(FlowError::Map)?;
+    let graph = NetGraph::new(mapped).map_err(FlowError::NetGraph)?;
+
+    // Step 4: placement & routing.
+    let (layout, exact) = match options.pnr {
+        PnrMethod::Exact { max_area } => {
+            let r = exact_pnr(&graph, &ExactOptions { max_area, ..Default::default() }).map_err(FlowError::Pnr)?;
+            (r.layout, true)
+        }
+        PnrMethod::Heuristic => (heuristic_pnr(&graph), false),
+        PnrMethod::ExactWithFallback { max_area } => {
+            match exact_pnr(&graph, &ExactOptions { max_area, ..Default::default() }) {
+                Ok(r) => (r.layout, true),
+                Err(_) => (heuristic_pnr(&graph), false),
+            }
+        }
+    };
+
+    // Step 5: formal verification.
+    let equivalence = if options.verify {
+        let verdict = check_equivalence(&optimized, &layout).map_err(FlowError::Equivalence)?;
+        if let Equivalence::NotEquivalent { counterexample } = &verdict {
+            return Err(FlowError::NotEquivalent { counterexample: counterexample.clone() });
+        }
+        Some(verdict)
+    } else {
+        None
+    };
+
+    // Step 6: super-tile clock-zone expansion.
+    let supertiles = plan_supertiles(&layout);
+
+    // Step 7: gate-library application.
+    let cell = if options.apply_library {
+        let library = BestagonLibrary::new();
+        Some(apply_gate_library(&layout, &library).map_err(FlowError::Apply)?)
+    } else {
+        None
+    };
+
+    Ok(FlowResult {
+        name: name.to_owned(),
+        optimized,
+        gates_before_rewrite,
+        gates_after_rewrite,
+        depth,
+        layout,
+        exact,
+        equivalence,
+        supertiles,
+        cell,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::benchmark;
+
+    #[test]
+    fn flow_handles_xor2_end_to_end() {
+        let b = benchmark("xor2");
+        let r = run_flow("xor2", &b.xag, &FlowOptions::default()).expect("flow succeeds");
+        assert!(r.layout.verify().is_empty());
+        assert_eq!(r.equivalence, Some(Equivalence::Equivalent));
+        assert!(r.supertiles.is_fabricable());
+        let cell = r.cell.as_ref().expect("library applied");
+        assert!(cell.num_sidbs() > 20);
+        assert!(r.to_sqd().expect("sqd").contains("<dbdot>"));
+    }
+
+    #[test]
+    fn exact_flow_matches_paper_ratio_for_xor2() {
+        let b = benchmark("xor2");
+        let r = run_flow(
+            "xor2",
+            &b.xag,
+            &FlowOptions { pnr: PnrMethod::Exact { max_area: 60 }, ..Default::default() },
+        )
+        .expect("flow succeeds");
+        assert!(r.exact);
+        // Paper Table 1: 2 × 3.
+        assert_eq!((r.layout.ratio().width, r.layout.ratio().height), (2, 3));
+    }
+
+    #[test]
+    fn heuristic_flow_is_larger_but_correct() {
+        let b = benchmark("par_gen");
+        let exact = run_flow(
+            "par_gen",
+            &b.xag,
+            &FlowOptions { pnr: PnrMethod::Exact { max_area: 80 }, ..Default::default() },
+        )
+        .expect("exact flow");
+        let heur = run_flow(
+            "par_gen",
+            &b.xag,
+            &FlowOptions { pnr: PnrMethod::Heuristic, ..Default::default() },
+        )
+        .expect("heuristic flow");
+        assert!(heur.layout.ratio().tile_count() >= exact.layout.ratio().tile_count());
+        assert_eq!(heur.equivalence, Some(Equivalence::Equivalent));
+    }
+
+    #[test]
+    fn rewrite_ablation_reports_gate_counts() {
+        let b = benchmark("xor5_majority");
+        let with = run_flow(
+            "x",
+            &b.xag,
+            &FlowOptions { pnr: PnrMethod::Heuristic, apply_library: false, ..Default::default() },
+        )
+        .expect("flow");
+        let without = run_flow(
+            "x",
+            &b.xag,
+            &FlowOptions {
+                rewrite: None,
+                pnr: PnrMethod::Heuristic,
+                apply_library: false,
+                ..Default::default()
+            },
+        )
+        .expect("flow");
+        assert!(with.gates_after_rewrite <= without.gates_after_rewrite);
+        assert_eq!(with.gates_before_rewrite, without.gates_before_rewrite);
+    }
+
+    #[test]
+    fn verilog_entry_point_works() {
+        let r = run_flow_from_verilog(
+            "module and2 (a, b, f); input a, b; output f; assign f = a & b; endmodule",
+            &FlowOptions { apply_library: false, ..Default::default() },
+        )
+        .expect("flow");
+        assert_eq!(r.name, "and2");
+    }
+}

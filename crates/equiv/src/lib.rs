@@ -1,0 +1,500 @@
+//! `fcn-equiv` — formal verification of gate-level FCN layouts.
+//!
+//! Step 5 of the paper's flow: "perform SAT-based equivalence checking of
+//! the input network and the resulting gate-level layout"
+//! [Walter et al., DAC 2020]. The layout's logic is extracted by tracing
+//! tiles in clock order ([`extract_network`]); the extracted netlist and
+//! the specification XAG are then combined into a *miter* — outputs pair-
+//! wise XOR-ed and OR-ed together — which is unsatisfiable exactly when
+//! the two designs agree on every input assignment ([`check_equivalence`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use fcn_logic::network::Xag;
+//! use fcn_logic::techmap::{map_xag, MapOptions};
+//! use fcn_pnr::{exact_pnr, ExactOptions, NetGraph};
+//! use fcn_equiv::{check_equivalence, Equivalence};
+//!
+//! let mut xag = Xag::new();
+//! let a = xag.primary_input("a");
+//! let b = xag.primary_input("b");
+//! let f = xag.or(a, b);
+//! xag.primary_output("f", f);
+//! let net = map_xag(&xag, MapOptions::default())?;
+//! let result = exact_pnr(&NetGraph::new(net)?, &ExactOptions::default())?;
+//! assert_eq!(check_equivalence(&xag, &result.layout)?, Equivalence::Equivalent);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use fcn_coords::HexCoord;
+use fcn_layout::hexagonal::HexGateLayout;
+use fcn_layout::tile::TileContents;
+use fcn_logic::network::Xag;
+use fcn_logic::techmap::{MappedId, MappedNetwork, MappedSignal};
+use fcn_logic::GateKind;
+use msat::{CnfBuilder, Lit};
+use std::collections::HashMap;
+
+/// The verdict of an equivalence check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Equivalence {
+    /// Specification and layout compute the same function.
+    Equivalent,
+    /// A distinguishing input assignment was found (values in
+    /// specification PI order).
+    NotEquivalent {
+        /// The counterexample input assignment.
+        counterexample: Vec<bool>,
+    },
+}
+
+/// An error raised during extraction or equivalence checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EquivError {
+    /// The layout references a tile signal that has no driver.
+    MissingDriver {
+        /// The tile with the dangling input.
+        tile: (i32, i32),
+    },
+    /// Specification and layout differ in their input/output pads.
+    InterfaceMismatch(String),
+}
+
+impl core::fmt::Display for EquivError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EquivError::MissingDriver { tile } => {
+                write!(f, "tile ({}, {}) has an undriven input", tile.0, tile.1)
+            }
+            EquivError::InterfaceMismatch(msg) => write!(f, "interface mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EquivError {}
+
+/// Extracts the logic network realized by a row-clocked hexagonal layout.
+///
+/// Tiles are traced in row (clock) order; wire tiles and crossings forward
+/// signals, gate tiles become network nodes. The extracted network carries
+/// the layout's PI/PO pad names.
+///
+/// # Errors
+///
+/// Returns [`EquivError::MissingDriver`] if a tile input is unconnected —
+/// run [`HexGateLayout::verify`] first for a detailed design-rule report.
+pub fn extract_network(layout: &HexGateLayout) -> Result<MappedNetwork, EquivError> {
+    let mut net = MappedNetwork::new();
+    // Signal available at (tile, outgoing direction).
+    let mut signal_at: HashMap<(HexCoord, fcn_coords::HexDirection), MappedSignal> = HashMap::new();
+
+    // occupied_tiles iterates in BTreeMap order: (x, y) lexicographic — we
+    // need row order instead.
+    let mut tiles: Vec<(HexCoord, &TileContents<fcn_coords::HexDirection>)> =
+        layout.occupied_tiles().collect();
+    tiles.sort_by_key(|(c, _)| (c.y, c.x));
+
+    for (coord, contents) in tiles {
+        let fetch = |signal_at: &HashMap<_, _>, dir| -> Result<MappedSignal, EquivError> {
+            let n = coord.neighbor(dir);
+            signal_at
+                .get(&(n, dir.opposite()))
+                .copied()
+                .ok_or(EquivError::MissingDriver { tile: (coord.x, coord.y) })
+        };
+        match contents {
+            TileContents::Gate { kind, inputs, outputs, name } => {
+                let fanins = inputs
+                    .iter()
+                    .map(|&d| fetch(&signal_at, d))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let id = net.add_node(*kind, fanins, name.clone());
+                for (port, &d) in outputs.iter().enumerate() {
+                    signal_at.insert((coord, d), MappedSignal { node: id, output: port as u8 });
+                }
+            }
+            TileContents::Wire { segments } => {
+                for &(in_dir, out_dir) in segments {
+                    let s = fetch(&signal_at, in_dir)?;
+                    signal_at.insert((coord, out_dir), s);
+                }
+            }
+        }
+    }
+    Ok(net)
+}
+
+/// Extracts the logic network realized by a 2DDWave-clocked Cartesian
+/// layout (the Figure 3 baseline). Tiles are traced in anti-diagonal
+/// order; the semantics mirror [`extract_network`].
+///
+/// # Errors
+///
+/// Returns [`EquivError::MissingDriver`] if a tile input is unconnected.
+pub fn extract_network_cart(
+    layout: &fcn_layout::cartesian::CartGateLayout,
+) -> Result<MappedNetwork, EquivError> {
+    use fcn_coords::CartDirection;
+    let mut net = MappedNetwork::new();
+    let mut signal_at: HashMap<(fcn_coords::CartCoord, CartDirection), MappedSignal> =
+        HashMap::new();
+    let mut tiles: Vec<(fcn_coords::CartCoord, &TileContents<CartDirection>)> =
+        layout.occupied_tiles().collect();
+    tiles.sort_by_key(|(c, _)| (c.x + c.y, c.x));
+
+    for (coord, contents) in tiles {
+        let fetch = |signal_at: &HashMap<_, _>, dir: CartDirection| -> Result<MappedSignal, EquivError> {
+            let n = coord.neighbor(dir);
+            signal_at
+                .get(&(n, dir.opposite()))
+                .copied()
+                .ok_or(EquivError::MissingDriver { tile: (coord.x, coord.y) })
+        };
+        match contents {
+            TileContents::Gate { kind, inputs, outputs, name } => {
+                let fanins = inputs
+                    .iter()
+                    .map(|&d| fetch(&signal_at, d))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let id = net.add_node(*kind, fanins, name.clone());
+                for (port, &d) in outputs.iter().enumerate() {
+                    signal_at.insert((coord, d), MappedSignal { node: id, output: port as u8 });
+                }
+            }
+            TileContents::Wire { segments } => {
+                for &(in_dir, out_dir) in segments {
+                    let s = fetch(&signal_at, in_dir)?;
+                    signal_at.insert((coord, out_dir), s);
+                }
+            }
+        }
+    }
+    Ok(net)
+}
+
+/// Checks whether a Cartesian layout implements the specification.
+///
+/// # Errors
+///
+/// Same conditions as [`check_equivalence`].
+pub fn check_equivalence_cart(
+    spec: &Xag,
+    layout: &fcn_layout::cartesian::CartGateLayout,
+) -> Result<Equivalence, EquivError> {
+    let extracted = extract_network_cart(layout)?;
+    check_equivalence_extracted(spec, &extracted)
+}
+
+/// Encodes an [`Xag`] into the CNF builder; returns one literal per PO.
+fn encode_xag(cnf: &mut CnfBuilder, xag: &Xag, pi_lits: &HashMap<String, Lit>) -> Vec<(String, Lit)> {
+    use fcn_logic::network::NodeKind;
+    let mut lit_of: Vec<Lit> = Vec::with_capacity(xag.num_nodes());
+    let mut pi_index = 0usize;
+    for id in xag.node_ids() {
+        let lit = match xag.node(id) {
+            NodeKind::Constant => cnf.constant_false(),
+            NodeKind::Input => {
+                let name = xag.pi_name(pi_index);
+                pi_index += 1;
+                pi_lits[name]
+            }
+            NodeKind::And(a, b) => {
+                let la = lit_of[a.node().index()].negated_if(a.is_complemented());
+                let lb = lit_of[b.node().index()].negated_if(b.is_complemented());
+                cnf.and(la, lb)
+            }
+            NodeKind::Xor(a, b) => {
+                let la = lit_of[a.node().index()].negated_if(a.is_complemented());
+                let lb = lit_of[b.node().index()].negated_if(b.is_complemented());
+                cnf.xor(la, lb)
+            }
+        };
+        lit_of.push(lit);
+    }
+    xag.primary_outputs()
+        .iter()
+        .map(|(name, s)| {
+            (
+                name.clone(),
+                lit_of[s.node().index()].negated_if(s.is_complemented()),
+            )
+        })
+        .collect()
+}
+
+/// Small helper for conditional negation.
+trait NegatedIf {
+    fn negated_if(self, c: bool) -> Self;
+}
+
+impl NegatedIf for Lit {
+    fn negated_if(self, c: bool) -> Lit {
+        if c {
+            self.negated()
+        } else {
+            self
+        }
+    }
+}
+
+/// Encodes a [`MappedNetwork`] into CNF; returns one literal per PO.
+fn encode_mapped(
+    cnf: &mut CnfBuilder,
+    net: &MappedNetwork,
+    pi_lits: &HashMap<String, Lit>,
+) -> Result<Vec<(String, Lit)>, EquivError> {
+    let mut out_lits: HashMap<(MappedId, u8), Lit> = HashMap::new();
+    let mut pos = Vec::new();
+    for id in net.node_ids() {
+        let node = net.node(id);
+        let ins: Vec<Lit> = node
+            .fanins
+            .iter()
+            .map(|f| out_lits[&(f.node, f.output)])
+            .collect();
+        match node.kind {
+            GateKind::Pi => {
+                let name = node.name.clone().unwrap_or_default();
+                let lit = *pi_lits.get(&name).ok_or_else(|| {
+                    EquivError::InterfaceMismatch(format!("layout PI '{name}' not in specification"))
+                })?;
+                out_lits.insert((id, 0), lit);
+            }
+            GateKind::Po => {
+                pos.push((node.name.clone().unwrap_or_default(), ins[0]));
+            }
+            GateKind::Buf => {
+                out_lits.insert((id, 0), ins[0]);
+            }
+            GateKind::Inv => {
+                out_lits.insert((id, 0), ins[0].negated());
+            }
+            GateKind::And => {
+                let o = cnf.and(ins[0], ins[1]);
+                out_lits.insert((id, 0), o);
+            }
+            GateKind::Nand => {
+                let o = cnf.and(ins[0], ins[1]);
+                out_lits.insert((id, 0), o.negated());
+            }
+            GateKind::Or => {
+                let o = cnf.or(ins[0], ins[1]);
+                out_lits.insert((id, 0), o);
+            }
+            GateKind::Nor => {
+                let o = cnf.or(ins[0], ins[1]);
+                out_lits.insert((id, 0), o.negated());
+            }
+            GateKind::Xor => {
+                let o = cnf.xor(ins[0], ins[1]);
+                out_lits.insert((id, 0), o);
+            }
+            GateKind::Xnor => {
+                let o = cnf.xor(ins[0], ins[1]);
+                out_lits.insert((id, 0), o.negated());
+            }
+            GateKind::Fanout => {
+                out_lits.insert((id, 0), ins[0]);
+                out_lits.insert((id, 1), ins[0]);
+            }
+            GateKind::HalfAdder => {
+                let s = cnf.xor(ins[0], ins[1]);
+                let c = cnf.and(ins[0], ins[1]);
+                out_lits.insert((id, 0), s);
+                out_lits.insert((id, 1), c);
+            }
+        }
+    }
+    Ok(pos)
+}
+
+/// Checks whether `layout` implements the specification `spec`.
+///
+/// Builds a miter over shared primary inputs (matched by pad name) and
+/// asks the SAT solver for a distinguishing assignment.
+///
+/// # Errors
+///
+/// Fails when the PI/PO interfaces disagree or the layout has undriven
+/// tile inputs.
+pub fn check_equivalence(spec: &Xag, layout: &HexGateLayout) -> Result<Equivalence, EquivError> {
+    let extracted = extract_network(layout)?;
+    check_equivalence_extracted(spec, &extracted)
+}
+
+/// Equivalence check against an already extracted network.
+///
+/// # Errors
+///
+/// Fails when the PI/PO interfaces disagree.
+pub fn check_equivalence_extracted(
+    spec: &Xag,
+    extracted: &MappedNetwork,
+) -> Result<Equivalence, EquivError> {
+    let mut cnf = CnfBuilder::new();
+    // Shared PI literals by name.
+    let mut pi_lits: HashMap<String, Lit> = HashMap::new();
+    let mut pi_order: Vec<String> = Vec::new();
+    for i in 0..spec.num_pis() {
+        let name = spec.pi_name(i).to_owned();
+        let lit = cnf.new_lit();
+        pi_order.push(name.clone());
+        pi_lits.insert(name, lit);
+    }
+    // Every layout PI must exist in the spec.
+    for id in extracted.primary_inputs() {
+        let name = extracted.node(id).name.clone().unwrap_or_default();
+        if !pi_lits.contains_key(&name) {
+            return Err(EquivError::InterfaceMismatch(format!(
+                "layout PI '{name}' not in specification"
+            )));
+        }
+    }
+
+    let spec_pos = encode_xag(&mut cnf, spec, &pi_lits);
+    let layout_pos = encode_mapped(&mut cnf, extracted, &pi_lits)?;
+
+    if spec_pos.len() != layout_pos.len() {
+        return Err(EquivError::InterfaceMismatch(format!(
+            "specification has {} outputs, layout has {}",
+            spec_pos.len(),
+            layout_pos.len()
+        )));
+    }
+    let layout_by_name: HashMap<&str, Lit> =
+        layout_pos.iter().map(|(n, l)| (n.as_str(), *l)).collect();
+
+    let mut diffs = Vec::new();
+    for (name, spec_lit) in &spec_pos {
+        let layout_lit = *layout_by_name.get(name.as_str()).ok_or_else(|| {
+            EquivError::InterfaceMismatch(format!("specification PO '{name}' missing in layout"))
+        })?;
+        diffs.push(cnf.xor(*spec_lit, layout_lit));
+    }
+    cnf.add_clause(diffs); // at least one output differs
+
+    match cnf.solve() {
+        msat::SolveResult::Unsat => Ok(Equivalence::Equivalent),
+        msat::SolveResult::Sat(model) => Ok(Equivalence::NotEquivalent {
+            counterexample: pi_order.iter().map(|n| model.lit_value(pi_lits[n])).collect(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcn_logic::techmap::{map_xag, MapOptions};
+    use fcn_pnr::{exact_pnr, heuristic_pnr, ExactOptions, NetGraph};
+
+    fn full_adder() -> Xag {
+        let mut xag = Xag::new();
+        let a = xag.primary_input("a");
+        let b = xag.primary_input("b");
+        let cin = xag.primary_input("cin");
+        let axb = xag.xor(a, b);
+        let sum = xag.xor(axb, cin);
+        let and1 = xag.and(a, b);
+        let and2 = xag.and(axb, cin);
+        let cout = xag.or(and1, and2);
+        xag.primary_output("sum", sum);
+        xag.primary_output("cout", cout);
+        xag
+    }
+
+    #[test]
+    fn exact_layout_is_equivalent() {
+        let xag = full_adder();
+        let net = map_xag(&xag, MapOptions::default()).expect("mappable");
+        let result = exact_pnr(&NetGraph::new(net).expect("ok"), &ExactOptions::default())
+            .expect("feasible");
+        assert_eq!(
+            check_equivalence(&xag, &result.layout).expect("checkable"),
+            Equivalence::Equivalent
+        );
+    }
+
+    #[test]
+    fn heuristic_layout_is_equivalent() {
+        let xag = full_adder();
+        let net = map_xag(&xag, MapOptions::default()).expect("mappable");
+        let layout = heuristic_pnr(&NetGraph::new(net).expect("ok"));
+        assert_eq!(
+            check_equivalence(&xag, &layout).expect("checkable"),
+            Equivalence::Equivalent
+        );
+    }
+
+    #[test]
+    fn extraction_round_trips_simulation() {
+        let xag = full_adder();
+        let net = map_xag(&xag, MapOptions::default()).expect("mappable");
+        let layout = heuristic_pnr(&NetGraph::new(net).expect("ok"));
+        let extracted = extract_network(&layout).expect("extractable");
+        for row in 0..8u32 {
+            let inputs: Vec<bool> = (0..3).map(|i| (row >> i) & 1 == 1).collect();
+            assert_eq!(xag.simulate(&inputs), extracted.simulate(&inputs), "row {row}");
+        }
+    }
+
+    #[test]
+    fn wrong_layout_is_detected() {
+        // Specification: AND. Layout: OR. The miter must find a witness.
+        let mut spec = Xag::new();
+        let a = spec.primary_input("a");
+        let b = spec.primary_input("b");
+        let f = spec.and(a, b);
+        spec.primary_output("f", f);
+
+        let mut wrong = Xag::new();
+        let a = wrong.primary_input("a");
+        let b = wrong.primary_input("b");
+        let f = wrong.or(a, b);
+        wrong.primary_output("f", f);
+        let net = map_xag(&wrong, MapOptions::default()).expect("mappable");
+        let layout = heuristic_pnr(&NetGraph::new(net).expect("ok"));
+
+        match check_equivalence(&spec, &layout).expect("checkable") {
+            Equivalence::NotEquivalent { counterexample } => {
+                // The witness must actually distinguish AND from OR.
+                let s = spec.simulate(&counterexample);
+                let e = extract_network(&layout).expect("ok").simulate(&counterexample);
+                assert_ne!(s, e);
+            }
+            Equivalence::Equivalent => panic!("AND vs OR must not be equivalent"),
+        }
+    }
+
+    #[test]
+    fn interface_mismatch_is_reported() {
+        let mut spec = Xag::new();
+        let a = spec.primary_input("a");
+        spec.primary_output("f", !a);
+
+        let mut other = Xag::new();
+        let x = other.primary_input("x"); // different pad name
+        other.primary_output("f", !x);
+        let net = map_xag(&other, MapOptions::default()).expect("mappable");
+        let layout = heuristic_pnr(&NetGraph::new(net).expect("ok"));
+        assert!(matches!(
+            check_equivalence(&spec, &layout),
+            Err(EquivError::InterfaceMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn extraction_detects_missing_driver() {
+        use fcn_coords::{AspectRatio, HexCoord, HexDirection};
+        use fcn_layout::clocking::ClockingScheme;
+        let mut layout = HexGateLayout::new(AspectRatio::new(2, 2), ClockingScheme::Row);
+        layout.place(
+            HexCoord::new(1, 1),
+            TileContents::gate(GateKind::Po, vec![HexDirection::NorthWest], vec![], Some("f".into())),
+        );
+        assert!(matches!(
+            extract_network(&layout),
+            Err(EquivError::MissingDriver { .. })
+        ));
+    }
+}

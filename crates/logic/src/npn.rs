@@ -1,0 +1,213 @@
+//! NPN canonization of Boolean functions with up to four inputs.
+//!
+//! Two functions are NPN-equivalent if one can be obtained from the other
+//! by *N*egating inputs, *P*ermuting inputs, and/or *N*egating the output.
+//! The paper's flow performs "cut-based logic rewriting with an exact NPN
+//! database" (step 2): rewriting structures are stored per NPN class and
+//! instantiated through the recorded transform.
+//!
+//! For `n = 4` there are `2^16` functions but only 222 NPN classes; the
+//! canonizer below finds the class representative by exhaustive search over
+//! the `4! · 2^4 · 2 = 768` transforms, which is instantaneous at these
+//! sizes and trivially correct.
+
+use crate::truth_table::TruthTable;
+
+/// The transform mapping a function to its NPN representative.
+///
+/// Applying the transform to the original function yields the canonical
+/// representative: first permute inputs with `perm`, then negate the inputs
+/// in `input_negation` (bit `i` set = negate input `i` *of the permuted
+/// function*), then negate the output if `output_negation`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NpnTransform {
+    /// Input permutation applied as [`TruthTable::permute_inputs`].
+    pub perm: Vec<u8>,
+    /// Bit mask of inputs negated after permutation.
+    pub input_negation: u8,
+    /// Whether the output is negated.
+    pub output_negation: bool,
+}
+
+/// The result of canonizing a function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NpnCanonization {
+    /// The class representative (numerically smallest equivalent table).
+    pub representative: TruthTable,
+    /// The transform that maps the original function to the representative.
+    pub transform: NpnTransform,
+}
+
+/// All permutations of `0..n` in lexicographic order.
+fn permutations(n: u8) -> Vec<Vec<u8>> {
+    let mut result = Vec::new();
+    let mut current: Vec<u8> = (0..n).collect();
+    loop {
+        result.push(current.clone());
+        // Next lexicographic permutation.
+        let Some(i) = (0..current.len().saturating_sub(1)).rev().find(|&i| current[i] < current[i + 1]) else {
+            break;
+        };
+        let j = (i + 1..current.len())
+            .rev()
+            .find(|&j| current[j] > current[i])
+            .expect("successor exists");
+        current.swap(i, j);
+        current[i + 1..].reverse();
+    }
+    result
+}
+
+/// Applies an NPN transform to a function.
+pub fn apply_transform(f: TruthTable, t: &NpnTransform) -> TruthTable {
+    let mut g = f.permute_inputs(&t.perm);
+    for v in 0..f.num_vars() {
+        if (t.input_negation >> v) & 1 == 1 {
+            g = g.negate_input(v);
+        }
+    }
+    if t.output_negation {
+        g.not()
+    } else {
+        g
+    }
+}
+
+/// Canonizes `f`, returning the numerically smallest NPN-equivalent
+/// function and the transform reaching it.
+///
+/// # Panics
+///
+/// Panics if `f` has more than four variables (the exhaustive search grows
+/// as `n! · 2^{n+1}`; four is all the rewriting flow needs).
+pub fn canonize(f: TruthTable) -> NpnCanonization {
+    let n = f.num_vars();
+    assert!(n <= 4, "exhaustive NPN canonization supports up to 4 inputs");
+    let mut best: Option<NpnCanonization> = None;
+    for perm in permutations(n) {
+        let permuted = f.permute_inputs(&perm);
+        for neg in 0..(1u8 << n) {
+            let mut g = permuted;
+            for v in 0..n {
+                if (neg >> v) & 1 == 1 {
+                    g = g.negate_input(v);
+                }
+            }
+            for out_neg in [false, true] {
+                let candidate = if out_neg { g.not() } else { g };
+                if best
+                    .as_ref()
+                    .map(|b| candidate.bits() < b.representative.bits())
+                    .unwrap_or(true)
+                {
+                    best = Some(NpnCanonization {
+                        representative: candidate,
+                        transform: NpnTransform {
+                            perm: perm.clone(),
+                            input_negation: neg,
+                            output_negation: out_neg,
+                        },
+                    });
+                }
+            }
+        }
+    }
+    best.expect("at least the identity transform is considered")
+}
+
+/// Counts the number of distinct NPN classes among all functions of `n`
+/// variables. Used as a self-check: for `n = 4` the count must be 222.
+///
+/// # Panics
+///
+/// Panics if `n > 4`.
+pub fn count_classes(n: u8) -> usize {
+    assert!(n <= 4);
+    let mut seen = std::collections::HashSet::new();
+    for bits in 0..(1u64 << (1u64 << n)) {
+        let f = TruthTable::from_bits(n, bits);
+        seen.insert(canonize(f).representative.bits());
+    }
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transform_reaches_representative() {
+        for bits in [0x8888u64, 0x6996, 0x1234, 0xfedc, 0x0001] {
+            let f = TruthTable::from_bits(4, bits);
+            let c = canonize(f);
+            assert_eq!(apply_transform(f, &c.transform), c.representative);
+        }
+    }
+
+    #[test]
+    fn equivalent_functions_share_representative() {
+        let f = TruthTable::from_bits(2, 0b1000); // a AND b
+        let variants = [
+            f,
+            f.negate_input(0),         // ¬a AND b
+            f.negate_input(1),         // a AND ¬b
+            f.not(),                   // NAND
+            f.permute_inputs(&[1, 0]), // b AND a
+        ];
+        let rep = canonize(f).representative;
+        for v in variants {
+            assert_eq!(canonize(v).representative, rep);
+        }
+    }
+
+    #[test]
+    fn xor_is_its_own_class_core() {
+        let a = TruthTable::projection(2, 0);
+        let b = TruthTable::projection(2, 1);
+        let xor = a.xor(b);
+        let xnor = xor.not();
+        assert_eq!(canonize(xor).representative, canonize(xnor).representative);
+        assert_ne!(
+            canonize(xor).representative,
+            canonize(a.and(b)).representative
+        );
+    }
+
+    #[test]
+    fn class_counts_match_literature() {
+        // Known NPN class counts: n=0: 1 (const), n=1: 2, n=2: 4, n=3: 14.
+        assert_eq!(count_classes(0), 1);
+        assert_eq!(count_classes(1), 2);
+        assert_eq!(count_classes(2), 4);
+        assert_eq!(count_classes(3), 14);
+    }
+
+    #[test]
+    #[ignore = "exhausts all 65536 4-input functions; run with --ignored"]
+    fn four_input_class_count_is_222() {
+        assert_eq!(count_classes(4), 222);
+    }
+
+    #[test]
+    fn permutation_generator_is_complete() {
+        assert_eq!(permutations(0).len(), 1);
+        assert_eq!(permutations(1).len(), 1);
+        assert_eq!(permutations(3).len(), 6);
+        assert_eq!(permutations(4).len(), 24);
+        let perms = permutations(3);
+        let unique: std::collections::HashSet<_> = perms.iter().collect();
+        assert_eq!(unique.len(), 6);
+    }
+
+    #[test]
+    fn representative_is_minimal() {
+        let f = TruthTable::from_bits(3, 0b1110_0000);
+        let c = canonize(f);
+        // Spot-check: applying random transforms never yields something
+        // smaller than the representative.
+        for perm in permutations(3) {
+            let g = f.permute_inputs(&perm);
+            assert!(c.representative.bits() <= g.bits() || c.representative.bits() <= g.not().bits());
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! Exact placement & routing on the Cartesian baseline floor plan.
+//!
+//! The comparison substrate for the paper's Figure 3: QCA-style design
+//! automation places plus-shaped gates on Cartesian grids under 2DDWave
+//! clocking (zone `(x+y) mod 4`, information flowing east and south).
+//! This engine mirrors the hexagonal [`crate::exact`] encoding on that
+//! topology, so the two floor plans can be compared with the same
+//! optimality guarantees.
+//!
+//! Note what this baseline *cannot* model: the experimentally
+//! demonstrated SiDB gates are Y-shaped and need two upper-border input
+//! ports, which a Cartesian tile does not offer (it has a single northern
+//! border). The Cartesian numbers therefore describe hypothetical
+//! plus-shaped gates — the paper's point is precisely that such gates do
+//! not exist on the SiDB platform.
+
+use crate::exact::{ExactOptions, PnrError};
+use crate::netgraph::NetGraph;
+use fcn_coords::{AspectRatio, CartCoord, CartDirection};
+use fcn_layout::cartesian::CartGateLayout;
+use fcn_layout::clocking::ClockingScheme;
+use fcn_layout::tile::TileContents;
+use fcn_logic::techmap::MappedId;
+use fcn_logic::GateKind;
+use msat::{CnfBuilder, Lit};
+use std::collections::HashMap;
+
+/// A successful Cartesian placement & routing.
+#[derive(Debug, Clone)]
+pub struct CartPnrResult {
+    /// The resulting 2DDWave-clocked layout.
+    pub layout: CartGateLayout,
+    /// The area-minimal aspect ratio found.
+    pub ratio: AspectRatio,
+    /// Number of aspect ratios attempted.
+    pub ratios_tried: usize,
+}
+
+/// Runs exact placement & routing on a Cartesian 2DDWave floor plan.
+///
+/// PIs enter along the top/left borders and POs leave along the
+/// bottom/right borders; every edge advances one anti-diagonal per clock
+/// phase, as 2DDWave requires.
+///
+/// # Errors
+///
+/// Returns [`PnrError::NoFeasibleRatio`] when the area bound is
+/// exhausted.
+///
+/// # Examples
+///
+/// ```
+/// use fcn_logic::network::Xag;
+/// use fcn_logic::techmap::{map_xag, MapOptions};
+/// use fcn_pnr::{cartesian_exact_pnr, ExactOptions, NetGraph};
+///
+/// let mut xag = Xag::new();
+/// let a = xag.primary_input("a");
+/// let b = xag.primary_input("b");
+/// let f = xag.and(a, b);
+/// xag.primary_output("f", f);
+/// let net = map_xag(&xag, MapOptions::default())?;
+/// let graph = NetGraph::new(net)?;
+/// let result = cartesian_exact_pnr(&graph, &ExactOptions::default())?;
+/// assert!(result.layout.verify().is_empty());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn cartesian_exact_pnr(
+    graph: &NetGraph,
+    options: &ExactOptions,
+) -> Result<CartPnrResult, PnrError> {
+    let num_nodes = graph.network.num_nodes() as u64;
+    let mut tried = 0usize;
+    for ratio in AspectRatio::in_area_order(options.max_area) {
+        // The last diagonal frontier must fit all POs, the first all PIs;
+        // the number of diagonals is w + h − 1 and must cover min_height
+        // (the longest node path).
+        let diagonals = (ratio.width + ratio.height - 1) as u32;
+        if diagonals < graph.min_height()
+            || ratio.tile_count() < num_nodes
+            || (ratio.width.min(ratio.height) as usize)
+                < graph
+                    .network
+                    .primary_inputs()
+                    .len()
+                    .min(graph.network.primary_outputs().len())
+                    .min(1)
+        {
+            continue;
+        }
+        tried += 1;
+        if let Some(layout) = solve_ratio(graph, ratio, options.max_conflicts_per_ratio) {
+            return Ok(CartPnrResult { layout, ratio, ratios_tried: tried });
+        }
+    }
+    Err(PnrError::NoFeasibleRatio { max_area: options.max_area })
+}
+
+/// The inclusive diagonal (`x + y`) range a node may occupy for a layout
+/// with `diagonals` anti-diagonal frontiers. PIs and POs are additionally
+/// restricted to border tiles (see [`border_ok`]) rather than to a single
+/// frontier — on a 2DDWave floor plan the first anti-diagonal holds just
+/// one tile.
+fn diag_range(graph: &NetGraph, alap: &[u32], diagonals: u32, n: MappedId) -> (u32, u32) {
+    let _ = diagonals;
+    (graph.asap[n.index()], alap[n.index()])
+}
+
+/// Border restriction for I/O pads: PIs enter along the top/left borders,
+/// POs leave along the bottom/right borders.
+fn border_ok(kind: GateKind, t: CartCoord, w: i32, h: i32) -> bool {
+    match kind {
+        GateKind::Pi => t.x == 0 || t.y == 0,
+        GateKind::Po => t.x == w - 1 || t.y == h - 1,
+        _ => true,
+    }
+}
+
+fn solve_ratio(graph: &NetGraph, ratio: AspectRatio, max_conflicts: u64) -> Option<CartGateLayout> {
+    let (w, h) = (ratio.width as i32, ratio.height as i32);
+    let diagonals = (ratio.width + ratio.height - 1) as u32;
+    let alap = graph.alap(diagonals)?;
+    let mut cnf = CnfBuilder::new();
+    let node_ids: Vec<MappedId> = graph.network.node_ids().collect();
+    let in_bounds = |t: CartCoord| t.x >= 0 && t.x < w && t.y >= 0 && t.y < h;
+    let tiles_on_diag = |d: u32| -> Vec<CartCoord> {
+        (0..w)
+            .map(|x| CartCoord::new(x, d as i32 - x))
+            .filter(|&t| in_bounds(t))
+            .collect()
+    };
+
+    // place(n, t) for tiles on the node's allowed diagonals.
+    let mut place: HashMap<(usize, CartCoord), Lit> = HashMap::new();
+    for &n in &node_ids {
+        let kind = graph.network.node(n).kind;
+        let (lo, hi) = diag_range(graph, &alap, diagonals, n);
+        let mut vars = Vec::new();
+        for d in lo..=hi {
+            for t in tiles_on_diag(d) {
+                if !border_ok(kind, t, w, h) {
+                    continue;
+                }
+                let lit = cnf.new_lit();
+                place.insert((n.index(), t), lit);
+                vars.push(lit);
+            }
+        }
+        if vars.is_empty() {
+            return None;
+        }
+        cnf.exactly_one(&vars);
+    }
+
+    // wire(e, t) strictly between the endpoints' diagonals.
+    let mut wire: HashMap<(usize, CartCoord), Lit> = HashMap::new();
+    for e in &graph.edges {
+        let (src_lo, _) = diag_range(graph, &alap, diagonals, e.source);
+        let (_, dst_hi) = diag_range(graph, &alap, diagonals, e.target);
+        for d in (src_lo + 1)..dst_hi {
+            for t in tiles_on_diag(d) {
+                wire.insert((e.id, t), cnf.new_lit());
+            }
+        }
+    }
+
+    // step(e, t, dir): edge e leaves t east or south.
+    const DIRS: [CartDirection; 2] = [CartDirection::East, CartDirection::South];
+    let mut step: HashMap<(usize, CartCoord, CartDirection), Lit> = HashMap::new();
+    for e in &graph.edges {
+        let presence_src =
+            |t: CartCoord| wire.contains_key(&(e.id, t)) || place.contains_key(&(e.source.index(), t));
+        let presence_dst =
+            |t: CartCoord| wire.contains_key(&(e.id, t)) || place.contains_key(&(e.target.index(), t));
+        for y in 0..h {
+            for x in 0..w {
+                let t = CartCoord::new(x, y);
+                if !presence_src(t) {
+                    continue;
+                }
+                for dir in DIRS {
+                    let s = t.neighbor(dir);
+                    if in_bounds(s) && presence_dst(s) {
+                        step.insert((e.id, t, dir), cnf.new_lit());
+                    }
+                }
+            }
+        }
+    }
+
+    // Tile capacity.
+    for y in 0..h {
+        for x in 0..w {
+            let t = CartCoord::new(x, y);
+            let gates: Vec<Lit> = node_ids
+                .iter()
+                .filter_map(|n| place.get(&(n.index(), t)).copied())
+                .collect();
+            cnf.at_most_one(&gates);
+            if !gates.is_empty() {
+                let occ = cnf.or_all(gates.iter().copied());
+                for e in &graph.edges {
+                    if let Some(&wv) = wire.get(&(e.id, t)) {
+                        cnf.implies(wv, occ.negated());
+                    }
+                }
+            }
+        }
+    }
+
+    // Flow constraints per edge (same shape as the hexagonal encoding).
+    for e in &graph.edges {
+        for y in 0..h {
+            for x in 0..w {
+                let t = CartCoord::new(x, y);
+                let src_lits: Vec<Lit> = [
+                    wire.get(&(e.id, t)).copied(),
+                    place.get(&(e.source.index(), t)).copied(),
+                ]
+                .into_iter()
+                .flatten()
+                .collect();
+                if !src_lits.is_empty() {
+                    let outs: Vec<Lit> = DIRS
+                        .into_iter()
+                        .filter_map(|d| step.get(&(e.id, t, d)).copied())
+                        .collect();
+                    cnf.at_most_one(&outs);
+                    for &p in &src_lits {
+                        let mut clause = vec![p.negated()];
+                        clause.extend(outs.iter().copied());
+                        cnf.add_clause(clause);
+                    }
+                    for &s in &outs {
+                        let mut clause = vec![s.negated()];
+                        clause.extend(src_lits.iter().copied());
+                        cnf.add_clause(clause);
+                    }
+                }
+
+                let dst_lits: Vec<Lit> = [
+                    wire.get(&(e.id, t)).copied(),
+                    place.get(&(e.target.index(), t)).copied(),
+                ]
+                .into_iter()
+                .flatten()
+                .collect();
+                if !dst_lits.is_empty() {
+                    let ins: Vec<Lit> = [CartDirection::West, CartDirection::North]
+                        .into_iter()
+                        .filter_map(|d| {
+                            let n = t.neighbor(d);
+                            let towards = d.opposite();
+                            step.get(&(e.id, n, towards)).copied()
+                        })
+                        .collect();
+                    cnf.at_most_one(&ins);
+                    for &p in &dst_lits {
+                        let mut clause = vec![p.negated()];
+                        clause.extend(ins.iter().copied());
+                        cnf.add_clause(clause);
+                    }
+                    for &s in &ins {
+                        let mut clause = vec![s.negated()];
+                        clause.extend(dst_lits.iter().copied());
+                        cnf.add_clause(clause);
+                    }
+                }
+            }
+        }
+    }
+
+    // Port exclusivity.
+    for y in 0..h {
+        for x in 0..w {
+            let t = CartCoord::new(x, y);
+            for d in DIRS {
+                let users: Vec<Lit> = graph
+                    .edges
+                    .iter()
+                    .filter_map(|e| step.get(&(e.id, t, d)).copied())
+                    .collect();
+                cnf.at_most_one(&users);
+            }
+        }
+    }
+
+    let model = match cnf.solver_mut().solve_bounded(max_conflicts) {
+        Some(msat::SolveResult::Sat(m)) => m,
+        Some(msat::SolveResult::Unsat) | None => return None,
+    };
+
+    // Extraction.
+    let mut layout = CartGateLayout::new(ratio, ClockingScheme::TwoDdWave);
+    let mut node_tile: HashMap<usize, CartCoord> = HashMap::new();
+    for (&(n, t), &lit) in &place {
+        if model.lit_value(lit) {
+            node_tile.insert(n, t);
+        }
+    }
+    let step_true = |e: usize, t: CartCoord, d: CartDirection| {
+        step.get(&(e, t, d)).is_some_and(|&l| model.lit_value(l))
+    };
+    let incoming_dir = |e: usize, t: CartCoord| -> Option<CartDirection> {
+        [CartDirection::West, CartDirection::North]
+            .into_iter()
+            .find(|&d| step_true(e, t.neighbor(d), d.opposite()))
+    };
+    let outgoing_dir = |e: usize, t: CartCoord| -> Option<CartDirection> {
+        DIRS.into_iter().find(|&d| step_true(e, t, d))
+    };
+
+    for &n in &node_ids {
+        let t = node_tile[&n.index()];
+        let node = graph.network.node(n);
+        let inputs: Vec<CartDirection> = graph.in_edges[n.index()]
+            .iter()
+            .map(|&e| incoming_dir(e, t).expect("routed input"))
+            .collect();
+        let outputs: Vec<CartDirection> = graph.out_edges[n.index()]
+            .iter()
+            .map(|&e| outgoing_dir(e, t).expect("routed output"))
+            .collect();
+        layout.place(t, TileContents::gate(node.kind, inputs, outputs, node.name.clone()));
+    }
+    let mut segments: HashMap<CartCoord, Vec<(CartDirection, CartDirection)>> = HashMap::new();
+    for (&(e, t), &lit) in &wire {
+        if model.lit_value(lit) {
+            segments.entry(t).or_default().push((
+                incoming_dir(e, t).expect("wire predecessor"),
+                outgoing_dir(e, t).expect("wire successor"),
+            ));
+        }
+    }
+    for (t, segs) in segments {
+        layout.place(t, TileContents::Wire { segments: segs });
+    }
+    Some(layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcn_logic::network::Xag;
+    use fcn_logic::techmap::{map_xag, MapOptions};
+
+    fn pnr(xag: &Xag) -> CartPnrResult {
+        let net = map_xag(xag, MapOptions::default()).expect("mappable");
+        let graph = NetGraph::new(net).expect("legalized");
+        cartesian_exact_pnr(&graph, &ExactOptions::default()).expect("feasible")
+    }
+
+    #[test]
+    fn routes_single_gate_on_2ddwave() {
+        let mut xag = Xag::new();
+        let a = xag.primary_input("a");
+        let b = xag.primary_input("b");
+        let f = xag.and(a, b);
+        xag.primary_output("f", f);
+        let result = pnr(&xag);
+        let v = result.layout.verify();
+        assert!(v.is_empty(), "{}\n{v:?}", result.layout.render_ascii());
+    }
+
+    #[test]
+    fn routes_xor_with_fanouts() {
+        let mut xag = Xag::new();
+        let a = xag.primary_input("a");
+        let b = xag.primary_input("b");
+        let s = xag.xor(a, b);
+        let c = xag.and(a, b);
+        xag.primary_output("s", s);
+        xag.primary_output("c", c);
+        let result = pnr(&xag);
+        assert!(result.layout.verify().is_empty());
+    }
+
+    #[test]
+    fn pads_sit_on_their_borders() {
+        let mut xag = Xag::new();
+        let a = xag.primary_input("a");
+        let b = xag.primary_input("b");
+        let f = xag.or(a, b);
+        xag.primary_output("f", f);
+        let result = pnr(&xag);
+        let (w, h) = (result.ratio.width as i32, result.ratio.height as i32);
+        for (coord, contents) in result.layout.occupied_tiles() {
+            match contents.gate_kind() {
+                Some(GateKind::Pi) => assert!(coord.x == 0 || coord.y == 0, "{coord}"),
+                Some(GateKind::Po) => {
+                    assert!(coord.x == w - 1 || coord.y == h - 1, "{coord}")
+                }
+                _ => {}
+            }
+        }
+    }
+}

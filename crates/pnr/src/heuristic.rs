@@ -1,0 +1,739 @@
+//! A scalable one-pass placement & routing heuristic.
+//!
+//! This is the baseline engine for the exact-vs-scalable ablation, in the
+//! spirit of the scalable method of [Walter et al., ASP-DAC 2019]: instead
+//! of searching for an area-minimal layout, the netlist is processed level
+//! by level in a single downward sweep. Signals live on *tracks*; per row,
+//! the router either
+//!
+//! * places gates whose fanin tracks have become geometrically adjacent,
+//! * performs one bubble step (a crossing tile) to bring the fanins of the
+//!   next pending gate together, or
+//! * lets signals drift straight down as wire tiles.
+//!
+//! The result is always a legal row-clocked layout, produced in time
+//! linear in the layout size — but typically much taller than the exact
+//! optimum, which is precisely the trade-off the ablation experiment
+//! quantifies.
+//!
+//! Internally the router uses *doubled coordinates*: the tile at offset
+//! column `x` in row `y` has doubled position `p = 2x + (y mod 2)`; its two
+//! southern neighbors are at `p − 1` and `p + 1`. Two signals can share a
+//! tile only as a crossing (or as the two fresh outputs of a fan-out /
+//! half-adder tile), in which case their next-row exits are forced.
+
+use crate::netgraph::NetGraph;
+use fcn_coords::{AspectRatio, HexCoord, HexDirection};
+use fcn_layout::clocking::ClockingScheme;
+use fcn_layout::hexagonal::HexGateLayout;
+use fcn_layout::tile::TileContents;
+use fcn_logic::techmap::MappedId;
+use fcn_logic::GateKind;
+use std::collections::HashMap;
+
+/// A signal alive between rows.
+#[derive(Debug, Clone, Copy)]
+struct Alive {
+    edge: usize,
+    /// Doubled position of the tile currently carrying the signal.
+    pos: i32,
+    /// Exit position in the next row, when predetermined by a crossing or
+    /// a two-output gate tile.
+    forced: Option<i32>,
+}
+
+/// A tile under construction; output directions are filled in one row
+/// later, once the successors are known.
+#[derive(Debug, Clone)]
+enum Pending {
+    Gate {
+        node: MappedId,
+        in_dirs: Vec<HexDirection>,
+        /// `(edge, direction)` per output port.
+        out_dirs: Vec<(usize, Option<HexDirection>)>,
+    },
+    Wire {
+        /// `(edge, incoming, outgoing)` per segment.
+        segments: Vec<(usize, HexDirection, Option<HexDirection>)>,
+    },
+}
+
+/// Runs the heuristic placement & routing sweep.
+///
+/// Always succeeds for a fan-out-legalized netlist with at least one
+/// primary output; the resulting layout passes
+/// [`HexGateLayout::verify`].
+///
+/// # Examples
+///
+/// ```
+/// use fcn_logic::network::Xag;
+/// use fcn_logic::techmap::{map_xag, MapOptions};
+/// use fcn_pnr::{heuristic_pnr, NetGraph};
+///
+/// let mut xag = Xag::new();
+/// let a = xag.primary_input("a");
+/// let b = xag.primary_input("b");
+/// let f = xag.or(a, b);
+/// xag.primary_output("f", f);
+/// let net = map_xag(&xag, MapOptions::default())?;
+/// let layout = heuristic_pnr(&NetGraph::new(net)?);
+/// assert!(layout.verify().is_empty());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn heuristic_pnr(graph: &NetGraph) -> HexGateLayout {
+    Router::new(graph).run()
+}
+
+struct Router<'a> {
+    graph: &'a NetGraph,
+    /// Tiles keyed by `(row, doubled position)`.
+    tiles: HashMap<(i32, i32), Pending>,
+    alive: Vec<Alive>,
+    placed: Vec<bool>,
+    row: i32,
+}
+
+impl<'a> Router<'a> {
+    fn new(graph: &'a NetGraph) -> Self {
+        Router {
+            graph,
+            tiles: HashMap::new(),
+            alive: Vec::new(),
+            placed: vec![false; graph.network.num_nodes()],
+            row: 0,
+        }
+    }
+
+    fn run(mut self) -> HexGateLayout {
+        self.place_pi_row();
+        loop {
+            let pending_pos: Vec<MappedId> = self
+                .graph
+                .network
+                .node_ids()
+                .filter(|n| !self.placed[n.index()])
+                .collect();
+            if pending_pos
+                .iter()
+                .all(|n| self.graph.network.node(*n).kind == GateKind::Po)
+                && self.alive.iter().all(|a| a.forced.is_none())
+            {
+                self.place_po_row();
+                return self.finish();
+            }
+            self.advance_row();
+        }
+    }
+
+    fn place_pi_row(&mut self) {
+        let pis = self.graph.network.primary_inputs();
+        for (i, &pi) in pis.iter().enumerate() {
+            let pos = 2 * i as i32;
+            let out_dirs = self.graph.out_edges[pi.index()]
+                .iter()
+                .map(|&e| (e, None))
+                .collect();
+            self.tiles.insert(
+                (0, pos),
+                Pending::Gate { node: pi, in_dirs: vec![], out_dirs },
+            );
+            self.placed[pi.index()] = true;
+            for &e in &self.graph.out_edges[pi.index()] {
+                self.alive.push(Alive { edge: e, pos, forced: None });
+            }
+        }
+        self.alive.sort_by_key(|a| a.pos);
+    }
+
+    /// True if all fanins of `n` are alive and none is mid-crossing.
+    fn is_ready(&self, n: MappedId) -> bool {
+        self.graph.in_edges[n.index()].iter().all(|&e| {
+            self.alive
+                .iter()
+                .any(|a| a.edge == e && a.forced.is_none())
+        })
+    }
+
+    fn track_of(&self, edge: usize) -> usize {
+        self.alive
+            .iter()
+            .position(|a| a.edge == edge)
+            .expect("edge must be alive")
+    }
+
+    /// Advances the frontier by one row: gate placements, at most one
+    /// bubble/convergence action, and straight drifts for the rest.
+    fn advance_row(&mut self) {
+        let next_row = self.row + 1;
+        // Plan per alive index: either consumed by a gate or drifting.
+        let mut consumed_by: HashMap<usize, MappedId> = HashMap::new(); // track -> gate
+        let mut gate_positions: Vec<(MappedId, i32)> = Vec::new();
+        let mut used_tracks: Vec<usize> = Vec::new();
+
+        // 1. Place every ready gate whose fanins sit at adjacent positions.
+        let candidates: Vec<MappedId> = self
+            .graph
+            .network
+            .node_ids()
+            .filter(|&n| {
+                !self.placed[n.index()]
+                    && self.graph.network.node(n).kind != GateKind::Po
+                    && self.is_ready(n)
+            })
+            .collect();
+        for &n in &candidates {
+            let fanins = &self.graph.in_edges[n.index()];
+            match fanins.len() {
+                2 => {
+                    let i = self.track_of(fanins[0]);
+                    let j = self.track_of(fanins[1]);
+                    let (i, j) = (i.min(j), i.max(j));
+                    if j == i + 1
+                        && self.alive[j].pos - self.alive[i].pos == 2
+                        && !used_tracks.contains(&i)
+                        && !used_tracks.contains(&j)
+                    {
+                        consumed_by.insert(i, n);
+                        consumed_by.insert(j, n);
+                        used_tracks.extend([i, j]);
+                        gate_positions.push((n, self.alive[i].pos + 1));
+                    }
+                }
+                1 => {
+                    let i = self.track_of(fanins[0]);
+                    if !used_tracks.contains(&i) {
+                        consumed_by.insert(i, n);
+                        used_tracks.push(i);
+                        // Position resolved during the assignment sweep.
+                        gate_positions.push((n, i32::MIN));
+                    }
+                }
+                _ => unreachable!("mapped gates have one or two fanins"),
+            }
+        }
+
+        // Positions already promised to signals leaving crossings or
+        // two-output gate tiles.
+        let forced_positions: Vec<i32> = self.alive.iter().filter_map(|a| a.forced).collect();
+
+        // Gates whose center tile would collide with a forced exit must
+        // wait one row.
+        gate_positions.retain(|(g, p)| {
+            if *p != i32::MIN && forced_positions.contains(p) {
+                let fanins = &self.graph.in_edges[g.index()];
+                for &e in fanins {
+                    let t = self.track_of(e);
+                    consumed_by.remove(&t);
+                    used_tracks.retain(|&u| u != t);
+                }
+                false
+            } else {
+                true
+            }
+        });
+
+        // 2. One convergence action for the first still-unplaceable node.
+        let mut swap_pair: Option<(usize, usize)> = None; // tracks forming a crossing
+        let mut converge_pair: Option<(usize, usize)> = None; // drift towards each other
+        if let Some(&focus) = candidates.iter().find(|&&n| {
+            self.graph.network.node(n).kind.num_inputs() == 2
+                && !gate_positions.iter().any(|(g, _)| *g == n)
+        }) {
+            let fanins = &self.graph.in_edges[focus.index()];
+            let i = self.track_of(fanins[0]);
+            let j = self.track_of(fanins[1]);
+            let (i, j) = (i.min(j), i.max(j));
+            if !used_tracks.contains(&i) && !used_tracks.contains(&(i + 1)) {
+                if j == i + 1 {
+                    // Adjacent tracks, too far apart: converge.
+                    converge_pair = Some((i, j));
+                } else if self.alive[i + 1].pos - self.alive[i].pos == 2
+                    && self.alive[i + 1].forced.is_none()
+                    && !forced_positions.contains(&(self.alive[i].pos + 1))
+                {
+                    // Bubble the left fanin rightward past one track.
+                    swap_pair = Some((i, i + 1));
+                } else if self.alive[i + 1].forced.is_none() {
+                    converge_pair = Some((i, i + 1));
+                }
+            }
+        }
+
+        // 3. Assign new positions left to right (prefer drifting left).
+        //    A tile may host up to two wire segments, so a signal squeezed
+        //    between occupied positions legally *shares* a tile; shared
+        //    tiles separate again via forced exits in the next row.
+        let prefer = |a: &Alive| a.pos - 1;
+        let mut gate_tiles: std::collections::HashSet<i32> = gate_positions
+            .iter()
+            .filter(|(_, p)| *p != i32::MIN)
+            .map(|(_, p)| *p)
+            .collect();
+        // Remaining forced exits targeting each position.
+        let mut forced_remaining: HashMap<i32, usize> = HashMap::new();
+        for a in &self.alive {
+            if let Some(f) = a.forced {
+                *forced_remaining.entry(f).or_default() += 1;
+            }
+        }
+
+        let mut new_alive: Vec<Alive> = Vec::new();
+        // pos -> [(edge, from_pos)]; two signals may legally land on the
+        // same tile (a double wire / crossing), so entries merge.
+        let mut new_tiles: std::collections::BTreeMap<i32, Vec<(usize, i32)>> =
+            std::collections::BTreeMap::new();
+        let mut last_assigned = i32::MIN / 2;
+
+        let mut idx = 0;
+        while idx < self.alive.len() {
+            let a = self.alive[idx];
+            let expected = |c: i32| {
+                new_tiles.get(&c).map_or(0, Vec::len) + forced_remaining.get(&c).copied().unwrap_or(0)
+            };
+            let fresh =
+                |c: i32| c >= last_assigned + 2 && !gate_tiles.contains(&c) && expected(c) == 0;
+            let shared =
+                |c: i32| c >= last_assigned && !gate_tiles.contains(&c) && expected(c) == 1;
+            let pick = |desired: i32| -> i32 {
+                let (first, second) = if desired == a.pos - 1 {
+                    (a.pos - 1, a.pos + 1)
+                } else {
+                    (a.pos + 1, a.pos - 1)
+                };
+                if fresh(first) {
+                    first
+                } else if fresh(second) {
+                    second
+                } else if shared(first) {
+                    first
+                } else if shared(second) {
+                    second
+                } else {
+                    panic!("router invariant violated: no legal drift around {}", a.pos)
+                }
+            };
+
+            // Crossing pair created this row.
+            if let Some((i, _)) = swap_pair {
+                if idx == i {
+                    let b = self.alive[idx + 1];
+                    let center = a.pos + 1;
+                    debug_assert_eq!(b.pos - a.pos, 2);
+                    new_tiles
+                        .entry(center)
+                        .or_default()
+                        .extend([(a.edge, a.pos), (b.edge, b.pos)]);
+                    // Exits are swapped: the left signal continues right.
+                    new_alive.push(Alive { edge: b.edge, pos: center, forced: Some(center - 1) });
+                    new_alive.push(Alive { edge: a.edge, pos: center, forced: Some(center + 1) });
+                    last_assigned = center;
+                    idx += 2;
+                    continue;
+                }
+            }
+            // Gate consumption.
+            if let Some(&g) = consumed_by.get(&idx) {
+                let arity = self.graph.network.node(g).kind.num_inputs();
+                if arity == 2 {
+                    let b = self.alive[idx + 1];
+                    let center = a.pos + 1;
+                    self.emit_gate(g, center, &[(a.edge, a.pos), (b.edge, b.pos)]);
+                    self.spawn_outputs(g, center, &mut new_alive);
+                    last_assigned = center;
+                    idx += 2;
+                    continue;
+                }
+                // Single-input gate: needs a fresh tile of its own; if none
+                // is available this row, let the signal drift instead and
+                // retry in a later row.
+                let choice = [a.pos - 1, a.pos + 1].into_iter().find(|&c| fresh(c));
+                if let Some(p) = choice {
+                    self.emit_gate(g, p, &[(a.edge, a.pos)]);
+                    gate_tiles.insert(p);
+                    self.spawn_outputs(g, p, &mut new_alive);
+                    last_assigned = p;
+                    idx += 1;
+                    continue;
+                }
+            }
+            // Convergence drift.
+            let desired = if let Some((i, j)) = converge_pair {
+                if idx == i {
+                    a.pos + 1
+                } else if idx == j {
+                    a.pos - 1
+                } else {
+                    prefer(&a)
+                }
+            } else {
+                prefer(&a)
+            };
+            let p = match a.forced {
+                Some(f) => {
+                    *forced_remaining.get_mut(&f).expect("forced exit registered") -= 1;
+                    f
+                }
+                None => pick(desired),
+            };
+            new_tiles.entry(p).or_default().push((a.edge, a.pos));
+            new_alive.push(Alive { edge: a.edge, pos: p, forced: None });
+            last_assigned = p;
+            idx += 1;
+        }
+
+        // Two forced exits that landed on the same tile form a double-wire
+        // tile: pre-assign their next-row exits so they separate again
+        // (the left-origin signal keeps left, parallel-wire style).
+        for (&p, entries) in &new_tiles {
+            if entries.len() == 2 {
+                let (left_edge, right_edge) = if entries[0].1 <= entries[1].1 {
+                    (entries[0].0, entries[1].0)
+                } else {
+                    (entries[1].0, entries[0].0)
+                };
+                for a in new_alive.iter_mut().filter(|a| a.pos == p) {
+                    if a.forced.is_none() {
+                        a.forced = Some(if a.edge == left_edge {
+                            p - 1
+                        } else {
+                            debug_assert_eq!(a.edge, right_edge);
+                            p + 1
+                        });
+                    }
+                }
+                // Keep the alive list ordered left-exit first on ties.
+                let mut shared: Vec<Alive> = new_alive.iter().copied().filter(|a| a.pos == p).collect();
+                shared.sort_by_key(|a| a.forced);
+                new_alive.retain(|a| a.pos != p);
+                new_alive.extend(shared);
+            }
+        }
+
+        // 4. Materialize wire tiles (merging shared tiles into crossings is
+        //    handled by pushing two segments).
+        for (p, entries) in new_tiles {
+            let mut segments = Vec::new();
+            for (edge, from) in entries {
+                let in_dir = if from < p { HexDirection::NorthWest } else { HexDirection::NorthEast };
+                self.set_exit(self.row, from, edge, if from < p { HexDirection::SouthEast } else { HexDirection::SouthWest });
+                segments.push((edge, in_dir, None));
+            }
+            self.tiles.insert((next_row, p), Pending::Wire { segments });
+        }
+
+        self.alive = new_alive;
+        self.alive.sort_by_key(|a| a.pos);
+        self.row = next_row;
+    }
+
+    /// Picks a legal drift position for an unforced signal.
+    fn choose_position(&self, a: Alive, last: i32, reserved: &[i32], desired: i32) -> i32 {
+        let left = a.pos - 1;
+        let right = a.pos + 1;
+        let ok = |p: i32| p >= last + 2 && !reserved.contains(&p);
+        if desired == left {
+            if ok(left) {
+                left
+            } else {
+                assert!(ok(right), "router invariant violated: no legal drift");
+                right
+            }
+        } else if ok(right) {
+            right
+        } else {
+            assert!(ok(left), "router invariant violated: no legal drift");
+            left
+        }
+    }
+
+    /// Emits a gate tile at `(row+1, pos)` consuming the given signals.
+    fn emit_gate(&mut self, node: MappedId, pos: i32, consumed: &[(usize, i32)]) {
+        // Record exits on the predecessor tiles and gather input dirs in
+        // fanin port order.
+        let mut dir_of_edge: HashMap<usize, HexDirection> = HashMap::new();
+        for &(edge, from) in consumed {
+            let (out_dir, in_dir) = if from < pos {
+                (HexDirection::SouthEast, HexDirection::NorthWest)
+            } else {
+                (HexDirection::SouthWest, HexDirection::NorthEast)
+            };
+            self.set_exit(self.row, from, edge, out_dir);
+            dir_of_edge.insert(edge, in_dir);
+        }
+        let in_dirs: Vec<HexDirection> = self.graph.in_edges[node.index()]
+            .iter()
+            .map(|e| dir_of_edge[e])
+            .collect();
+        let out_dirs = self.graph.out_edges[node.index()]
+            .iter()
+            .map(|&e| (e, None))
+            .collect();
+        self.tiles
+            .insert((self.row + 1, pos), Pending::Gate { node, in_dirs, out_dirs });
+        self.placed[node.index()] = true;
+    }
+
+    /// Adds the outputs of a freshly placed gate to the alive list.
+    fn spawn_outputs(&self, node: MappedId, pos: i32, new_alive: &mut Vec<Alive>) {
+        let outs = &self.graph.out_edges[node.index()];
+        match outs.len() {
+            0 => {}
+            1 => new_alive.push(Alive { edge: outs[0], pos, forced: None }),
+            2 => {
+                // Port 0 exits south-west, port 1 south-east.
+                new_alive.push(Alive { edge: outs[0], pos, forced: Some(pos - 1) });
+                new_alive.push(Alive { edge: outs[1], pos, forced: Some(pos + 1) });
+            }
+            _ => unreachable!("at most two output ports"),
+        }
+    }
+
+    /// Records the outgoing direction of `edge` on the tile at
+    /// `(row, pos)`.
+    fn set_exit(&mut self, row: i32, pos: i32, edge: usize, dir: HexDirection) {
+        let tile = self
+            .tiles
+            .get_mut(&(row, pos))
+            .expect("predecessor tile must exist");
+        match tile {
+            Pending::Gate { out_dirs, .. } => {
+                let slot = out_dirs
+                    .iter_mut()
+                    .find(|(e, d)| *e == edge && d.is_none())
+                    .expect("gate must own the edge");
+                slot.1 = Some(dir);
+            }
+            Pending::Wire { segments } => {
+                let slot = segments
+                    .iter_mut()
+                    .find(|(e, _, d)| *e == edge && d.is_none())
+                    .expect("wire must carry the edge");
+                slot.2 = Some(dir);
+            }
+        }
+    }
+
+    fn place_po_row(&mut self) {
+        let next_row = self.row + 1;
+        let mut last = i32::MIN / 2;
+        let alive = self.alive.clone();
+        for a in &alive {
+            let po = self.graph.edges[a.edge].target;
+            debug_assert_eq!(self.graph.network.node(po).kind, GateKind::Po);
+            let p = self.choose_position(*a, last, &[], a.pos - 1);
+            let (out_dir, in_dir) = if a.pos < p {
+                (HexDirection::SouthEast, HexDirection::NorthWest)
+            } else {
+                (HexDirection::SouthWest, HexDirection::NorthEast)
+            };
+            self.set_exit(self.row, a.pos, a.edge, out_dir);
+            self.tiles.insert(
+                (next_row, p),
+                Pending::Gate { node: po, in_dirs: vec![in_dir], out_dirs: vec![] },
+            );
+            self.placed[po.index()] = true;
+            last = p;
+        }
+        self.alive.clear();
+        self.row = next_row;
+    }
+
+    /// Converts the pending tiles into a [`HexGateLayout`], normalizing
+    /// doubled positions into offset coordinates.
+    fn finish(self) -> HexGateLayout {
+        // Doubled position p in row y maps to column x = (p - (y & 1)) / 2.
+        // Shift all positions so the minimum column is zero; the shift must
+        // be even to preserve parity.
+        let min_x = self
+            .tiles
+            .keys()
+            .map(|&(y, p)| (p - (y & 1)).div_euclid(2))
+            .min()
+            .expect("layout has tiles");
+        let max_x = self
+            .tiles
+            .keys()
+            .map(|&(y, p)| (p - (y & 1)).div_euclid(2))
+            .max()
+            .expect("layout has tiles");
+        let width = (max_x - min_x + 1) as u32;
+        let height = (self.row + 1) as u32;
+        let mut layout = HexGateLayout::new(AspectRatio::new(width, height), ClockingScheme::Row);
+        for (&(y, p), pending) in &self.tiles {
+            let x = (p - (y & 1)).div_euclid(2) - min_x;
+            let coord = HexCoord::new(x, y);
+            let contents = match pending {
+                Pending::Gate { node, in_dirs, out_dirs } => {
+                    let n = self.graph.network.node(*node);
+                    TileContents::gate(
+                        n.kind,
+                        in_dirs.clone(),
+                        out_dirs
+                            .iter()
+                            .map(|(_, d)| d.expect("all gate outputs routed"))
+                            .collect(),
+                        n.name.clone(),
+                    )
+                }
+                Pending::Wire { segments } => TileContents::Wire {
+                    segments: segments
+                        .iter()
+                        .map(|(_, i, o)| (*i, o.expect("all wires routed")))
+                        .collect(),
+                },
+            };
+            layout.place(coord, contents);
+        }
+        layout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcn_logic::network::Xag;
+    use fcn_logic::techmap::{map_xag, MapOptions};
+
+    fn route(xag: &Xag) -> HexGateLayout {
+        let net = map_xag(xag, MapOptions::default()).expect("mappable");
+        heuristic_pnr(&NetGraph::new(net).expect("legalized"))
+    }
+
+    #[test]
+    fn routes_single_gate() {
+        let mut xag = Xag::new();
+        let a = xag.primary_input("a");
+        let b = xag.primary_input("b");
+        let f = xag.and(a, b);
+        xag.primary_output("f", f);
+        let layout = route(&xag);
+        let v = layout.verify();
+        assert!(v.is_empty(), "{}\n{v:?}", layout.render_ascii());
+        assert_eq!(layout.num_logic_tiles(), 1);
+    }
+
+    #[test]
+    fn routes_inverter_chain() {
+        let mut xag = Xag::new();
+        let a = xag.primary_input("a");
+        xag.primary_output("f", !a);
+        let layout = route(&xag);
+        assert!(layout.verify().is_empty());
+    }
+
+    #[test]
+    fn routes_fanout_network() {
+        let mut xag = Xag::new();
+        let a = xag.primary_input("a");
+        let b = xag.primary_input("b");
+        let s = xag.xor(a, b);
+        let c = xag.and(a, b);
+        xag.primary_output("s", s);
+        xag.primary_output("c", c);
+        let net = map_xag(
+            &xag,
+            MapOptions { extract_half_adders: false, legalize_fanout: true },
+        )
+        .expect("mappable");
+        let layout = heuristic_pnr(&NetGraph::new(net).expect("legalized"));
+        let v = layout.verify();
+        assert!(v.is_empty(), "{}\n{v:?}", layout.render_ascii());
+    }
+
+    #[test]
+    fn routes_full_adder() {
+        let mut xag = Xag::new();
+        let a = xag.primary_input("a");
+        let b = xag.primary_input("b");
+        let cin = xag.primary_input("cin");
+        let axb = xag.xor(a, b);
+        let sum = xag.xor(axb, cin);
+        let and1 = xag.and(a, b);
+        let and2 = xag.and(axb, cin);
+        let cout = xag.or(and1, and2);
+        xag.primary_output("sum", sum);
+        xag.primary_output("cout", cout);
+        let layout = route(&xag);
+        let v = layout.verify();
+        assert!(v.is_empty(), "{}\n{v:?}", layout.render_ascii());
+    }
+
+    #[test]
+    fn routes_wide_parity_network() {
+        let mut xag = Xag::new();
+        let inputs: Vec<_> = (0..6).map(|i| xag.primary_input(format!("i{i}"))).collect();
+        let mut acc = inputs[0];
+        for &i in &inputs[1..] {
+            acc = xag.xor(acc, i);
+        }
+        xag.primary_output("p", acc);
+        let layout = route(&xag);
+        let v = layout.verify();
+        assert!(v.is_empty(), "{}\n{v:?}", layout.render_ascii());
+    }
+
+    #[test]
+    fn routes_mux_with_crossing_pressure() {
+        let mut xag = Xag::new();
+        let a = xag.primary_input("a");
+        let b = xag.primary_input("b");
+        let s = xag.primary_input("s");
+        let m = xag.mux(s, a, b);
+        xag.primary_output("m", m);
+        let layout = route(&xag);
+        let v = layout.verify();
+        assert!(v.is_empty(), "{}\n{v:?}", layout.render_ascii());
+    }
+
+    #[test]
+    fn random_networks_route_legally() {
+        let mut seed = 0xfeedface_u64;
+        let mut rand = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..8 {
+            let mut xag = Xag::new();
+            let n_inputs = 3 + (round % 3);
+            let mut signals: Vec<_> = (0..n_inputs)
+                .map(|i| xag.primary_input(format!("i{i}")))
+                .collect();
+            for _ in 0..10 {
+                let x = signals[(rand() % signals.len() as u64) as usize];
+                let y = signals[(rand() % signals.len() as u64) as usize];
+                let s = match rand() % 3 {
+                    0 => xag.and(x, y),
+                    1 => xag.xor(x, y),
+                    _ => xag.or(x, !y),
+                };
+                signals.push(s);
+            }
+            // Fold every input into the output so no PI dangles.
+            let mut out = *signals.last().expect("non-empty");
+            for i in 0..n_inputs as usize {
+                let pi = signals[i];
+                out = xag.xor(out, pi);
+            }
+            if out.node().index() == 0 {
+                continue;
+            }
+            xag.primary_output("f", out);
+            let cleaned = xag.cleaned();
+            // Structural cancellation can still orphan a PI; skip such rounds.
+            let counts = cleaned.fanout_counts();
+            let all_pis_used = cleaned
+                .primary_inputs()
+                .iter()
+                .all(|pi| counts[pi.index()] > 0);
+            if cleaned.num_gates() == 0 || !all_pis_used {
+                continue;
+            }
+            let layout = route(&cleaned);
+            let v = layout.verify();
+            assert!(v.is_empty(), "round {round}:\n{}\n{v:?}", layout.render_ascii());
+        }
+    }
+}

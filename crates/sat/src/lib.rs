@@ -1,0 +1,45 @@
+//! `msat` — a from-scratch CDCL SAT solver.
+//!
+//! The Bestagon design flow needs a SAT oracle in two places: the *exact*
+//! physical-design algorithm (searching for area-minimal placements &
+//! routings) and the formal equivalence check between a specification
+//! network and a synthesized layout. The original work used the Z3 SMT
+//! solver; since the encodings are finite-domain, a plain CNF SAT solver
+//! preserves the decision problems (see `DESIGN.md` §3).
+//!
+//! The solver implements the standard modern architecture:
+//!
+//! * conflict-driven clause learning with first-UIP cuts and
+//!   non-chronological backjumping,
+//! * two-watched-literal propagation,
+//! * exponential VSIDS branching with phase saving,
+//! * Luby-sequence restarts,
+//! * activity-based learned-clause database reduction.
+//!
+//! [`CnfBuilder`] layers convenience encodings on top: Tseitin gadgets for
+//! AND/OR/XOR/MUX, `exactly-one`/`at-most-one` cardinality constraints, and
+//! implication helpers.
+//!
+//! # Examples
+//!
+//! ```
+//! use msat::{Solver, Lit};
+//!
+//! let mut solver = Solver::new();
+//! let a = solver.new_var();
+//! let b = solver.new_var();
+//! solver.add_clause([Lit::pos(a), Lit::pos(b)]);
+//! solver.add_clause([Lit::neg(a)]);
+//! let model = solver.solve().expect_sat();
+//! assert!(!model.value(a));
+//! assert!(model.value(b));
+//! ```
+
+mod builder;
+pub mod dimacs;
+mod solver;
+mod types;
+
+pub use builder::CnfBuilder;
+pub use solver::{Model, SolveResult, Solver, SolverStats};
+pub use types::{Lit, Var};

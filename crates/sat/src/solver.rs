@@ -1,0 +1,933 @@
+//! The CDCL search engine.
+
+use crate::types::{Lit, Var};
+
+const UNASSIGNED: u8 = 2;
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveResult {
+    /// The formula is satisfiable; a satisfying [`Model`] is attached.
+    Sat(Model),
+    /// The formula is unsatisfiable.
+    Unsat,
+}
+
+impl SolveResult {
+    /// Returns the model, panicking on UNSAT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is [`SolveResult::Unsat`].
+    pub fn expect_sat(self) -> Model {
+        match self {
+            SolveResult::Sat(m) => m,
+            SolveResult::Unsat => panic!("formula is unsatisfiable"),
+        }
+    }
+
+    /// True if satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Sat(_))
+    }
+
+    /// The model, if satisfiable.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SolveResult::Sat(m) => Some(m),
+            SolveResult::Unsat => None,
+        }
+    }
+}
+
+/// A satisfying assignment returned by the solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Model {
+    values: Vec<bool>,
+}
+
+impl Model {
+    /// The truth value assigned to `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` was not part of the solved formula.
+    pub fn value(&self, var: Var) -> bool {
+        self.values[var.index()]
+    }
+
+    /// The truth value of a literal under this model.
+    pub fn lit_value(&self, lit: Lit) -> bool {
+        self.value(lit.var()) ^ lit.is_negative()
+    }
+
+    /// Number of variables in the model.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the model contains no variables.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Aggregate statistics of a solver run, for benchmarking and diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of unit propagations performed.
+    pub propagations: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learned clauses currently in the database.
+    pub learned: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    learned: bool,
+    activity: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    clause: u32,
+    blocker: Lit,
+}
+
+/// A CDCL SAT solver.
+///
+/// See the [crate-level documentation](crate) for an overview and example.
+#[derive(Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>,
+    assign: Vec<u8>,
+    level: Vec<u32>,
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    prop_head: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: VarHeap,
+    saved_phase: Vec<bool>,
+    seen: Vec<bool>,
+    unsat: bool,
+    stats: SolverStats,
+    cla_inc: f64,
+    conflict_limit: Option<u64>,
+    budget_exhausted: bool,
+}
+
+const NO_REASON: u32 = u32::MAX;
+
+impl Solver {
+    /// Creates an empty solver with no variables or clauses.
+    pub fn new() -> Self {
+        Solver {
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            ..Default::default()
+        }
+    }
+
+    /// Introduces a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assign.len() as u32);
+        self.assign.push(UNASSIGNED);
+        self.level.push(0);
+        self.reason.push(NO_REASON);
+        self.activity.push(0.0);
+        self.saved_phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of original (non-learned) clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.learned).count()
+    }
+
+    /// Run statistics of the most recent (or ongoing) solve.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// Duplicate literals are removed and tautological clauses are ignored.
+    /// Adding the empty clause (or a unit clause contradicting an earlier
+    /// one at the root level) makes the formula trivially unsatisfiable.
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
+        if self.unsat {
+            return;
+        }
+        debug_assert!(self.trail_lim.is_empty(), "clauses must be added at root level");
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        lits.sort_unstable();
+        lits.dedup();
+        // Tautology or satisfied/falsified literal filtering at root level.
+        let mut filtered = Vec::with_capacity(lits.len());
+        for (i, &l) in lits.iter().enumerate() {
+            if i + 1 < lits.len() && lits[i + 1] == l.negated() {
+                return; // tautology: contains l and ¬l (sorted adjacently)
+            }
+            match self.lit_state(l) {
+                Some(true) => return, // already satisfied at root
+                Some(false) => {}     // drop falsified literal
+                None => filtered.push(l),
+            }
+        }
+        match filtered.len() {
+            0 => self.unsat = true,
+            1 => {
+                if !self.enqueue(filtered[0], NO_REASON) {
+                    self.unsat = true;
+                } else if self.propagate().is_some() {
+                    self.unsat = true;
+                }
+            }
+            _ => {
+                self.attach_clause(Clause {
+                    lits: filtered,
+                    learned: false,
+                    activity: 0.0,
+                });
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, clause: Clause) -> u32 {
+        let idx = self.clauses.len() as u32;
+        let w0 = clause.lits[0];
+        let w1 = clause.lits[1];
+        self.watches[w0.negated().code()].push(Watcher { clause: idx, blocker: w1 });
+        self.watches[w1.negated().code()].push(Watcher { clause: idx, blocker: w0 });
+        self.clauses.push(clause);
+        idx
+    }
+
+    #[inline]
+    fn lit_state(&self, lit: Lit) -> Option<bool> {
+        match self.assign[lit.var().index()] {
+            UNASSIGNED => None,
+            v => Some((v == 1) ^ lit.is_negative()),
+        }
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Enqueues `lit` as true; returns false on immediate conflict.
+    fn enqueue(&mut self, lit: Lit, reason: u32) -> bool {
+        match self.lit_state(lit) {
+            Some(true) => true,
+            Some(false) => false,
+            None => {
+                let v = lit.var().index();
+                self.assign[v] = if lit.is_positive() { 1 } else { 0 };
+                self.level[v] = self.decision_level();
+                self.reason[v] = reason;
+                self.trail.push(lit);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation; returns the index of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.prop_head < self.trail.len() {
+            let lit = self.trail[self.prop_head];
+            self.prop_head += 1;
+            self.stats.propagations += 1;
+            let mut watchers = std::mem::take(&mut self.watches[lit.code()]);
+            let mut i = 0;
+            let mut conflict = None;
+            'watchers: while i < watchers.len() {
+                let w = watchers[i];
+                if self.lit_state(w.blocker) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                let cidx = w.clause as usize;
+                // Ensure the falsified literal is at position 1.
+                let falsified = lit.negated();
+                if self.clauses[cidx].lits[0] == falsified {
+                    self.clauses[cidx].lits.swap(0, 1);
+                }
+                let first = self.clauses[cidx].lits[0];
+                if first != w.blocker && self.lit_state(first) == Some(true) {
+                    watchers[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                for k in 2..self.clauses[cidx].lits.len() {
+                    let cand = self.clauses[cidx].lits[k];
+                    if self.lit_state(cand) != Some(false) {
+                        self.clauses[cidx].lits.swap(1, k);
+                        self.watches[cand.negated().code()]
+                            .push(Watcher { clause: w.clause, blocker: first });
+                        watchers.swap_remove(i);
+                        continue 'watchers;
+                    }
+                }
+                // Clause is unit or conflicting.
+                if !self.enqueue(first, w.clause) {
+                    conflict = Some(w.clause);
+                    break;
+                }
+                i += 1;
+            }
+            // Put back the (possibly shrunk) watcher list, preserving any
+            // watchers we did not examine due to an early conflict exit.
+            let existing = std::mem::take(&mut self.watches[lit.code()]);
+            watchers.extend(existing);
+            self.watches[lit.code()] = watchers;
+            if let Some(c) = conflict {
+                self.prop_head = self.trail.len();
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, mut conflict: u32) -> (Vec<Lit>, u32) {
+        let mut learned: Vec<Lit> = vec![Lit::pos(Var(0))]; // placeholder slot 0
+        let mut counter = 0usize;
+        let mut trail_idx = self.trail.len();
+        let mut asserting = None;
+        let current_level = self.decision_level();
+
+        loop {
+            self.bump_clause(conflict as usize);
+            // Visit the literals of the conflicting/reason clause.
+            let start = usize::from(asserting.is_some()); // skip lits[0] for reasons
+            for k in start..self.clauses[conflict as usize].lits.len() {
+                let q = self.clauses[conflict as usize].lits[k];
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(q.var());
+                    if self.level[v] >= current_level {
+                        counter += 1;
+                    } else {
+                        learned.push(q);
+                    }
+                }
+            }
+            // Find the next seen literal on the trail.
+            loop {
+                trail_idx -= 1;
+                if self.seen[self.trail[trail_idx].var().index()] {
+                    break;
+                }
+            }
+            let p = self.trail[trail_idx];
+            self.seen[p.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                asserting = Some(p.negated());
+                break;
+            }
+            conflict = self.reason[p.var().index()];
+            debug_assert_ne!(conflict, NO_REASON);
+            asserting = Some(p); // marks that subsequent clauses are reasons
+        }
+        learned[0] = asserting.expect("conflict analysis must find a UIP");
+
+        // Conflict-clause minimization: drop literals implied by the rest.
+        let mut minimized = vec![learned[0]];
+        for &l in &learned[1..] {
+            if !self.is_redundant(l) {
+                minimized.push(l);
+            }
+        }
+        for &l in &learned[1..] {
+            self.seen[l.var().index()] = false;
+        }
+
+        let backjump = if minimized.len() == 1 {
+            0
+        } else {
+            // Second-highest level in the clause; move that literal to slot 1.
+            let mut max_i = 1;
+            for i in 2..minimized.len() {
+                if self.level[minimized[i].var().index()]
+                    > self.level[minimized[max_i].var().index()]
+                {
+                    max_i = i;
+                }
+            }
+            minimized.swap(1, max_i);
+            self.level[minimized[1].var().index()]
+        };
+        (minimized, backjump)
+    }
+
+    /// A literal is redundant in the learned clause if its reason clause
+    /// consists only of other seen literals (local minimization).
+    fn is_redundant(&self, lit: Lit) -> bool {
+        let r = self.reason[lit.var().index()];
+        if r == NO_REASON {
+            return false;
+        }
+        self.clauses[r as usize].lits[1..].iter().all(|&q| {
+            self.seen[q.var().index()] || self.level[q.var().index()] == 0
+        })
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let target = self.trail_lim[level as usize];
+        for &lit in &self.trail[target..] {
+            let v = lit.var().index();
+            self.saved_phase[v] = lit.is_positive();
+            self.assign[v] = UNASSIGNED;
+            self.reason[v] = NO_REASON;
+            self.heap.insert(lit.var(), &self.activity);
+        }
+        self.trail.truncate(target);
+        self.trail_lim.truncate(level as usize);
+        self.prop_head = self.trail.len();
+    }
+
+    fn bump_var(&mut self, var: Var) {
+        let a = &mut self.activity[var.index()];
+        *a += self.var_inc;
+        if *a > 1e100 {
+            for act in &mut self.activity {
+                *act *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.update(var, &self.activity);
+    }
+
+    fn bump_clause(&mut self, idx: usize) {
+        if !self.clauses[idx].learned {
+            return;
+        }
+        self.clauses[idx].activity += self.cla_inc;
+        if self.clauses[idx].activity > 1e20 {
+            for c in self.clauses.iter_mut().filter(|c| c.learned) {
+                c.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= 0.95;
+        self.cla_inc /= 0.999;
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.heap.pop_max(&self.activity) {
+            if self.assign[v.index()] == UNASSIGNED {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Removes roughly half of the learned clauses, keeping the most active
+    /// ones. Binary clauses and clauses currently used as reasons survive.
+    fn reduce_learned(&mut self) {
+        let mut learned: Vec<usize> = (0..self.clauses.len())
+            .filter(|&i| self.clauses[i].learned && self.clauses[i].lits.len() > 2)
+            .collect();
+        if learned.len() < 2 {
+            return;
+        }
+        learned.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .unwrap_or(core::cmp::Ordering::Equal)
+        });
+        let reasons: std::collections::HashSet<u32> =
+            self.reason.iter().copied().filter(|&r| r != NO_REASON).collect();
+        let to_remove: std::collections::HashSet<u32> = learned[..learned.len() / 2]
+            .iter()
+            .map(|&i| i as u32)
+            .filter(|i| !reasons.contains(i))
+            .collect();
+        if to_remove.is_empty() {
+            return;
+        }
+        // Remap clause indices after compaction.
+        let mut remap = vec![NO_REASON; self.clauses.len()];
+        let mut kept = Vec::with_capacity(self.clauses.len() - to_remove.len());
+        for (i, c) in self.clauses.drain(..).enumerate() {
+            if !to_remove.contains(&(i as u32)) {
+                remap[i] = kept.len() as u32;
+                kept.push(c);
+            }
+        }
+        self.clauses = kept;
+        for w in &mut self.watches {
+            w.retain_mut(|watcher| {
+                let n = remap[watcher.clause as usize];
+                if n == NO_REASON {
+                    false
+                } else {
+                    watcher.clause = n;
+                    true
+                }
+            });
+        }
+        for r in &mut self.reason {
+            if *r != NO_REASON {
+                *r = remap[*r as usize];
+            }
+        }
+    }
+
+    /// Solves the formula.
+    ///
+    /// Returns [`SolveResult::Sat`] with a complete model, or
+    /// [`SolveResult::Unsat`].
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves with a conflict budget. Returns `None` when the budget is
+    /// exhausted before a definitive answer — useful for anytime searches
+    /// that fall back to heuristics.
+    pub fn solve_bounded(&mut self, max_conflicts: u64) -> Option<SolveResult> {
+        let start = self.stats.conflicts;
+        self.conflict_limit = Some(start.saturating_add(max_conflicts));
+        let result = self.solve_with_assumptions(&[]);
+        let exhausted = self.budget_exhausted;
+        self.conflict_limit = None;
+        self.budget_exhausted = false;
+        if exhausted {
+            None
+        } else {
+            Some(result)
+        }
+    }
+
+    /// Solves under the given assumptions (literals forced true for this
+    /// call only). The solver state (learned clauses, activities) persists
+    /// across calls, enabling incremental use.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if self.unsat {
+            return SolveResult::Unsat;
+        }
+        self.backtrack_to(0);
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SolveResult::Unsat;
+        }
+
+        let mut conflicts_until_restart = luby(self.stats.restarts) * 100;
+        let mut max_learned = (self.clauses.len() as u64).max(1000) * 2;
+
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                if self
+                    .conflict_limit
+                    .is_some_and(|limit| self.stats.conflicts >= limit)
+                {
+                    // Budget exhausted: give up without a verdict. The
+                    // caller treats this as "unknown".
+                    self.budget_exhausted = true;
+                    self.backtrack_to(0);
+                    return SolveResult::Unsat;
+                }
+                if self.decision_level() == 0 {
+                    self.unsat = true;
+                    return SolveResult::Unsat;
+                }
+                // Assumptions are re-applied after backjumping; if a learned
+                // clause ends up contradicting one, the re-application below
+                // observes the conflict and reports UNSAT.
+                let (learned, backjump) = self.analyze(conflict);
+                self.backtrack_to(backjump);
+                let asserting = learned[0];
+                if learned.len() == 1 {
+                    self.backtrack_to(0);
+                    if !self.enqueue(asserting, NO_REASON) {
+                        self.unsat = true;
+                        return SolveResult::Unsat;
+                    }
+                } else {
+                    let idx = self.attach_clause(Clause {
+                        lits: learned,
+                        learned: true,
+                        activity: 0.0,
+                    });
+                    self.stats.learned += 1;
+                    self.bump_clause(idx as usize);
+                    let ok = self.enqueue(asserting, idx);
+                    debug_assert!(ok, "learned clause must be asserting");
+                }
+                self.decay_activities();
+                if conflicts_until_restart > 0 {
+                    conflicts_until_restart -= 1;
+                }
+            } else {
+                if conflicts_until_restart == 0 {
+                    self.stats.restarts += 1;
+                    conflicts_until_restart = luby(self.stats.restarts) * 100;
+                    self.backtrack_to(0);
+                }
+                if self.stats.learned > max_learned {
+                    self.backtrack_to(0);
+                    self.reduce_learned();
+                    self.stats.learned =
+                        self.clauses.iter().filter(|c| c.learned).count() as u64;
+                    max_learned = max_learned * 3 / 2;
+                }
+                // Apply pending assumptions as pseudo-decisions.
+                let mut next_decision = None;
+                if (self.decision_level() as usize) < assumptions.len() {
+                    let a = assumptions[self.decision_level() as usize];
+                    match self.lit_state(a) {
+                        Some(true) => {
+                            // Already implied: introduce an empty decision
+                            // level so the bookkeeping stays aligned.
+                            self.trail_lim.push(self.trail.len());
+                            continue;
+                        }
+                        Some(false) => return SolveResult::Unsat,
+                        None => next_decision = Some(a),
+                    }
+                }
+                let decision = match next_decision {
+                    Some(d) => Some(d),
+                    None => self
+                        .pick_branch_var()
+                        .map(|v| Lit::with_value(v, self.saved_phase[v.index()])),
+                };
+                match decision {
+                    None => {
+                        let values = self
+                            .assign
+                            .iter()
+                            .map(|&a| a == 1)
+                            .collect();
+                        let model = Model { values };
+                        debug_assert!(self.model_satisfies_all(&model));
+                        self.backtrack_to(0);
+                        return SolveResult::Sat(model);
+                    }
+                    Some(lit) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let ok = self.enqueue(lit, NO_REASON);
+                        debug_assert!(ok);
+                    }
+                }
+            }
+        }
+    }
+
+    fn model_satisfies_all(&self, model: &Model) -> bool {
+        self.clauses
+            .iter()
+            .filter(|c| !c.learned)
+            .all(|c| c.lits.iter().any(|&l| model.lit_value(l)))
+    }
+}
+
+/// The Luby restart sequence 1, 1, 2, 1, 1, 2, 4, …
+fn luby(i: u64) -> u64 {
+    let mut i = i;
+    loop {
+        let mut k = 1u64;
+        loop {
+            if i + 2 == (1u64 << k) {
+                return 1u64 << (k - 1);
+            }
+            if i + 2 < (1u64 << k) {
+                break;
+            }
+            k += 1;
+        }
+        i -= (1u64 << (k - 1)) - 1;
+    }
+}
+
+/// Indexed binary max-heap over variable activities.
+#[derive(Debug, Default)]
+struct VarHeap {
+    heap: Vec<Var>,
+    pos: Vec<usize>,
+}
+
+const NOT_IN_HEAP: usize = usize::MAX;
+
+impl VarHeap {
+    fn insert(&mut self, var: Var, activity: &[f64]) {
+        let idx = var.index();
+        if idx >= self.pos.len() {
+            self.pos.resize(idx + 1, NOT_IN_HEAP);
+        }
+        if self.pos[idx] != NOT_IN_HEAP {
+            return;
+        }
+        self.pos[idx] = self.heap.len();
+        self.heap.push(var);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    fn update(&mut self, var: Var, activity: &[f64]) {
+        let idx = var.index();
+        if idx < self.pos.len() && self.pos[idx] != NOT_IN_HEAP {
+            self.sift_up(self.pos[idx], activity);
+        }
+    }
+
+    fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top.index()] = NOT_IN_HEAP;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.index()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i].index()] <= activity[self.heap[parent].index()] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut largest = i;
+            if l < self.heap.len()
+                && activity[self.heap[l].index()] > activity[self.heap[largest].index()]
+            {
+                largest = l;
+            }
+            if r < self.heap.len()
+                && activity[self.heap[r].index()] > activity[self.heap[largest].index()]
+            {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            self.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a].index()] = a;
+        self.pos[self.heap[b].index()] = b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(i: i32) -> Lit {
+        let v = Var((i.unsigned_abs() - 1) as u32);
+        if i > 0 {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    fn solver_with_vars(n: u32) -> Solver {
+        let mut s = Solver::new();
+        for _ in 0..n {
+            s.new_var();
+        }
+        s
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn unit_clauses_propagate() {
+        let mut s = solver_with_vars(2);
+        s.add_clause([lit(1)]);
+        s.add_clause([lit(-1), lit(2)]);
+        let m = s.solve().expect_sat();
+        assert!(m.value(Var(0)));
+        assert!(m.value(Var(1)));
+    }
+
+    #[test]
+    fn contradiction_is_unsat() {
+        let mut s = solver_with_vars(1);
+        s.add_clause([lit(1)]);
+        s.add_clause([lit(-1)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautological_clauses_are_ignored() {
+        let mut s = solver_with_vars(2);
+        s.add_clause([lit(1), lit(-1)]);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn simple_3sat_instance() {
+        let mut s = solver_with_vars(3);
+        s.add_clause([lit(1), lit(2), lit(3)]);
+        s.add_clause([lit(-1), lit(2)]);
+        s.add_clause([lit(-2), lit(3)]);
+        s.add_clause([lit(-3), lit(-1)]);
+        let m = s.solve().expect_sat();
+        // Verify all clauses satisfied.
+        assert!(m.lit_value(lit(1)) || m.lit_value(lit(2)) || m.lit_value(lit(3)));
+        assert!(!m.lit_value(lit(1)) || m.lit_value(lit(2)));
+        assert!(!m.lit_value(lit(2)) || m.lit_value(lit(3)));
+        assert!(!m.lit_value(lit(3)) || !m.lit_value(lit(1)));
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p_ij: pigeon i in hole j; i in 0..3, j in 0..2.
+        let mut s = solver_with_vars(6);
+        let p = |i: u32, j: u32| Lit::pos(Var(i * 2 + j));
+        for i in 0..3 {
+            s.add_clause([p(i, 0), p(i, 1)]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause([p(i1, j).negated(), p(i2, j).negated()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_5_into_4_is_unsat() {
+        let n = 5u32;
+        let h = 4u32;
+        let mut s = solver_with_vars(n * h);
+        let p = |i: u32, j: u32| Lit::pos(Var(i * h + j));
+        for i in 0..n {
+            s.add_clause((0..h).map(|j| p(i, j)));
+        }
+        for j in 0..h {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause([p(i1, j).negated(), p(i2, j).negated()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn assumptions_restrict_models() {
+        let mut s = solver_with_vars(2);
+        s.add_clause([lit(1), lit(2)]);
+        let m = s
+            .solve_with_assumptions(&[lit(-1)])
+            .expect_sat();
+        assert!(!m.value(Var(0)));
+        assert!(m.value(Var(1)));
+        // Conflicting assumptions yield UNSAT without poisoning the solver.
+        assert_eq!(s.solve_with_assumptions(&[lit(-1), lit(-2)]), SolveResult::Unsat);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn incremental_solving_reuses_state() {
+        let mut s = solver_with_vars(4);
+        s.add_clause([lit(1), lit(2)]);
+        assert!(s.solve().is_sat());
+        s.add_clause([lit(-1)]);
+        let m = s.solve().expect_sat();
+        assert!(m.value(Var(1)));
+        s.add_clause([lit(-2)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn random_instances_verify_models() {
+        // Deterministic pseudo-random 3-SAT; every SAT model must satisfy
+        // every clause (checked inside the solver debug assertion too).
+        let mut seed = 0x12345678u64;
+        let mut rand = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..30 {
+            let nvars = 8 + (round % 5);
+            let nclauses = 3 * nvars;
+            let mut s = solver_with_vars(nvars as u32);
+            let mut clauses = Vec::new();
+            for _ in 0..nclauses {
+                let mut cl = Vec::new();
+                for _ in 0..3 {
+                    let v = (rand() % nvars as u64) as u32;
+                    let neg = rand() % 2 == 0;
+                    cl.push(if neg { Lit::neg(Var(v)) } else { Lit::pos(Var(v)) });
+                }
+                clauses.push(cl.clone());
+                s.add_clause(cl);
+            }
+            if let SolveResult::Sat(m) = s.solve() {
+                for cl in &clauses {
+                    assert!(cl.iter().any(|&l| m.lit_value(l)), "model violates clause");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expect = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(super::luby(i as u64), e, "luby({i})");
+        }
+    }
+}

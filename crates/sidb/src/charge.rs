@@ -1,0 +1,415 @@
+//! Charge configurations and their stability.
+//!
+//! A *charge configuration* assigns each SiDB of a layout a charge state.
+//! A configuration is *physically valid* — i.e. a metastable state the
+//! surface can actually settle into — when it satisfies
+//!
+//! * **population stability**: each site's charge state is consistent
+//!   with its local potential relative to the transition levels, and
+//! * **configuration stability**: no single electron hop to another site
+//!   lowers the total energy.
+//!
+//! These are the validity criteria of the SiQAD physics engine the paper
+//! simulates its gates with.
+
+use crate::layout::SidbLayout;
+use crate::model::PhysicalParams;
+
+/// The charge state of a single SiDB (0, 1, or 2 excess electrons ↔
+/// positive, neutral, negative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ChargeState {
+    /// Two electrons: net charge −e.
+    Negative,
+    /// One electron: neutral.
+    #[default]
+    Neutral,
+    /// Zero electrons: net charge +e.
+    Positive,
+}
+
+impl ChargeState {
+    /// Net charge in units of the elementary charge.
+    pub const fn charge_number(self) -> i8 {
+        match self {
+            ChargeState::Negative => -1,
+            ChargeState::Neutral => 0,
+            ChargeState::Positive => 1,
+        }
+    }
+}
+
+impl core::fmt::Display for ChargeState {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            ChargeState::Negative => "−",
+            ChargeState::Neutral => "0",
+            ChargeState::Positive => "+",
+        })
+    }
+}
+
+/// Pre-computed pairwise interactions of a layout under fixed parameters.
+///
+/// Building this once and sharing it across configuration evaluations is
+/// what makes exhaustive search and annealing affordable.
+#[derive(Debug, Clone)]
+pub struct InteractionMatrix {
+    n: usize,
+    /// Row-major `n × n`, diagonal zero, eV.
+    v: Vec<f64>,
+    params: PhysicalParams,
+}
+
+impl InteractionMatrix {
+    /// Computes all pairwise screened-Coulomb interactions.
+    pub fn new(layout: &SidbLayout, params: &PhysicalParams) -> Self {
+        let n = layout.num_sites();
+        let mut v = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let mut e = params.interaction_ev(layout.distance_angstrom(i, j));
+                if e < params.interaction_cutoff_ev {
+                    e = 0.0;
+                }
+                v[i * n + j] = e;
+                v[j * n + i] = e;
+            }
+        }
+        InteractionMatrix { n, v, params: *params }
+    }
+
+    /// Number of sites.
+    pub fn num_sites(&self) -> usize {
+        self.n
+    }
+
+    /// The interaction energy between sites `i` and `j`, eV.
+    #[inline]
+    pub fn interaction(&self, i: usize, j: usize) -> f64 {
+        self.v[i * self.n + j]
+    }
+
+    /// The physical parameters the matrix was built with.
+    pub fn params(&self) -> &PhysicalParams {
+        &self.params
+    }
+}
+
+/// A full assignment of charge states to the sites of a layout.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ChargeConfiguration {
+    states: Vec<ChargeState>,
+}
+
+impl ChargeConfiguration {
+    /// The all-neutral configuration over `n` sites.
+    pub fn neutral(n: usize) -> Self {
+        ChargeConfiguration { states: vec![ChargeState::Neutral; n] }
+    }
+
+    /// Builds a configuration from explicit states.
+    pub fn from_states(states: Vec<ChargeState>) -> Self {
+        ChargeConfiguration { states }
+    }
+
+    /// In a two-state system, decodes bit `i` of `index` as site `i`'s
+    /// state (1 = negative). Used by the exhaustive search.
+    pub fn from_index(n: usize, index: u64) -> Self {
+        ChargeConfiguration {
+            states: (0..n)
+                .map(|i| {
+                    if (index >> i) & 1 == 1 {
+                        ChargeState::Negative
+                    } else {
+                        ChargeState::Neutral
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True if the configuration covers no sites.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The state of site `i`.
+    pub fn state(&self, i: usize) -> ChargeState {
+        self.states[i]
+    }
+
+    /// Sets the state of site `i`.
+    pub fn set_state(&mut self, i: usize, s: ChargeState) {
+        self.states[i] = s;
+    }
+
+    /// All states as a slice.
+    pub fn states(&self) -> &[ChargeState] {
+        &self.states
+    }
+
+    /// Number of negatively charged sites.
+    pub fn num_negative(&self) -> usize {
+        self.states.iter().filter(|s| **s == ChargeState::Negative).count()
+    }
+
+    /// The electrostatic energy `E = Σ_{i<j} v_ij·n_i·n_j`, eV.
+    pub fn electrostatic_energy(&self, m: &InteractionMatrix) -> f64 {
+        let mut e = 0.0;
+        for i in 0..self.states.len() {
+            let ni = self.states[i].charge_number();
+            if ni == 0 {
+                continue;
+            }
+            for j in (i + 1)..self.states.len() {
+                let nj = self.states[j].charge_number();
+                if nj != 0 {
+                    e += m.interaction(i, j) * (ni as f64) * (nj as f64);
+                }
+            }
+        }
+        e
+    }
+
+    /// The grand-potential free energy `F = E − μ−·N⁻·(−1) − …`, i.e. the
+    /// electrostatic energy plus `μ−` per negative site (and `−μ+` per
+    /// positive site). Valid configurations with minimal `F` are the
+    /// thermodynamic ground states.
+    pub fn free_energy(&self, m: &InteractionMatrix) -> f64 {
+        let params = m.params();
+        let mut f = self.electrostatic_energy(m);
+        for s in &self.states {
+            match s {
+                ChargeState::Negative => f += params.mu_minus,
+                ChargeState::Positive => f -= params.mu_plus(),
+                ChargeState::Neutral => {}
+            }
+        }
+        f
+    }
+
+    /// The local potential `V_i = Σ_{j≠i} v_ij·n_j` at site `i`, eV.
+    pub fn local_potential(&self, m: &InteractionMatrix, i: usize) -> f64 {
+        let mut v = 0.0;
+        for j in 0..self.states.len() {
+            if j != i {
+                let nj = self.states[j].charge_number();
+                if nj != 0 {
+                    v += m.interaction(i, j) * nj as f64;
+                }
+            }
+        }
+        v
+    }
+
+    /// All local potentials at once (O(n²) instead of n × O(n)).
+    pub fn local_potentials(&self, m: &InteractionMatrix) -> Vec<f64> {
+        let n = self.states.len();
+        let mut v = vec![0.0; n];
+        for j in 0..n {
+            let nj = self.states[j].charge_number();
+            if nj == 0 {
+                continue;
+            }
+            for (i, vi) in v.iter_mut().enumerate() {
+                if i != j {
+                    *vi += m.interaction(i, j) * nj as f64;
+                }
+            }
+        }
+        v
+    }
+
+    /// Population stability: every site's charge state must be consistent
+    /// with its local potential and the transition levels:
+    ///
+    /// * negative ⇒ `V_i ≥ μ−` (removing the electron must not pay off),
+    /// * neutral ⇒ `μ+ ≤ V_i ≤ μ−`,
+    /// * positive ⇒ `V_i ≤ μ+` (three-state model only).
+    pub fn is_population_stable(&self, m: &InteractionMatrix) -> bool {
+        const EPS: f64 = 1e-9;
+        let params = m.params();
+        let potentials = self.local_potentials(m);
+        self.states.iter().zip(&potentials).all(|(s, &v)| match s {
+            ChargeState::Negative => v >= params.mu_minus - EPS,
+            ChargeState::Neutral => {
+                v <= params.mu_minus + EPS
+                    && (!params.three_state || v >= params.mu_plus() - EPS)
+            }
+            ChargeState::Positive => params.three_state && v <= params.mu_plus() + EPS,
+        })
+    }
+
+    /// Configuration stability: no single electron hop from a negative
+    /// site `i` to a non-negative site `j` may lower the energy
+    /// (`ΔE = V_i − V_j − v_ij ≥ 0`).
+    pub fn is_configuration_stable(&self, m: &InteractionMatrix) -> bool {
+        const EPS: f64 = 1e-9;
+        let potentials = self.local_potentials(m);
+        for i in 0..self.states.len() {
+            if self.states[i] != ChargeState::Negative {
+                continue;
+            }
+            for j in 0..self.states.len() {
+                if i == j || self.states[j] == ChargeState::Negative {
+                    continue;
+                }
+                let delta = potentials[i] - potentials[j] - m.interaction(i, j);
+                if delta < -EPS {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Full physical validity: population **and** configuration stability.
+    pub fn is_physically_valid(&self, m: &InteractionMatrix) -> bool {
+        self.is_population_stable(m) && self.is_configuration_stable(m)
+    }
+}
+
+impl core::fmt::Display for ChargeConfiguration {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        for s in &self.states {
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single_dot() -> (SidbLayout, InteractionMatrix) {
+        let layout = SidbLayout::from_sites([(0, 0, 0)]);
+        let m = InteractionMatrix::new(&layout, &PhysicalParams::default());
+        (layout, m)
+    }
+
+    fn pair(dx: i32) -> (SidbLayout, InteractionMatrix) {
+        let layout = SidbLayout::from_sites([(0, 0, 0), (dx, 0, 0)]);
+        let m = InteractionMatrix::new(&layout, &PhysicalParams::default());
+        (layout, m)
+    }
+
+    #[test]
+    fn isolated_dot_must_be_negative() {
+        let (_, m) = single_dot();
+        let neg = ChargeConfiguration::from_states(vec![ChargeState::Negative]);
+        let neu = ChargeConfiguration::from_states(vec![ChargeState::Neutral]);
+        assert!(neg.is_physically_valid(&m));
+        assert!(!neu.is_physically_valid(&m));
+    }
+
+    #[test]
+    fn close_pair_holds_one_electron() {
+        // Two dots one lattice cell apart (3.84 Å): interaction ≫ |μ−|.
+        let (_, m) = pair(1);
+        let both = ChargeConfiguration::from_index(2, 0b11);
+        let one = ChargeConfiguration::from_index(2, 0b01);
+        let none = ChargeConfiguration::from_index(2, 0b00);
+        assert!(!both.is_population_stable(&m));
+        assert!(one.is_physically_valid(&m));
+        assert!(!none.is_population_stable(&m));
+    }
+
+    #[test]
+    fn far_pair_holds_two_electrons() {
+        // 40 cells ≈ 15 nm apart: weakly interacting.
+        let (_, m) = pair(40);
+        let both = ChargeConfiguration::from_index(2, 0b11);
+        assert!(both.is_physically_valid(&m));
+        let one = ChargeConfiguration::from_index(2, 0b01);
+        assert!(!one.is_population_stable(&m), "far neutral site must charge up");
+    }
+
+    #[test]
+    fn energies_match_hand_computation() {
+        let (layout, m) = pair(10);
+        let d = layout.distance_angstrom(0, 1);
+        let v = PhysicalParams::default().interaction_ev(d);
+        let both = ChargeConfiguration::from_index(2, 0b11);
+        assert!((both.electrostatic_energy(&m) - v).abs() < 1e-12);
+        let f = both.free_energy(&m);
+        assert!((f - (v + 2.0 * (-0.32))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_potentials_agree_with_pointwise() {
+        let layout = SidbLayout::from_sites([(0, 0, 0), (4, 1, 0), (9, 2, 1), (15, 0, 0)]);
+        let m = InteractionMatrix::new(&layout, &PhysicalParams::default());
+        let cfg = ChargeConfiguration::from_index(4, 0b1011);
+        let all = cfg.local_potentials(&m);
+        for i in 0..4 {
+            assert!((all[i] - cfg.local_potential(&m, i)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hop_instability_is_detected() {
+        // Three dots in a line; electron on the middle dot with a far
+        // electron pushing it: hopping outward lowers energy.
+        let layout = SidbLayout::from_sites([(0, 0, 0), (3, 0, 0), (30, 0, 0)]);
+        let m = InteractionMatrix::new(&layout, &PhysicalParams::default());
+        // Negative at sites 0 and 1 (adjacent) is population-unstable
+        // anyway; craft a configuration-unstable case instead: electron at
+        // site 1 (middle) and site 2 (far right); site 0 empty. Hopping
+        // 1 → 0 moves the electron away from site 2 and lowers energy.
+        let cfg = ChargeConfiguration::from_states(vec![
+            ChargeState::Neutral,
+            ChargeState::Negative,
+            ChargeState::Negative,
+        ]);
+        let pots = cfg.local_potentials(&m);
+        // Precondition of the scenario: V_1 < V_0 − v_01 means the test
+        // setup really favours the hop.
+        let delta = pots[1] - pots[0] - m.interaction(0, 1);
+        if delta < 0.0 {
+            assert!(!cfg.is_configuration_stable(&m));
+        }
+        // The mirror configuration (electron at 0) is hop-stable.
+        let good = ChargeConfiguration::from_states(vec![
+            ChargeState::Negative,
+            ChargeState::Neutral,
+            ChargeState::Negative,
+        ]);
+        assert!(good.is_configuration_stable(&m));
+    }
+
+    #[test]
+    fn three_state_allows_positive_under_pressure() {
+        let params = PhysicalParams::default().with_three_state();
+        let layout = SidbLayout::from_sites([(0, 0, 0), (1, 0, 0), (0, 0, 1), (1, 0, 1)]);
+        let m = InteractionMatrix::new(&layout, &params);
+        // In the two-state model positives are never population-stable.
+        let m2 = InteractionMatrix::new(&layout, &PhysicalParams::default());
+        let with_pos = ChargeConfiguration::from_states(vec![
+            ChargeState::Positive,
+            ChargeState::Negative,
+            ChargeState::Negative,
+            ChargeState::Negative,
+        ]);
+        assert!(!with_pos.is_population_stable(&m2));
+        // Under the three-state model the check at least runs the positive
+        // branch (validity depends on the detailed potentials).
+        let _ = with_pos.is_population_stable(&m);
+    }
+
+    #[test]
+    fn display_shows_states() {
+        let cfg = ChargeConfiguration::from_states(vec![
+            ChargeState::Negative,
+            ChargeState::Neutral,
+            ChargeState::Positive,
+        ]);
+        assert_eq!(cfg.to_string(), "−0+");
+    }
+}

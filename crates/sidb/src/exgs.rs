@@ -1,0 +1,395 @@
+//! Exhaustive ground-state search (ExGS).
+//!
+//! Enumerates all `2^n` two-state charge configurations in Gray-code
+//! order, maintaining local potentials incrementally (O(n) per step), and
+//! returns the physically valid configuration of minimal grand-potential
+//! free energy. Exact, and fast enough for gate-sized instances (the
+//! Bestagon standard tiles have ≈ 10–25 SiDBs); circuit-scale layouts use
+//! [`crate::simanneal`] instead.
+
+use crate::charge::{ChargeConfiguration, ChargeState, InteractionMatrix};
+use crate::layout::SidbLayout;
+use crate::model::PhysicalParams;
+
+/// A configuration together with its energies, as returned by the search
+/// engines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulatedState {
+    /// The charge configuration.
+    pub config: ChargeConfiguration,
+    /// Electrostatic energy, eV.
+    pub electrostatic_energy: f64,
+    /// Grand-potential free energy, eV (the ranking criterion).
+    pub free_energy: f64,
+}
+
+/// Practical site-count limit of the exhaustive search.
+pub const MAX_EXHAUSTIVE_SITES: usize = 30;
+
+/// Finds the exact ground state of a layout (two-state model).
+///
+/// Returns `None` for an empty layout.
+///
+/// # Panics
+///
+/// Panics if the layout has more than [`MAX_EXHAUSTIVE_SITES`] sites or if
+/// `params.three_state` is set (the exhaustive engine models the
+/// negative/neutral system the paper's gates operate in).
+pub fn exhaustive_ground_state(
+    layout: &SidbLayout,
+    params: &PhysicalParams,
+) -> Option<ChargeConfiguration> {
+    exhaustive_low_energy(layout, params, 1).pop().map(|s| s.config)
+}
+
+/// Finds the `k` lowest-free-energy physically valid configurations,
+/// sorted ascending (the ground state first). Useful for inspecting the
+/// excited-state spectrum and energetic separation of logic states.
+///
+/// # Panics
+///
+/// See [`exhaustive_ground_state`].
+pub fn exhaustive_low_energy(
+    layout: &SidbLayout,
+    params: &PhysicalParams,
+    k: usize,
+) -> Vec<SimulatedState> {
+    assert!(
+        !params.three_state,
+        "exhaustive search implements the two-state model"
+    );
+    let n = layout.num_sites();
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    let m = InteractionMatrix::new(layout, params);
+
+    // Pre-assign sites that are negative in *every* population-stable
+    // configuration: if even the all-negative surroundings leave
+    // V_i ≥ μ−, a neutral state at i can never be stable (the same
+    // pruning idea as SiQAD/fiction's exact engines use). Perturbers and
+    // other isolated dots fall out of the exponential search this way.
+    let mut free_sites: Vec<usize> = Vec::new();
+    let mut fixed_negative = vec![false; n];
+    for i in 0..n {
+        let lower_bound: f64 = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| -m.interaction(i, j))
+            .sum();
+        if lower_bound >= params.mu_minus - 1e-9 {
+            fixed_negative[i] = true;
+        } else {
+            free_sites.push(i);
+        }
+    }
+    let n_free = free_sites.len();
+    assert!(
+        n_free <= MAX_EXHAUSTIVE_SITES,
+        "exhaustive search supports at most {MAX_EXHAUSTIVE_SITES} free sites"
+    );
+
+    // Gray-code sweep over the free sites with incremental local
+    // potentials and energy, starting from the fixed-negative background.
+    let mut config = ChargeConfiguration::neutral(n);
+    let mut potentials = vec![0.0f64; n];
+    let mut energy = 0.0f64;
+    let mut num_negative = 0usize;
+    for i in 0..n {
+        if fixed_negative[i] {
+            config.set_state(i, ChargeState::Negative);
+            num_negative += 1;
+        }
+    }
+    for i in 0..n {
+        if !fixed_negative[i] {
+            continue;
+        }
+        for j in 0..n {
+            if j != i {
+                potentials[j] -= m.interaction(i, j);
+            }
+        }
+        energy += (0..i)
+            .filter(|&j| fixed_negative[j])
+            .map(|j| m.interaction(i, j))
+            .sum::<f64>();
+    }
+
+    let mut best: Vec<SimulatedState> = Vec::new();
+    let consider = |config: &ChargeConfiguration,
+                        potentials: &[f64],
+                        energy: f64,
+                        num_negative: usize,
+                        best: &mut Vec<SimulatedState>| {
+        const EPS: f64 = 1e-9;
+        // Population stability from the maintained potentials.
+        let stable = config
+            .states()
+            .iter()
+            .zip(potentials)
+            .all(|(s, &v)| match s {
+                ChargeState::Negative => v >= params.mu_minus - EPS,
+                ChargeState::Neutral => v <= params.mu_minus + EPS,
+                ChargeState::Positive => false,
+            });
+        if !stable || !config.is_configuration_stable(&m) {
+            return;
+        }
+        let free = energy + params.mu_minus * num_negative as f64;
+        let state = SimulatedState {
+            config: config.clone(),
+            electrostatic_energy: energy,
+            free_energy: free,
+        };
+        let pos = best
+            .binary_search_by(|s| {
+                s.free_energy
+                    .partial_cmp(&free)
+                    .unwrap_or(core::cmp::Ordering::Equal)
+            })
+            .unwrap_or_else(|p| p);
+        best.insert(pos, state);
+        best.truncate(k);
+    };
+
+    consider(&config, &potentials, energy, num_negative, &mut best);
+    for step in 1u64..(1u64 << n_free) {
+        let site = free_sites[step.trailing_zeros() as usize];
+        let (new_state, delta) = match config.state(site) {
+            ChargeState::Neutral => (ChargeState::Negative, -1.0),
+            ChargeState::Negative => (ChargeState::Neutral, 1.0),
+            ChargeState::Positive => unreachable!("two-state sweep"),
+        };
+        // ΔE = Δn_i · V_i.
+        energy += delta * potentials[site];
+        num_negative = if new_state == ChargeState::Negative {
+            num_negative + 1
+        } else {
+            num_negative - 1
+        };
+        config.set_state(site, new_state);
+        for j in 0..n {
+            if j != site {
+                potentials[j] += delta * m.interaction(site, j);
+            }
+        }
+        consider(&config, &potentials, energy, num_negative, &mut best);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_dot_ground_state_is_negative() {
+        let layout = SidbLayout::from_sites([(5, 3, 1)]);
+        let gs = exhaustive_ground_state(&layout, &PhysicalParams::default()).expect("non-empty");
+        assert_eq!(gs.state(0), ChargeState::Negative);
+    }
+
+    #[test]
+    fn close_pair_ground_state_has_one_electron() {
+        // One lattice cell (3.84 Å): v ≈ 0.62 eV > |μ−| → a single shared
+        // electron, the BDL pair regime.
+        let layout = SidbLayout::from_sites([(0, 0, 0), (1, 0, 0)]);
+        let gs = exhaustive_ground_state(&layout, &PhysicalParams::default()).expect("non-empty");
+        assert_eq!(gs.num_negative(), 1);
+    }
+
+    #[test]
+    fn medium_pair_charges_fully_at_default_mu() {
+        // Two cells (7.68 Å): v ≈ 0.29 eV < |μ−| = 0.32 → both dots charge.
+        let layout = SidbLayout::from_sites([(0, 0, 0), (2, 0, 0)]);
+        let gs = exhaustive_ground_state(&layout, &PhysicalParams::default()).expect("non-empty");
+        assert_eq!(gs.num_negative(), 2);
+        // At the Figure 1c level μ− = −0.28 the same pair holds one
+        // electron — the transition the BDL regime depends on.
+        let gs28 = exhaustive_ground_state(
+            &layout,
+            &PhysicalParams::default().with_mu_minus(-0.28),
+        )
+        .expect("non-empty");
+        assert_eq!(gs28.num_negative(), 1);
+    }
+
+    #[test]
+    fn far_pair_ground_state_has_two_electrons() {
+        let layout = SidbLayout::from_sites([(0, 0, 0), (50, 0, 0)]);
+        let gs = exhaustive_ground_state(&layout, &PhysicalParams::default()).expect("non-empty");
+        assert_eq!(gs.num_negative(), 2);
+    }
+
+    #[test]
+    fn ground_state_matches_brute_force() {
+        // Cross-validate the incremental sweep against a naive evaluation.
+        let layout = SidbLayout::from_sites([
+            (0, 0, 0),
+            (3, 0, 0),
+            (6, 1, 0),
+            (1, 2, 1),
+            (8, 2, 0),
+        ]);
+        let params = PhysicalParams::default();
+        let m = InteractionMatrix::new(&layout, &params);
+        let n = layout.num_sites();
+
+        let mut best_naive: Option<(f64, ChargeConfiguration)> = None;
+        for index in 0..(1u64 << n) {
+            let cfg = ChargeConfiguration::from_index(n, index);
+            if cfg.is_physically_valid(&m) {
+                let f = cfg.free_energy(&m);
+                if best_naive.as_ref().map(|(bf, _)| f < *bf).unwrap_or(true) {
+                    best_naive = Some((f, cfg));
+                }
+            }
+        }
+        let (naive_f, naive_cfg) = best_naive.expect("a valid configuration exists");
+        let fast = exhaustive_low_energy(&layout, &params, 1);
+        assert_eq!(fast.len(), 1);
+        assert!((fast[0].free_energy - naive_f).abs() < 1e-9);
+        assert_eq!(fast[0].config.num_negative(), naive_cfg.num_negative());
+    }
+
+    #[test]
+    fn incremental_energy_is_consistent() {
+        let layout = SidbLayout::from_sites([(0, 0, 0), (4, 0, 0), (2, 1, 1), (9, 1, 0)]);
+        let params = PhysicalParams::default();
+        let m = InteractionMatrix::new(&layout, &params);
+        for s in exhaustive_low_energy(&layout, &params, 5) {
+            let direct_e = s.config.electrostatic_energy(&m);
+            let direct_f = s.config.free_energy(&m);
+            assert!((s.electrostatic_energy - direct_e).abs() < 1e-9);
+            assert!((s.free_energy - direct_f).abs() < 1e-9);
+            assert!(s.config.is_physically_valid(&m));
+        }
+    }
+
+    #[test]
+    fn low_energy_states_are_sorted() {
+        let layout = SidbLayout::from_sites([(0, 0, 0), (6, 0, 0), (12, 0, 0), (18, 0, 0)]);
+        let states = exhaustive_low_energy(&layout, &PhysicalParams::default(), 4);
+        assert!(!states.is_empty());
+        for w in states.windows(2) {
+            assert!(w[0].free_energy <= w[1].free_energy + 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_layout_has_no_ground_state() {
+        let layout = SidbLayout::new();
+        assert!(exhaustive_ground_state(&layout, &PhysicalParams::default()).is_none());
+    }
+}
+
+/// Exhaustive ground-state search in the **three-state** model
+/// (negative/neutral/positive), for small layouts.
+///
+/// Positive charge states only appear under extreme Coulombic crowding
+/// (the paper's gate configurations never populate them), but the full
+/// model is needed to *demonstrate* that, and for robustness analyses
+/// near dense canvases. Complexity is `3^n`; intended for `n ≤ 16`.
+///
+/// Returns the valid configuration with minimal grand-potential free
+/// energy, or `None` for an empty layout.
+///
+/// # Panics
+///
+/// Panics if the layout has more than [`MAX_THREE_STATE_SITES`] sites.
+pub fn exhaustive_ground_state_three_state(
+    layout: &SidbLayout,
+    params: &PhysicalParams,
+) -> Option<ChargeConfiguration> {
+    let n = layout.num_sites();
+    assert!(
+        n <= MAX_THREE_STATE_SITES,
+        "three-state exhaustive search supports at most {MAX_THREE_STATE_SITES} sites"
+    );
+    if n == 0 {
+        return None;
+    }
+    let params = PhysicalParams { three_state: true, ..*params };
+    let m = InteractionMatrix::new(layout, &params);
+    let mut best: Option<(f64, ChargeConfiguration)> = None;
+    let mut config = ChargeConfiguration::neutral(n);
+    enumerate_three_state(&m, &mut config, 0, &mut best);
+    best.map(|(_, c)| c)
+}
+
+/// Practical site-count limit of the three-state search.
+pub const MAX_THREE_STATE_SITES: usize = 16;
+
+fn enumerate_three_state(
+    m: &InteractionMatrix,
+    config: &mut ChargeConfiguration,
+    depth: usize,
+    best: &mut Option<(f64, ChargeConfiguration)>,
+) {
+    if depth == config.len() {
+        if config.is_physically_valid(m) {
+            let f = config.free_energy(m);
+            if best.as_ref().map(|(bf, _)| f < *bf).unwrap_or(true) {
+                *best = Some((f, config.clone()));
+            }
+        }
+        return;
+    }
+    for state in [ChargeState::Negative, ChargeState::Neutral, ChargeState::Positive] {
+        config.set_state(depth, state);
+        enumerate_three_state(m, config, depth + 1, best);
+    }
+    config.set_state(depth, ChargeState::Neutral);
+}
+
+#[cfg(test)]
+mod three_state_tests {
+    use super::*;
+
+    #[test]
+    fn isolated_dot_is_negative_in_three_state_model() {
+        let layout = SidbLayout::from_sites([(0, 0, 0)]);
+        let gs = exhaustive_ground_state_three_state(&layout, &PhysicalParams::default())
+            .expect("non-empty");
+        assert_eq!(gs.state(0), ChargeState::Negative);
+    }
+
+    #[test]
+    fn sparse_layouts_match_the_two_state_model() {
+        let layout = SidbLayout::from_sites([(0, 0, 0), (4, 0, 0), (8, 1, 0), (2, 3, 1)]);
+        let params = PhysicalParams::default();
+        let two = exhaustive_ground_state(&layout, &params).expect("ok");
+        let three = exhaustive_ground_state_three_state(&layout, &params).expect("ok");
+        assert_eq!(two.states(), three.states());
+    }
+
+    #[test]
+    fn extreme_crowding_can_populate_positive_states() {
+        // A dense 3×3 block of dots at minimal pitch: the three-state
+        // search must at least run and produce a valid configuration; if
+        // any positive state appears, the two-state model would have been
+        // inadequate here.
+        let mut layout = SidbLayout::new();
+        for x in 0..3 {
+            for y in 0..3 {
+                layout.add_site((x, y, 0));
+                layout.add_site((x, y, 1));
+            }
+        }
+        // 18 sites exceeds the bound; trim to a 2×2 block of dimer pairs.
+        let layout = SidbLayout::from_sites(
+            layout.sites().iter().copied().take(8).collect::<Vec<_>>(),
+        );
+        let params = PhysicalParams::default().with_three_state();
+        let m = InteractionMatrix::new(&layout, &params);
+        let gs = exhaustive_ground_state_three_state(&layout, &params).expect("ok");
+        assert!(gs.is_physically_valid(&m));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_sites_panics() {
+        let layout = SidbLayout::from_sites((0..20).map(|i| (i, 0, 0)));
+        let _ = exhaustive_ground_state_three_state(&layout, &PhysicalParams::default());
+    }
+}

@@ -1,0 +1,53 @@
+//! `sidb-sim` — physical simulation of silicon dangling bond (SiDB) logic.
+//!
+//! Re-implements the physics engine the paper relies on (SiQAD's
+//! *SimAnneal* ground-state finder and the associated stability model of
+//! Ng et al., TNANO 2020) from scratch:
+//!
+//! * [`layout`] — dot-accurate SiDB layouts on the H-Si(100)-2×1 surface,
+//! * [`model`] — the screened-Coulomb (Thomas–Fermi) electrostatic model
+//!   with the paper's parameters (`μ− = −0.32 eV`, `ε_r = 5.6`,
+//!   `λ_TF = 5 nm`),
+//! * [`charge`] — charge configurations, electrostatic energies,
+//!   *population* and *configuration* stability,
+//! * [`exgs`] — exhaustive ground-state search (exact for gate-sized
+//!   instances),
+//! * [`simanneal`] — a SimAnneal-style simulated-annealing ground-state
+//!   finder for circuit-scale instances,
+//! * [`bdl`] — binary-dot logic: I/O pairs, input perturbers (the paper's
+//!   near/far refinement of Huff et al.'s encoding), and logic read-out,
+//! * [`operational`] — truth-table validation of gate designs,
+//! * [`opdomain`] — operational-domain sweeps over `(ε_r, λ_TF)` — the
+//!   robustness analysis the paper's outlook calls for.
+//!
+//! # Examples
+//!
+//! An isolated SiDB settles into the negative charge state:
+//!
+//! ```
+//! use sidb_sim::layout::SidbLayout;
+//! use sidb_sim::model::PhysicalParams;
+//! use sidb_sim::exgs::exhaustive_ground_state;
+//! use sidb_sim::charge::ChargeState;
+//!
+//! let mut layout = SidbLayout::new();
+//! layout.add_site((0, 0, 0));
+//! let gs = exhaustive_ground_state(&layout, &PhysicalParams::default())
+//!     .expect("a single dot always has a ground state");
+//! assert_eq!(gs.state(0), ChargeState::Negative);
+//! ```
+
+pub mod bdl;
+pub mod charge;
+pub mod exgs;
+pub mod layout;
+pub mod model;
+pub mod opdomain;
+pub mod operational;
+pub mod quickexact;
+pub mod simanneal;
+pub mod stability;
+
+pub use charge::{ChargeConfiguration, ChargeState};
+pub use layout::SidbLayout;
+pub use model::PhysicalParams;

@@ -1,0 +1,243 @@
+//! Operational-domain analysis.
+//!
+//! The paper's outlook (Section 6) calls for "a streamlined operational
+//! domain evaluation framework" — mapping the region of physical-
+//! parameter space in which a gate design works, instead of a single
+//! yes/no at nominal parameters. This module provides exactly that: a
+//! grid sweep over `(ε_r, λ_TF)` (optionally `μ−`) that validates the
+//! design at every grid point with the exact ground-state engine.
+//!
+//! The *operational domain* is a standard robustness metric in the SiDB
+//! literature; fabricated devices experience parameter variation, so a
+//! larger domain means a more manufacturable gate.
+
+use crate::model::PhysicalParams;
+use crate::operational::{Engine, GateDesign};
+
+/// The sweep grid for an operational-domain analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct DomainGrid {
+    /// Inclusive range of relative permittivity values.
+    pub epsilon_r: (f64, f64),
+    /// Inclusive range of Thomas–Fermi screening lengths, nm.
+    pub lambda_tf_nm: (f64, f64),
+    /// Number of samples per axis.
+    pub steps: usize,
+}
+
+impl Default for DomainGrid {
+    /// The commonly studied window around the experimentally calibrated
+    /// point (ε_r = 5.6, λ_TF = 5 nm).
+    fn default() -> Self {
+        DomainGrid {
+            epsilon_r: (4.0, 7.0),
+            lambda_tf_nm: (3.5, 6.5),
+            steps: 7,
+        }
+    }
+}
+
+impl DomainGrid {
+    /// The parameter values along one axis.
+    fn axis(range: (f64, f64), steps: usize) -> Vec<f64> {
+        if steps <= 1 {
+            return vec![range.0];
+        }
+        (0..steps)
+            .map(|i| range.0 + (range.1 - range.0) * i as f64 / (steps - 1) as f64)
+            .collect()
+    }
+
+    /// All `(ε_r, λ_TF)` grid points, row-major in ε_r.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let eps = Self::axis(self.epsilon_r, self.steps);
+        let lam = Self::axis(self.lambda_tf_nm, self.steps);
+        eps.iter()
+            .flat_map(|&e| lam.iter().map(move |&l| (e, l)))
+            .collect()
+    }
+}
+
+/// The result of an operational-domain sweep.
+#[derive(Debug, Clone)]
+pub struct OperationalDomain {
+    /// The grid that was swept.
+    pub grid: DomainGrid,
+    /// Per grid point: `(ε_r, λ_TF, operational)`.
+    pub samples: Vec<(f64, f64, bool)>,
+}
+
+impl OperationalDomain {
+    /// Fraction of grid points at which the design is operational.
+    pub fn coverage(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|(_, _, ok)| *ok).count() as f64 / self.samples.len() as f64
+    }
+
+    /// True if the nominal point (closest grid point to ε_r = 5.6,
+    /// λ_TF = 5 nm) is operational.
+    pub fn nominal_operational(&self) -> bool {
+        self.samples
+            .iter()
+            .min_by(|a, b| {
+                let da = (a.0 - 5.6).powi(2) + (a.1 - 5.0).powi(2);
+                let db = (b.0 - 5.6).powi(2) + (b.1 - 5.0).powi(2);
+                da.partial_cmp(&db).expect("finite")
+            })
+            .map(|s| s.2)
+            .unwrap_or(false)
+    }
+
+    /// A textual map of the domain: rows are ε_r values (ascending), `■`
+    /// marks operational points.
+    pub fn render_ascii(&self) -> String {
+        let mut out = String::new();
+        let lam_steps = self.grid.steps;
+        for (i, chunk) in self.samples.chunks(lam_steps).enumerate() {
+            let eps = chunk.first().map(|c| c.0).unwrap_or(0.0);
+            out.push_str(&format!("ε_r {eps:>5.2} | "));
+            for &(_, _, ok) in chunk {
+                out.push(if ok { '■' } else { '·' });
+            }
+            out.push('\n');
+            let _ = i;
+        }
+        out.push_str(&format!(
+            "          λ_TF {:.1} … {:.1} nm →\n",
+            self.grid.lambda_tf_nm.0, self.grid.lambda_tf_nm.1
+        ));
+        out
+    }
+}
+
+/// Sweeps the operational domain of a design.
+///
+/// `base` supplies the non-swept parameters (μ−, model flags); the grid
+/// overrides ε_r and λ_TF per sample.
+///
+/// # Examples
+///
+/// ```
+/// use sidb_sim::opdomain::{operational_domain, DomainGrid};
+/// use sidb_sim::operational::{Engine, GateDesign};
+/// use sidb_sim::bdl::{BdlPair, InputPort, OutputPort};
+/// use sidb_sim::layout::SidbLayout;
+/// use sidb_sim::model::PhysicalParams;
+///
+/// // A three-pair BDL wire.
+/// let design = GateDesign {
+///     name: "wire".into(),
+///     body: SidbLayout::from_sites([(0,0,0),(0,1,0),(0,4,0),(0,5,0),(0,8,0),(0,9,0)]),
+///     inputs: vec![InputPort {
+///         pair: BdlPair::new((0,0,0),(0,1,0)),
+///         perturber_zero: (0,-4,0).into(),
+///         perturber_one: (0,-3,0).into(),
+///     }],
+///     outputs: vec![OutputPort {
+///         pair: BdlPair::new((0,8,0),(0,9,0)),
+///         perturber: Some((0,12,1).into()),
+///     }],
+///     truth_table: vec![vec![false], vec![true]],
+/// };
+/// let grid = DomainGrid { steps: 3, ..Default::default() };
+/// let domain = operational_domain(&design, &PhysicalParams::default(), grid, Engine::QuickExact);
+/// assert_eq!(domain.samples.len(), 9);
+/// ```
+pub fn operational_domain(
+    design: &GateDesign,
+    base: &PhysicalParams,
+    grid: DomainGrid,
+    engine: Engine,
+) -> OperationalDomain {
+    let samples = grid
+        .points()
+        .into_iter()
+        .map(|(eps, lam)| {
+            let params = PhysicalParams {
+                epsilon_r: eps,
+                lambda_tf_nm: lam,
+                ..*base
+            };
+            let ok = design.check_operational(&params, engine).is_operational();
+            (eps, lam, ok)
+        })
+        .collect();
+    OperationalDomain { grid, samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bdl::{BdlPair, InputPort, OutputPort};
+    use crate::layout::SidbLayout;
+
+    fn wire() -> GateDesign {
+        GateDesign {
+            name: "wire".into(),
+            body: SidbLayout::from_sites([
+                (0, 0, 0),
+                (0, 1, 0),
+                (0, 4, 0),
+                (0, 5, 0),
+                (0, 8, 0),
+                (0, 9, 0),
+            ]),
+            inputs: vec![InputPort {
+                pair: BdlPair::new((0, 0, 0), (0, 1, 0)),
+                perturber_zero: (0, -4, 0).into(),
+                perturber_one: (0, -3, 0).into(),
+            }],
+            outputs: vec![OutputPort {
+                pair: BdlPair::new((0, 8, 0), (0, 9, 0)),
+                perturber: Some((0, 12, 1).into()),
+            }],
+            truth_table: vec![vec![false], vec![true]],
+        }
+    }
+
+    #[test]
+    fn grid_points_cover_axes() {
+        let grid = DomainGrid { epsilon_r: (4.0, 6.0), lambda_tf_nm: (4.0, 6.0), steps: 3 };
+        let pts = grid.points();
+        assert_eq!(pts.len(), 9);
+        assert!(pts.contains(&(4.0, 4.0)));
+        assert!(pts.contains(&(6.0, 6.0)));
+        assert!(pts.contains(&(5.0, 5.0)));
+    }
+
+    #[test]
+    fn wire_domain_includes_the_nominal_point() {
+        let grid = DomainGrid { steps: 3, ..Default::default() };
+        let domain =
+            operational_domain(&wire(), &PhysicalParams::default(), grid, Engine::QuickExact);
+        assert!(domain.nominal_operational());
+        assert!(domain.coverage() > 0.0);
+    }
+
+    #[test]
+    fn coverage_is_a_fraction() {
+        let grid = DomainGrid { steps: 3, ..Default::default() };
+        let domain =
+            operational_domain(&wire(), &PhysicalParams::default(), grid, Engine::QuickExact);
+        assert!((0.0..=1.0).contains(&domain.coverage()));
+    }
+
+    #[test]
+    fn ascii_map_has_one_row_per_epsilon() {
+        let grid = DomainGrid { steps: 4, ..Default::default() };
+        let domain =
+            operational_domain(&wire(), &PhysicalParams::default(), grid, Engine::QuickExact);
+        let map = domain.render_ascii();
+        assert_eq!(map.lines().count(), 5); // 4 ε_r rows + axis caption
+    }
+
+    #[test]
+    fn single_step_grid_degenerates_gracefully() {
+        let grid = DomainGrid { steps: 1, ..Default::default() };
+        let domain =
+            operational_domain(&wire(), &PhysicalParams::default(), grid, Engine::QuickExact);
+        assert_eq!(domain.samples.len(), 1);
+    }
+}

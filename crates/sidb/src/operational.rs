@@ -1,0 +1,244 @@
+//! Operational (truth-table) validation of SiDB gate designs.
+//!
+//! A gate design is *operational* when, for every input pattern, the
+//! simulated charge ground state of the gate (with input perturbers at
+//! their near/far positions and output perturbers present) reproduces the
+//! intended truth table on the output BDL pairs. This is the acceptance
+//! criterion the paper applied to every tile of the Bestagon library.
+
+use crate::bdl::{InputPort, OutputPort};
+use crate::charge::ChargeConfiguration;
+use crate::exgs::exhaustive_ground_state;
+use crate::quickexact::quick_exact_ground_state;
+use crate::layout::SidbLayout;
+use crate::model::PhysicalParams;
+use crate::simanneal::{simulated_annealing, AnnealParams};
+
+/// A complete, simulatable SiDB gate design.
+#[derive(Debug, Clone)]
+pub struct GateDesign {
+    /// Human-readable gate name (e.g. `"OR"`).
+    pub name: String,
+    /// All SiDBs of the tile: logic canvas plus I/O wire stubs.
+    pub body: SidbLayout,
+    /// Input ports, LSB first (pattern bit `i` drives port `i`).
+    pub inputs: Vec<InputPort>,
+    /// Output ports.
+    pub outputs: Vec<OutputPort>,
+    /// Expected outputs per input pattern; row `p` corresponds to the
+    /// pattern whose bit `i` is input `i`'s value.
+    pub truth_table: Vec<Vec<bool>>,
+}
+
+/// Which ground-state engine validates the design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Engine {
+    /// Exhaustive search — exact, gate-sized instances only.
+    Exhaustive,
+    /// Simulated annealing with the given parameters.
+    Anneal(AnnealParams),
+    /// Branch-and-bound exact search (fast on BDL-structured layouts).
+    QuickExact,
+    /// QuickExact for exact results; the default choice.
+    Auto,
+}
+
+/// The validation verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OperationalStatus {
+    /// All input patterns produce the expected outputs.
+    Operational,
+    /// At least one pattern failed.
+    NonOperational {
+        /// The first failing input pattern (bit `i` = input `i`).
+        pattern: u32,
+        /// What the outputs read as (`None` = ambiguous read-out).
+        observed: Vec<Option<bool>>,
+        /// The expected output values.
+        expected: Vec<bool>,
+    },
+}
+
+impl OperationalStatus {
+    /// True if the design is fully operational.
+    pub fn is_operational(&self) -> bool {
+        matches!(self, OperationalStatus::Operational)
+    }
+}
+
+/// The outcome of simulating one input pattern.
+#[derive(Debug, Clone)]
+pub struct PatternSimulation {
+    /// The simulated layout (body + perturbers).
+    pub layout: SidbLayout,
+    /// The ground-state charge configuration.
+    pub ground_state: ChargeConfiguration,
+    /// The decoded output values.
+    pub outputs: Vec<Option<bool>>,
+}
+
+impl GateDesign {
+    /// Number of input patterns (`2^inputs`).
+    pub fn num_patterns(&self) -> u32 {
+        1 << self.inputs.len()
+    }
+
+    /// The complete simulation layout for an input pattern: gate body plus
+    /// the pattern's input perturbers and all output perturbers.
+    pub fn layout_for_pattern(&self, pattern: u32) -> SidbLayout {
+        let mut layout = self.body.clone();
+        for (i, port) in self.inputs.iter().enumerate() {
+            layout.add_site(port.perturber_for((pattern >> i) & 1 == 1));
+        }
+        for port in &self.outputs {
+            if let Some(p) = port.perturber {
+                layout.add_site(p);
+            }
+        }
+        layout
+    }
+
+    /// Simulates one input pattern and decodes the outputs.
+    ///
+    /// Returns `None` when no ground state could be determined (empty
+    /// design).
+    pub fn simulate_pattern(
+        &self,
+        pattern: u32,
+        params: &PhysicalParams,
+        engine: Engine,
+    ) -> Option<PatternSimulation> {
+        let layout = self.layout_for_pattern(pattern);
+        let ground_state = match engine {
+            Engine::Exhaustive => exhaustive_ground_state(&layout, params)?,
+            Engine::Anneal(a) => simulated_annealing(&layout, params, &a)?.config,
+            Engine::QuickExact | Engine::Auto => quick_exact_ground_state(&layout, params)?,
+        };
+        let outputs = self
+            .outputs
+            .iter()
+            .map(|o| o.pair.read(&layout, &ground_state))
+            .collect();
+        Some(PatternSimulation { layout, ground_state, outputs })
+    }
+
+    /// Validates the design against its truth table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the truth table does not cover every input pattern.
+    pub fn check_operational(&self, params: &PhysicalParams, engine: Engine) -> OperationalStatus {
+        assert_eq!(
+            self.truth_table.len() as u32,
+            self.num_patterns(),
+            "truth table must cover all input patterns"
+        );
+        for pattern in 0..self.num_patterns() {
+            let expected = &self.truth_table[pattern as usize];
+            let sim = self
+                .simulate_pattern(pattern, params, engine)
+                .expect("gate bodies are non-empty");
+            let ok = sim.outputs.len() == expected.len()
+                && sim
+                    .outputs
+                    .iter()
+                    .zip(expected)
+                    .all(|(obs, exp)| *obs == Some(*exp));
+            if !ok {
+                return OperationalStatus::NonOperational {
+                    pattern,
+                    observed: sim.outputs,
+                    expected: expected.clone(),
+                };
+            }
+        }
+        OperationalStatus::Operational
+    }
+
+    /// Translated copy of the whole design.
+    pub fn translated(&self, dx: i32, dy: i32) -> GateDesign {
+        GateDesign {
+            name: self.name.clone(),
+            body: self.body.translated(dx, dy),
+            inputs: self.inputs.iter().map(|p| p.translated(dx, dy)).collect(),
+            outputs: self.outputs.iter().map(|p| p.translated(dx, dy)).collect(),
+            truth_table: self.truth_table.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bdl::BdlPair;
+
+    /// A three-pair BDL wire in the validated geometry: vertical pairs
+    /// `(0,y,0)/(0,y+1,0)` at a four-row pitch, input perturbers at the
+    /// phantom upstream pair's dot positions, output perturber at the
+    /// phantom downstream pair's location.
+    fn wire_design() -> GateDesign {
+        let body = SidbLayout::from_sites([
+            (0, 0, 0),
+            (0, 1, 0),
+            (0, 4, 0),
+            (0, 5, 0),
+            (0, 8, 0),
+            (0, 9, 0),
+        ]);
+        GateDesign {
+            name: "WIRE-test".into(),
+            body,
+            inputs: vec![InputPort {
+                pair: BdlPair::new((0, 0, 0), (0, 1, 0)),
+                perturber_zero: (0, -4, 0).into(),
+                perturber_one: (0, -3, 0).into(),
+            }],
+            outputs: vec![OutputPort {
+                pair: BdlPair::new((0, 8, 0), (0, 9, 0)),
+                perturber: Some((0, 12, 1).into()),
+            }],
+            truth_table: vec![vec![false], vec![true]],
+        }
+    }
+
+    #[test]
+    fn pattern_layouts_differ_only_in_perturbers() {
+        let d = wire_design();
+        let l0 = d.layout_for_pattern(0);
+        let l1 = d.layout_for_pattern(1);
+        assert_eq!(l0.num_sites(), d.body.num_sites() + 2);
+        assert_eq!(l1.num_sites(), d.body.num_sites() + 2);
+        assert!(l0.contains((0, -4, 0)) && !l0.contains((0, -3, 0)));
+        assert!(l1.contains((0, -3, 0)) && !l1.contains((0, -4, 0)));
+    }
+
+    #[test]
+    fn wire_design_is_operational() {
+        let d = wire_design();
+        let params = PhysicalParams::default();
+        assert!(d
+            .check_operational(&params, Engine::Exhaustive)
+            .is_operational());
+    }
+
+    #[test]
+    fn engines_agree_on_the_wire() {
+        let d = wire_design();
+        let params = PhysicalParams::default();
+        for pattern in 0..2 {
+            let a = d.simulate_pattern(pattern, &params, Engine::Exhaustive).expect("ok");
+            let b = d
+                .simulate_pattern(pattern, &params, Engine::Anneal(AnnealParams::default()))
+                .expect("ok");
+            assert_eq!(a.outputs, b.outputs, "pattern {pattern}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "truth table must cover")]
+    fn short_truth_table_panics() {
+        let mut d = wire_design();
+        d.truth_table.pop();
+        d.check_operational(&PhysicalParams::default(), Engine::Exhaustive);
+    }
+}

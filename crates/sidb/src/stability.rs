@@ -1,0 +1,153 @@
+//! Logic-state stability: energy gaps and critical-temperature
+//! estimates.
+//!
+//! A gate that is operational at zero temperature can still fail
+//! thermally if a charge configuration with the *wrong* output read-out
+//! lies only a small energy above the ground state. This module
+//! quantifies that margin per input pattern: the free-energy gap between
+//! the ground state and the lowest physically valid state whose outputs
+//! decode differently, and the naive critical temperature
+//! `T_c = ΔE / k_B` at which the erroneous state's Boltzmann weight
+//! becomes comparable — the "energetic separation" analysis the SiDB
+//! literature (and the paper's SiQAD reference) perform on gate designs.
+
+use crate::model::PhysicalParams;
+use crate::operational::{Engine, GateDesign};
+use crate::quickexact::quick_exact_low_energy;
+
+/// Boltzmann constant in eV/K.
+pub const BOLTZMANN_EV_PER_K: f64 = 8.617_333e-5;
+
+/// Stability data for one input pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatternStability {
+    /// The input pattern (bit `i` = input `i`).
+    pub pattern: u32,
+    /// Free-energy gap to the lowest wrong-reading valid state, eV.
+    /// `None` when no wrong-reading state was found among the inspected
+    /// low-energy states (the gap exceeds the search horizon — good).
+    pub gap_ev: Option<f64>,
+}
+
+impl PatternStability {
+    /// Naive critical temperature `ΔE / k_B`, in kelvin.
+    pub fn critical_temperature_k(&self) -> Option<f64> {
+        self.gap_ev.map(|g| g / BOLTZMANN_EV_PER_K)
+    }
+}
+
+/// Computes per-pattern stability for a design.
+///
+/// For each input pattern, the `k_states` lowest valid configurations
+/// are enumerated; the first whose output read-out differs from the
+/// ground state's defines the gap.
+///
+/// # Panics
+///
+/// Panics if `engine` is [`Engine::Anneal`]-based — gap analysis needs
+/// the exact k-best spectrum.
+pub fn logic_stability(
+    design: &GateDesign,
+    params: &PhysicalParams,
+    k_states: usize,
+    engine: Engine,
+) -> Vec<PatternStability> {
+    assert!(
+        matches!(engine, Engine::QuickExact | Engine::Auto | Engine::Exhaustive),
+        "gap analysis requires an exact engine"
+    );
+    (0..design.num_patterns())
+        .map(|pattern| {
+            let layout = design.layout_for_pattern(pattern);
+            let states = quick_exact_low_energy(&layout, params, k_states);
+            let gap_ev = states.split_first().and_then(|(ground, rest)| {
+                let ground_read: Vec<_> = design
+                    .outputs
+                    .iter()
+                    .map(|o| o.pair.read(&layout, &ground.config))
+                    .collect();
+                rest.iter()
+                    .find(|s| {
+                        let read: Vec<_> = design
+                            .outputs
+                            .iter()
+                            .map(|o| o.pair.read(&layout, &s.config))
+                            .collect();
+                        read != ground_read
+                    })
+                    .map(|s| s.free_energy - ground.free_energy)
+            });
+            PatternStability { pattern, gap_ev }
+        })
+        .collect()
+}
+
+/// The design's worst-case (minimum) gap across patterns, eV.
+pub fn worst_case_gap_ev(stability: &[PatternStability]) -> Option<f64> {
+    stability
+        .iter()
+        .filter_map(|s| s.gap_ev)
+        .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bdl::{BdlPair, InputPort, OutputPort};
+    use crate::layout::SidbLayout;
+
+    fn wire() -> GateDesign {
+        GateDesign {
+            name: "wire".into(),
+            body: SidbLayout::from_sites([
+                (0, 0, 0),
+                (0, 1, 0),
+                (0, 4, 0),
+                (0, 5, 0),
+                (0, 8, 0),
+                (0, 9, 0),
+            ]),
+            inputs: vec![InputPort {
+                pair: BdlPair::new((0, 0, 0), (0, 1, 0)),
+                perturber_zero: (0, -4, 0).into(),
+                perturber_one: (0, -3, 0).into(),
+            }],
+            outputs: vec![OutputPort {
+                pair: BdlPair::new((0, 8, 0), (0, 9, 0)),
+                perturber: Some((0, 12, 1).into()),
+            }],
+            truth_table: vec![vec![false], vec![true]],
+        }
+    }
+
+    #[test]
+    fn wire_has_positive_gaps() {
+        let stability =
+            logic_stability(&wire(), &PhysicalParams::default(), 8, Engine::QuickExact);
+        assert_eq!(stability.len(), 2);
+        for s in &stability {
+            if let Some(gap) = s.gap_ev {
+                assert!(gap > 0.0, "pattern {}", s.pattern);
+            }
+        }
+    }
+
+    #[test]
+    fn critical_temperature_scales_with_gap() {
+        let s = PatternStability { pattern: 0, gap_ev: Some(BOLTZMANN_EV_PER_K * 77.0) };
+        let t = s.critical_temperature_k().expect("gap present");
+        assert!((t - 77.0).abs() < 1e-6);
+        let none = PatternStability { pattern: 0, gap_ev: None };
+        assert_eq!(none.critical_temperature_k(), None);
+    }
+
+    #[test]
+    fn worst_case_is_the_minimum() {
+        let stability = vec![
+            PatternStability { pattern: 0, gap_ev: Some(0.02) },
+            PatternStability { pattern: 1, gap_ev: Some(0.005) },
+            PatternStability { pattern: 2, gap_ev: None },
+        ];
+        assert_eq!(worst_case_gap_ev(&stability), Some(0.005));
+    }
+}

@@ -1,0 +1,69 @@
+//! Regenerates the paper's **Figure 2**: clocking by charge-population
+//! modulation — activated zones compute, deactivated zones separate.
+//!
+//! ```text
+//! cargo run --release --example fig2_clocking
+//! ```
+//!
+//! Runs the clocked gate-level pipeline simulation on a placed & routed
+//! OR gate and prints, per tick, which zone is activated and how the
+//! signal wavefront advances row by row; then demonstrates the resulting
+//! pipeline throughput of one sample per clock cycle.
+
+use bestagon_core::flow::{run_flow, FlowOptions, PnrMethod};
+use bestagon_core::pipeline::PipelineSim;
+use fcn_coords::HexCoord;
+use fcn_logic::network::Xag;
+use std::collections::HashMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut xag = Xag::new();
+    let a = xag.primary_input("a");
+    let b = xag.primary_input("b");
+    let f = xag.or(a, b);
+    xag.primary_output("f", f);
+    let result = run_flow(
+        "or2",
+        &xag,
+        &FlowOptions {
+            pnr: PnrMethod::Exact { max_area: 60 },
+            apply_library: false,
+            ..Default::default()
+        },
+    )?;
+    let layout = &result.layout;
+    println!("=== Figure 2: four-phase clocking wave ===\n");
+    println!("{}", layout.render_ascii());
+
+    let inputs: HashMap<String, Vec<bool>> = [
+        ("a".into(), vec![false, true, false, true]),
+        ("b".into(), vec![false, false, true, true]),
+    ]
+    .into();
+    let mut sim = PipelineSim::new(layout, inputs);
+
+    for tick in 0..16 {
+        let zone = PipelineSim::active_zone(tick);
+        sim.step();
+        let live_rows: Vec<i32> = (0..layout.ratio().height as i32)
+            .filter(|&y| {
+                (0..layout.ratio().width as i32).any(|x| sim.tile_is_live(HexCoord::new(x, y)))
+            })
+            .collect();
+        println!(
+            "tick {tick:>2}: zone {zone} activated; rows holding signals: {live_rows:?}"
+        );
+    }
+
+    println!("\noutput samples (name, tick, value):");
+    for (name, tick, value) in sim.outputs() {
+        println!("  {name} @ tick {tick} = {}", *value as u8);
+    }
+    println!(
+        "\nthroughput: {} samples in {} cycles after the fill latency — the 1/1 \
+         throughput the paper reports for balanced layouts",
+        sim.outputs().len(),
+        sim.tick() / 4
+    );
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Regenerates the paper's **Figure 3** argument: Y-shaped SiDB gates do
+//! not fit Cartesian floor plans but embed natively in hexagonal ones.
+//!
+//! ```text
+//! cargo run --release --example fig3_topology
+//! ```
+//!
+//! Part 1 enumerates the port-assignment options a Y-shaped gate (two
+//! inputs entering through adjacent upper borders, one output leaving
+//! through a lower border) has on each topology. Part 2 measures the
+//! consequence with *exact* placement & routing on both floor plans:
+//! the Cartesian numbers assume hypothetical plus-shaped gates (which the
+//! SiDB platform does not offer); forcing the physically required
+//! Y-shape onto Cartesian tiles costs a 2×2 block per gate.
+
+use bestagon_core::benchmarks::benchmark;
+use fcn_logic::rewrite::{rewrite, RewriteOptions};
+use fcn_logic::techmap::{map_xag, MapOptions};
+use fcn_pnr::{cartesian_exact_pnr, exact_pnr, ExactOptions, NetGraph};
+
+fn main() {
+    println!("=== Figure 3: layout topology and Y-shaped gates ===\n");
+
+    println!("Y-gate port assignments per tile:");
+    println!("  hexagonal (pointy-top): inputs NW+NE, output SW or SE → 2 native variants");
+    println!("  Cartesian:              a single northern border → 0 native variants");
+    println!("  (the two Y arms cannot both terminate at upper border centers of a");
+    println!("   Cartesian tile — paper Fig. 3a)\n");
+
+    println!(
+        "{:<12} {:>16} {:>18} {:>22}",
+        "benchmark", "hex tiles", "cartesian tiles", "cart. + Y-emulation"
+    );
+    for name in ["xor2", "par_gen", "mux21"] {
+        let b = benchmark(name);
+        let optimized = rewrite(&b.xag, RewriteOptions::default());
+        let net = map_xag(&optimized, MapOptions::default()).expect("mappable");
+        let graph = NetGraph::new(net).expect("placeable");
+        let options = ExactOptions { max_area: 120, ..Default::default() };
+        let hex = exact_pnr(&graph, &options);
+        let cart = cartesian_exact_pnr(&graph, &options);
+        match (hex, cart) {
+            (Ok(hex), Ok(cart)) => {
+                let logic = hex.layout.num_logic_tiles() as u64;
+                // A Y-gate on a Cartesian grid needs a 2×2 block to expose
+                // two upper ports: three extra tiles per logic gate.
+                let emulated = cart.ratio.tile_count() + 3 * logic;
+                println!(
+                    "{:<12} {:>9} ({}×{}) {:>11} ({}×{}) {:>22}",
+                    name,
+                    hex.ratio.tile_count(),
+                    hex.ratio.width,
+                    hex.ratio.height,
+                    cart.ratio.tile_count(),
+                    cart.ratio.width,
+                    cart.ratio.height,
+                    emulated,
+                );
+            }
+            (h, c) => println!(
+                "{name:<12} hex: {:?} cartesian: {:?}",
+                h.map(|r| r.ratio),
+                c.map(|r| r.ratio)
+            ),
+        }
+    }
+    println!(
+        "\nEven granting the Cartesian floor plan plus-shaped gates it cannot\n\
+         physically have, the hexagonal topology stays competitive; accounting\n\
+         for the Y-shape the Cartesian emulation inflates by 3 tiles per gate —\n\
+         the quantitative face of the paper's Figure 3 argument."
+    );
+}

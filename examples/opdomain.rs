@@ -1,0 +1,35 @@
+//! Operational-domain analysis of the validated library tiles — the
+//! "streamlined operational domain evaluation framework" the paper's
+//! outlook (Section 6) calls for.
+//!
+//! ```text
+//! cargo run --release --example opdomain
+//! ```
+//!
+//! Sweeps `(ε_r, λ_TF)` around the experimentally calibrated point and
+//! maps where each design still reproduces its truth table.
+
+use bestagon_lib::tiles::{huff_style_or, inverter_nw_sw, wire_nw_sw};
+use sidb_sim::model::PhysicalParams;
+use sidb_sim::opdomain::{operational_domain, DomainGrid};
+use sidb_sim::operational::Engine;
+
+fn main() {
+    let grid = DomainGrid::default();
+    println!("=== Operational domains (■ = truth table reproduced) ===\n");
+    for design in [huff_style_or(), wire_nw_sw(), inverter_nw_sw()] {
+        let domain = operational_domain(
+            &design,
+            &PhysicalParams::default(),
+            grid,
+            Engine::QuickExact,
+        );
+        println!(
+            "{} — coverage {:.0}% of the swept window, nominal point {}:",
+            design.name,
+            domain.coverage() * 100.0,
+            if domain.nominal_operational() { "operational" } else { "not operational" }
+        );
+        println!("{}", domain.render_ascii());
+    }
+}

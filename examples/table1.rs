@@ -1,0 +1,55 @@
+//! Regenerates the paper's **Table 1**: layout dimensions, SiDB counts,
+//! and areas for the fourteen evaluation benchmarks.
+//!
+//! ```text
+//! cargo run --release --example table1
+//! ```
+//!
+//! Each benchmark runs through the full flow (synthesis → rewriting →
+//! mapping → placement & routing → verification → library application).
+//! Absolute SiDB counts differ from the paper's because the tile dot
+//! patterns are this reproduction's own designs; the layout dimensions
+//! and areas are directly comparable (see `EXPERIMENTS.md`).
+
+use bestagon_core::benchmarks::{benchmark, benchmark_names};
+use bestagon_core::flow::{run_flow, FlowOptions, PnrMethod};
+use std::time::Instant;
+
+fn main() {
+    println!("=== Table 1: generated layout data ===\n");
+    println!(
+        "{:<16} {:>9} {:>5} {:>7} {:>12} {:>7}  {:<28}",
+        "Name", "w × h", "A", "SiDBs", "nm²", "engine", "paper (w×h, SiDBs, nm²)"
+    );
+    for name in benchmark_names() {
+        let b = benchmark(name);
+        let started = Instant::now();
+        let options = FlowOptions {
+            pnr: PnrMethod::ExactWithFallback { max_area: 120 },
+            ..Default::default()
+        };
+        match run_flow(name, &b.xag, &options) {
+            Ok(result) => {
+                let ratio = result.layout.ratio();
+                let cell = result.cell.as_ref().expect("library applied");
+                let paper = b
+                    .paper_result
+                    .map(|(w, h, s, a)| format!("{w}×{h}, {s}, {a:.2}"))
+                    .unwrap_or_else(|| "—".into());
+                println!(
+                    "{:<16} {:>4} × {:<3} {:>4} {:>7} {:>12.2} {:>7}  {:<28} [{:.1?}]",
+                    name,
+                    ratio.width,
+                    ratio.height,
+                    ratio.tile_count(),
+                    cell.num_sidbs(),
+                    cell.area_nm2,
+                    if result.exact { "exact" } else { "heur." },
+                    paper,
+                    started.elapsed(),
+                );
+            }
+            Err(e) => println!("{name:<16} FAILED: {e}"),
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Umbrella crate for the Bestagon reproduction workspace.
+//!
+//! Re-exports every sub-crate so that integration tests and examples at the
+//! repository root can reach the whole stack through a single dependency.
+//!
+//! The actual functionality lives in the workspace members:
+//!
+//! * [`coords`] — hexagonal/Cartesian/SiQAD coordinate systems
+//! * [`sat`] — the CDCL SAT solver substrate
+//! * [`logic`] — truth tables, XAG/AIG networks, rewriting, technology
+//!   mapping
+//! * [`layout`] — clocked gate-level tile layouts
+//! * [`pnr`] — exact and heuristic placement & routing
+//! * [`equiv`] — SAT-based equivalence checking
+//! * [`sidb`] — SiDB electrostatic ground-state simulation
+//! * [`bestagon_lib`] — the Bestagon hexagonal gate library
+//! * [`flow`] — the end-to-end design flow and benchmarks
+
+pub use bestagon_core as flow;
+pub use bestagon_lib;
+pub use fcn_coords as coords;
+pub use fcn_equiv as equiv;
+pub use fcn_layout as layout;
+pub use fcn_logic as logic;
+pub use fcn_pnr as pnr;
+pub use msat as sat;
+pub use sidb_sim as sidb;

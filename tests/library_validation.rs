@@ -1,0 +1,75 @@
+//! Regression pins for the physically validated portion of the Bestagon
+//! library (the Figure 5 experiment's "operational" set): these designs
+//! reproduced their full truth tables in exact ground-state simulation
+//! when calibrated, and must keep doing so.
+
+use bestagon_lib::tiles::{
+    double_wire, gate_catalog, huff_style_or, inverter_nw_sw, two_input_gate, wire_nw_sw,
+};
+use fcn_logic::GateKind;
+use sidb_sim::model::PhysicalParams;
+use sidb_sim::operational::{Engine, GateDesign};
+use sidb_sim::stability::{logic_stability, worst_case_gap_ev};
+
+fn assert_operational(design: &GateDesign) {
+    let verdict = design.check_operational(&PhysicalParams::default(), Engine::QuickExact);
+    assert!(verdict.is_operational(), "{}: {verdict:?}", design.name);
+}
+
+fn catalog_gate(kind: GateKind) -> GateDesign {
+    let (_, name, table, frame) = gate_catalog()
+        .into_iter()
+        .find(|(k, ..)| *k == kind)
+        .expect("gate in catalog");
+    two_input_gate(name, &frame, table)
+}
+
+#[test]
+fn validated_tile_set_stays_operational() {
+    for design in [
+        huff_style_or(),
+        wire_nw_sw(),
+        inverter_nw_sw(),
+        double_wire(),
+        catalog_gate(GateKind::And),
+        catalog_gate(GateKind::Or),
+        catalog_gate(GateKind::Nor),
+    ] {
+        assert_operational(&design);
+    }
+}
+
+#[test]
+fn huff_or_works_at_figure_1c_parameters() {
+    let params = PhysicalParams::default().with_mu_minus(-0.28);
+    let verdict = huff_style_or().check_operational(&params, Engine::Exhaustive);
+    assert!(verdict.is_operational(), "{verdict:?}");
+}
+
+#[test]
+fn validated_gates_have_resolvable_stability_gaps() {
+    // Each validated logic tile must keep its ground state separated from
+    // the nearest wrong-reading state by a positive gap.
+    for design in [huff_style_or(), catalog_gate(GateKind::And), catalog_gate(GateKind::Or)] {
+        let stability =
+            logic_stability(&design, &PhysicalParams::default(), 6, Engine::QuickExact);
+        if let Some(gap) = worst_case_gap_ev(&stability) {
+            assert!(gap > 0.0, "{}: non-positive gap", design.name);
+        }
+    }
+}
+
+#[test]
+fn operational_gates_agree_with_their_truth_tables_under_annealing() {
+    // The paper validated with SimAnneal; our annealer must agree with
+    // the exact engine on the validated set.
+    use sidb_sim::simanneal::AnnealParams;
+    let params = PhysicalParams::default();
+    for design in [wire_nw_sw(), inverter_nw_sw()] {
+        let verdict = design.check_operational(
+            &params,
+            Engine::Anneal(AnnealParams { instances: 30, ..Default::default() }),
+        );
+        assert!(verdict.is_operational(), "{}: {verdict:?}", design.name);
+    }
+}
