@@ -28,18 +28,23 @@ fn bench_engines(c: &mut Criterion) {
     for pairs in [4usize, 6, 8, 10] {
         let layout = chain(pairs);
         if pairs <= 8 {
-            group.bench_with_input(
-                BenchmarkId::new("exhaustive", pairs),
-                &layout,
-                |b, l| b.iter(|| exhaustive_ground_state(l, &params)),
-            );
+            group.bench_with_input(BenchmarkId::new("exhaustive", pairs), &layout, |b, l| {
+                b.iter(|| exhaustive_ground_state(l, &params))
+            });
         }
         group.bench_with_input(BenchmarkId::new("quick_exact", pairs), &layout, |b, l| {
             b.iter(|| quick_exact_ground_state(l, &params))
         });
         group.bench_with_input(BenchmarkId::new("simanneal", pairs), &layout, |b, l| {
             b.iter(|| {
-                simulated_annealing(l, &params, &AnnealParams { instances: 4, ..Default::default() })
+                simulated_annealing(
+                    l,
+                    &params,
+                    &AnnealParams {
+                        instances: 4,
+                        ..Default::default()
+                    },
+                )
             })
         });
     }

@@ -18,7 +18,15 @@ fn bench_pnr(c: &mut Criterion) {
     for name in ["xor2", "par_gen", "mux21"] {
         let graph = graph_for(name);
         group.bench_function(format!("exact/{name}"), |b| {
-            b.iter(|| exact_pnr(&graph, &ExactOptions { max_area: 100, ..Default::default() }))
+            b.iter(|| {
+                exact_pnr(
+                    &graph,
+                    &ExactOptions {
+                        max_area: 100,
+                        ..Default::default()
+                    },
+                )
+            })
         });
         group.bench_function(format!("heuristic/{name}"), |b| {
             b.iter(|| heuristic_pnr(&graph))

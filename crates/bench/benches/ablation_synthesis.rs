@@ -26,13 +26,17 @@ pub fn to_aig(xag: &Xag) -> Xag {
                 s
             }
             NodeKind::And(a, b) => {
-                let (a, b) = (map[a.node().index()].complement_if(a.is_complemented()),
-                              map[b.node().index()].complement_if(b.is_complemented()));
+                let (a, b) = (
+                    map[a.node().index()].complement_if(a.is_complemented()),
+                    map[b.node().index()].complement_if(b.is_complemented()),
+                );
                 aig.and(a, b)
             }
             NodeKind::Xor(a, b) => {
-                let (a, b) = (map[a.node().index()].complement_if(a.is_complemented()),
-                              map[b.node().index()].complement_if(b.is_complemented()));
+                let (a, b) = (
+                    map[a.node().index()].complement_if(a.is_complemented()),
+                    map[b.node().index()].complement_if(b.is_complemented()),
+                );
                 aig.xor_decomposed(a, b)
             }
         };

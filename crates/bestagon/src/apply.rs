@@ -48,7 +48,11 @@ impl core::fmt::Display for ApplyError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             ApplyError::MissingTile { tile, what } => {
-                write!(f, "tile ({}, {}): no library design for {what}", tile.0, tile.1)
+                write!(
+                    f,
+                    "tile ({}, {}): no library design for {what}",
+                    tile.0, tile.1
+                )
             }
         }
     }
@@ -86,10 +90,18 @@ fn tile_design(
     contents: &TileContents<HexDirection>,
 ) -> Result<SidbLayout, ApplyError> {
     use HexDirection::{NorthEast as NE, NorthWest as NW, SouthEast as SE, SouthWest as SW};
-    let missing = |what: String| ApplyError::MissingTile { tile: (coord.x, coord.y), what };
+    let missing = |what: String| ApplyError::MissingTile {
+        tile: (coord.x, coord.y),
+        what,
+    };
 
     match contents {
-        TileContents::Gate { kind, inputs, outputs, .. } => {
+        TileContents::Gate {
+            kind,
+            inputs,
+            outputs,
+            ..
+        } => {
             let (kind, inputs, outputs) = match kind {
                 // I/O pads are realized as wire tiles: a PI drives its
                 // output chain from the top border, a PO terminates its

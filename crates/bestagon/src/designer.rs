@@ -101,7 +101,11 @@ pub fn design_canvas(
     let mut rng = StdRng::seed_from_u64(options.seed);
     let (x0, y0, x1, y1) = options.region;
     let random_dot = |rng: &mut StdRng| {
-        LatticeCoord::new(rng.gen_range(x0..=x1), rng.gen_range(y0..=y1), rng.gen_range(0..2))
+        LatticeCoord::new(
+            rng.gen_range(x0..=x1),
+            rng.gen_range(y0..=y1),
+            rng.gen_range(0..2),
+        )
     };
 
     for _ in 0..options.restarts {

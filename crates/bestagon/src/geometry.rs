@@ -148,6 +148,29 @@ pub const WIRE_ROWS: [i32; 8] = [1, 4, 7, 10, 13, 16, 19, OUTPUT_ROW];
 /// the signal.
 pub const INVERTER_ROWS: [i32; 9] = [1, 4, 7, 10, 12, 15, 17, 20, OUTPUT_ROW];
 
+/// The physical parameters used for library-tile validation: the paper's
+/// Figure 5 setup plus a 2 meV interaction cutoff that decomposes
+/// far-apart chains into independent clusters for the exact engine (see
+/// [`sidb_sim::model::PhysicalParams::interaction_cutoff_ev`]).
+pub fn validation_params() -> sidb_sim::model::PhysicalParams {
+    sidb_sim::model::PhysicalParams::default().with_cutoff(2e-3)
+}
+
+/// A horizontal copying run with *balancer* dots: single static SiDBs
+/// placed beyond both run ends (at the lateral distance of the next
+/// would-be pair) so that every run pair sees laterally balanced static
+/// repulsion. Without them the outermost run pairs are pinned by the
+/// one-sided push of their single lateral neighbor and stop propagating
+/// the signal. Published SiDB gate designs use the same trick.
+pub fn balanced_run(layout: &mut SidbLayout, y: i32, centers: &[i32]) {
+    run(layout, y, centers);
+    if let (Some(&first), Some(&last)) = (centers.first(), centers.last()) {
+        let dir = if last >= first { 1 } else { -1 };
+        layout.add_site((first - dir * 7, y, 0));
+        layout.add_site((last + dir * 7, y, 0));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,41 +250,20 @@ mod tests {
             let [l, r] = pair_dots(cx, 9);
             let li = layout.index_of(l).expect("dot");
             let ri = layout.index_of(r).expect("dot");
-            states.push(match (
-                gs.state(li) == ChargeState::Negative,
-                gs.state(ri) == ChargeState::Negative,
-            ) {
-                (true, false) => false,
-                (false, true) => true,
-                _ => panic!("ambiguous pair at {cx}"),
-            });
+            states.push(
+                match (
+                    gs.state(li) == ChargeState::Negative,
+                    gs.state(ri) == ChargeState::Negative,
+                ) {
+                    (true, false) => false,
+                    (false, true) => true,
+                    _ => panic!("ambiguous pair at {cx}"),
+                },
+            );
         }
         assert!(
             states.windows(2).all(|w| w[0] == w[1]),
             "run must copy: {states:?}"
         );
-    }
-}
-
-/// The physical parameters used for library-tile validation: the paper's
-/// Figure 5 setup plus a 2 meV interaction cutoff that decomposes
-/// far-apart chains into independent clusters for the exact engine (see
-/// [`sidb_sim::model::PhysicalParams::interaction_cutoff_ev`]).
-pub fn validation_params() -> sidb_sim::model::PhysicalParams {
-    sidb_sim::model::PhysicalParams::default().with_cutoff(2e-3)
-}
-
-/// A horizontal copying run with *balancer* dots: single static SiDBs
-/// placed beyond both run ends (at the lateral distance of the next
-/// would-be pair) so that every run pair sees laterally balanced static
-/// repulsion. Without them the outermost run pairs are pinned by the
-/// one-sided push of their single lateral neighbor and stop propagating
-/// the signal. Published SiDB gate designs use the same trick.
-pub fn balanced_run(layout: &mut SidbLayout, y: i32, centers: &[i32]) {
-    run(layout, y, centers);
-    if let (Some(&first), Some(&last)) = (centers.first(), centers.last()) {
-        let dir = if last >= first { 1 } else { -1 };
-        layout.add_site((first - dir * 7, y, 0));
-        layout.add_site((last + dir * 7, y, 0));
     }
 }

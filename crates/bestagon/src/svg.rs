@@ -94,13 +94,16 @@ pub fn layout_to_svg(layout: &HexGateLayout) -> String {
 /// outlines when `tiles` is given.
 pub fn sidb_to_svg(layout: &SidbLayout, tiles: Option<&HexGateLayout>) -> String {
     const SCALE: f64 = 6.0; // px per nm
-    let (min, max) = match layout.bounding_box() {
-        Some(bb) => bb,
-        None => ((0, 0), (1, 1)),
-    };
+    let (min, max) = layout.bounding_box().unwrap_or(((0, 0), (1, 1)));
     let pad = 4.0 * SCALE;
-    let min_nm = (min.0 as f64 * SIQAD_LATTICE.a / 10.0, min.1 as f64 * SIQAD_LATTICE.b / 10.0);
-    let max_nm = (max.0 as f64 * SIQAD_LATTICE.a / 10.0, (max.1 as f64 + 1.0) * SIQAD_LATTICE.b / 10.0);
+    let min_nm = (
+        min.0 as f64 * SIQAD_LATTICE.a / 10.0,
+        min.1 as f64 * SIQAD_LATTICE.b / 10.0,
+    );
+    let max_nm = (
+        max.0 as f64 * SIQAD_LATTICE.a / 10.0,
+        (max.1 as f64 + 1.0) * SIQAD_LATTICE.b / 10.0,
+    );
     let width = (max_nm.0 - min_nm.0) * SCALE + 2.0 * pad;
     let height = (max_nm.1 - min_nm.1) * SCALE + 2.0 * pad;
 
@@ -168,7 +171,12 @@ mod tests {
         let mut layout = HexGateLayout::new(AspectRatio::new(2, 2), ClockingScheme::Row);
         layout.place(
             (0, 0).into(),
-            TileContents::gate(GateKind::Pi, vec![], vec![fcn_coords::HexDirection::SouthEast], Some("a".into())),
+            TileContents::gate(
+                GateKind::Pi,
+                vec![],
+                vec![fcn_coords::HexDirection::SouthEast],
+                Some("a".into()),
+            ),
         );
         let svg = layout_to_svg(&layout);
         assert!(svg.contains(">PI:a</text>"));

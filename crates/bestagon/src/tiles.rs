@@ -11,9 +11,8 @@
 //! module's tests — the paper's acceptance criterion for library tiles.
 
 use crate::geometry::{
-    add_pair, balanced_run, column, input_pair, run, standard_input_port,
-    standard_output_port, EAST_PORT_X, INPUT_ROW, INVERTER_ROWS, OUTPUT_ROW, TILE_WIDTH,
-    WEST_PORT_X, WIRE_ROWS,
+    add_pair, balanced_run, column, input_pair, run, standard_input_port, standard_output_port,
+    EAST_PORT_X, INPUT_ROW, INVERTER_ROWS, OUTPUT_ROW, TILE_WIDTH, WEST_PORT_X, WIRE_ROWS,
 };
 use fcn_coords::HexDirection;
 use fcn_logic::GateKind;
@@ -375,10 +374,7 @@ pub fn two_input_gate(name: &str, frame: &GateFrame, table: [bool; 4]) -> GateDe
     GateDesign {
         name: name.to_owned(),
         body,
-        inputs: vec![
-            gate_input_port(WEST_PORT_X),
-            gate_input_port(EAST_PORT_X),
-        ],
+        inputs: vec![gate_input_port(WEST_PORT_X), gate_input_port(EAST_PORT_X)],
         outputs: vec![standard_output_port(EAST_PORT_X)],
         truth_table: table.iter().map(|&v| vec![v]).collect(),
     }
@@ -398,31 +394,74 @@ fn gate_input_port(port_x: i32) -> InputPort {
 impl BestagonLibrary {
     /// Builds the complete library, including mirrored variants.
     pub fn new() -> Self {
-        let mut lib = BestagonLibrary { tiles: HashMap::new() };
+        let mut lib = BestagonLibrary {
+            tiles: HashMap::new(),
+        };
         use HexDirection::{NorthEast as NE, NorthWest as NW, SouthEast as SE, SouthWest as SW};
 
         // Wires (Buf) — four port combinations.
         lib.insert(GateKind::Buf, vec![NW], vec![SW], wire_nw_sw());
-        lib.insert_mirrored(GateKind::Buf, vec![NW], vec![SW], &wire_nw_sw(), "WIRE (NE→SE)");
+        lib.insert_mirrored(
+            GateKind::Buf,
+            vec![NW],
+            vec![SW],
+            &wire_nw_sw(),
+            "WIRE (NE→SE)",
+        );
         lib.insert(GateKind::Buf, vec![NW], vec![SE], wire_nw_se());
-        lib.insert_mirrored(GateKind::Buf, vec![NW], vec![SE], &wire_nw_se(), "WIRE (NE→SW)");
+        lib.insert_mirrored(
+            GateKind::Buf,
+            vec![NW],
+            vec![SE],
+            &wire_nw_se(),
+            "WIRE (NE→SW)",
+        );
 
         // Inverters.
         lib.insert(GateKind::Inv, vec![NW], vec![SW], inverter_nw_sw());
-        lib.insert_mirrored(GateKind::Inv, vec![NW], vec![SW], &inverter_nw_sw(), "INV (NE→SE)");
+        lib.insert_mirrored(
+            GateKind::Inv,
+            vec![NW],
+            vec![SW],
+            &inverter_nw_sw(),
+            "INV (NE→SE)",
+        );
         lib.insert(GateKind::Inv, vec![NW], vec![SE], inverter_nw_se());
-        lib.insert_mirrored(GateKind::Inv, vec![NW], vec![SE], &inverter_nw_se(), "INV (NE→SW)");
+        lib.insert_mirrored(
+            GateKind::Inv,
+            vec![NW],
+            vec![SE],
+            &inverter_nw_se(),
+            "INV (NE→SW)",
+        );
 
         // Fan-outs.
         lib.insert(GateKind::Fanout, vec![NW], vec![SW, SE], fanout_nw());
-        lib.insert_mirrored(GateKind::Fanout, vec![NW], vec![SW, SE], &fanout_nw(), "FANOUT (NE)");
+        lib.insert_mirrored(
+            GateKind::Fanout,
+            vec![NW],
+            vec![SW, SE],
+            &fanout_nw(),
+            "FANOUT (NE)",
+        );
 
         // Crossing — registered as a wire-pair tile; the P&R layer asks
         // for it via `crossing_design`.
 
         // Half adder (sum on SW, carry on SE; mirrored variant swaps).
-        lib.insert(GateKind::HalfAdder, vec![NW, NE], vec![SW, SE], half_adder());
-        lib.insert_mirrored(GateKind::HalfAdder, vec![NW, NE], vec![SW, SE], &half_adder(), "HALF ADDER");
+        lib.insert(
+            GateKind::HalfAdder,
+            vec![NW, NE],
+            vec![SW, SE],
+            half_adder(),
+        );
+        lib.insert_mirrored(
+            GateKind::HalfAdder,
+            vec![NW, NE],
+            vec![SW, SE],
+            &half_adder(),
+            "HALF ADDER",
+        );
 
         // Two-input gates (NW+NE in; SE out designed, SW out mirrored).
         for (kind, name, table, frame) in gate_catalog() {
@@ -442,7 +481,12 @@ impl BestagonLibrary {
     ) {
         self.tiles.insert(
             (kind, inputs.clone(), outputs.clone()),
-            TileDesign { design, input_dirs: inputs, output_dirs: outputs, kind },
+            TileDesign {
+                design,
+                input_dirs: inputs,
+                output_dirs: outputs,
+                kind,
+            },
         );
     }
 
@@ -459,7 +503,11 @@ impl BestagonLibrary {
         let m_outputs: Vec<HexDirection> = outputs.iter().map(|&d| mirror_dir(d)).collect();
         // For symmetric two-input gates the mirrored inputs coincide with
         // the original set {NW, NE}; keep the original order.
-        let key_inputs = if m_inputs.len() == 2 { inputs } else { m_inputs };
+        let key_inputs = if m_inputs.len() == 2 {
+            inputs
+        } else {
+            m_inputs
+        };
         self.insert(kind, key_inputs, m_outputs, mirror_design(design, name));
     }
 
@@ -565,15 +613,36 @@ pub fn gate_catalog() -> Vec<(GateKind, &'static str, [bool; 4], GateFrame)> {
     };
     // NAND candidate: AND with one extra output anti-link (calibration
     // pending; tracked by the Figure 5 report).
-    let nand_frame = GateFrame { invert_output: true, ..and_frame };
-    let with_bias = |bias| GateFrame { bias: Some(bias), ..and_frame };
+    let nand_frame = GateFrame {
+        invert_output: true,
+        ..and_frame
+    };
+    let with_bias = |bias| GateFrame {
+        bias: Some(bias),
+        ..and_frame
+    };
     vec![
         (GateKind::And, "AND", [false, false, false, true], and_frame),
         (GateKind::Or, "OR", [false, true, true, true], or_frame),
-        (GateKind::Nand, "NAND", [true, true, true, false], nand_frame),
+        (
+            GateKind::Nand,
+            "NAND",
+            [true, true, true, false],
+            nand_frame,
+        ),
         (GateKind::Nor, "NOR", [true, false, false, false], nor_frame),
-        (GateKind::Xor, "XOR", [false, true, true, false], with_bias((30, 16, 0))),
-        (GateKind::Xnor, "XNOR", [true, false, false, true], with_bias((30, 17, 0))),
+        (
+            GateKind::Xor,
+            "XOR",
+            [false, true, true, false],
+            with_bias((30, 16, 0)),
+        ),
+        (
+            GateKind::Xnor,
+            "XNOR",
+            [true, false, false, true],
+            with_bias((30, 17, 0)),
+        ),
     ]
 }
 
@@ -664,7 +733,14 @@ mod tests {
     fn library_contains_gates_and_fanouts() {
         use HexDirection::{NorthEast as NE, NorthWest as NW, SouthEast as SE, SouthWest as SW};
         let lib = BestagonLibrary::new();
-        for kind in [GateKind::And, GateKind::Nand, GateKind::Or, GateKind::Nor, GateKind::Xor, GateKind::Xnor] {
+        for kind in [
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ] {
             assert!(lib.tile(kind, &[NW, NE], &[SE]).is_some(), "{kind} SE");
             assert!(lib.tile(kind, &[NW, NE], &[SW]).is_some(), "{kind} SW");
         }

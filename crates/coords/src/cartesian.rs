@@ -101,7 +101,9 @@ impl CartCoord {
 
     /// The direction from `self` to the adjacent tile `other`, if adjacent.
     pub fn direction_to(self, other: CartCoord) -> Option<CartDirection> {
-        CartDirection::ALL.into_iter().find(|&d| self.neighbor(d) == other)
+        CartDirection::ALL
+            .into_iter()
+            .find(|&d| self.neighbor(d) == other)
     }
 
     /// Manhattan distance between two tiles.

@@ -175,7 +175,9 @@ impl HexCoord {
     /// The direction from `self` to the adjacent tile `other`, if they are
     /// in fact neighbors.
     pub fn direction_to(self, other: HexCoord) -> Option<HexDirection> {
-        HexDirection::ALL.into_iter().find(|&d| self.neighbor(d) == other)
+        HexDirection::ALL
+            .into_iter()
+            .find(|&d| self.neighbor(d) == other)
     }
 
     /// Converts odd-row offset coordinates to axial `(q, r)`.
@@ -311,10 +313,16 @@ mod tests {
     fn southern_neighbors_match_paper_row_flow() {
         // Even row y=0: SW goes left-down, SE straight down in offset coords.
         let even = HexCoord::new(2, 0);
-        assert_eq!(even.southern_neighbors(), [HexCoord::new(1, 1), HexCoord::new(2, 1)]);
+        assert_eq!(
+            even.southern_neighbors(),
+            [HexCoord::new(1, 1), HexCoord::new(2, 1)]
+        );
         // Odd row y=1: SW straight down, SE right-down.
         let odd = HexCoord::new(2, 1);
-        assert_eq!(odd.southern_neighbors(), [HexCoord::new(2, 2), HexCoord::new(3, 2)]);
+        assert_eq!(
+            odd.southern_neighbors(),
+            [HexCoord::new(2, 2), HexCoord::new(3, 2)]
+        );
     }
 
     #[test]

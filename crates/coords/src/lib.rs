@@ -80,6 +80,13 @@ impl AspectRatio {
         ratios.into_iter()
     }
 
+    /// Compact `WxH` form (e.g. `"2x3"`), for telemetry span names and
+    /// log keys where the pretty [`Display`](core::fmt::Display) form
+    /// with spaces and the tile count would be noise.
+    pub fn label(self) -> String {
+        format!("{}x{}", self.width, self.height)
+    }
+
     /// Returns true if `coord` lies within this layout's bounds.
     pub fn contains_hex(self, coord: HexCoord) -> bool {
         coord.x >= 0
@@ -99,7 +106,13 @@ impl AspectRatio {
 
 impl core::fmt::Display for AspectRatio {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "{} × {} = {}", self.width, self.height, self.tile_count())
+        write!(
+            f,
+            "{} × {} = {}",
+            self.width,
+            self.height,
+            self.tile_count()
+        )
     }
 }
 

@@ -154,11 +154,12 @@ impl From<(i32, i32, u8)> for LatticeCoord {
 /// assert_eq!(hex_tile_origin(0, 1), (HEX_ODD_ROW_SHIFT_CELLS, 23));
 /// ```
 pub fn hex_tile_origin(tx: i32, ty: i32) -> (i32, i32) {
-    let shift = if ty & 1 == 1 { HEX_ODD_ROW_SHIFT_CELLS } else { 0 };
-    (
-        tx * HEX_TILE_WIDTH_CELLS + shift,
-        ty * HEX_ROW_PITCH_ROWS,
-    )
+    let shift = if ty & 1 == 1 {
+        HEX_ODD_ROW_SHIFT_CELLS
+    } else {
+        0
+    };
+    (tx * HEX_TILE_WIDTH_CELLS + shift, ty * HEX_ROW_PITCH_ROWS)
 }
 
 /// The physical bounding-box area, in nm², of a Bestagon layout with the
@@ -175,9 +176,10 @@ pub fn hex_tile_origin(tx: i32, ty: i32) -> (i32, i32) {
 /// assert!((area - 11_312.68).abs() < 0.01);
 /// ```
 pub fn bestagon_layout_area_nm2(ratio: AspectRatio) -> f64 {
-    let width_nm = (HEX_TILE_WIDTH_CELLS as f64 * ratio.width as f64 - 1.0) * SIQAD_LATTICE.a / 10.0;
-    let height_nm =
-        HEX_ROW_PITCH_ROWS as f64 * SIQAD_LATTICE.b / 10.0 * ratio.height as f64 - SIQAD_LATTICE.a / 10.0;
+    let width_nm =
+        (HEX_TILE_WIDTH_CELLS as f64 * ratio.width as f64 - 1.0) * SIQAD_LATTICE.a / 10.0;
+    let height_nm = HEX_ROW_PITCH_ROWS as f64 * SIQAD_LATTICE.b / 10.0 * ratio.height as f64
+        - SIQAD_LATTICE.a / 10.0;
     width_nm * height_nm
 }
 

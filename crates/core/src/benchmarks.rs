@@ -224,7 +224,12 @@ mod tests {
 
     #[test]
     fn parity_benchmarks_compute_parity() {
-        for (name, n) in [("par_gen", 3usize), ("par_check", 4), ("xor5_r1", 5), ("xor5_majority", 5)] {
+        for (name, n) in [
+            ("par_gen", 3usize),
+            ("par_check", 4),
+            ("xor5_r1", 5),
+            ("xor5_majority", 5),
+        ] {
             let b = benchmark(name);
             assert_eq!(b.xag.num_pis(), n, "{name}");
             for row in 0..(1u32 << n) {

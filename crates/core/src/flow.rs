@@ -1,4 +1,13 @@
 //! The end-to-end design flow (paper Section 4.2).
+//!
+//! Every run installs an ambient [`fcn_telemetry::Collector`] and wraps
+//! the paper's eight steps in spans (`step1:parse` … `step8:export`), so
+//! the instrumented layers below (rewriting, SAT-based P&R, equivalence
+//! checking, physical simulation) attach their counters to the right
+//! stage. The resulting [`FlowReport`] is returned on [`FlowResult`] and
+//! emitted to stderr according to the `TELEMETRY` environment variable.
+
+use std::sync::Arc;
 
 use bestagon_lib::apply::{apply_gate_library, ApplyError, CellLevelLayout};
 use bestagon_lib::tiles::BestagonLibrary;
@@ -10,6 +19,9 @@ use fcn_logic::rewrite::{rewrite, RewriteOptions};
 use fcn_logic::techmap::{map_xag, MapError, MapOptions};
 use fcn_logic::verilog::{parse_verilog, ParseVerilogError};
 use fcn_pnr::{exact_pnr, heuristic_pnr, ExactOptions, NetGraph, PnrError};
+
+/// Telemetry snapshot of one flow run (alias of [`fcn_telemetry::Report`]).
+pub type FlowReport = fcn_telemetry::Report;
 
 /// Which physical-design engine the flow uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +96,8 @@ pub struct FlowResult {
     pub supertiles: SuperTilePlan,
     /// Dot-accurate SiDB layout (step 7), when requested.
     pub cell: Option<CellLevelLayout>,
+    /// Per-stage telemetry (wall times, SAT statistics, counters).
+    pub report: FlowReport,
 }
 
 impl FlowResult {
@@ -152,8 +166,7 @@ impl std::error::Error for FlowError {}
 ///
 /// Any step's failure is reported as a [`FlowError`].
 pub fn run_flow_from_verilog(source: &str, options: &FlowOptions) -> Result<FlowResult, FlowError> {
-    let (name, xag) = parse_verilog(source).map_err(FlowError::Parse)?;
-    run_flow(&name, &xag, options)
+    run_instrumented(|| parse_verilog(source).map_err(FlowError::Parse), options)
 }
 
 /// Runs the flow from BLIF source.
@@ -162,9 +175,10 @@ pub fn run_flow_from_verilog(source: &str, options: &FlowOptions) -> Result<Flow
 ///
 /// Any step's failure is reported as a [`FlowError`].
 pub fn run_flow_from_blif(source: &str, options: &FlowOptions) -> Result<FlowResult, FlowError> {
-    let (name, xag) =
-        fcn_logic::blif::parse_blif(source).map_err(|e| FlowError::ParseBlif(e))?;
-    run_flow(&name, &xag, options)
+    run_instrumented(
+        || fcn_logic::blif::parse_blif(source).map_err(FlowError::ParseBlif),
+        options,
+    )
 }
 
 /// Runs the flow from an already parsed XAG.
@@ -190,55 +204,148 @@ pub fn run_flow_from_blif(source: &str, options: &FlowOptions) -> Result<FlowRes
 /// # Ok::<(), bestagon_core::flow::FlowError>(())
 /// ```
 pub fn run_flow(name: &str, xag: &Xag, options: &FlowOptions) -> Result<FlowResult, FlowError> {
+    run_instrumented(|| Ok((name.to_owned(), xag.clone())), options)
+}
+
+/// Installs a per-run collector, times step 1 (`parse`), runs steps 2–8,
+/// and attaches the finished [`FlowReport`] to the result. The report is
+/// also emitted to stderr per the `TELEMETRY` environment variable —
+/// including on failure, so aborted runs still leave a trace.
+fn run_instrumented(
+    parse: impl FnOnce() -> Result<(String, Xag), FlowError>,
+    options: &FlowOptions,
+) -> Result<FlowResult, FlowError> {
+    let collector = Arc::new(fcn_telemetry::Collector::new("flow"));
+    let outcome = fcn_telemetry::with_collector(&collector, || {
+        let (name, xag) = {
+            let _step = fcn_telemetry::span("step1:parse");
+            let (name, xag) = parse()?;
+            fcn_telemetry::counter("xag.inputs", xag.num_pis() as u64);
+            fcn_telemetry::counter("xag.outputs", xag.num_pos() as u64);
+            fcn_telemetry::counter("xag.gates", xag.num_gates() as u64);
+            (name, xag)
+        };
+        fcn_telemetry::note("circuit", name.clone());
+        run_flow_steps(&name, &xag, options)
+    });
+    collector.finish();
+    let report = collector.report();
+    fcn_telemetry::emit(&report);
+    outcome.map(|mut result| {
+        result.report = report;
+        result
+    })
+}
+
+/// Paper steps 2–8, each wrapped in its stage span. The spans exist even
+/// for skipped steps so every report lists the same eight stages.
+fn run_flow_steps(name: &str, xag: &Xag, options: &FlowOptions) -> Result<FlowResult, FlowError> {
     // Step 2: cut rewriting.
     let gates_before_rewrite = xag.cleaned().num_gates();
-    let optimized = match &options.rewrite {
-        Some(opts) => rewrite(xag, *opts),
-        None => xag.cleaned(),
+    let (optimized, gates_after_rewrite, depth) = {
+        let _step = fcn_telemetry::span("step2:rewrite");
+        let optimized = match &options.rewrite {
+            Some(opts) => rewrite(xag, *opts),
+            None => xag.cleaned(),
+        };
+        let gates_after_rewrite = optimized.num_gates();
+        let depth = optimized.depth();
+        fcn_telemetry::counter("gates.before", gates_before_rewrite as u64);
+        fcn_telemetry::counter("gates.after", gates_after_rewrite as u64);
+        fcn_telemetry::counter("depth", depth as u64);
+        (optimized, gates_after_rewrite, depth)
     };
-    let gates_after_rewrite = optimized.num_gates();
-    let depth = optimized.depth();
 
     // Step 3: technology mapping.
-    let mapped = map_xag(&optimized, options.map).map_err(FlowError::Map)?;
-    let graph = NetGraph::new(mapped).map_err(FlowError::NetGraph)?;
+    let graph = {
+        let _step = fcn_telemetry::span("step3:techmap");
+        let mapped = map_xag(&optimized, options.map).map_err(FlowError::Map)?;
+        let graph = NetGraph::new(mapped).map_err(FlowError::NetGraph)?;
+        fcn_telemetry::counter("netgraph.edges", graph.edges.len() as u64);
+        graph
+    };
 
     // Step 4: placement & routing.
-    let (layout, exact) = match options.pnr {
-        PnrMethod::Exact { max_area } => {
-            let r = exact_pnr(&graph, &ExactOptions { max_area, ..Default::default() }).map_err(FlowError::Pnr)?;
-            (r.layout, true)
-        }
-        PnrMethod::Heuristic => (heuristic_pnr(&graph), false),
-        PnrMethod::ExactWithFallback { max_area } => {
-            match exact_pnr(&graph, &ExactOptions { max_area, ..Default::default() }) {
-                Ok(r) => (r.layout, true),
-                Err(_) => (heuristic_pnr(&graph), false),
+    let (layout, exact) = {
+        let _step = fcn_telemetry::span("step4:pnr");
+        let (layout, exact) = match options.pnr {
+            PnrMethod::Exact { max_area } => {
+                let r = exact_pnr(
+                    &graph,
+                    &ExactOptions {
+                        max_area,
+                        ..Default::default()
+                    },
+                )
+                .map_err(FlowError::Pnr)?;
+                (r.layout, true)
             }
-        }
+            PnrMethod::Heuristic => (heuristic_pnr(&graph), false),
+            PnrMethod::ExactWithFallback { max_area } => {
+                match exact_pnr(
+                    &graph,
+                    &ExactOptions {
+                        max_area,
+                        ..Default::default()
+                    },
+                ) {
+                    Ok(r) => (r.layout, true),
+                    Err(_) => (heuristic_pnr(&graph), false),
+                }
+            }
+        };
+        fcn_telemetry::note("engine", if exact { "exact" } else { "heuristic" });
+        fcn_telemetry::note("ratio", layout.ratio().label());
+        (layout, exact)
     };
 
     // Step 5: formal verification.
-    let equivalence = if options.verify {
-        let verdict = check_equivalence(&optimized, &layout).map_err(FlowError::Equivalence)?;
-        if let Equivalence::NotEquivalent { counterexample } = &verdict {
-            return Err(FlowError::NotEquivalent { counterexample: counterexample.clone() });
+    let equivalence = {
+        let _step = fcn_telemetry::span("step5:equiv");
+        if options.verify {
+            let verdict = check_equivalence(&optimized, &layout).map_err(FlowError::Equivalence)?;
+            if let Equivalence::NotEquivalent { counterexample } = &verdict {
+                return Err(FlowError::NotEquivalent {
+                    counterexample: counterexample.clone(),
+                });
+            }
+            Some(verdict)
+        } else {
+            None
         }
-        Some(verdict)
-    } else {
-        None
     };
 
     // Step 6: super-tile clock-zone expansion.
-    let supertiles = plan_supertiles(&layout);
+    let supertiles = {
+        let _step = fcn_telemetry::span("step6:supertiles");
+        let plan = plan_supertiles(&layout);
+        fcn_telemetry::counter("electrodes", plan.num_electrodes as u64);
+        fcn_telemetry::counter("rows_per_supertile", plan.rows_per_supertile as u64);
+        plan
+    };
 
     // Step 7: gate-library application.
-    let cell = if options.apply_library {
-        let library = BestagonLibrary::new();
-        Some(apply_gate_library(&layout, &library).map_err(FlowError::Apply)?)
-    } else {
-        None
+    let cell = {
+        let _step = fcn_telemetry::span("step7:apply");
+        if options.apply_library {
+            let library = BestagonLibrary::new();
+            let cell = apply_gate_library(&layout, &library).map_err(FlowError::Apply)?;
+            fcn_telemetry::counter("sidbs", cell.num_sidbs() as u64);
+            Some(cell)
+        } else {
+            None
+        }
     };
+
+    // Step 8: export. `FlowResult::to_sqd` re-renders on demand; this
+    // serialization is only for timing and sizing the artifact.
+    {
+        let _step = fcn_telemetry::span("step8:export");
+        if let Some(cell) = &cell {
+            let sqd = bestagon_lib::sqd::to_sqd_string(&cell.sidb);
+            fcn_telemetry::counter("sqd.bytes", sqd.len() as u64);
+        }
+    }
 
     Ok(FlowResult {
         name: name.to_owned(),
@@ -251,6 +358,7 @@ pub fn run_flow(name: &str, xag: &Xag, options: &FlowOptions) -> Result<FlowResu
         equivalence,
         supertiles,
         cell,
+        report: FlowReport::default(),
     })
 }
 
@@ -269,6 +377,21 @@ mod tests {
         let cell = r.cell.as_ref().expect("library applied");
         assert!(cell.num_sidbs() > 20);
         assert!(r.to_sqd().expect("sqd").contains("<dbdot>"));
+        assert_eq!(
+            r.report.stages(),
+            [
+                "step1:parse",
+                "step2:rewrite",
+                "step3:techmap",
+                "step4:pnr",
+                "step5:equiv",
+                "step6:supertiles",
+                "step7:apply",
+                "step8:export"
+            ]
+        );
+        let pnr = r.report.root.child("step4:pnr").expect("pnr stage");
+        assert!(pnr.counters.contains_key("sat.conflicts") || !pnr.children.is_empty());
     }
 
     #[test]
@@ -277,7 +400,10 @@ mod tests {
         let r = run_flow(
             "xor2",
             &b.xag,
-            &FlowOptions { pnr: PnrMethod::Exact { max_area: 60 }, ..Default::default() },
+            &FlowOptions {
+                pnr: PnrMethod::Exact { max_area: 60 },
+                ..Default::default()
+            },
         )
         .expect("flow succeeds");
         assert!(r.exact);
@@ -291,13 +417,19 @@ mod tests {
         let exact = run_flow(
             "par_gen",
             &b.xag,
-            &FlowOptions { pnr: PnrMethod::Exact { max_area: 80 }, ..Default::default() },
+            &FlowOptions {
+                pnr: PnrMethod::Exact { max_area: 80 },
+                ..Default::default()
+            },
         )
         .expect("exact flow");
         let heur = run_flow(
             "par_gen",
             &b.xag,
-            &FlowOptions { pnr: PnrMethod::Heuristic, ..Default::default() },
+            &FlowOptions {
+                pnr: PnrMethod::Heuristic,
+                ..Default::default()
+            },
         )
         .expect("heuristic flow");
         assert!(heur.layout.ratio().tile_count() >= exact.layout.ratio().tile_count());
@@ -310,7 +442,11 @@ mod tests {
         let with = run_flow(
             "x",
             &b.xag,
-            &FlowOptions { pnr: PnrMethod::Heuristic, apply_library: false, ..Default::default() },
+            &FlowOptions {
+                pnr: PnrMethod::Heuristic,
+                apply_library: false,
+                ..Default::default()
+            },
         )
         .expect("flow");
         let without = run_flow(
@@ -332,7 +468,10 @@ mod tests {
     fn verilog_entry_point_works() {
         let r = run_flow_from_verilog(
             "module and2 (a, b, f); input a, b; output f; assign f = a & b; endmodule",
-            &FlowOptions { apply_library: false, ..Default::default() },
+            &FlowOptions {
+                apply_library: false,
+                ..Default::default()
+            },
         )
         .expect("flow");
         assert_eq!(r.name, "and2");

@@ -87,14 +87,25 @@ impl<'a> PipelineSim<'a> {
                 self.values.get(&(n, dir.opposite())).copied()
             };
             match contents {
-                TileContents::Gate { kind, inputs, outputs, name } => {
+                TileContents::Gate {
+                    kind,
+                    inputs,
+                    outputs,
+                    name,
+                } => {
                     let in_vals: Option<Vec<bool>> = inputs.iter().map(|&d| fetch(d)).collect();
                     match kind {
                         GateKind::Pi => {
                             let name = name.clone().unwrap_or_default();
                             let stream = self.inputs.get(&name);
                             let value = stream
-                                .and_then(|s| if s.is_empty() { None } else { Some(s[cycle % s.len()]) })
+                                .and_then(|s| {
+                                    if s.is_empty() {
+                                        None
+                                    } else {
+                                        Some(s[cycle % s.len()])
+                                    }
+                                })
                                 .unwrap_or(false);
                             for &d in outputs {
                                 new_values.insert((coord, d), value);
@@ -194,7 +205,10 @@ mod tests {
         sim.run(4 * (layout.ratio().height + 4));
         let outs: Vec<bool> = sim.outputs().iter().map(|(_, _, v)| *v).collect();
         // Expected OR results in order: 0, 1, 1, 1 (repeating).
-        assert!(outs.len() >= 4, "expected at least four samples, got {outs:?}");
+        assert!(
+            outs.len() >= 4,
+            "expected at least four samples, got {outs:?}"
+        );
         let expected = [false, true, true, true];
         for (i, &v) in outs.iter().take(4).enumerate() {
             assert_eq!(v, expected[i], "sample {i} of {outs:?}");

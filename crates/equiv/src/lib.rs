@@ -101,17 +101,30 @@ pub fn extract_network(layout: &HexGateLayout) -> Result<MappedNetwork, EquivErr
             signal_at
                 .get(&(n, dir.opposite()))
                 .copied()
-                .ok_or(EquivError::MissingDriver { tile: (coord.x, coord.y) })
+                .ok_or(EquivError::MissingDriver {
+                    tile: (coord.x, coord.y),
+                })
         };
         match contents {
-            TileContents::Gate { kind, inputs, outputs, name } => {
+            TileContents::Gate {
+                kind,
+                inputs,
+                outputs,
+                name,
+            } => {
                 let fanins = inputs
                     .iter()
                     .map(|&d| fetch(&signal_at, d))
                     .collect::<Result<Vec<_>, _>>()?;
                 let id = net.add_node(*kind, fanins, name.clone());
                 for (port, &d) in outputs.iter().enumerate() {
-                    signal_at.insert((coord, d), MappedSignal { node: id, output: port as u8 });
+                    signal_at.insert(
+                        (coord, d),
+                        MappedSignal {
+                            node: id,
+                            output: port as u8,
+                        },
+                    );
                 }
             }
             TileContents::Wire { segments } => {
@@ -144,22 +157,36 @@ pub fn extract_network_cart(
     tiles.sort_by_key(|(c, _)| (c.x + c.y, c.x));
 
     for (coord, contents) in tiles {
-        let fetch = |signal_at: &HashMap<_, _>, dir: CartDirection| -> Result<MappedSignal, EquivError> {
-            let n = coord.neighbor(dir);
-            signal_at
-                .get(&(n, dir.opposite()))
-                .copied()
-                .ok_or(EquivError::MissingDriver { tile: (coord.x, coord.y) })
-        };
+        let fetch =
+            |signal_at: &HashMap<_, _>, dir: CartDirection| -> Result<MappedSignal, EquivError> {
+                let n = coord.neighbor(dir);
+                signal_at
+                    .get(&(n, dir.opposite()))
+                    .copied()
+                    .ok_or(EquivError::MissingDriver {
+                        tile: (coord.x, coord.y),
+                    })
+            };
         match contents {
-            TileContents::Gate { kind, inputs, outputs, name } => {
+            TileContents::Gate {
+                kind,
+                inputs,
+                outputs,
+                name,
+            } => {
                 let fanins = inputs
                     .iter()
                     .map(|&d| fetch(&signal_at, d))
                     .collect::<Result<Vec<_>, _>>()?;
                 let id = net.add_node(*kind, fanins, name.clone());
                 for (port, &d) in outputs.iter().enumerate() {
-                    signal_at.insert((coord, d), MappedSignal { node: id, output: port as u8 });
+                    signal_at.insert(
+                        (coord, d),
+                        MappedSignal {
+                            node: id,
+                            output: port as u8,
+                        },
+                    );
                 }
             }
             TileContents::Wire { segments } => {
@@ -187,7 +214,11 @@ pub fn check_equivalence_cart(
 }
 
 /// Encodes an [`Xag`] into the CNF builder; returns one literal per PO.
-fn encode_xag(cnf: &mut CnfBuilder, xag: &Xag, pi_lits: &HashMap<String, Lit>) -> Vec<(String, Lit)> {
+fn encode_xag(
+    cnf: &mut CnfBuilder,
+    xag: &Xag,
+    pi_lits: &HashMap<String, Lit>,
+) -> Vec<(String, Lit)> {
     use fcn_logic::network::NodeKind;
     let mut lit_of: Vec<Lit> = Vec::with_capacity(xag.num_nodes());
     let mut pi_index = 0usize;
@@ -257,7 +288,9 @@ fn encode_mapped(
             GateKind::Pi => {
                 let name = node.name.clone().unwrap_or_default();
                 let lit = *pi_lits.get(&name).ok_or_else(|| {
-                    EquivError::InterfaceMismatch(format!("layout PI '{name}' not in specification"))
+                    EquivError::InterfaceMismatch(format!(
+                        "layout PI '{name}' not in specification"
+                    ))
                 })?;
                 out_lits.insert((id, 0), lit);
             }
@@ -332,6 +365,7 @@ pub fn check_equivalence_extracted(
     spec: &Xag,
     extracted: &MappedNetwork,
 ) -> Result<Equivalence, EquivError> {
+    let _span = fcn_telemetry::span("miter");
     let mut cnf = CnfBuilder::new();
     // Shared PI literals by name.
     let mut pi_lits: HashMap<String, Lit> = HashMap::new();
@@ -374,11 +408,29 @@ pub fn check_equivalence_extracted(
     }
     cnf.add_clause(diffs); // at least one output differs
 
-    match cnf.solve() {
-        msat::SolveResult::Unsat => Ok(Equivalence::Equivalent),
-        msat::SolveResult::Sat(model) => Ok(Equivalence::NotEquivalent {
-            counterexample: pi_order.iter().map(|n| model.lit_value(pi_lits[n])).collect(),
-        }),
+    fcn_telemetry::counter("miter.vars", cnf.solver().num_vars() as u64);
+    fcn_telemetry::counter("miter.clauses", cnf.solver().num_clauses() as u64);
+    fcn_telemetry::counter("miter.outputs", spec_pos.len() as u64);
+    let outcome = cnf.solve();
+    let stats = cnf.solver().stats();
+    fcn_telemetry::counter("sat.conflicts", stats.conflicts);
+    fcn_telemetry::counter("sat.decisions", stats.decisions);
+    fcn_telemetry::counter("sat.propagations", stats.propagations);
+    fcn_telemetry::counter("sat.restarts", stats.restarts);
+    match outcome {
+        msat::SolveResult::Unsat => {
+            fcn_telemetry::note("verdict", "equivalent");
+            Ok(Equivalence::Equivalent)
+        }
+        msat::SolveResult::Sat(model) => {
+            fcn_telemetry::note("verdict", "not-equivalent");
+            Ok(Equivalence::NotEquivalent {
+                counterexample: pi_order
+                    .iter()
+                    .map(|n| model.lit_value(pi_lits[n]))
+                    .collect(),
+            })
+        }
     }
 }
 
@@ -434,7 +486,11 @@ mod tests {
         let extracted = extract_network(&layout).expect("extractable");
         for row in 0..8u32 {
             let inputs: Vec<bool> = (0..3).map(|i| (row >> i) & 1 == 1).collect();
-            assert_eq!(xag.simulate(&inputs), extracted.simulate(&inputs), "row {row}");
+            assert_eq!(
+                xag.simulate(&inputs),
+                extracted.simulate(&inputs),
+                "row {row}"
+            );
         }
     }
 
@@ -459,7 +515,9 @@ mod tests {
             Equivalence::NotEquivalent { counterexample } => {
                 // The witness must actually distinguish AND from OR.
                 let s = spec.simulate(&counterexample);
-                let e = extract_network(&layout).expect("ok").simulate(&counterexample);
+                let e = extract_network(&layout)
+                    .expect("ok")
+                    .simulate(&counterexample);
                 assert_ne!(s, e);
             }
             Equivalence::Equivalent => panic!("AND vs OR must not be equivalent"),
@@ -490,7 +548,12 @@ mod tests {
         let mut layout = HexGateLayout::new(AspectRatio::new(2, 2), ClockingScheme::Row);
         layout.place(
             HexCoord::new(1, 1),
-            TileContents::gate(GateKind::Po, vec![HexDirection::NorthWest], vec![], Some("f".into())),
+            TileContents::gate(
+                GateKind::Po,
+                vec![HexDirection::NorthWest],
+                vec![],
+                Some("f".into()),
+            ),
         );
         assert!(matches!(
             extract_network(&layout),

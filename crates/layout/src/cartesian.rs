@@ -103,11 +103,20 @@ impl CartGateLayout {
     pub fn verify(&self) -> Vec<DrcViolation> {
         let mut violations = Vec::new();
         let mut report = |coord: CartCoord, message: String| {
-            violations.push(DrcViolation { tile: (coord.x, coord.y), message });
+            violations.push(DrcViolation {
+                tile: (coord.x, coord.y),
+                message,
+            });
         };
 
         for (&coord, contents) in &self.tiles {
-            if let TileContents::Gate { kind, inputs, outputs, .. } = contents {
+            if let TileContents::Gate {
+                kind,
+                inputs,
+                outputs,
+                ..
+            } = contents
+            {
                 if inputs.len() != kind.num_inputs() {
                     report(coord, format!("{kind} input arity mismatch"));
                 }
@@ -129,7 +138,10 @@ impl CartGateLayout {
                     None => report(coord, format!("input port {dir} is unconnected")),
                     Some(other) => {
                         if !other.outgoing().contains(&dir.opposite()) {
-                            report(coord, format!("input port {dir}: neighbor has no matching output"));
+                            report(
+                                coord,
+                                format!("input port {dir}: neighbor has no matching output"),
+                            );
                         }
                         let nz = self.clock_zone(n);
                         if !self.scheme.allows_flow(nz, zone) {
@@ -149,7 +161,10 @@ impl CartGateLayout {
                 }
                 if let Some(other) = self.tiles.get(&n) {
                     if !other.incoming().contains(&dir.opposite()) {
-                        report(coord, format!("output port {dir}: neighbor has no matching input"));
+                        report(
+                            coord,
+                            format!("output port {dir}: neighbor has no matching input"),
+                        );
                     }
                 } else {
                     report(coord, format!("output port {dir} is unconnected"));
@@ -228,7 +243,10 @@ mod tests {
             CartCoord::new(0, 1),
             TileContents::gate(GateKind::Pi, vec![], vec![C::East], Some("b".into())),
         );
-        l.place(c, TileContents::crossing((C::North, C::South), (C::West, C::East)));
+        l.place(
+            c,
+            TileContents::crossing((C::North, C::South), (C::West, C::East)),
+        );
         l.place(
             CartCoord::new(1, 2),
             TileContents::gate(GateKind::Po, vec![C::North], vec![], Some("f".into())),

@@ -29,12 +29,7 @@ pub enum ClockingScheme {
 }
 
 /// The USE 4×4 clocking pattern of Campos et al.
-const USE_PATTERN: [[u8; 4]; 4] = [
-    [0, 1, 2, 3],
-    [3, 2, 1, 0],
-    [2, 3, 0, 1],
-    [1, 0, 3, 2],
-];
+const USE_PATTERN: [[u8; 4]; 4] = [[0, 1, 2, 3], [3, 2, 1, 0], [2, 3, 0, 1], [1, 0, 3, 2]];
 
 impl ClockingScheme {
     /// The clock zone of tile `(x, y)`.

@@ -82,9 +82,7 @@ impl HexGateLayout {
     }
 
     /// Iterates over all occupied tiles in row-major order.
-    pub fn occupied_tiles(
-        &self,
-    ) -> impl Iterator<Item = (HexCoord, &TileContents<HexDirection>)> {
+    pub fn occupied_tiles(&self) -> impl Iterator<Item = (HexCoord, &TileContents<HexDirection>)> {
         self.tiles.iter().map(|(&c, t)| (c, t))
     }
 
@@ -99,7 +97,10 @@ impl HexGateLayout {
             .values()
             .map(|t| match t {
                 TileContents::Wire { segments } => segments.len(),
-                TileContents::Gate { kind: GateKind::Buf, .. } => 1,
+                TileContents::Gate {
+                    kind: GateKind::Buf,
+                    ..
+                } => 1,
                 _ => 0,
             })
             .sum()
@@ -127,22 +128,39 @@ impl HexGateLayout {
     pub fn verify(&self) -> Vec<DrcViolation> {
         let mut violations = Vec::new();
         let mut report = |coord: HexCoord, message: String| {
-            violations.push(DrcViolation { tile: (coord.x, coord.y), message });
+            violations.push(DrcViolation {
+                tile: (coord.x, coord.y),
+                message,
+            });
         };
 
         for (&coord, contents) in &self.tiles {
             // Port sanity.
-            if let TileContents::Gate { kind, inputs, outputs, .. } = contents {
+            if let TileContents::Gate {
+                kind,
+                inputs,
+                outputs,
+                ..
+            } = contents
+            {
                 if inputs.len() != kind.num_inputs() {
                     report(
                         coord,
-                        format!("{kind} has {} input ports, expected {}", inputs.len(), kind.num_inputs()),
+                        format!(
+                            "{kind} has {} input ports, expected {}",
+                            inputs.len(),
+                            kind.num_inputs()
+                        ),
                     );
                 }
                 if outputs.len() != kind.num_outputs() {
                     report(
                         coord,
-                        format!("{kind} has {} output ports, expected {}", outputs.len(), kind.num_outputs()),
+                        format!(
+                            "{kind} has {} output ports, expected {}",
+                            outputs.len(),
+                            kind.num_outputs()
+                        ),
                     );
                 }
             }
@@ -159,7 +177,10 @@ impl HexGateLayout {
                     report(coord, format!("direction {d} used by multiple ports"));
                 }
                 if !d.is_incoming() && !d.is_outgoing() {
-                    report(coord, format!("east/west port {d} cannot carry signals in a row-clocked layout"));
+                    report(
+                        coord,
+                        format!("east/west port {d} cannot carry signals in a row-clocked layout"),
+                    );
                 }
             }
             // Connectivity and clocking.
@@ -170,7 +191,10 @@ impl HexGateLayout {
                     None => report(coord, format!("input port {dir} is unconnected")),
                     Some(other) => {
                         if !other.outgoing().contains(&dir.opposite()) {
-                            report(coord, format!("input port {dir}: neighbor has no matching output"));
+                            report(
+                                coord,
+                                format!("input port {dir}: neighbor has no matching output"),
+                            );
                         }
                         let nz = self.scheme.zone(n.x, n.y);
                         if !self.scheme.allows_flow(nz, zone) {
@@ -192,7 +216,10 @@ impl HexGateLayout {
                     None => report(coord, format!("output port {dir} is unconnected")),
                     Some(other) => {
                         if !other.incoming().contains(&dir.opposite()) {
-                            report(coord, format!("output port {dir}: neighbor has no matching input"));
+                            report(
+                                coord,
+                                format!("output port {dir}: neighbor has no matching input"),
+                            );
                         }
                     }
                 }
@@ -252,7 +279,10 @@ mod tests {
             HexCoord::new(1, 0),
             TileContents::gate(GateKind::Pi, vec![], vec![H::SouthWest], Some("a".into())),
         );
-        l.place(HexCoord::new(0, 1), TileContents::wire(H::NorthEast, H::SouthEast));
+        l.place(
+            HexCoord::new(0, 1),
+            TileContents::wire(H::NorthEast, H::SouthEast),
+        );
         l.place(
             HexCoord::new(1, 2),
             TileContents::gate(GateKind::Po, vec![H::NorthWest], vec![], Some("f".into())),
@@ -295,7 +325,10 @@ mod tests {
             TileContents::gate(GateKind::Po, vec![H::NorthWest], vec![], Some("f".into())),
         );
         let v = l.verify();
-        assert!(v.iter().any(|d| d.message.contains("clocking violation")), "{v:?}");
+        assert!(
+            v.iter().any(|d| d.message.contains("clocking violation")),
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -361,6 +394,9 @@ mod tests {
     #[should_panic(expected = "outside layout bounds")]
     fn placing_out_of_bounds_panics() {
         let mut l = HexGateLayout::new(AspectRatio::new(1, 1), ClockingScheme::Row);
-        l.place(HexCoord::new(5, 5), TileContents::wire(H::NorthWest, H::SouthEast));
+        l.place(
+            HexCoord::new(5, 5),
+            TileContents::wire(H::NorthWest, H::SouthEast),
+        );
     }
 }

@@ -30,17 +30,26 @@ pub enum TileContents<D> {
 impl<D: Copy + PartialEq> TileContents<D> {
     /// Creates a gate tile.
     pub fn gate(kind: GateKind, inputs: Vec<D>, outputs: Vec<D>, name: Option<String>) -> Self {
-        TileContents::Gate { kind, inputs, outputs, name }
+        TileContents::Gate {
+            kind,
+            inputs,
+            outputs,
+            name,
+        }
     }
 
     /// Creates a single wire segment tile.
     pub fn wire(incoming: D, outgoing: D) -> Self {
-        TileContents::Wire { segments: vec![(incoming, outgoing)] }
+        TileContents::Wire {
+            segments: vec![(incoming, outgoing)],
+        }
     }
 
     /// Creates a crossing tile with two independent segments.
     pub fn crossing(first: (D, D), second: (D, D)) -> Self {
-        TileContents::Wire { segments: vec![first, second] }
+        TileContents::Wire {
+            segments: vec![first, second],
+        }
     }
 
     /// All incoming directions used by this tile.
@@ -103,7 +112,11 @@ pub struct DrcViolation {
 
 impl core::fmt::Display for DrcViolation {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "tile ({}, {}): {}", self.tile.0, self.tile.1, self.message)
+        write!(
+            f,
+            "tile ({}, {}): {}",
+            self.tile.0, self.tile.1, self.message
+        )
     }
 }
 
@@ -117,10 +130,7 @@ mod tests {
         let w = TileContents::wire(H::NorthWest, H::SouthEast);
         assert!(!w.is_crossing());
         assert!(!w.is_logic());
-        let c = TileContents::crossing(
-            (H::NorthWest, H::SouthEast),
-            (H::NorthEast, H::SouthWest),
-        );
+        let c = TileContents::crossing((H::NorthWest, H::SouthEast), (H::NorthEast, H::SouthWest));
         assert!(c.is_crossing());
         assert_eq!(c.incoming(), vec![H::NorthWest, H::NorthEast]);
         assert_eq!(c.outgoing(), vec![H::SouthEast, H::SouthWest]);

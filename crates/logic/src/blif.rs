@@ -31,7 +31,10 @@ pub struct ParseBlifError {
 
 impl ParseBlifError {
     fn new(line: usize, message: impl Into<String>) -> Self {
-        ParseBlifError { line, message: message.into() }
+        ParseBlifError {
+            line,
+            message: message.into(),
+        }
     }
 }
 
@@ -117,7 +120,12 @@ pub fn parse_blif(src: &str) -> Result<(String, Xag), ParseBlifError> {
                 let output = signals.pop().ok_or_else(|| {
                     ParseBlifError::new(line_no, ".names needs at least an output")
                 })?;
-                current = Some(Names { line: line_no, inputs: signals, output, cover: Vec::new() });
+                current = Some(Names {
+                    line: line_no,
+                    inputs: signals,
+                    output,
+                    cover: Vec::new(),
+                });
             }
             ".end" => {}
             ".latch" | ".subckt" | ".gate" => {
@@ -127,7 +135,10 @@ pub fn parse_blif(src: &str) -> Result<(String, Xag), ParseBlifError> {
                 ))
             }
             _ if head.starts_with('.') => {
-                return Err(ParseBlifError::new(line_no, format!("unknown directive '{head}'")))
+                return Err(ParseBlifError::new(
+                    line_no,
+                    format!("unknown directive '{head}'"),
+                ))
             }
             pattern => {
                 let block = current.as_mut().ok_or_else(|| {
@@ -162,7 +173,10 @@ pub fn parse_blif(src: &str) -> Result<(String, Xag), ParseBlifError> {
                 if pattern.len() != block.inputs.len()
                     || !pattern.chars().all(|c| matches!(c, '0' | '1' | '-'))
                 {
-                    return Err(ParseBlifError::new(line_no, format!("bad cover row '{pattern}'")));
+                    return Err(ParseBlifError::new(
+                        line_no,
+                        format!("bad cover row '{pattern}'"),
+                    ));
                 }
                 block.cover.push((pattern.to_owned(), value));
             }
@@ -195,7 +209,10 @@ pub fn parse_blif(src: &str) -> Result<(String, Xag), ParseBlifError> {
             return Ok(s);
         }
         if visiting.iter().any(|v| v == name) {
-            return Err(ParseBlifError::new(0, format!("combinational cycle through '{name}'")));
+            return Err(ParseBlifError::new(
+                0,
+                format!("combinational cycle through '{name}'"),
+            ));
         }
         let block = defs
             .get(name)
@@ -241,7 +258,14 @@ pub fn parse_blif(src: &str) -> Result<(String, Xag), ParseBlifError> {
         let s = resolve(output, &mut xag, &mut env, &by_output, &mut visiting)?;
         xag.primary_output(output.clone(), s);
     }
-    Ok((if model.is_empty() { "top".to_owned() } else { model }, xag))
+    Ok((
+        if model.is_empty() {
+            "top".to_owned()
+        } else {
+            model
+        },
+        xag,
+    ))
 }
 
 #[cfg(test)]
@@ -273,9 +297,8 @@ mod tests {
     #[test]
     fn dont_cares_expand() {
         // f = a (b is don't-care).
-        let (_, xag) =
-            parse_blif(".model d\n.inputs a b\n.outputs f\n.names a b f\n1- 1\n.end\n")
-                .expect("valid");
+        let (_, xag) = parse_blif(".model d\n.inputs a b\n.outputs f\n.names a b f\n1- 1\n.end\n")
+            .expect("valid");
         for row in 0..4u32 {
             let a = row & 1 == 1;
             let b = row & 2 != 0;
@@ -286,9 +309,8 @@ mod tests {
     #[test]
     fn off_set_covers_complement() {
         // f defined by its OFF-set: f = 0 when a=1,b=1 → f = NAND.
-        let (_, xag) =
-            parse_blif(".model n\n.inputs a b\n.outputs f\n.names a b f\n11 0\n.end\n")
-                .expect("valid");
+        let (_, xag) = parse_blif(".model n\n.inputs a b\n.outputs f\n.names a b f\n11 0\n.end\n")
+            .expect("valid");
         for row in 0..4u32 {
             let a = row & 1 == 1;
             let b = row & 2 != 0;

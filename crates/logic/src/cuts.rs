@@ -27,7 +27,10 @@ impl Cut {
 
     /// True if `other`'s leaves are a subset of this cut's leaves.
     pub fn dominates(&self, other: &Cut) -> bool {
-        other.leaves.iter().all(|l| self.leaves.binary_search(l).is_ok())
+        other
+            .leaves
+            .iter()
+            .all(|l| self.leaves.binary_search(l).is_ok())
     }
 }
 
@@ -70,6 +73,10 @@ pub fn enumerate_cuts(xag: &Xag, k: usize, max_cuts: usize) -> Vec<Vec<Cut>> {
         };
         all.push(cuts);
     }
+    fcn_telemetry::counter(
+        "cuts.enumerated",
+        all.iter().map(|cuts| cuts.len() as u64).sum(),
+    );
     all
 }
 
@@ -131,7 +138,10 @@ fn remap_function(cut: &Cut, leaves: &[NodeId], k: usize) -> TruthTable {
 /// Inserts a cut, removing dominated cuts and respecting the size bound.
 fn insert_pruned(cuts: &mut Vec<Cut>, cut: Cut, max_cuts: usize) {
     // Drop if an existing cut is a subset of the new one (dominates it).
-    if cuts.iter().any(|c| cut.dominates(c) && c.size() <= cut.size()) {
+    if cuts
+        .iter()
+        .any(|c| cut.dominates(c) && c.size() <= cut.size())
+    {
         return;
     }
     // Remove cuts dominated by the new one.
@@ -228,9 +238,7 @@ mod tests {
         let cuts = enumerate_cuts(&xag, 4, 12);
         // g has a cut {a, b}.
         let g_cuts = &cuts[g.node().index()];
-        assert!(g_cuts
-            .iter()
-            .any(|c| c.leaves == vec![a.node(), b.node()]));
+        assert!(g_cuts.iter().any(|c| c.leaves == vec![a.node(), b.node()]));
         // That cut computes (a AND b) XOR a = a AND NOT b.
         let cut = g_cuts
             .iter()

@@ -62,11 +62,11 @@ impl XagDatabase {
         let mut levels: Vec<Vec<u16>> = vec![Vec::new(); budget as usize + 1];
 
         let record = |cost: &mut Vec<u8>,
-                          def: &mut Vec<Def>,
-                          levels: &mut Vec<Vec<u16>>,
-                          bits: u16,
-                          c: u8,
-                          d: Def| {
+                      def: &mut Vec<Def>,
+                      levels: &mut Vec<Vec<u16>>,
+                      bits: u16,
+                      c: u8,
+                      d: Def| {
             if cost[bits as usize] == UNKNOWN {
                 cost[bits as usize] = c;
                 def[bits as usize] = d;
@@ -110,7 +110,11 @@ impl XagDatabase {
                                 &mut levels,
                                 h,
                                 c,
-                                Def::Gate { is_xor: false, fa: a, fb: b },
+                                Def::Gate {
+                                    is_xor: false,
+                                    fa: a,
+                                    fb: b,
+                                },
                             );
                             record(
                                 &mut cost,
@@ -118,7 +122,11 @@ impl XagDatabase {
                                 &mut levels,
                                 !h,
                                 c,
-                                Def::Gate { is_xor: false, fa: a, fb: b },
+                                Def::Gate {
+                                    is_xor: false,
+                                    fa: a,
+                                    fb: b,
+                                },
                             );
                         }
                         let h = fa ^ fb;
@@ -128,7 +136,11 @@ impl XagDatabase {
                             &mut levels,
                             h,
                             c,
-                            Def::Gate { is_xor: true, fa, fb },
+                            Def::Gate {
+                                is_xor: true,
+                                fa,
+                                fb,
+                            },
                         );
                         record(
                             &mut cost,
@@ -136,7 +148,11 @@ impl XagDatabase {
                             &mut levels,
                             !h,
                             c,
-                            Def::Gate { is_xor: true, fa, fb },
+                            Def::Gate {
+                                is_xor: true,
+                                fa,
+                                fb,
+                            },
                         );
                     }
                 }

@@ -376,8 +376,12 @@ impl Xag {
                     pi_idx += 1;
                     t
                 }
-                NodeKind::And(a, b) => self.fanin_table(&tables, a).and(self.fanin_table(&tables, b)),
-                NodeKind::Xor(a, b) => self.fanin_table(&tables, a).xor(self.fanin_table(&tables, b)),
+                NodeKind::And(a, b) => self
+                    .fanin_table(&tables, a)
+                    .and(self.fanin_table(&tables, b)),
+                NodeKind::Xor(a, b) => self
+                    .fanin_table(&tables, a)
+                    .xor(self.fanin_table(&tables, b)),
             };
         }
         self.pos

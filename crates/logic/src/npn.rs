@@ -45,7 +45,10 @@ fn permutations(n: u8) -> Vec<Vec<u8>> {
     loop {
         result.push(current.clone());
         // Next lexicographic permutation.
-        let Some(i) = (0..current.len().saturating_sub(1)).rev().find(|&i| current[i] < current[i + 1]) else {
+        let Some(i) = (0..current.len().saturating_sub(1))
+            .rev()
+            .find(|&i| current[i] < current[i + 1])
+        else {
             break;
         };
         let j = (i + 1..current.len())
@@ -82,7 +85,10 @@ pub fn apply_transform(f: TruthTable, t: &NpnTransform) -> TruthTable {
 /// as `n! · 2^{n+1}`; four is all the rewriting flow needs).
 pub fn canonize(f: TruthTable) -> NpnCanonization {
     let n = f.num_vars();
-    assert!(n <= 4, "exhaustive NPN canonization supports up to 4 inputs");
+    assert!(
+        n <= 4,
+        "exhaustive NPN canonization supports up to 4 inputs"
+    );
     let mut best: Option<NpnCanonization> = None;
     for perm in permutations(n) {
         let permuted = f.permute_inputs(&perm);
@@ -207,7 +213,9 @@ mod tests {
         // smaller than the representative.
         for perm in permutations(3) {
             let g = f.permute_inputs(&perm);
-            assert!(c.representative.bits() <= g.bits() || c.representative.bits() <= g.not().bits());
+            assert!(
+                c.representative.bits() <= g.bits() || c.representative.bits() <= g.not().bits()
+            );
         }
     }
 }

@@ -129,6 +129,7 @@ fn map_node(
     }
 
     let signal = if let Some((cut, _)) = best {
+        fcn_telemetry::counter("rewrite.hits", 1);
         let mut leaves = [out.constant_false(); 4];
         for (i, leaf) in cut.leaves.iter().enumerate() {
             leaves[i] = map_node(xag, out, map, cuts, fanouts, db, *leaf);
@@ -140,6 +141,7 @@ fn map_node(
             NodeKind::Constant => out.constant_false(),
             NodeKind::Input => map[&node],
             NodeKind::And(a, b) | NodeKind::Xor(a, b) => {
+                fcn_telemetry::counter("rewrite.misses", 1);
                 let is_xor = matches!(xag.node(node), NodeKind::Xor(..));
                 let ma = map_node(xag, out, map, cuts, fanouts, db, a.node())
                     .complement_if(a.is_complemented());
@@ -238,7 +240,11 @@ mod tests {
         let inputs: Vec<_> = (0..5).map(|i| xag.primary_input(format!("i{i}"))).collect();
         let mut acc = inputs[0];
         for (k, &i) in inputs[1..].iter().enumerate() {
-            acc = if k % 2 == 0 { xag.and(acc, i) } else { xag.xor(acc, i) };
+            acc = if k % 2 == 0 {
+                xag.and(acc, i)
+            } else {
+                xag.xor(acc, i)
+            };
         }
         xag.primary_output("f", acc);
         let before = xag.num_gates();

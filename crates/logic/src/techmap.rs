@@ -311,7 +311,10 @@ impl MappedNetwork {
             // Publish this node's outputs, expanding through fan-out trees.
             for port in 0..node.kind.num_outputs() as u8 {
                 let needed = consumers[id.index()][port as usize].len();
-                let root = MappedSignal { node: nid, output: port };
+                let root = MappedSignal {
+                    node: nid,
+                    output: port,
+                };
                 let signals = expand_fanout(&mut out, root, needed);
                 available.insert((id, port), signals);
             }
@@ -322,23 +325,35 @@ impl MappedNetwork {
     /// Statistics of the netlist per gate kind, for reporting.
     pub fn kind_histogram(&self) -> Vec<(GateKind, usize)> {
         use GateKind::*;
-        [Pi, Po, Buf, Inv, And, Nand, Or, Nor, Xor, Xnor, Fanout, HalfAdder]
-            .into_iter()
-            .map(|k| (k, self.count_kind(k)))
-            .filter(|(_, n)| *n > 0)
-            .collect()
+        [
+            Pi, Po, Buf, Inv, And, Nand, Or, Nor, Xor, Xnor, Fanout, HalfAdder,
+        ]
+        .into_iter()
+        .map(|k| (k, self.count_kind(k)))
+        .filter(|(_, n)| *n > 0)
+        .collect()
     }
 }
 
 /// Builds a fan-out tree delivering `needed` copies of `signal`.
-fn expand_fanout(net: &mut MappedNetwork, signal: MappedSignal, needed: usize) -> Vec<MappedSignal> {
+fn expand_fanout(
+    net: &mut MappedNetwork,
+    signal: MappedSignal,
+    needed: usize,
+) -> Vec<MappedSignal> {
     match needed {
         0 => vec![],
         1 => vec![signal],
         _ => {
             let fo = net.add_node(GateKind::Fanout, vec![signal], None);
-            let left = MappedSignal { node: fo, output: 0 };
-            let right = MappedSignal { node: fo, output: 1 };
+            let left = MappedSignal {
+                node: fo,
+                output: 0,
+            };
+            let right = MappedSignal {
+                node: fo,
+                output: 1,
+            };
             // Balance the tree: split demand across the two outputs.
             let left_needed = needed / 2;
             let mut result = expand_fanout(net, left, left_needed);
@@ -379,7 +394,10 @@ impl core::fmt::Display for MapError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             MapError::ConstantOutput(name) => {
-                write!(f, "primary output '{name}' is constant; no tile can source a constant")
+                write!(
+                    f,
+                    "primary output '{name}' is constant; no tile can source a constant"
+                )
             }
         }
     }
@@ -478,7 +496,13 @@ pub fn map_xag(xag: &Xag, options: MapOptions) -> Result<MappedNetwork, MapError
 
     for (i, &pi) in xag.primary_inputs().iter().enumerate() {
         let id = net.add_node(GateKind::Pi, vec![], Some(xag.pi_name(i).to_owned()));
-        provided.insert(pi, MappedSignal { node: id, output: 0 });
+        provided.insert(
+            pi,
+            MappedSignal {
+                node: id,
+                output: 0,
+            },
+        );
     }
 
     // Fetches the signal for an XAG edge, inserting an inverter if the
@@ -497,7 +521,10 @@ pub fn map_xag(xag: &Xag, options: MapOptions) -> Result<MappedNetwork, MapError
             inv
         } else {
             let inv = net.add_node(GateKind::Inv, vec![base], None);
-            let sig = MappedSignal { node: inv, output: 0 };
+            let sig = MappedSignal {
+                node: inv,
+                output: 0,
+            };
             inverted_cache.insert(s.node(), sig);
             sig
         }
@@ -523,8 +550,14 @@ pub fn map_xag(xag: &Xag, options: MapOptions) -> Result<MappedNetwork, MapError
                     let fa = fetch(&mut net, &provided, &mut inverted_cache, &impl_neg, a);
                     let fb = fetch(&mut net, &provided, &mut inverted_cache, &impl_neg, b);
                     let ha = net.add_node(GateKind::HalfAdder, vec![fa, fb], None);
-                    let sum = MappedSignal { node: ha, output: 0 };
-                    let carry = MappedSignal { node: ha, output: 1 };
+                    let sum = MappedSignal {
+                        node: ha,
+                        output: 0,
+                    };
+                    let carry = MappedSignal {
+                        node: ha,
+                        output: 1,
+                    };
                     let me_is_xor = is_xor;
                     provided.insert(id, if me_is_xor { sum } else { carry });
                     ha_emitted.insert(partner, if me_is_xor { carry } else { sum });
@@ -535,7 +568,11 @@ pub fn map_xag(xag: &Xag, options: MapOptions) -> Result<MappedNetwork, MapError
                     // XOR fanins are stored positive; fetch positive values.
                     let fa = fetch(&mut net, &provided, &mut inverted_cache, &impl_neg, a);
                     let fb = fetch(&mut net, &provided, &mut inverted_cache, &impl_neg, b);
-                    let kind = if out_neg { GateKind::Xnor } else { GateKind::Xor };
+                    let kind = if out_neg {
+                        GateKind::Xnor
+                    } else {
+                        GateKind::Xor
+                    };
                     let g = net.add_node(kind, vec![fa, fb], None);
                     provided.insert(id, MappedSignal { node: g, output: 0 });
                 } else {
@@ -642,10 +679,19 @@ mod tests {
         let x2 = xag.xor(!b, c); // complemented fanin folds into the output
         xag.primary_output("x1", x1);
         xag.primary_output("x2", x2);
-        let net = map_xag(&xag, MapOptions { extract_half_adders: false, ..Default::default() })
-            .expect("mappable");
+        let net = map_xag(
+            &xag,
+            MapOptions {
+                extract_half_adders: false,
+                ..Default::default()
+            },
+        )
+        .expect("mappable");
         assert_eq!(net.count_kind(GateKind::Inv), 0);
-        assert_eq!(net.count_kind(GateKind::Xor) + net.count_kind(GateKind::Xnor), 2);
+        assert_eq!(
+            net.count_kind(GateKind::Xor) + net.count_kind(GateKind::Xnor),
+            2
+        );
         check_equivalent(&xag, &net);
     }
 
@@ -659,8 +705,14 @@ mod tests {
         let x = xag.xor(a, b);
         xag.primary_output("x", x);
         xag.primary_output("nx", !x);
-        let net = map_xag(&xag, MapOptions { extract_half_adders: false, ..Default::default() })
-            .expect("mappable");
+        let net = map_xag(
+            &xag,
+            MapOptions {
+                extract_half_adders: false,
+                ..Default::default()
+            },
+        )
+        .expect("mappable");
         assert_eq!(net.count_kind(GateKind::Inv), 1);
         check_equivalent(&xag, &net);
     }
@@ -702,8 +754,14 @@ mod tests {
         let carry = xag.and(a, b);
         xag.primary_output("sum", sum);
         xag.primary_output("carry", carry);
-        let net = map_xag(&xag, MapOptions { extract_half_adders: false, ..Default::default() })
-            .expect("mappable");
+        let net = map_xag(
+            &xag,
+            MapOptions {
+                extract_half_adders: false,
+                ..Default::default()
+            },
+        )
+        .expect("mappable");
         assert_eq!(net.count_kind(GateKind::HalfAdder), 0);
         assert_eq!(net.count_kind(GateKind::Xor), 1);
         assert_eq!(net.count_kind(GateKind::And), 1);
@@ -723,7 +781,10 @@ mod tests {
         xag.primary_output("g", g);
         let net = map_xag(
             &xag,
-            MapOptions { extract_half_adders: false, legalize_fanout: true },
+            MapOptions {
+                extract_half_adders: false,
+                legalize_fanout: true,
+            },
         )
         .expect("mappable");
         assert!(net.fanout_violations().is_empty());
@@ -760,7 +821,10 @@ mod tests {
         for extract in [false, true] {
             let net = map_xag(
                 &xag,
-                MapOptions { extract_half_adders: extract, legalize_fanout: true },
+                MapOptions {
+                    extract_half_adders: extract,
+                    legalize_fanout: true,
+                },
             )
             .expect("mappable");
             assert!(net.fanout_violations().is_empty());
@@ -772,7 +836,10 @@ mod tests {
     fn wide_fanout_builds_a_tree() {
         let mut net = MappedNetwork::new();
         let pi = net.add_node(GateKind::Pi, vec![], Some("a".into()));
-        let sig = MappedSignal { node: pi, output: 0 };
+        let sig = MappedSignal {
+            node: pi,
+            output: 0,
+        };
         for _ in 0..5 {
             net.add_node(GateKind::Po, vec![sig], Some("o".into()));
         }

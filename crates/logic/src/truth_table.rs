@@ -120,7 +120,9 @@ impl TruthTable {
         self.binary_op(other, |a, b| a ^ b)
     }
 
-    /// Complement.
+    /// Complement. (Named like the other bitwise ops; `!tt` would hide
+    /// that this masks to `num_vars` rows via `from_bits`.)
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> TruthTable {
         TruthTable::from_bits(self.num_vars, !self.bits)
     }
@@ -181,7 +183,11 @@ impl TruthTable {
     /// Applies an arbitrary input permutation: input `i` of the result reads
     /// input `perm[i]` of `self`.
     pub fn permute_inputs(self, perm: &[u8]) -> TruthTable {
-        assert_eq!(perm.len(), self.num_vars as usize, "permutation size mismatch");
+        assert_eq!(
+            perm.len(),
+            self.num_vars as usize,
+            "permutation size mismatch"
+        );
         let n = self.num_vars;
         let mut bits = 0u64;
         for row in 0..self.num_rows() {
@@ -221,7 +227,7 @@ impl core::fmt::Display for TruthTable {
     /// Hexadecimal truth-table display, most significant row first, e.g.
     /// `0x8` for 2-input AND.
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        let digits = ((self.num_rows() + 3) / 4).max(1);
+        let digits = self.num_rows().div_ceil(4).max(1);
         write!(f, "0x{:0width$x}", self.bits, width = digits as usize)
     }
 }

@@ -31,7 +31,9 @@ pub struct ParseVerilogError {
 
 impl ParseVerilogError {
     fn new(message: impl Into<String>) -> Self {
-        ParseVerilogError { message: message.into() }
+        ParseVerilogError {
+            message: message.into(),
+        }
     }
 }
 
@@ -51,7 +53,15 @@ enum Token {
     Keyword(&'static str),
 }
 
-const KEYWORDS: [&str; 7] = ["module", "endmodule", "input", "output", "wire", "assign", "inout"];
+const KEYWORDS: [&str; 7] = [
+    "module",
+    "endmodule",
+    "input",
+    "output",
+    "wire",
+    "assign",
+    "inout",
+];
 
 fn tokenize(src: &str) -> Result<Vec<Token>, ParseVerilogError> {
     let mut tokens = Vec::new();
@@ -79,7 +89,9 @@ fn tokenize(src: &str) -> Result<Vec<Token>, ParseVerilogError> {
                                 Some('/') if prev == '*' => break,
                                 Some(c) => prev = c,
                                 None => {
-                                    return Err(ParseVerilogError::new("unterminated block comment"))
+                                    return Err(ParseVerilogError::new(
+                                        "unterminated block comment",
+                                    ))
                                 }
                             }
                         }
@@ -94,7 +106,11 @@ fn tokenize(src: &str) -> Result<Vec<Token>, ParseVerilogError> {
                 }
                 let mut ident = String::new();
                 while let Some(&c) = chars.peek() {
-                    if c.is_ascii_alphanumeric() || c == '_' || c == '$' || (escaped && !c.is_whitespace()) {
+                    if c.is_ascii_alphanumeric()
+                        || c == '_'
+                        || c == '$'
+                        || (escaped && !c.is_whitespace())
+                    {
                         ident.push(c);
                         chars.next();
                     } else {
@@ -130,7 +146,9 @@ fn tokenize(src: &str) -> Result<Vec<Token>, ParseVerilogError> {
                 tokens.push(Token::Symbol(c));
             }
             other => {
-                return Err(ParseVerilogError::new(format!("unexpected character '{other}'")))
+                return Err(ParseVerilogError::new(format!(
+                    "unexpected character '{other}'"
+                )))
             }
         }
     }
@@ -171,21 +189,27 @@ impl Parser {
     fn expect_symbol(&mut self, c: char) -> Result<(), ParseVerilogError> {
         match self.next()? {
             Token::Symbol(s) if s == c => Ok(()),
-            other => Err(ParseVerilogError::new(format!("expected '{c}', found {other:?}"))),
+            other => Err(ParseVerilogError::new(format!(
+                "expected '{c}', found {other:?}"
+            ))),
         }
     }
 
     fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseVerilogError> {
         match self.next()? {
             Token::Keyword(k) if k == kw => Ok(()),
-            other => Err(ParseVerilogError::new(format!("expected '{kw}', found {other:?}"))),
+            other => Err(ParseVerilogError::new(format!(
+                "expected '{kw}', found {other:?}"
+            ))),
         }
     }
 
     fn ident(&mut self) -> Result<String, ParseVerilogError> {
         match self.next()? {
             Token::Ident(s) => Ok(s),
-            other => Err(ParseVerilogError::new(format!("expected identifier, found {other:?}"))),
+            other => Err(ParseVerilogError::new(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -207,7 +231,11 @@ impl Parser {
             let then_e = self.expr()?;
             self.expect_symbol(':')?;
             let else_e = self.expr()?;
-            Ok(Expr::Mux(Box::new(cond), Box::new(then_e), Box::new(else_e)))
+            Ok(Expr::Mux(
+                Box::new(cond),
+                Box::new(then_e),
+                Box::new(else_e),
+            ))
         } else {
             Ok(cond)
         }
@@ -253,7 +281,9 @@ impl Parser {
             }
             Token::Ident(name) => Ok(Expr::Ident(name)),
             Token::Const(b) => Ok(Expr::Const(b)),
-            other => Err(ParseVerilogError::new(format!("unexpected token {other:?} in expression"))),
+            other => Err(ParseVerilogError::new(format!(
+                "unexpected token {other:?} in expression"
+            ))),
         }
     }
 }
@@ -277,9 +307,14 @@ fn parse_module(tokens: Vec<Token>) -> Result<Module, ParseVerilogError> {
         loop {
             match p.next()? {
                 Token::Symbol(')') => break,
-                Token::Symbol(',') | Token::Ident(_) | Token::Keyword("input") | Token::Keyword("output") => {}
+                Token::Symbol(',')
+                | Token::Ident(_)
+                | Token::Keyword("input")
+                | Token::Keyword("output") => {}
                 other => {
-                    return Err(ParseVerilogError::new(format!("unexpected token {other:?} in port list")))
+                    return Err(ParseVerilogError::new(format!(
+                        "unexpected token {other:?} in port list"
+                    )))
                 }
             }
         }
@@ -305,11 +340,18 @@ fn parse_module(tokens: Vec<Token>) -> Result<Module, ParseVerilogError> {
                 assigns.push((target, e));
             }
             other => {
-                return Err(ParseVerilogError::new(format!("unexpected token {other:?} in module body")))
+                return Err(ParseVerilogError::new(format!(
+                    "unexpected token {other:?} in module body"
+                )))
             }
         }
     }
-    Ok(Module { name, inputs, outputs, assigns })
+    Ok(Module {
+        name,
+        inputs,
+        outputs,
+        assigns,
+    })
 }
 
 /// Parses a Verilog specification into an [`Xag`].
@@ -338,17 +380,23 @@ pub fn parse_verilog(src: &str) -> Result<(String, Xag), ParseVerilogError> {
     for input in &module.inputs {
         let s = xag.primary_input(input.clone());
         if env.insert(input.clone(), s).is_some() {
-            return Err(ParseVerilogError::new(format!("signal '{input}' declared twice")));
+            return Err(ParseVerilogError::new(format!(
+                "signal '{input}' declared twice"
+            )));
         }
     }
 
     let mut defs: HashMap<String, &Expr> = HashMap::new();
     for (target, expr) in &module.assigns {
         if module.inputs.contains(target) {
-            return Err(ParseVerilogError::new(format!("input '{target}' cannot be assigned")));
+            return Err(ParseVerilogError::new(format!(
+                "input '{target}' cannot be assigned"
+            )));
         }
         if defs.insert(target.clone(), expr).is_some() {
-            return Err(ParseVerilogError::new(format!("signal '{target}' driven twice")));
+            return Err(ParseVerilogError::new(format!(
+                "signal '{target}' driven twice"
+            )));
         }
     }
 
@@ -364,7 +412,9 @@ pub fn parse_verilog(src: &str) -> Result<(String, Xag), ParseVerilogError> {
             return Ok(s);
         }
         if visiting.iter().any(|v| v == name) {
-            return Err(ParseVerilogError::new(format!("combinational cycle through '{name}'")));
+            return Err(ParseVerilogError::new(format!(
+                "combinational cycle through '{name}'"
+            )));
         }
         let expr = *defs
             .get(name)
@@ -389,15 +439,24 @@ pub fn parse_verilog(src: &str) -> Result<(String, Xag), ParseVerilogError> {
             Expr::Const(false) => xag.constant_false(),
             Expr::Not(e) => !eval(e, xag, env, defs, visiting)?,
             Expr::And(a, b) => {
-                let (a, b) = (eval(a, xag, env, defs, visiting)?, eval(b, xag, env, defs, visiting)?);
+                let (a, b) = (
+                    eval(a, xag, env, defs, visiting)?,
+                    eval(b, xag, env, defs, visiting)?,
+                );
                 xag.and(a, b)
             }
             Expr::Or(a, b) => {
-                let (a, b) = (eval(a, xag, env, defs, visiting)?, eval(b, xag, env, defs, visiting)?);
+                let (a, b) = (
+                    eval(a, xag, env, defs, visiting)?,
+                    eval(b, xag, env, defs, visiting)?,
+                );
                 xag.or(a, b)
             }
             Expr::Xor(a, b) => {
-                let (a, b) = (eval(a, xag, env, defs, visiting)?, eval(b, xag, env, defs, visiting)?);
+                let (a, b) = (
+                    eval(a, xag, env, defs, visiting)?,
+                    eval(b, xag, env, defs, visiting)?,
+                );
                 xag.xor(a, b)
             }
             Expr::Mux(s, t, e) => {
@@ -424,9 +483,10 @@ mod tests {
 
     #[test]
     fn parses_and2() {
-        let (name, xag) =
-            parse_verilog("module and2 (a, b, f); input a, b; output f; assign f = a & b; endmodule")
-                .expect("valid");
+        let (name, xag) = parse_verilog(
+            "module and2 (a, b, f); input a, b; output f; assign f = a & b; endmodule",
+        )
+        .expect("valid");
         assert_eq!(name, "and2");
         assert_eq!(xag.num_pis(), 2);
         assert_eq!(xag.num_pos(), 1);
@@ -482,8 +542,9 @@ mod tests {
 
     #[test]
     fn undriven_signal_is_an_error() {
-        let err = parse_verilog("module t (a, f); input a; output f; assign f = a & ghost; endmodule")
-            .expect_err("ghost is undriven");
+        let err =
+            parse_verilog("module t (a, f); input a; output f; assign f = a & ghost; endmodule")
+                .expect_err("ghost is undriven");
         assert!(err.message.contains("ghost"));
     }
 
@@ -557,15 +618,23 @@ pub fn write_verilog(module_name: &str, xag: &Xag) -> String {
     use crate::network::NodeKind;
     use std::fmt::Write as _;
 
-    let mut ports: Vec<String> = (0..xag.num_pis()).map(|i| xag.pi_name(i).to_owned()).collect();
+    let mut ports: Vec<String> = (0..xag.num_pis())
+        .map(|i| xag.pi_name(i).to_owned())
+        .collect();
     ports.extend(xag.primary_outputs().iter().map(|(n, _)| n.clone()));
     let mut out = String::new();
     let _ = writeln!(out, "module {module_name} ({});", ports.join(", "));
     if xag.num_pis() > 0 {
-        let inputs: Vec<String> = (0..xag.num_pis()).map(|i| xag.pi_name(i).to_owned()).collect();
+        let inputs: Vec<String> = (0..xag.num_pis())
+            .map(|i| xag.pi_name(i).to_owned())
+            .collect();
         let _ = writeln!(out, "  input {};", inputs.join(", "));
     }
-    let outputs: Vec<String> = xag.primary_outputs().iter().map(|(n, _)| n.clone()).collect();
+    let outputs: Vec<String> = xag
+        .primary_outputs()
+        .iter()
+        .map(|(n, _)| n.clone())
+        .collect();
     let _ = writeln!(out, "  output {};", outputs.join(", "));
 
     // Name every node: PIs by their names, gates as w<k>.

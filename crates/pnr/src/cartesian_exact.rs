@@ -14,7 +14,7 @@
 //! plus-shaped gates — the paper's point is precisely that such gates do
 //! not exist on the SiDB platform.
 
-use crate::exact::{ExactOptions, PnrError};
+use crate::exact::{ExactOptions, PnrError, ProbeVerdict, RatioProbe};
 use crate::netgraph::NetGraph;
 use fcn_coords::{AspectRatio, CartCoord, CartDirection};
 use fcn_layout::cartesian::CartGateLayout;
@@ -22,7 +22,7 @@ use fcn_layout::clocking::ClockingScheme;
 use fcn_layout::tile::TileContents;
 use fcn_logic::techmap::MappedId;
 use fcn_logic::GateKind;
-use msat::{CnfBuilder, Lit};
+use msat::{CnfBuilder, Lit, SolverStats};
 use std::collections::HashMap;
 
 /// A successful Cartesian placement & routing.
@@ -34,6 +34,10 @@ pub struct CartPnrResult {
     pub ratio: AspectRatio,
     /// Number of aspect ratios attempted.
     pub ratios_tried: usize,
+    /// Cumulative solver statistics over every probe.
+    pub stats: SolverStats,
+    /// Per-ratio verdicts and solver costs, in probing order.
+    pub probes: Vec<RatioProbe>,
 }
 
 /// Runs exact placement & routing on a Cartesian 2DDWave floor plan.
@@ -71,11 +75,13 @@ pub fn cartesian_exact_pnr(
 ) -> Result<CartPnrResult, PnrError> {
     let num_nodes = graph.network.num_nodes() as u64;
     let mut tried = 0usize;
+    let mut cumulative = SolverStats::default();
+    let mut probes = Vec::new();
     for ratio in AspectRatio::in_area_order(options.max_area) {
         // The last diagonal frontier must fit all POs, the first all PIs;
         // the number of diagonals is w + h − 1 and must cover min_height
         // (the longest node path).
-        let diagonals = (ratio.width + ratio.height - 1) as u32;
+        let diagonals = ratio.width + ratio.height - 1;
         if diagonals < graph.min_height()
             || ratio.tile_count() < num_nodes
             || (ratio.width.min(ratio.height) as usize)
@@ -89,11 +95,25 @@ pub fn cartesian_exact_pnr(
             continue;
         }
         tried += 1;
-        if let Some(layout) = solve_ratio(graph, ratio, options.max_conflicts_per_ratio) {
-            return Ok(CartPnrResult { layout, ratio, ratios_tried: tried });
+        let (layout, probe) = solve_ratio(graph, ratio, options.max_conflicts_per_ratio);
+        if let Some(probe) = probe {
+            cumulative += probe.stats;
+            probes.push(probe);
+        }
+        if let Some(layout) = layout {
+            return Ok(CartPnrResult {
+                layout,
+                ratio,
+                ratios_tried: tried,
+                stats: cumulative,
+                probes,
+            });
         }
     }
-    Err(PnrError::NoFeasibleRatio { max_area: options.max_area })
+    fcn_telemetry::note("verdict", "no-feasible-ratio");
+    Err(PnrError::NoFeasibleRatio {
+        max_area: options.max_area,
+    })
 }
 
 /// The inclusive diagonal (`x + y`) range a node may occupy for a layout
@@ -116,10 +136,20 @@ fn border_ok(kind: GateKind, t: CartCoord, w: i32, h: i32) -> bool {
     }
 }
 
-fn solve_ratio(graph: &NetGraph, ratio: AspectRatio, max_conflicts: u64) -> Option<CartGateLayout> {
+/// Attempts to place & route at a fixed aspect ratio. The probe record
+/// is `None` when the ratio was discarded before reaching the solver
+/// (unschedulable or with an unplaceable node).
+fn solve_ratio(
+    graph: &NetGraph,
+    ratio: AspectRatio,
+    max_conflicts: u64,
+) -> (Option<CartGateLayout>, Option<RatioProbe>) {
+    let _span = fcn_telemetry::span(format!("ratio:{}", ratio.label()));
     let (w, h) = (ratio.width as i32, ratio.height as i32);
-    let diagonals = (ratio.width + ratio.height - 1) as u32;
-    let alap = graph.alap(diagonals)?;
+    let diagonals = ratio.width + ratio.height - 1;
+    let Some(alap) = graph.alap(diagonals) else {
+        return (None, None);
+    };
     let mut cnf = CnfBuilder::new();
     let node_ids: Vec<MappedId> = graph.network.node_ids().collect();
     let in_bounds = |t: CartCoord| t.x >= 0 && t.x < w && t.y >= 0 && t.y < h;
@@ -147,7 +177,7 @@ fn solve_ratio(graph: &NetGraph, ratio: AspectRatio, max_conflicts: u64) -> Opti
             }
         }
         if vars.is_empty() {
-            return None;
+            return (None, None);
         }
         cnf.exactly_one(&vars);
     }
@@ -168,10 +198,12 @@ fn solve_ratio(graph: &NetGraph, ratio: AspectRatio, max_conflicts: u64) -> Opti
     const DIRS: [CartDirection; 2] = [CartDirection::East, CartDirection::South];
     let mut step: HashMap<(usize, CartCoord, CartDirection), Lit> = HashMap::new();
     for e in &graph.edges {
-        let presence_src =
-            |t: CartCoord| wire.contains_key(&(e.id, t)) || place.contains_key(&(e.source.index(), t));
-        let presence_dst =
-            |t: CartCoord| wire.contains_key(&(e.id, t)) || place.contains_key(&(e.target.index(), t));
+        let presence_src = |t: CartCoord| {
+            wire.contains_key(&(e.id, t)) || place.contains_key(&(e.source.index(), t))
+        };
+        let presence_dst = |t: CartCoord| {
+            wire.contains_key(&(e.id, t)) || place.contains_key(&(e.target.index(), t))
+        };
         for y in 0..h {
             for x in 0..w {
                 let t = CartCoord::new(x, y);
@@ -285,9 +317,28 @@ fn solve_ratio(graph: &NetGraph, ratio: AspectRatio, max_conflicts: u64) -> Opti
         }
     }
 
-    let model = match cnf.solver_mut().solve_bounded(max_conflicts) {
+    fcn_telemetry::counter("cnf.vars", cnf.solver().num_vars() as u64);
+    fcn_telemetry::counter("cnf.clauses", cnf.solver().num_clauses() as u64);
+    let outcome = cnf.solver_mut().solve_bounded(max_conflicts);
+    let stats = cnf.solver().stats();
+    let verdict = match &outcome {
+        Some(msat::SolveResult::Sat(_)) => ProbeVerdict::Sat,
+        Some(msat::SolveResult::Unsat) => ProbeVerdict::Unsat,
+        None => ProbeVerdict::BudgetExceeded,
+    };
+    fcn_telemetry::counter("sat.conflicts", stats.conflicts);
+    fcn_telemetry::counter("sat.decisions", stats.decisions);
+    fcn_telemetry::counter("sat.propagations", stats.propagations);
+    fcn_telemetry::counter("sat.restarts", stats.restarts);
+    fcn_telemetry::note("verdict", verdict.to_string());
+    let probe = Some(RatioProbe {
+        ratio,
+        verdict,
+        stats,
+    });
+    let model = match outcome {
         Some(msat::SolveResult::Sat(m)) => m,
-        Some(msat::SolveResult::Unsat) | None => return None,
+        Some(msat::SolveResult::Unsat) | None => return (None, probe),
     };
 
     // Extraction.
@@ -321,7 +372,10 @@ fn solve_ratio(graph: &NetGraph, ratio: AspectRatio, max_conflicts: u64) -> Opti
             .iter()
             .map(|&e| outgoing_dir(e, t).expect("routed output"))
             .collect();
-        layout.place(t, TileContents::gate(node.kind, inputs, outputs, node.name.clone()));
+        layout.place(
+            t,
+            TileContents::gate(node.kind, inputs, outputs, node.name.clone()),
+        );
     }
     let mut segments: HashMap<CartCoord, Vec<(CartDirection, CartDirection)>> = HashMap::new();
     for (&(e, t), &lit) in &wire {
@@ -335,7 +389,7 @@ fn solve_ratio(graph: &NetGraph, ratio: AspectRatio, max_conflicts: u64) -> Opti
     for (t, segs) in segments {
         layout.place(t, TileContents::Wire { segments: segs });
     }
-    Some(layout)
+    (Some(layout), probe)
 }
 
 #[cfg(test)]
@@ -373,6 +427,21 @@ mod tests {
         xag.primary_output("c", c);
         let result = pnr(&xag);
         assert!(result.layout.verify().is_empty());
+    }
+
+    #[test]
+    fn cartesian_probes_surface_solver_stats() {
+        let mut xag = Xag::new();
+        let a = xag.primary_input("a");
+        let b = xag.primary_input("b");
+        let f = xag.or(a, b);
+        xag.primary_output("f", f);
+        let result = pnr(&xag);
+        let last = result.probes.last().expect("at least the SAT probe");
+        assert_eq!(last.verdict, ProbeVerdict::Sat);
+        assert_eq!(last.ratio, result.ratio);
+        let summed: u64 = result.probes.iter().map(|p| p.stats.decisions).sum();
+        assert_eq!(result.stats.decisions, summed);
     }
 
     #[test]

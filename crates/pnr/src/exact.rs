@@ -26,7 +26,7 @@ use fcn_layout::hexagonal::HexGateLayout;
 use fcn_layout::tile::TileContents;
 use fcn_logic::techmap::MappedId;
 use fcn_logic::GateKind;
-use msat::{CnfBuilder, Lit};
+use msat::{CnfBuilder, Lit, SolverStats};
 use std::collections::HashMap;
 
 /// Options for the exact engine.
@@ -50,6 +50,44 @@ impl Default for ExactOptions {
     }
 }
 
+/// How one aspect-ratio SAT probe concluded.
+///
+/// Distinguishing [`ProbeVerdict::BudgetExceeded`] from genuine
+/// [`ProbeVerdict::Unsat`] matters for callers: a skipped ratio means
+/// the final result is merely *bounded-exact* (a smaller layout might
+/// exist below the abandoned ratio), while a chain of UNSAT verdicts
+/// preserves the area-minimality guarantee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeVerdict {
+    /// The netlist fits at this ratio.
+    Sat,
+    /// Proven infeasible at this ratio.
+    Unsat,
+    /// The conflict budget ran out before a proof either way.
+    BudgetExceeded,
+}
+
+impl core::fmt::Display for ProbeVerdict {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            ProbeVerdict::Sat => "sat",
+            ProbeVerdict::Unsat => "unsat",
+            ProbeVerdict::BudgetExceeded => "budget-exceeded",
+        })
+    }
+}
+
+/// Outcome and solver cost of one aspect-ratio probe.
+#[derive(Debug, Clone, Copy)]
+pub struct RatioProbe {
+    /// The probed aspect ratio.
+    pub ratio: AspectRatio,
+    /// How the probe concluded.
+    pub verdict: ProbeVerdict,
+    /// Solver work spent on this probe alone.
+    pub stats: SolverStats,
+}
+
 /// A successful placement & routing.
 #[derive(Debug, Clone)]
 pub struct PnrResult {
@@ -59,6 +97,20 @@ pub struct PnrResult {
     pub ratio: AspectRatio,
     /// Number of aspect ratios attempted (UNSAT + the final SAT one).
     pub ratios_tried: usize,
+    /// Cumulative solver statistics over every probe.
+    pub stats: SolverStats,
+    /// Per-ratio verdicts and solver costs, in probing order.
+    pub probes: Vec<RatioProbe>,
+}
+
+impl PnrResult {
+    /// True when every failed probe was a proven UNSAT, i.e. no ratio
+    /// was abandoned on budget and the layout is truly area-minimal.
+    pub fn is_provably_minimal(&self) -> bool {
+        self.probes
+            .iter()
+            .all(|p| p.verdict != ProbeVerdict::BudgetExceeded)
+    }
 }
 
 /// An error of the exact engine.
@@ -110,6 +162,8 @@ impl std::error::Error for PnrError {}
 pub fn exact_pnr(graph: &NetGraph, options: &ExactOptions) -> Result<PnrResult, PnrError> {
     let num_nodes = graph.network.num_nodes() as u64;
     let mut tried = 0usize;
+    let mut cumulative = SolverStats::default();
+    let mut probes = Vec::new();
     for ratio in AspectRatio::in_area_order(options.max_area) {
         if ratio.width < graph.min_width()
             || ratio.height < graph.min_height()
@@ -121,15 +175,23 @@ pub fn exact_pnr(graph: &NetGraph, options: &ExactOptions) -> Result<PnrResult, 
             continue;
         };
         tried += 1;
-        if let Some(layout) = solve_ratio(graph, ratio, &alap, options.max_conflicts_per_ratio) {
+        let (layout, probe) = solve_ratio(graph, ratio, &alap, options.max_conflicts_per_ratio);
+        cumulative += probe.stats;
+        probes.push(probe);
+        if let Some(layout) = layout {
             return Ok(PnrResult {
                 layout,
                 ratio,
                 ratios_tried: tried,
+                stats: cumulative,
+                probes,
             });
         }
     }
-    Err(PnrError::NoFeasibleRatio { max_area: options.max_area })
+    fcn_telemetry::note("verdict", "no-feasible-ratio");
+    Err(PnrError::NoFeasibleRatio {
+        max_area: options.max_area,
+    })
 }
 
 /// The inclusive row range a node may occupy.
@@ -141,13 +203,15 @@ fn row_range(graph: &NetGraph, alap: &[u32], height: u32, n: MappedId) -> (u32, 
     }
 }
 
-/// Attempts to place & route at a fixed aspect ratio.
+/// Attempts to place & route at a fixed aspect ratio, reporting the
+/// probe's verdict and solver cost alongside any layout found.
 fn solve_ratio(
     graph: &NetGraph,
     ratio: AspectRatio,
     alap: &[u32],
     max_conflicts: u64,
-) -> Option<HexGateLayout> {
+) -> (Option<HexGateLayout>, RatioProbe) {
+    let _span = fcn_telemetry::span(format!("ratio:{}", ratio.label()));
     let (w, h) = (ratio.width as i32, ratio.height as i32);
     let mut cnf = CnfBuilder::new();
 
@@ -188,10 +252,12 @@ fn solve_ratio(
     let mut step: HashMap<(usize, HexCoord, HexDirection), Lit> = HashMap::new();
     let in_bounds = |t: HexCoord| t.x >= 0 && t.x < w && t.y >= 0 && t.y < h;
     for e in &graph.edges {
-        let presence_src =
-            |t: HexCoord| wire.contains_key(&(e.id, t)) || place.contains_key(&(e.source.index(), t));
-        let presence_dst =
-            |t: HexCoord| wire.contains_key(&(e.id, t)) || place.contains_key(&(e.target.index(), t));
+        let presence_src = |t: HexCoord| {
+            wire.contains_key(&(e.id, t)) || place.contains_key(&(e.source.index(), t))
+        };
+        let presence_dst = |t: HexCoord| {
+            wire.contains_key(&(e.id, t)) || place.contains_key(&(e.target.index(), t))
+        };
         for y in 0..h {
             for x in 0..w {
                 let t = HexCoord::new(x, y);
@@ -308,9 +374,28 @@ fn solve_ratio(
         }
     }
 
-    let model = match cnf.solver_mut().solve_bounded(max_conflicts) {
+    fcn_telemetry::counter("cnf.vars", cnf.solver().num_vars() as u64);
+    fcn_telemetry::counter("cnf.clauses", cnf.solver().num_clauses() as u64);
+    let outcome = cnf.solver_mut().solve_bounded(max_conflicts);
+    let stats = cnf.solver().stats();
+    let verdict = match &outcome {
+        Some(msat::SolveResult::Sat(_)) => ProbeVerdict::Sat,
+        Some(msat::SolveResult::Unsat) => ProbeVerdict::Unsat,
+        None => ProbeVerdict::BudgetExceeded,
+    };
+    fcn_telemetry::counter("sat.conflicts", stats.conflicts);
+    fcn_telemetry::counter("sat.decisions", stats.decisions);
+    fcn_telemetry::counter("sat.propagations", stats.propagations);
+    fcn_telemetry::counter("sat.restarts", stats.restarts);
+    fcn_telemetry::note("verdict", verdict.to_string());
+    let probe = RatioProbe {
+        ratio,
+        verdict,
+        stats,
+    };
+    let model = match outcome {
         Some(msat::SolveResult::Sat(m)) => m,
-        Some(msat::SolveResult::Unsat) | None => return None,
+        Some(msat::SolveResult::Unsat) | None => return (None, probe),
     };
 
     // Extract the layout.
@@ -350,7 +435,10 @@ fn solve_ratio(
             .iter()
             .map(|&e| outgoing_dir(e, t).expect("routed output"))
             .collect();
-        layout.place(t, TileContents::gate(node.kind, inputs, outputs, node.name.clone()));
+        layout.place(
+            t,
+            TileContents::gate(node.kind, inputs, outputs, node.name.clone()),
+        );
     }
 
     // Wire tiles (grouping up to two segments per tile).
@@ -368,7 +456,7 @@ fn solve_ratio(
         layout.place(t, TileContents::Wire { segments: segs });
     }
 
-    Some(layout)
+    (Some(layout), probe)
 }
 
 #[cfg(test)]
@@ -432,7 +520,10 @@ mod tests {
         xag.primary_output("c", c);
         let net = map_xag(
             &xag,
-            MapOptions { extract_half_adders: false, legalize_fanout: true },
+            MapOptions {
+                extract_half_adders: false,
+                legalize_fanout: true,
+            },
         )
         .expect("mappable");
         let graph = NetGraph::new(net).expect("legalized");
@@ -457,6 +548,28 @@ mod tests {
     }
 
     #[test]
+    fn probes_and_cumulative_stats_are_surfaced() {
+        let mut xag = Xag::new();
+        let a = xag.primary_input("a");
+        let b = xag.primary_input("b");
+        let f = xag.xor(a, b);
+        xag.primary_output("f", f);
+        let result = pnr(&xag);
+        assert_eq!(result.probes.len(), result.ratios_tried);
+        let last = result.probes.last().expect("at least the SAT probe");
+        assert_eq!(last.verdict, ProbeVerdict::Sat);
+        assert_eq!(last.ratio, result.ratio);
+        for earlier in &result.probes[..result.probes.len() - 1] {
+            assert_eq!(earlier.verdict, ProbeVerdict::Unsat);
+        }
+        assert!(result.is_provably_minimal());
+        let summed: u64 = result.probes.iter().map(|p| p.stats.conflicts).sum();
+        assert_eq!(result.stats.conflicts, summed);
+        let summed: u64 = result.probes.iter().map(|p| p.stats.decisions).sum();
+        assert_eq!(result.stats.decisions, summed);
+    }
+
+    #[test]
     fn infeasible_area_bound_errors() {
         let mut xag = Xag::new();
         let a = xag.primary_input("a");
@@ -465,7 +578,14 @@ mod tests {
         xag.primary_output("f", f);
         let net = map_xag(&xag, MapOptions::default()).expect("mappable");
         let graph = NetGraph::new(net).expect("legalized");
-        let err = exact_pnr(&graph, &ExactOptions { max_area: 3, ..Default::default() }).unwrap_err();
+        let err = exact_pnr(
+            &graph,
+            &ExactOptions {
+                max_area: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
         assert_eq!(err, PnrError::NoFeasibleRatio { max_area: 3 });
     }
 

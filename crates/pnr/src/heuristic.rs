@@ -136,11 +136,19 @@ impl<'a> Router<'a> {
                 .collect();
             self.tiles.insert(
                 (0, pos),
-                Pending::Gate { node: pi, in_dirs: vec![], out_dirs },
+                Pending::Gate {
+                    node: pi,
+                    in_dirs: vec![],
+                    out_dirs,
+                },
             );
             self.placed[pi.index()] = true;
             for &e in &self.graph.out_edges[pi.index()] {
-                self.alive.push(Alive { edge: e, pos, forced: None });
+                self.alive.push(Alive {
+                    edge: e,
+                    pos,
+                    forced: None,
+                });
             }
         }
         self.alive.sort_by_key(|a| a.pos);
@@ -148,11 +156,9 @@ impl<'a> Router<'a> {
 
     /// True if all fanins of `n` are alive and none is mid-crossing.
     fn is_ready(&self, n: MappedId) -> bool {
-        self.graph.in_edges[n.index()].iter().all(|&e| {
-            self.alive
-                .iter()
-                .any(|a| a.edge == e && a.forced.is_none())
-        })
+        self.graph.in_edges[n.index()]
+            .iter()
+            .all(|&e| self.alive.iter().any(|a| a.edge == e && a.forced.is_none()))
     }
 
     fn track_of(&self, edge: usize) -> usize {
@@ -289,7 +295,8 @@ impl<'a> Router<'a> {
         while idx < self.alive.len() {
             let a = self.alive[idx];
             let expected = |c: i32| {
-                new_tiles.get(&c).map_or(0, Vec::len) + forced_remaining.get(&c).copied().unwrap_or(0)
+                new_tiles.get(&c).map_or(0, Vec::len)
+                    + forced_remaining.get(&c).copied().unwrap_or(0)
             };
             let fresh =
                 |c: i32| c >= last_assigned + 2 && !gate_tiles.contains(&c) && expected(c) == 0;
@@ -325,8 +332,16 @@ impl<'a> Router<'a> {
                         .or_default()
                         .extend([(a.edge, a.pos), (b.edge, b.pos)]);
                     // Exits are swapped: the left signal continues right.
-                    new_alive.push(Alive { edge: b.edge, pos: center, forced: Some(center - 1) });
-                    new_alive.push(Alive { edge: a.edge, pos: center, forced: Some(center + 1) });
+                    new_alive.push(Alive {
+                        edge: b.edge,
+                        pos: center,
+                        forced: Some(center - 1),
+                    });
+                    new_alive.push(Alive {
+                        edge: a.edge,
+                        pos: center,
+                        forced: Some(center + 1),
+                    });
                     last_assigned = center;
                     idx += 2;
                     continue;
@@ -371,13 +386,19 @@ impl<'a> Router<'a> {
             };
             let p = match a.forced {
                 Some(f) => {
-                    *forced_remaining.get_mut(&f).expect("forced exit registered") -= 1;
+                    *forced_remaining
+                        .get_mut(&f)
+                        .expect("forced exit registered") -= 1;
                     f
                 }
                 None => pick(desired),
             };
             new_tiles.entry(p).or_default().push((a.edge, a.pos));
-            new_alive.push(Alive { edge: a.edge, pos: p, forced: None });
+            new_alive.push(Alive {
+                edge: a.edge,
+                pos: p,
+                forced: None,
+            });
             last_assigned = p;
             idx += 1;
         }
@@ -403,7 +424,8 @@ impl<'a> Router<'a> {
                     }
                 }
                 // Keep the alive list ordered left-exit first on ties.
-                let mut shared: Vec<Alive> = new_alive.iter().copied().filter(|a| a.pos == p).collect();
+                let mut shared: Vec<Alive> =
+                    new_alive.iter().copied().filter(|a| a.pos == p).collect();
                 shared.sort_by_key(|a| a.forced);
                 new_alive.retain(|a| a.pos != p);
                 new_alive.extend(shared);
@@ -415,8 +437,21 @@ impl<'a> Router<'a> {
         for (p, entries) in new_tiles {
             let mut segments = Vec::new();
             for (edge, from) in entries {
-                let in_dir = if from < p { HexDirection::NorthWest } else { HexDirection::NorthEast };
-                self.set_exit(self.row, from, edge, if from < p { HexDirection::SouthEast } else { HexDirection::SouthWest });
+                let in_dir = if from < p {
+                    HexDirection::NorthWest
+                } else {
+                    HexDirection::NorthEast
+                };
+                self.set_exit(
+                    self.row,
+                    from,
+                    edge,
+                    if from < p {
+                        HexDirection::SouthEast
+                    } else {
+                        HexDirection::SouthWest
+                    },
+                );
                 segments.push((edge, in_dir, None));
             }
             self.tiles.insert((next_row, p), Pending::Wire { segments });
@@ -469,8 +504,14 @@ impl<'a> Router<'a> {
             .iter()
             .map(|&e| (e, None))
             .collect();
-        self.tiles
-            .insert((self.row + 1, pos), Pending::Gate { node, in_dirs, out_dirs });
+        self.tiles.insert(
+            (self.row + 1, pos),
+            Pending::Gate {
+                node,
+                in_dirs,
+                out_dirs,
+            },
+        );
         self.placed[node.index()] = true;
     }
 
@@ -479,11 +520,23 @@ impl<'a> Router<'a> {
         let outs = &self.graph.out_edges[node.index()];
         match outs.len() {
             0 => {}
-            1 => new_alive.push(Alive { edge: outs[0], pos, forced: None }),
+            1 => new_alive.push(Alive {
+                edge: outs[0],
+                pos,
+                forced: None,
+            }),
             2 => {
                 // Port 0 exits south-west, port 1 south-east.
-                new_alive.push(Alive { edge: outs[0], pos, forced: Some(pos - 1) });
-                new_alive.push(Alive { edge: outs[1], pos, forced: Some(pos + 1) });
+                new_alive.push(Alive {
+                    edge: outs[0],
+                    pos,
+                    forced: Some(pos - 1),
+                });
+                new_alive.push(Alive {
+                    edge: outs[1],
+                    pos,
+                    forced: Some(pos + 1),
+                });
             }
             _ => unreachable!("at most two output ports"),
         }
@@ -530,7 +583,11 @@ impl<'a> Router<'a> {
             self.set_exit(self.row, a.pos, a.edge, out_dir);
             self.tiles.insert(
                 (next_row, p),
-                Pending::Gate { node: po, in_dirs: vec![in_dir], out_dirs: vec![] },
+                Pending::Gate {
+                    node: po,
+                    in_dirs: vec![in_dir],
+                    out_dirs: vec![],
+                },
             );
             self.placed[po.index()] = true;
             last = p;
@@ -564,7 +621,11 @@ impl<'a> Router<'a> {
             let x = (p - (y & 1)).div_euclid(2) - min_x;
             let coord = HexCoord::new(x, y);
             let contents = match pending {
-                Pending::Gate { node, in_dirs, out_dirs } => {
+                Pending::Gate {
+                    node,
+                    in_dirs,
+                    out_dirs,
+                } => {
                     let n = self.graph.network.node(*node);
                     TileContents::gate(
                         n.kind,
@@ -633,7 +694,10 @@ mod tests {
         xag.primary_output("c", c);
         let net = map_xag(
             &xag,
-            MapOptions { extract_half_adders: false, legalize_fanout: true },
+            MapOptions {
+                extract_half_adders: false,
+                legalize_fanout: true,
+            },
         )
         .expect("mappable");
         let layout = heuristic_pnr(&NetGraph::new(net).expect("legalized"));
@@ -713,8 +777,7 @@ mod tests {
             }
             // Fold every input into the output so no PI dangles.
             let mut out = *signals.last().expect("non-empty");
-            for i in 0..n_inputs as usize {
-                let pi = signals[i];
+            for &pi in signals.iter().take(n_inputs as usize) {
                 out = xag.xor(out, pi);
             }
             if out.node().index() == 0 {
@@ -733,7 +796,11 @@ mod tests {
             }
             let layout = route(&cleaned);
             let v = layout.verify();
-            assert!(v.is_empty(), "round {round}:\n{}\n{v:?}", layout.render_ascii());
+            assert!(
+                v.is_empty(),
+                "round {round}:\n{}\n{v:?}",
+                layout.render_ascii()
+            );
         }
     }
 }

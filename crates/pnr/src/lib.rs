@@ -30,6 +30,6 @@ pub mod heuristic;
 pub mod netgraph;
 
 pub use cartesian_exact::{cartesian_exact_pnr, CartPnrResult};
-pub use exact::{exact_pnr, ExactOptions, PnrError, PnrResult};
+pub use exact::{exact_pnr, ExactOptions, PnrError, PnrResult, ProbeVerdict, RatioProbe};
 pub use heuristic::heuristic_pnr;
 pub use netgraph::NetGraph;

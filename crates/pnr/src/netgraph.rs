@@ -138,7 +138,13 @@ impl NetGraph {
         }
         let n = self.network.num_nodes();
         let mut alap = vec![height - 1; n];
-        for id in self.network.node_ids().collect::<Vec<_>>().into_iter().rev() {
+        for id in self
+            .network
+            .node_ids()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+        {
             let node = self.network.node(id);
             if node.kind == GateKind::Po {
                 alap[id.index()] = height - 1;
@@ -194,8 +200,14 @@ mod tests {
         let c = xag.and(a, b);
         xag.primary_output("s", s);
         xag.primary_output("c", c);
-        let net = map_xag(&xag, MapOptions { extract_half_adders: false, legalize_fanout: true })
-            .expect("mappable");
+        let net = map_xag(
+            &xag,
+            MapOptions {
+                extract_half_adders: false,
+                legalize_fanout: true,
+            },
+        )
+        .expect("mappable");
         NetGraph::new(net).expect("legalized")
     }
 
@@ -255,8 +267,14 @@ mod tests {
         // Register carry before sum so consumer order opposes port order.
         xag.primary_output("c", c);
         xag.primary_output("s", s);
-        let net = map_xag(&xag, MapOptions { extract_half_adders: true, legalize_fanout: true })
-            .expect("mappable");
+        let net = map_xag(
+            &xag,
+            MapOptions {
+                extract_half_adders: true,
+                legalize_fanout: true,
+            },
+        )
+        .expect("mappable");
         let g = NetGraph::new(net).expect("legalized");
         for id in g.network.node_ids() {
             let ports: Vec<u8> = g.out_edges[id.index()]
@@ -276,7 +294,10 @@ mod tests {
         let used = net.add_node(fcn_logic::GateKind::Pi, vec![], Some("b".into()));
         net.add_node(
             fcn_logic::GateKind::Po,
-            vec![fcn_logic::techmap::MappedSignal { node: used, output: 0 }],
+            vec![fcn_logic::techmap::MappedSignal {
+                node: used,
+                output: 0,
+            }],
             Some("f".into()),
         );
         assert_eq!(
@@ -294,8 +315,17 @@ mod tests {
         let c = xag.and(a, b);
         xag.primary_output("s", s);
         xag.primary_output("c", c);
-        let net = map_xag(&xag, MapOptions { extract_half_adders: false, legalize_fanout: false })
-            .expect("mappable");
-        assert_eq!(NetGraph::new(net).unwrap_err(), NetGraphError::FanoutNotLegalized);
+        let net = map_xag(
+            &xag,
+            MapOptions {
+                extract_half_adders: false,
+                legalize_fanout: false,
+            },
+        )
+        .expect("mappable");
+        assert_eq!(
+            NetGraph::new(net).unwrap_err(),
+            NetGraphError::FanoutNotLegalized
+        );
     }
 }

@@ -195,8 +195,9 @@ impl CnfBuilder {
             s.push((0..k).map(|_| self.new_lit()).collect());
         }
         self.implies(lits[0], s[0][0]);
-        for j in 1..k {
-            self.add_clause([s[0][j].negated()]);
+        let first_row: Vec<Lit> = s[0][1..k].to_vec();
+        for lit in first_row {
+            self.add_clause([lit.negated()]);
         }
         for i in 1..n {
             self.implies(lits[i], s[i][0]);
@@ -258,7 +259,10 @@ mod tests {
     use super::*;
 
     /// Exhaustively checks a two-input gadget against a reference function.
-    fn check_gate(f: impl Fn(&mut CnfBuilder, Lit, Lit) -> Lit, reference: impl Fn(bool, bool) -> bool) {
+    fn check_gate(
+        f: impl Fn(&mut CnfBuilder, Lit, Lit) -> Lit,
+        reference: impl Fn(bool, bool) -> bool,
+    ) {
         for a_val in [false, true] {
             for b_val in [false, true] {
                 let mut cnf = CnfBuilder::new();
@@ -373,10 +377,16 @@ mod tests {
                     .enumerate()
                     .map(|(i, &l)| if i < k { l } else { l.negated() })
                     .collect();
-                assert!(cnf.solve_with_assumptions(&assumptions).is_sat(), "n={n} k={k}");
+                assert!(
+                    cnf.solve_with_assumptions(&assumptions).is_sat(),
+                    "n={n} k={k}"
+                );
                 // k+1 true must be unsatisfiable.
                 assumptions[k] = lits[k];
-                assert!(!cnf.solve_with_assumptions(&assumptions).is_sat(), "n={n} k={k}");
+                assert!(
+                    !cnf.solve_with_assumptions(&assumptions).is_sat(),
+                    "n={n} k={k}"
+                );
             }
         }
     }

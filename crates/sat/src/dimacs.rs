@@ -62,13 +62,14 @@ pub fn parse_dimacs(input: &str) -> Result<Solver, ParseDimacsError> {
                     message: "expected 'p cnf <vars> <clauses>'".into(),
                 });
             }
-            let vars: usize = parts
-                .next()
-                .and_then(|v| v.parse().ok())
-                .ok_or_else(|| ParseDimacsError {
-                    line: line_no,
-                    message: "missing variable count".into(),
-                })?;
+            let vars: usize =
+                parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| ParseDimacsError {
+                        line: line_no,
+                        message: "missing variable count".into(),
+                    })?;
             declared_vars = Some(vars);
             for _ in 0..vars {
                 solver.new_var();
@@ -95,7 +96,11 @@ pub fn parse_dimacs(input: &str) -> Result<Solver, ParseDimacsError> {
                     });
                 }
                 let var = Var(index as u32);
-                clause.push(if value > 0 { Lit::pos(var) } else { Lit::neg(var) });
+                clause.push(if value > 0 {
+                    Lit::pos(var)
+                } else {
+                    Lit::neg(var)
+                });
             }
         }
     }
@@ -122,7 +127,10 @@ where
     let mut count = 0usize;
     for clause in clauses {
         for lit in clause {
-            assert!(lit.var().index() < num_vars, "literal out of declared range");
+            assert!(
+                lit.var().index() < num_vars,
+                "literal out of declared range"
+            );
             let v = lit.var().index() as i64 + 1;
             let signed = if lit.is_negative() { -v } else { v };
             body.push_str(&signed.to_string());
@@ -141,8 +149,8 @@ mod tests {
 
     #[test]
     fn parses_and_solves_sat_instance() {
-        let mut s = parse_dimacs("c a comment\np cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n")
-            .expect("valid input");
+        let mut s =
+            parse_dimacs("c a comment\np cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n").expect("valid input");
         assert!(s.solve().is_sat());
     }
 
@@ -173,7 +181,7 @@ mod tests {
 
     #[test]
     fn round_trip_through_text() {
-        let clauses = vec![
+        let clauses = [
             vec![Lit::pos(Var(0)), Lit::neg(Var(1))],
             vec![Lit::pos(Var(2))],
         ];

@@ -87,6 +87,37 @@ pub struct SolverStats {
     pub learned: u64,
 }
 
+impl std::fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} conflicts, {} decisions, {} propagations, {} restarts, {} learned",
+            self.conflicts, self.decisions, self.propagations, self.restarts, self.learned
+        )
+    }
+}
+
+impl std::ops::AddAssign for SolverStats {
+    fn add_assign(&mut self, rhs: SolverStats) {
+        self.decisions += rhs.decisions;
+        self.propagations += rhs.propagations;
+        self.conflicts += rhs.conflicts;
+        self.restarts += rhs.restarts;
+        // `learned` is a database size, not a flow: summing probe
+        // snapshots would double-count, so keep the latest.
+        self.learned = rhs.learned;
+    }
+}
+
+impl std::ops::Add for SolverStats {
+    type Output = SolverStats;
+
+    fn add(mut self, rhs: SolverStats) -> SolverStats {
+        self += rhs;
+        self
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Clause {
     lits: Vec<Lit>,
@@ -167,6 +198,17 @@ impl Solver {
         self.stats
     }
 
+    /// Zeroes the run counters between incremental probes, so the next
+    /// [`Solver::stats`] reflects only work done after this call.
+    /// `learned` is recomputed from the clause database (it describes
+    /// state, not work, and learned clauses persist across probes).
+    pub fn stats_reset(&mut self) {
+        self.stats = SolverStats {
+            learned: self.clauses.iter().filter(|c| c.learned).count() as u64,
+            ..SolverStats::default()
+        };
+    }
+
     /// Adds a clause (a disjunction of literals).
     ///
     /// Duplicate literals are removed and tautological clauses are ignored.
@@ -176,7 +218,10 @@ impl Solver {
         if self.unsat {
             return;
         }
-        debug_assert!(self.trail_lim.is_empty(), "clauses must be added at root level");
+        debug_assert!(
+            self.trail_lim.is_empty(),
+            "clauses must be added at root level"
+        );
         let mut lits: Vec<Lit> = lits.into_iter().collect();
         lits.sort_unstable();
         lits.dedup();
@@ -195,9 +240,7 @@ impl Solver {
         match filtered.len() {
             0 => self.unsat = true,
             1 => {
-                if !self.enqueue(filtered[0], NO_REASON) {
-                    self.unsat = true;
-                } else if self.propagate().is_some() {
+                if !self.enqueue(filtered[0], NO_REASON) || self.propagate().is_some() {
                     self.unsat = true;
                 }
             }
@@ -215,8 +258,14 @@ impl Solver {
         let idx = self.clauses.len() as u32;
         let w0 = clause.lits[0];
         let w1 = clause.lits[1];
-        self.watches[w0.negated().code()].push(Watcher { clause: idx, blocker: w1 });
-        self.watches[w1.negated().code()].push(Watcher { clause: idx, blocker: w0 });
+        self.watches[w0.negated().code()].push(Watcher {
+            clause: idx,
+            blocker: w1,
+        });
+        self.watches[w1.negated().code()].push(Watcher {
+            clause: idx,
+            blocker: w0,
+        });
         self.clauses.push(clause);
         idx
     }
@@ -282,8 +331,10 @@ impl Solver {
                     let cand = self.clauses[cidx].lits[k];
                     if self.lit_state(cand) != Some(false) {
                         self.clauses[cidx].lits.swap(1, k);
-                        self.watches[cand.negated().code()]
-                            .push(Watcher { clause: w.clause, blocker: first });
+                        self.watches[cand.negated().code()].push(Watcher {
+                            clause: w.clause,
+                            blocker: first,
+                        });
                         watchers.swap_remove(i);
                         continue 'watchers;
                     }
@@ -390,9 +441,9 @@ impl Solver {
         if r == NO_REASON {
             return false;
         }
-        self.clauses[r as usize].lits[1..].iter().all(|&q| {
-            self.seen[q.var().index()] || self.level[q.var().index()] == 0
-        })
+        self.clauses[r as usize].lits[1..]
+            .iter()
+            .all(|&q| self.seen[q.var().index()] || self.level[q.var().index()] == 0)
     }
 
     fn backtrack_to(&mut self, level: u32) {
@@ -466,8 +517,12 @@ impl Solver {
                 .partial_cmp(&self.clauses[b].activity)
                 .unwrap_or(core::cmp::Ordering::Equal)
         });
-        let reasons: std::collections::HashSet<u32> =
-            self.reason.iter().copied().filter(|&r| r != NO_REASON).collect();
+        let reasons: std::collections::HashSet<u32> = self
+            .reason
+            .iter()
+            .copied()
+            .filter(|&r| r != NO_REASON)
+            .collect();
         let to_remove: std::collections::HashSet<u32> = learned[..learned.len() / 2]
             .iter()
             .map(|&i| i as u32)
@@ -586,9 +641,7 @@ impl Solver {
                     debug_assert!(ok, "learned clause must be asserting");
                 }
                 self.decay_activities();
-                if conflicts_until_restart > 0 {
-                    conflicts_until_restart -= 1;
-                }
+                conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
             } else {
                 if conflicts_until_restart == 0 {
                     self.stats.restarts += 1;
@@ -598,8 +651,7 @@ impl Solver {
                 if self.stats.learned > max_learned {
                     self.backtrack_to(0);
                     self.reduce_learned();
-                    self.stats.learned =
-                        self.clauses.iter().filter(|c| c.learned).count() as u64;
+                    self.stats.learned = self.clauses.iter().filter(|c| c.learned).count() as u64;
                     max_learned = max_learned * 3 / 2;
                 }
                 // Apply pending assumptions as pseudo-decisions.
@@ -625,11 +677,7 @@ impl Solver {
                 };
                 match decision {
                     None => {
-                        let values = self
-                            .assign
-                            .iter()
-                            .map(|&a| a == 1)
-                            .collect();
+                        let values = self.assign.iter().map(|&a| a == 1).collect();
                         let model = Model { values };
                         debug_assert!(self.model_satisfies_all(&model));
                         self.backtrack_to(0);
@@ -763,7 +811,7 @@ mod tests {
     use super::*;
 
     fn lit(i: i32) -> Lit {
-        let v = Var((i.unsigned_abs() - 1) as u32);
+        let v = Var(i.unsigned_abs() - 1);
         if i > 0 {
             Lit::pos(v)
         } else {
@@ -864,16 +912,83 @@ mod tests {
     }
 
     #[test]
+    fn stats_reset_zeroes_run_counters() {
+        // Pigeonhole forces real search work, so every run counter is
+        // exercised before the reset.
+        let n = 5u32;
+        let h = 4u32;
+        let mut s = solver_with_vars(n * h);
+        let p = |i: u32, j: u32| Lit::pos(Var(i * h + j));
+        for i in 0..n {
+            s.add_clause((0..h).map(|j| p(i, j)));
+        }
+        for j in 0..h {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause([p(i1, j).negated(), p(i2, j).negated()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let before = s.stats();
+        assert!(before.conflicts > 0);
+        assert!(before.decisions > 0);
+        assert!(before.propagations > 0);
+
+        s.stats_reset();
+        let after = s.stats();
+        assert_eq!(after.conflicts, 0);
+        assert_eq!(after.decisions, 0);
+        assert_eq!(after.propagations, 0);
+        assert_eq!(after.restarts, 0);
+        // Learned clauses persist across probes; the counter tracks the
+        // database, not the run.
+        assert_eq!(
+            after.learned,
+            s.clauses.iter().filter(|c| c.learned).count() as u64
+        );
+    }
+
+    #[test]
+    fn stats_display_names_every_counter() {
+        let stats = SolverStats {
+            decisions: 1,
+            propagations: 2,
+            conflicts: 3,
+            restarts: 4,
+            learned: 5,
+        };
+        let text = stats.to_string();
+        for needle in [
+            "3 conflicts",
+            "1 decisions",
+            "2 propagations",
+            "4 restarts",
+            "5 learned",
+        ] {
+            assert!(text.contains(needle), "{text:?} missing {needle:?}");
+        }
+        let mut sum = stats;
+        sum += SolverStats {
+            decisions: 10,
+            ..SolverStats::default()
+        };
+        assert_eq!(sum.decisions, 11);
+        assert_eq!(sum.conflicts, 3);
+    }
+
+    #[test]
     fn assumptions_restrict_models() {
         let mut s = solver_with_vars(2);
         s.add_clause([lit(1), lit(2)]);
-        let m = s
-            .solve_with_assumptions(&[lit(-1)])
-            .expect_sat();
+        let m = s.solve_with_assumptions(&[lit(-1)]).expect_sat();
         assert!(!m.value(Var(0)));
         assert!(m.value(Var(1)));
         // Conflicting assumptions yield UNSAT without poisoning the solver.
-        assert_eq!(s.solve_with_assumptions(&[lit(-1), lit(-2)]), SolveResult::Unsat);
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(-1), lit(-2)]),
+            SolveResult::Unsat
+        );
         assert!(s.solve().is_sat());
     }
 
@@ -910,7 +1025,11 @@ mod tests {
                 for _ in 0..3 {
                     let v = (rand() % nvars as u64) as u32;
                     let neg = rand() % 2 == 0;
-                    cl.push(if neg { Lit::neg(Var(v)) } else { Lit::pos(Var(v)) });
+                    cl.push(if neg {
+                        Lit::neg(Var(v))
+                    } else {
+                        Lit::pos(Var(v))
+                    });
                 }
                 clauses.push(cl.clone());
                 s.add_clause(cl);

@@ -27,7 +27,10 @@ pub struct BdlPair {
 impl BdlPair {
     /// Creates a pair from the logic-0 and logic-1 dot positions.
     pub fn new(zero_dot: impl Into<LatticeCoord>, one_dot: impl Into<LatticeCoord>) -> Self {
-        BdlPair { zero_dot: zero_dot.into(), one_dot: one_dot.into() }
+        BdlPair {
+            zero_dot: zero_dot.into(),
+            one_dot: one_dot.into(),
+        }
     }
 
     /// Both dots, logic-0 dot first.
@@ -175,10 +178,16 @@ mod tests {
         let pair = BdlPair::new((0, 0, 0), (0, 1, 0));
         let layout = SidbLayout::from_sites([(0, 0, 0), (0, 1, 0)]);
         let mut cfg = ChargeConfiguration::neutral(2);
-        cfg.set_state(layout.index_of((0, 1, 0)).expect("present"), ChargeState::Negative);
+        cfg.set_state(
+            layout.index_of((0, 1, 0)).expect("present"),
+            ChargeState::Negative,
+        );
         assert_eq!(pair.read(&layout, &cfg), Some(true));
         let mut cfg0 = ChargeConfiguration::neutral(2);
-        cfg0.set_state(layout.index_of((0, 0, 0)).expect("present"), ChargeState::Negative);
+        cfg0.set_state(
+            layout.index_of((0, 0, 0)).expect("present"),
+            ChargeState::Negative,
+        );
         assert_eq!(pair.read(&layout, &cfg0), Some(false));
     }
 

@@ -76,7 +76,11 @@ impl InteractionMatrix {
                 v[j * n + i] = e;
             }
         }
-        InteractionMatrix { n, v, params: *params }
+        InteractionMatrix {
+            n,
+            v,
+            params: *params,
+        }
     }
 
     /// Number of sites.
@@ -105,7 +109,9 @@ pub struct ChargeConfiguration {
 impl ChargeConfiguration {
     /// The all-neutral configuration over `n` sites.
     pub fn neutral(n: usize) -> Self {
-        ChargeConfiguration { states: vec![ChargeState::Neutral; n] }
+        ChargeConfiguration {
+            states: vec![ChargeState::Neutral; n],
+        }
     }
 
     /// Builds a configuration from explicit states.
@@ -156,7 +162,10 @@ impl ChargeConfiguration {
 
     /// Number of negatively charged sites.
     pub fn num_negative(&self) -> usize {
-        self.states.iter().filter(|s| **s == ChargeState::Negative).count()
+        self.states
+            .iter()
+            .filter(|s| **s == ChargeState::Negative)
+            .count()
     }
 
     /// The electrostatic energy `E = Σ_{i<j} v_ij·n_i·n_j`, eV.
@@ -239,8 +248,7 @@ impl ChargeConfiguration {
         self.states.iter().zip(&potentials).all(|(s, &v)| match s {
             ChargeState::Negative => v >= params.mu_minus - EPS,
             ChargeState::Neutral => {
-                v <= params.mu_minus + EPS
-                    && (!params.three_state || v >= params.mu_plus() - EPS)
+                v <= params.mu_minus + EPS && (!params.three_state || v >= params.mu_plus() - EPS)
             }
             ChargeState::Positive => params.three_state && v <= params.mu_plus() + EPS,
         })
@@ -328,7 +336,10 @@ mod tests {
         let both = ChargeConfiguration::from_index(2, 0b11);
         assert!(both.is_physically_valid(&m));
         let one = ChargeConfiguration::from_index(2, 0b01);
-        assert!(!one.is_population_stable(&m), "far neutral site must charge up");
+        assert!(
+            !one.is_population_stable(&m),
+            "far neutral site must charge up"
+        );
     }
 
     #[test]
@@ -348,8 +359,8 @@ mod tests {
         let m = InteractionMatrix::new(&layout, &PhysicalParams::default());
         let cfg = ChargeConfiguration::from_index(4, 0b1011);
         let all = cfg.local_potentials(&m);
-        for i in 0..4 {
-            assert!((all[i] - cfg.local_potential(&m, i)).abs() < 1e-12);
+        for (i, &v) in all.iter().enumerate() {
+            assert!((v - cfg.local_potential(&m, i)).abs() < 1e-12);
         }
     }
 

@@ -39,7 +39,9 @@ pub fn exhaustive_ground_state(
     layout: &SidbLayout,
     params: &PhysicalParams,
 ) -> Option<ChargeConfiguration> {
-    exhaustive_low_energy(layout, params, 1).pop().map(|s| s.config)
+    exhaustive_low_energy(layout, params, 1)
+        .pop()
+        .map(|s| s.config)
 }
 
 /// Finds the `k` lowest-free-energy physically valid configurations,
@@ -71,13 +73,13 @@ pub fn exhaustive_low_energy(
     // other isolated dots fall out of the exponential search this way.
     let mut free_sites: Vec<usize> = Vec::new();
     let mut fixed_negative = vec![false; n];
-    for i in 0..n {
+    for (i, fixed) in fixed_negative.iter_mut().enumerate() {
         let lower_bound: f64 = (0..n)
             .filter(|&j| j != i)
             .map(|j| -m.interaction(i, j))
             .sum();
         if lower_bound >= params.mu_minus - 1e-9 {
-            fixed_negative[i] = true;
+            *fixed = true;
         } else {
             free_sites.push(i);
         }
@@ -87,6 +89,9 @@ pub fn exhaustive_low_energy(
         n_free <= MAX_EXHAUSTIVE_SITES,
         "exhaustive search supports at most {MAX_EXHAUSTIVE_SITES} free sites"
     );
+    fcn_telemetry::counter("exgs.sites", n as u64);
+    fcn_telemetry::counter("exgs.fixed_sites", (n - n_free) as u64);
+    fcn_telemetry::counter("exgs.states", 1u64 << n_free);
 
     // Gray-code sweep over the free sites with incremental local
     // potentials and energy, starting from the fixed-negative background.
@@ -94,19 +99,19 @@ pub fn exhaustive_low_energy(
     let mut potentials = vec![0.0f64; n];
     let mut energy = 0.0f64;
     let mut num_negative = 0usize;
-    for i in 0..n {
-        if fixed_negative[i] {
+    for (i, &fixed) in fixed_negative.iter().enumerate() {
+        if fixed {
             config.set_state(i, ChargeState::Negative);
             num_negative += 1;
         }
     }
-    for i in 0..n {
-        if !fixed_negative[i] {
+    for (i, &fixed) in fixed_negative.iter().enumerate() {
+        if !fixed {
             continue;
         }
-        for j in 0..n {
+        for (j, p) in potentials.iter_mut().enumerate() {
             if j != i {
-                potentials[j] -= m.interaction(i, j);
+                *p -= m.interaction(i, j);
             }
         }
         energy += (0..i)
@@ -116,7 +121,8 @@ pub fn exhaustive_low_energy(
     }
 
     let mut best: Vec<SimulatedState> = Vec::new();
-    let consider = |config: &ChargeConfiguration,
+    let mut valid_states = 0u64;
+    let mut consider = |config: &ChargeConfiguration,
                         potentials: &[f64],
                         energy: f64,
                         num_negative: usize,
@@ -135,6 +141,7 @@ pub fn exhaustive_low_energy(
         if !stable || !config.is_configuration_stable(&m) {
             return;
         }
+        valid_states += 1;
         let free = energy + params.mu_minus * num_negative as f64;
         let state = SimulatedState {
             config: config.clone(),
@@ -168,13 +175,14 @@ pub fn exhaustive_low_energy(
             num_negative - 1
         };
         config.set_state(site, new_state);
-        for j in 0..n {
+        for (j, p) in potentials.iter_mut().enumerate() {
             if j != site {
-                potentials[j] += delta * m.interaction(site, j);
+                *p += delta * m.interaction(site, j);
             }
         }
         consider(&config, &potentials, energy, num_negative, &mut best);
     }
+    fcn_telemetry::counter("exgs.valid_states", valid_states);
     best
 }
 
@@ -206,11 +214,9 @@ mod tests {
         assert_eq!(gs.num_negative(), 2);
         // At the Figure 1c level μ− = −0.28 the same pair holds one
         // electron — the transition the BDL regime depends on.
-        let gs28 = exhaustive_ground_state(
-            &layout,
-            &PhysicalParams::default().with_mu_minus(-0.28),
-        )
-        .expect("non-empty");
+        let gs28 =
+            exhaustive_ground_state(&layout, &PhysicalParams::default().with_mu_minus(-0.28))
+                .expect("non-empty");
         assert_eq!(gs28.num_negative(), 1);
     }
 
@@ -224,13 +230,8 @@ mod tests {
     #[test]
     fn ground_state_matches_brute_force() {
         // Cross-validate the incremental sweep against a naive evaluation.
-        let layout = SidbLayout::from_sites([
-            (0, 0, 0),
-            (3, 0, 0),
-            (6, 1, 0),
-            (1, 2, 1),
-            (8, 2, 0),
-        ]);
+        let layout =
+            SidbLayout::from_sites([(0, 0, 0), (3, 0, 0), (6, 1, 0), (1, 2, 1), (8, 2, 0)]);
         let params = PhysicalParams::default();
         let m = InteractionMatrix::new(&layout, &params);
         let n = layout.num_sites();
@@ -309,7 +310,10 @@ pub fn exhaustive_ground_state_three_state(
     if n == 0 {
         return None;
     }
-    let params = PhysicalParams { three_state: true, ..*params };
+    let params = PhysicalParams {
+        three_state: true,
+        ..*params
+    };
     let m = InteractionMatrix::new(layout, &params);
     let mut best: Option<(f64, ChargeConfiguration)> = None;
     let mut config = ChargeConfiguration::neutral(n);
@@ -335,7 +339,11 @@ fn enumerate_three_state(
         }
         return;
     }
-    for state in [ChargeState::Negative, ChargeState::Neutral, ChargeState::Positive] {
+    for state in [
+        ChargeState::Negative,
+        ChargeState::Neutral,
+        ChargeState::Positive,
+    ] {
         config.set_state(depth, state);
         enumerate_three_state(m, config, depth + 1, best);
     }
@@ -377,9 +385,8 @@ mod three_state_tests {
             }
         }
         // 18 sites exceeds the bound; trim to a 2×2 block of dimer pairs.
-        let layout = SidbLayout::from_sites(
-            layout.sites().iter().copied().take(8).collect::<Vec<_>>(),
-        );
+        let layout =
+            SidbLayout::from_sites(layout.sites().iter().copied().take(8).collect::<Vec<_>>());
         let params = PhysicalParams::default().with_three_state();
         let m = InteractionMatrix::new(&layout, &params);
         let gs = exhaustive_ground_state_three_state(&layout, &params).expect("ok");

@@ -118,9 +118,15 @@ impl SidbLayout {
             return 0.0;
         }
         let min_x = positions.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
-        let max_x = positions.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+        let max_x = positions
+            .iter()
+            .map(|p| p.0)
+            .fold(f64::NEG_INFINITY, f64::max);
         let min_y = positions.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
-        let max_y = positions.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+        let max_y = positions
+            .iter()
+            .map(|p| p.1)
+            .fold(f64::NEG_INFINITY, f64::max);
         (max_x - min_x) * (max_y - min_y)
     }
 
@@ -174,9 +180,7 @@ mod tests {
     fn translation_preserves_distances() {
         let layout = SidbLayout::from_sites([(0, 0, 0), (3, 1, 1)]);
         let moved = layout.translated(7, -2);
-        assert!(
-            (layout.distance_angstrom(0, 1) - moved.distance_angstrom(0, 1)).abs() < 1e-12
-        );
+        assert!((layout.distance_angstrom(0, 1) - moved.distance_angstrom(0, 1)).abs() < 1e-12);
     }
 
     #[test]

@@ -199,7 +199,11 @@ mod tests {
 
     #[test]
     fn grid_points_cover_axes() {
-        let grid = DomainGrid { epsilon_r: (4.0, 6.0), lambda_tf_nm: (4.0, 6.0), steps: 3 };
+        let grid = DomainGrid {
+            epsilon_r: (4.0, 6.0),
+            lambda_tf_nm: (4.0, 6.0),
+            steps: 3,
+        };
         let pts = grid.points();
         assert_eq!(pts.len(), 9);
         assert!(pts.contains(&(4.0, 4.0)));
@@ -209,35 +213,63 @@ mod tests {
 
     #[test]
     fn wire_domain_includes_the_nominal_point() {
-        let grid = DomainGrid { steps: 3, ..Default::default() };
-        let domain =
-            operational_domain(&wire(), &PhysicalParams::default(), grid, Engine::QuickExact);
+        let grid = DomainGrid {
+            steps: 3,
+            ..Default::default()
+        };
+        let domain = operational_domain(
+            &wire(),
+            &PhysicalParams::default(),
+            grid,
+            Engine::QuickExact,
+        );
         assert!(domain.nominal_operational());
         assert!(domain.coverage() > 0.0);
     }
 
     #[test]
     fn coverage_is_a_fraction() {
-        let grid = DomainGrid { steps: 3, ..Default::default() };
-        let domain =
-            operational_domain(&wire(), &PhysicalParams::default(), grid, Engine::QuickExact);
+        let grid = DomainGrid {
+            steps: 3,
+            ..Default::default()
+        };
+        let domain = operational_domain(
+            &wire(),
+            &PhysicalParams::default(),
+            grid,
+            Engine::QuickExact,
+        );
         assert!((0.0..=1.0).contains(&domain.coverage()));
     }
 
     #[test]
     fn ascii_map_has_one_row_per_epsilon() {
-        let grid = DomainGrid { steps: 4, ..Default::default() };
-        let domain =
-            operational_domain(&wire(), &PhysicalParams::default(), grid, Engine::QuickExact);
+        let grid = DomainGrid {
+            steps: 4,
+            ..Default::default()
+        };
+        let domain = operational_domain(
+            &wire(),
+            &PhysicalParams::default(),
+            grid,
+            Engine::QuickExact,
+        );
         let map = domain.render_ascii();
         assert_eq!(map.lines().count(), 5); // 4 ε_r rows + axis caption
     }
 
     #[test]
     fn single_step_grid_degenerates_gracefully() {
-        let grid = DomainGrid { steps: 1, ..Default::default() };
-        let domain =
-            operational_domain(&wire(), &PhysicalParams::default(), grid, Engine::QuickExact);
+        let grid = DomainGrid {
+            steps: 1,
+            ..Default::default()
+        };
+        let domain = operational_domain(
+            &wire(),
+            &PhysicalParams::default(),
+            grid,
+            Engine::QuickExact,
+        );
         assert_eq!(domain.samples.len(), 1);
     }
 }

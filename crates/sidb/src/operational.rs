@@ -9,9 +9,9 @@
 use crate::bdl::{InputPort, OutputPort};
 use crate::charge::ChargeConfiguration;
 use crate::exgs::exhaustive_ground_state;
-use crate::quickexact::quick_exact_ground_state;
 use crate::layout::SidbLayout;
 use crate::model::PhysicalParams;
+use crate::quickexact::quick_exact_ground_state;
 use crate::simanneal::{simulated_annealing, AnnealParams};
 
 /// A complete, simulatable SiDB gate design.
@@ -119,7 +119,11 @@ impl GateDesign {
             .iter()
             .map(|o| o.pair.read(&layout, &ground_state))
             .collect();
-        Some(PatternSimulation { layout, ground_state, outputs })
+        Some(PatternSimulation {
+            layout,
+            ground_state,
+            outputs,
+        })
     }
 
     /// Validates the design against its truth table.
@@ -226,7 +230,9 @@ mod tests {
         let d = wire_design();
         let params = PhysicalParams::default();
         for pattern in 0..2 {
-            let a = d.simulate_pattern(pattern, &params, Engine::Exhaustive).expect("ok");
+            let a = d
+                .simulate_pattern(pattern, &params, Engine::Exhaustive)
+                .expect("ok");
             let b = d
                 .simulate_pattern(pattern, &params, Engine::Anneal(AnnealParams::default()))
                 .expect("ok");

@@ -33,7 +33,9 @@ pub fn quick_exact_ground_state(
     layout: &SidbLayout,
     params: &PhysicalParams,
 ) -> Option<ChargeConfiguration> {
-    quick_exact_low_energy(layout, params, 1).pop().map(|s| s.config)
+    quick_exact_low_energy(layout, params, 1)
+        .pop()
+        .map(|s| s.config)
 }
 
 /// The `k` lowest-free-energy valid configurations via branch and bound,
@@ -47,7 +49,10 @@ pub fn quick_exact_low_energy(
     params: &PhysicalParams,
     k: usize,
 ) -> Vec<SimulatedState> {
-    assert!(!params.three_state, "quick-exact implements the two-state model");
+    assert!(
+        !params.three_state,
+        "quick-exact implements the two-state model"
+    );
     let n = layout.num_sites();
     if n == 0 || k == 0 {
         return Vec::new();
@@ -59,6 +64,7 @@ pub fn quick_exact_low_energy(
     // validity is per-cluster).
     let components = connected_components(&m);
     if components.len() > 1 {
+        fcn_telemetry::counter("qe.components", components.len() as u64);
         return solve_componentwise(layout, params, k, &m, &components);
     }
 
@@ -76,7 +82,13 @@ pub fn quick_exact_low_energy(
             .expect("n > 0");
         let mut order = vec![start];
         let mut dist: Vec<f64> = (0..n)
-            .map(|i| if i == start { f64::INFINITY } else { layout.distance_angstrom(start, i) })
+            .map(|i| {
+                if i == start {
+                    f64::INFINITY
+                } else {
+                    layout.distance_angstrom(start, i)
+                }
+            })
             .collect();
         let mut visited = vec![false; n];
         visited[start] = true;
@@ -120,6 +132,8 @@ pub fn quick_exact_low_energy(
         best: Vec<SimulatedState>,
         k: usize,
         nodes_left: u64,
+        bound_prunes: u64,
+        viability_prunes: u64,
     }
 
     impl Search<'_> {
@@ -203,6 +217,7 @@ pub fn quick_exact_low_energy(
             }
             self.nodes_left -= 1;
             if self.free_energy_lower_bound(depth) > self.bound() {
+                self.bound_prunes += 1;
                 return;
             }
             if depth == self.n {
@@ -232,6 +247,8 @@ pub fn quick_exact_low_energy(
                 }
                 if self.viable(depth + 1) {
                     self.recurse(depth + 1);
+                } else {
+                    self.viability_prunes += 1;
                 }
                 for j in 0..self.n {
                     if j != site {
@@ -247,12 +264,15 @@ pub fn quick_exact_low_energy(
                 self.states[site] = ChargeState::Neutral;
                 if self.viable(depth + 1) {
                     self.recurse(depth + 1);
+                } else {
+                    self.viability_prunes += 1;
                 }
             }
             self.states[site] = ChargeState::Neutral;
         }
     }
 
+    const NODE_BUDGET: u64 = 20_000_000;
     let mut search = Search {
         m: &m,
         mu: params.mu_minus,
@@ -265,7 +285,9 @@ pub fn quick_exact_low_energy(
         num_negative: 0,
         best: Vec::new(),
         k,
-        nodes_left: 20_000_000,
+        nodes_left: NODE_BUDGET,
+        bound_prunes: 0,
+        viability_prunes: 0,
     };
     // Seed the incumbent with a greedy descent: a local minimum of the
     // free energy under single flips and hops is exactly a physically
@@ -278,6 +300,10 @@ pub fn quick_exact_low_energy(
         config: incumbent,
     });
     search.recurse(0);
+    fcn_telemetry::counter("qe.sites", n as u64);
+    fcn_telemetry::counter("qe.nodes", NODE_BUDGET - search.nodes_left);
+    fcn_telemetry::counter("qe.bound_prunes", search.bound_prunes);
+    fcn_telemetry::counter("qe.viability_prunes", search.viability_prunes);
     search.best
 }
 
@@ -293,9 +319,9 @@ fn connected_components(m: &InteractionMatrix) -> Vec<Vec<usize>> {
         let mut stack = vec![start];
         component[start] = count;
         while let Some(i) = stack.pop() {
-            for j in 0..n {
-                if component[j] == usize::MAX && m.interaction(i, j) > 0.0 {
-                    component[j] = count;
+            for (j, c) in component.iter_mut().enumerate() {
+                if *c == usize::MAX && m.interaction(i, j) > 0.0 {
+                    *c = count;
                     stack.push(j);
                 }
             }
@@ -355,7 +381,11 @@ fn solve_componentwise(
                 config.set_state(global, state.config.state(local));
             }
         }
-        results.push(SimulatedState { config, electrostatic_energy: energy, free_energy: free });
+        results.push(SimulatedState {
+            config,
+            electrostatic_energy: energy,
+            free_energy: free,
+        });
         // Successors: advance one cluster's index.
         for ci in 0..per_cluster.len() {
             if choice[ci] + 1 < per_cluster[ci].len() {
@@ -389,14 +419,22 @@ fn greedy_descent(m: &InteractionMatrix, params: &PhysicalParams, n: usize) -> C
                 ChargeState::Positive => unreachable!("two-state descent"),
             };
             if delta < -EPS {
-                let dn = if config.state(i) == ChargeState::Neutral { -1.0 } else { 1.0 };
+                let dn = if config.state(i) == ChargeState::Neutral {
+                    -1.0
+                } else {
+                    1.0
+                };
                 config.set_state(
                     i,
-                    if dn < 0.0 { ChargeState::Negative } else { ChargeState::Neutral },
+                    if dn < 0.0 {
+                        ChargeState::Negative
+                    } else {
+                        ChargeState::Neutral
+                    },
                 );
-                for j in 0..n {
+                for (j, p) in potentials.iter_mut().enumerate() {
                     if j != i {
-                        potentials[j] += dn * m.interaction(i, j);
+                        *p += dn * m.interaction(i, j);
                     }
                 }
                 improved = true;
@@ -413,12 +451,12 @@ fn greedy_descent(m: &InteractionMatrix, params: &PhysicalParams, n: usize) -> C
                 if potentials[i] - potentials[j] - m.interaction(i, j) < -EPS {
                     config.set_state(i, ChargeState::Neutral);
                     config.set_state(j, ChargeState::Negative);
-                    for t in 0..n {
+                    for (t, p) in potentials.iter_mut().enumerate() {
                         if t != i {
-                            potentials[t] += m.interaction(i, t);
+                            *p += m.interaction(i, t);
                         }
                         if t != j {
-                            potentials[t] -= m.interaction(j, t);
+                            *p -= m.interaction(j, t);
                         }
                     }
                     improved = true;

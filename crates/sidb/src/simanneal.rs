@@ -57,10 +57,20 @@ struct Anneal<'a> {
 }
 
 impl<'a> Anneal<'a> {
-    fn new(m: &'a InteractionMatrix, params: &'a PhysicalParams, config: ChargeConfiguration) -> Self {
+    fn new(
+        m: &'a InteractionMatrix,
+        params: &'a PhysicalParams,
+        config: ChargeConfiguration,
+    ) -> Self {
         let potentials = config.local_potentials(m);
         let free_energy = config.free_energy(m);
-        Anneal { m, params, config, potentials, free_energy }
+        Anneal {
+            m,
+            params,
+            config,
+            potentials,
+            free_energy,
+        }
     }
 
     /// Free-energy change of flipping site `i`.
@@ -126,8 +136,7 @@ impl<'a> Anneal<'a> {
                     continue;
                 }
                 for j in 0..n {
-                    if self.config.state(j) == ChargeState::Neutral && self.hop_delta(i, j) < -EPS
-                    {
+                    if self.config.state(j) == ChargeState::Neutral && self.hop_delta(i, j) < -EPS {
                         self.apply_hop(i, j);
                         improved = true;
                         break;
@@ -166,7 +175,10 @@ pub fn simulated_annealing(
     params: &PhysicalParams,
     anneal: &AnnealParams,
 ) -> Option<SimulatedState> {
-    assert!(!params.three_state, "the annealer implements the two-state model");
+    assert!(
+        !params.three_state,
+        "the annealer implements the two-state model"
+    );
     let n = layout.num_sites();
     if n == 0 {
         return None;
@@ -174,6 +186,7 @@ pub fn simulated_annealing(
     let m = InteractionMatrix::new(layout, params);
     let mut rng = StdRng::seed_from_u64(anneal.seed);
     let mut best: Option<SimulatedState> = None;
+    let mut accepted: u64 = 0;
 
     for _ in 0..anneal.instances.max(1) {
         // Random initial population.
@@ -193,6 +206,7 @@ pub fn simulated_annealing(
                     let delta = state.flip_delta(i);
                     if delta <= 0.0 || rng.gen_bool((-delta / temperature).exp().min(1.0)) {
                         state.apply_flip(i);
+                        accepted += 1;
                     }
                 } else {
                     let negs: Vec<usize> = (0..n)
@@ -209,6 +223,7 @@ pub fn simulated_annealing(
                     let delta = state.hop_delta(i, j);
                     if delta <= 0.0 || rng.gen_bool((-delta / temperature).exp().min(1.0)) {
                         state.apply_hop(i, j);
+                        accepted += 1;
                     }
                 }
             }
@@ -229,6 +244,10 @@ pub fn simulated_annealing(
             best = Some(candidate);
         }
     }
+    let instances = anneal.instances.max(1) as u64;
+    fcn_telemetry::counter("anneal.instances", instances);
+    fcn_telemetry::counter("anneal.sweeps", instances * anneal.sweeps as u64);
+    fcn_telemetry::counter("anneal.accepted_moves", accepted);
     best
 }
 
@@ -242,13 +261,20 @@ mod tests {
         let layouts = [
             SidbLayout::from_sites([(0, 0, 0), (2, 0, 0), (6, 0, 0), (8, 0, 0)]),
             SidbLayout::from_sites([(0, 0, 0), (4, 1, 1), (9, 2, 0), (1, 3, 0), (12, 0, 0)]),
-            SidbLayout::from_sites([(0, 0, 0), (3, 0, 1), (6, 1, 0), (9, 1, 1), (12, 2, 0), (15, 2, 1)]),
+            SidbLayout::from_sites([
+                (0, 0, 0),
+                (3, 0, 1),
+                (6, 1, 0),
+                (9, 1, 1),
+                (12, 2, 0),
+                (15, 2, 1),
+            ]),
         ];
         let params = PhysicalParams::default();
         for layout in layouts {
             let exact = exhaustive_low_energy(&layout, &params, 1);
-            let annealed = simulated_annealing(&layout, &params, &AnnealParams::default())
-                .expect("non-empty");
+            let annealed =
+                simulated_annealing(&layout, &params, &AnnealParams::default()).expect("non-empty");
             assert!(
                 (annealed.free_energy - exact[0].free_energy).abs() < 1e-6,
                 "annealer {} vs exact {}",
@@ -271,8 +297,15 @@ mod tests {
         ]);
         let params = PhysicalParams::default();
         let m = InteractionMatrix::new(&layout, &params);
-        let s = simulated_annealing(&layout, &params, &AnnealParams { instances: 5, ..Default::default() })
-            .expect("non-empty");
+        let s = simulated_annealing(
+            &layout,
+            &params,
+            &AnnealParams {
+                instances: 5,
+                ..Default::default()
+            },
+        )
+        .expect("non-empty");
         assert!(s.config.is_physically_valid(&m));
     }
 

@@ -53,7 +53,10 @@ pub fn logic_stability(
     engine: Engine,
 ) -> Vec<PatternStability> {
     assert!(
-        matches!(engine, Engine::QuickExact | Engine::Auto | Engine::Exhaustive),
+        matches!(
+            engine,
+            Engine::QuickExact | Engine::Auto | Engine::Exhaustive
+        ),
         "gap analysis requires an exact engine"
     );
     (0..design.num_patterns())
@@ -122,8 +125,7 @@ mod tests {
 
     #[test]
     fn wire_has_positive_gaps() {
-        let stability =
-            logic_stability(&wire(), &PhysicalParams::default(), 8, Engine::QuickExact);
+        let stability = logic_stability(&wire(), &PhysicalParams::default(), 8, Engine::QuickExact);
         assert_eq!(stability.len(), 2);
         for s in &stability {
             if let Some(gap) = s.gap_ev {
@@ -134,19 +136,34 @@ mod tests {
 
     #[test]
     fn critical_temperature_scales_with_gap() {
-        let s = PatternStability { pattern: 0, gap_ev: Some(BOLTZMANN_EV_PER_K * 77.0) };
+        let s = PatternStability {
+            pattern: 0,
+            gap_ev: Some(BOLTZMANN_EV_PER_K * 77.0),
+        };
         let t = s.critical_temperature_k().expect("gap present");
         assert!((t - 77.0).abs() < 1e-6);
-        let none = PatternStability { pattern: 0, gap_ev: None };
+        let none = PatternStability {
+            pattern: 0,
+            gap_ev: None,
+        };
         assert_eq!(none.critical_temperature_k(), None);
     }
 
     #[test]
     fn worst_case_is_the_minimum() {
         let stability = vec![
-            PatternStability { pattern: 0, gap_ev: Some(0.02) },
-            PatternStability { pattern: 1, gap_ev: Some(0.005) },
-            PatternStability { pattern: 2, gap_ev: None },
+            PatternStability {
+                pattern: 0,
+                gap_ev: Some(0.02),
+            },
+            PatternStability {
+                pattern: 1,
+                gap_ev: Some(0.005),
+            },
+            PatternStability {
+                pattern: 2,
+                gap_ev: None,
+            },
         ];
         assert_eq!(worst_case_gap_ev(&stability), Some(0.005));
     }

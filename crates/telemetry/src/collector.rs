@@ -1,0 +1,440 @@
+//! The span collector: a thread-safe arena of timed, nested spans with
+//! attached counters, gauges, and notes, plus the snapshot [`Report`]
+//! and its renderers.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::json::Value;
+
+#[derive(Debug)]
+struct SpanData {
+    name: String,
+    start: Instant,
+    duration: Option<Duration>,
+    children: Vec<usize>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    notes: BTreeMap<String, String>,
+}
+
+impl SpanData {
+    fn new(name: String) -> SpanData {
+        SpanData {
+            name,
+            start: Instant::now(),
+            duration: None,
+            children: Vec::new(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            notes: BTreeMap::new(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    spans: Vec<SpanData>,
+    /// Indices of currently open spans, innermost last. Never empty:
+    /// element 0 is the root span, which stays open until
+    /// [`Collector::finish`] (or forever — snapshots time open spans
+    /// against "now").
+    stack: Vec<usize>,
+}
+
+/// Thread-safe collector holding one tree of spans.
+///
+/// Typically created per flow run, installed with
+/// [`crate::with_collector`], and snapshotted with [`Collector::report`]
+/// once the run completes.
+#[derive(Debug)]
+pub struct Collector {
+    inner: Mutex<Inner>,
+}
+
+impl Collector {
+    /// Creates a collector whose root span is named `root_name` and
+    /// starts now.
+    pub fn new(root_name: impl Into<String>) -> Collector {
+        Collector {
+            inner: Mutex::new(Inner {
+                spans: vec![SpanData::new(root_name.into())],
+                stack: vec![0],
+            }),
+        }
+    }
+
+    /// Opens a child span under the innermost open span. Prefer the
+    /// ambient [`crate::span`] in library code.
+    pub fn span(self: &Arc<Self>, name: impl Into<String>) -> SpanGuard {
+        let id = {
+            let mut inner = self.inner.lock().unwrap();
+            let id = inner.spans.len();
+            inner.spans.push(SpanData::new(name.into()));
+            let parent = *inner.stack.last().expect("root span always open");
+            inner.spans[parent].children.push(id);
+            inner.stack.push(id);
+            id
+        };
+        SpanGuard {
+            collector: Some(Arc::clone(self)),
+            id,
+        }
+    }
+
+    /// Adds `delta` to a counter on the innermost open span.
+    pub fn counter(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let top = *inner.stack.last().expect("root span always open");
+        *inner.spans[top]
+            .counters
+            .entry(name.to_owned())
+            .or_insert(0) += delta;
+    }
+
+    /// Sets a gauge on the innermost open span (last write wins).
+    pub fn gauge(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock().unwrap();
+        let top = *inner.stack.last().expect("root span always open");
+        inner.spans[top].gauges.insert(name.to_owned(), value);
+    }
+
+    /// Attaches a string annotation to the innermost open span.
+    pub fn note(&self, name: &str, value: impl Into<String>) {
+        let mut inner = self.inner.lock().unwrap();
+        let top = *inner.stack.last().expect("root span always open");
+        inner.spans[top].notes.insert(name.to_owned(), value.into());
+    }
+
+    /// Closes the root span, freezing the total wall time.
+    pub fn finish(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.spans[0].duration.is_none() {
+            inner.spans[0].duration = Some(inner.spans[0].start.elapsed());
+        }
+    }
+
+    /// Snapshots the span tree. Spans still open are timed up to now.
+    pub fn report(&self) -> Report {
+        let inner = self.inner.lock().unwrap();
+        Report {
+            root: build_report(&inner.spans, 0),
+        }
+    }
+
+    fn close(&self, id: usize) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.spans[id].duration.is_none() {
+            inner.spans[id].duration = Some(inner.spans[id].start.elapsed());
+        }
+        // Unwinding can close spans out of order; drop every span the
+        // closed one still (transitively) encloses.
+        if let Some(pos) = inner.stack.iter().rposition(|&open| open == id) {
+            inner.stack.truncate(pos);
+        }
+        if inner.stack.is_empty() {
+            inner.stack.push(0);
+        }
+    }
+}
+
+fn build_report(spans: &[SpanData], id: usize) -> SpanReport {
+    let span = &spans[id];
+    SpanReport {
+        name: span.name.clone(),
+        duration: span.duration.unwrap_or_else(|| span.start.elapsed()),
+        counters: span.counters.clone(),
+        gauges: span.gauges.clone(),
+        notes: span.notes.clone(),
+        children: span
+            .children
+            .iter()
+            .map(|&child| build_report(spans, child))
+            .collect(),
+    }
+}
+
+/// RAII guard returned by [`crate::span`]; closes its span on drop.
+/// Guards returned when no collector is installed do nothing.
+#[derive(Debug)]
+#[must_use = "a span lasts until its guard is dropped"]
+pub struct SpanGuard {
+    collector: Option<Arc<Collector>>,
+    id: usize,
+}
+
+impl SpanGuard {
+    pub(crate) fn noop() -> SpanGuard {
+        SpanGuard {
+            collector: None,
+            id: 0,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(collector) = self.collector.take() {
+            collector.close(self.id);
+        }
+    }
+}
+
+/// Immutable snapshot of one collector's span tree.
+///
+/// The `Default` report is empty (an unnamed root with zero duration) —
+/// a placeholder for results whose report is attached after the fact.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// The root span (the whole timed region).
+    pub root: SpanReport,
+}
+
+/// One span in a [`Report`].
+#[derive(Clone, Debug, Default)]
+pub struct SpanReport {
+    /// Span name, e.g. `step4:pnr` or `ratio:3x4`.
+    pub name: String,
+    /// Wall time between the span opening and closing.
+    pub duration: Duration,
+    /// Monotonic counters recorded while this span was innermost.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges recorded while this span was innermost.
+    pub gauges: BTreeMap<String, f64>,
+    /// String annotations recorded while this span was innermost.
+    pub notes: BTreeMap<String, String>,
+    /// Nested child spans in opening order.
+    pub children: Vec<SpanReport>,
+}
+
+impl SpanReport {
+    /// The first direct child with the given name.
+    pub fn child(&self, name: &str) -> Option<&SpanReport> {
+        self.children.iter().find(|c| c.name == name)
+    }
+}
+
+impl Report {
+    /// Names of the top-level stages (direct children of the root), in
+    /// execution order.
+    pub fn stages(&self) -> Vec<&str> {
+        self.root.children.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Wall time of the named top-level stage.
+    pub fn stage_duration(&self, name: &str) -> Option<Duration> {
+        self.root.child(name).map(|c| c.duration)
+    }
+
+    /// One line per top-level stage with duration and share of total.
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        render_line(&mut out, &self.root, 0, self.root.duration);
+        for child in &self.root.children {
+            render_line(&mut out, child, 1, self.root.duration);
+        }
+        out
+    }
+
+    /// The full indented span tree with durations, percentages of
+    /// total, counters, gauges, and notes.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        render_subtree(&mut out, &self.root, 0, self.root.duration);
+        out
+    }
+
+    /// The span tree as a [`Value`], for embedding in larger documents.
+    pub fn to_value(&self) -> Value {
+        span_to_value(&self.root)
+    }
+
+    /// Compact JSON encoding of the span tree.
+    pub fn to_json(&self) -> String {
+        self.to_value().serialize()
+    }
+
+    /// Pretty-printed JSON encoding of the span tree.
+    pub fn to_json_pretty(&self) -> String {
+        self.to_value().serialize_pretty()
+    }
+}
+
+fn percent(part: Duration, whole: Duration) -> f64 {
+    if whole.is_zero() {
+        100.0
+    } else {
+        part.as_secs_f64() / whole.as_secs_f64() * 100.0
+    }
+}
+
+fn render_line(out: &mut String, span: &SpanReport, depth: usize, total: Duration) {
+    use std::fmt::Write;
+
+    let indent = "  ".repeat(depth);
+    let _ = write!(
+        out,
+        "{indent}{:<width$} {:>10.3?} {:>5.1}%",
+        span.name,
+        span.duration,
+        percent(span.duration, total),
+        width = 28usize.saturating_sub(indent.len()),
+    );
+    for (name, value) in &span.counters {
+        let _ = write!(out, "  {name}={value}");
+    }
+    for (name, value) in &span.gauges {
+        let _ = write!(out, "  {name}={value:.4}");
+    }
+    for (name, value) in &span.notes {
+        let _ = write!(out, "  {name}={value}");
+    }
+    out.push('\n');
+}
+
+fn render_subtree(out: &mut String, span: &SpanReport, depth: usize, total: Duration) {
+    render_line(out, span, depth, total);
+    for child in &span.children {
+        render_subtree(out, child, depth + 1, total);
+    }
+}
+
+fn span_to_value(span: &SpanReport) -> Value {
+    let mut fields = vec![
+        ("name".to_owned(), Value::Str(span.name.clone())),
+        (
+            "duration_ns".to_owned(),
+            Value::Num(span.duration.as_nanos() as f64),
+        ),
+        (
+            "duration_ms".to_owned(),
+            Value::Num(span.duration.as_secs_f64() * 1e3),
+        ),
+    ];
+    if !span.counters.is_empty() {
+        fields.push((
+            "counters".to_owned(),
+            Value::Obj(
+                span.counters
+                    .iter()
+                    .map(|(k, &v)| (k.clone(), Value::Num(v as f64)))
+                    .collect(),
+            ),
+        ));
+    }
+    if !span.gauges.is_empty() {
+        fields.push((
+            "gauges".to_owned(),
+            Value::Obj(
+                span.gauges
+                    .iter()
+                    .map(|(k, &v)| (k.clone(), Value::Num(v)))
+                    .collect(),
+            ),
+        ));
+    }
+    if !span.notes.is_empty() {
+        fields.push((
+            "notes".to_owned(),
+            Value::Obj(
+                span.notes
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                    .collect(),
+            ),
+        ));
+    }
+    if !span.children.is_empty() {
+        fields.push((
+            "children".to_owned(),
+            Value::Arr(span.children.iter().map(span_to_value).collect()),
+        ));
+    }
+    Value::Obj(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        let collector = Arc::new(Collector::new("flow:test"));
+        {
+            let _a = collector.span("step1:parse");
+            collector.counter("tokens", 12);
+        }
+        {
+            let _b = collector.span("step4:pnr");
+            let _probe = collector.span("ratio:2x3");
+            collector.counter("sat.conflicts", 3);
+            collector.note("verdict", "sat");
+            collector.gauge("fill", 0.5);
+        }
+        collector.finish();
+        collector.report()
+    }
+
+    #[test]
+    fn tree_render_contains_durations_counters_and_percentages() {
+        let tree = sample_report().render_tree();
+        assert!(tree.contains("flow:test"), "{tree}");
+        assert!(tree.contains("    ratio:2x3"), "{tree}");
+        assert!(tree.contains("sat.conflicts=3"), "{tree}");
+        assert!(tree.contains("verdict=sat"), "{tree}");
+        assert!(tree.contains('%'), "{tree}");
+    }
+
+    #[test]
+    fn summary_render_stops_at_stage_level() {
+        let summary = sample_report().render_summary();
+        assert!(summary.contains("step4:pnr"), "{summary}");
+        assert!(!summary.contains("ratio:2x3"), "{summary}");
+    }
+
+    #[test]
+    fn json_roundtrips_through_own_parser() {
+        let report = sample_report();
+        for encoded in [report.to_json(), report.to_json_pretty()] {
+            let value = crate::json::parse(&encoded).expect("report JSON must parse");
+            assert_eq!(value.get("name").and_then(Value::as_str), Some("flow:test"));
+            let children = value.get("children").and_then(Value::as_array).unwrap();
+            assert_eq!(children.len(), 2);
+            let pnr = &children[1];
+            let probe = &pnr.get("children").and_then(Value::as_array).unwrap()[0];
+            assert_eq!(probe.get("name").and_then(Value::as_str), Some("ratio:2x3"));
+            let conflicts = probe
+                .get("counters")
+                .and_then(|c| c.get("sat.conflicts"))
+                .and_then(Value::as_f64);
+            assert_eq!(conflicts, Some(3.0));
+            assert_eq!(
+                probe
+                    .get("notes")
+                    .and_then(|n| n.get("verdict"))
+                    .and_then(Value::as_str),
+                Some("sat")
+            );
+        }
+    }
+
+    #[test]
+    fn stage_helpers_expose_direct_children() {
+        let report = sample_report();
+        assert_eq!(report.stages(), ["step1:parse", "step4:pnr"]);
+        assert!(report.stage_duration("step4:pnr").is_some());
+        assert!(report.stage_duration("step9:none").is_none());
+    }
+
+    #[test]
+    fn guard_drop_order_tolerates_out_of_order_close() {
+        let collector = Arc::new(Collector::new("root"));
+        let outer = collector.span("outer");
+        let inner = collector.span("inner");
+        drop(outer); // pops inner off the open-span stack too
+        drop(inner); // late close: must not panic or corrupt the stack
+        let _next = collector.span("next");
+        let report = collector.report();
+        assert_eq!(report.stages(), ["outer", "next"]);
+    }
+}

@@ -1,0 +1,491 @@
+//! A hand-rolled JSON value type, serializer, and parser.
+//!
+//! DESIGN.md §6 keeps the default build free of external dependencies,
+//! so telemetry reports are encoded and decoded here rather than with
+//! serde. Object member order is preserved (insertion order), which
+//! keeps report output stable and diffable.
+
+use std::fmt::Write;
+
+/// A JSON value. Numbers are `f64`, like JavaScript's.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object member by key (`None` for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Compact single-line encoding.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty-printed encoding with two-space indentation.
+    pub fn serialize_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => write_number(out, *n),
+            Value::Str(s) => write_string(out, s),
+            Value::Arr(items) => {
+                write_seq(
+                    out,
+                    indent,
+                    depth,
+                    '[',
+                    ']',
+                    items.len(),
+                    |out, i, depth| {
+                        items[i].write(out, indent, depth);
+                    },
+                );
+            }
+            Value::Obj(members) => {
+                write_seq(
+                    out,
+                    indent,
+                    depth,
+                    '{',
+                    '}',
+                    members.len(),
+                    |out, i, depth| {
+                        let (key, value) = &members[i];
+                        write_string(out, key);
+                        out.push(':');
+                        if indent.is_some() {
+                            out.push(' ');
+                        }
+                        value.write(out, indent, depth);
+                    },
+                );
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push(close);
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no Infinity/NaN; null is the conventional stand-in.
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 9.007_199_254_740_992e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON syntax error with a byte offset into the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a complete JSON document.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected '{text}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.error(format!("unexpected character '{}'", other as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(members));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            out.push(self.unicode_escape()?);
+                            continue;
+                        }
+                        _ => return Err(self.error("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // byte boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.error("invalid UTF-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, ParseError> {
+        let first = self.hex4()?;
+        // Surrogate pair handling for characters beyond the BMP.
+        if (0xd800..0xdc00).contains(&first) {
+            if self.bytes[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let second = self.hex4()?;
+                if (0xdc00..0xe000).contains(&second) {
+                    let combined = 0x10000 + ((first - 0xd800) << 10) + (second - 0xdc00);
+                    return char::from_u32(combined).ok_or_else(|| self.error("invalid codepoint"));
+                }
+            }
+            return Err(self.error("unpaired surrogate"));
+        }
+        char::from_u32(first).ok_or_else(|| self.error("invalid codepoint"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut value = 0u32;
+        for _ in 0..4 {
+            let digit = match self.peek() {
+                Some(b @ b'0'..=b'9') => (b - b'0') as u32,
+                Some(b @ b'a'..=b'f') => (b - b'a') as u32 + 10,
+                Some(b @ b'A'..=b'F') => (b - b'A') as u32 + 10,
+                _ => return Err(self.error("expected four hex digits")),
+            };
+            value = value * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| self.error("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_compact_and_pretty() {
+        let value = Value::Obj(vec![
+            ("name".into(), Value::Str("flow \"c17\"\n".into())),
+            ("count".into(), Value::Num(42.0)),
+            ("ratio".into(), Value::Num(0.125)),
+            (
+                "flags".into(),
+                Value::Arr(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("empty".into(), Value::Obj(vec![])),
+        ]);
+        for encoded in [value.serialize(), value.serialize_pretty()] {
+            assert_eq!(parse(&encoded).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn integers_are_not_written_with_exponents() {
+        assert_eq!(Value::Num(1_234_567_890.0).serialize(), "1234567890");
+        assert_eq!(Value::Num(-3.0).serialize(), "-3");
+        assert_eq!(Value::Num(f64::INFINITY).serialize(), "null");
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let parsed = parse(r#"{"s": "a\tb\u00e9\ud83d\ude00"}"#).unwrap();
+        assert_eq!(parsed.get("s").and_then(Value::as_str), Some("a\tbé😀"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "1 2", "\"\\q\"", "nul"] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn accessors_discriminate_types() {
+        let value = parse(r#"{"n": 1, "s": "x", "b": false, "a": [], "o": {}}"#).unwrap();
+        assert_eq!(value.get("n").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(value.get("s").and_then(Value::as_str), Some("x"));
+        assert_eq!(value.get("b").and_then(Value::as_bool), Some(false));
+        assert_eq!(value.get("a").and_then(Value::as_array), Some(&[][..]));
+        assert!(value.get("o").and_then(Value::as_object).is_some());
+        assert!(value.get("missing").is_none());
+        assert!(value.get("n").and_then(Value::as_str).is_none());
+    }
+}

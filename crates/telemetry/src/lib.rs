@@ -1,0 +1,230 @@
+//! Hierarchical span/counter telemetry for the Bestagon design flow.
+//!
+//! The flow driver installs a [`Collector`] for the duration of one
+//! flow run; every layer below it (synthesis, P&R, equivalence,
+//! physical simulation) records into the *ambient* collector through
+//! the free functions in this crate — [`span`], [`counter`],
+//! [`gauge`], and [`note`] — without any plumbing through call
+//! signatures. When no collector is installed every call is a cheap
+//! no-op, so instrumented library code pays nothing in isolation.
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! let collector = Arc::new(fcn_telemetry::Collector::new("flow:demo"));
+//! fcn_telemetry::with_collector(&collector, || {
+//!     let _step = fcn_telemetry::span("step4:pnr");
+//!     fcn_telemetry::counter("sat.conflicts", 17);
+//! });
+//! let report = collector.report();
+//! assert_eq!(report.root.children[0].name, "step4:pnr");
+//! assert_eq!(report.root.children[0].counters["sat.conflicts"], 17);
+//! ```
+//!
+//! Reports render three ways: an indented human-readable tree with
+//! durations and percentages ([`Report::render_tree`]), a one-level
+//! summary ([`Report::render_summary`]), and machine-readable JSON
+//! ([`Report::to_json`]) produced by the hand-rolled serializer in
+//! [`json`] — no serde, per DESIGN.md §6. The [`emit`] helper writes
+//! whichever form the `TELEMETRY` environment variable selects
+//! (`off`/`summary`/`tree`/`json`) to stderr, so stdout stays clean.
+
+mod collector;
+pub mod json;
+
+pub use collector::{Collector, Report, SpanGuard, SpanReport};
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+thread_local! {
+    static CURRENT: RefCell<Vec<Arc<Collector>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Installs `collector` as the thread's ambient collector for the
+/// duration of `f`. Nested installs shadow outer ones; the previous
+/// collector is restored even if `f` panics.
+pub fn with_collector<R>(collector: &Arc<Collector>, f: impl FnOnce() -> R) -> R {
+    struct Pop;
+    impl Drop for Pop {
+        fn drop(&mut self) {
+            CURRENT.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+        }
+    }
+
+    CURRENT.with(|stack| stack.borrow_mut().push(Arc::clone(collector)));
+    let _pop = Pop;
+    f()
+}
+
+/// The currently installed ambient collector, if any.
+pub fn current() -> Option<Arc<Collector>> {
+    CURRENT.with(|stack| stack.borrow().last().cloned())
+}
+
+/// Opens a child span under the innermost open span of the ambient
+/// collector. The span closes (recording its wall time) when the
+/// returned guard drops. A no-op guard is returned when no collector
+/// is installed.
+pub fn span(name: impl Into<String>) -> SpanGuard {
+    match current() {
+        Some(collector) => collector.span(name),
+        None => SpanGuard::noop(),
+    }
+}
+
+/// Adds `delta` to a named counter on the innermost open span.
+pub fn counter(name: &str, delta: u64) {
+    if let Some(collector) = current() {
+        collector.counter(name, delta);
+    }
+}
+
+/// Sets a named gauge (last write wins) on the innermost open span.
+pub fn gauge(name: &str, value: f64) {
+    if let Some(collector) = current() {
+        collector.gauge(name, value);
+    }
+}
+
+/// Attaches a named string annotation to the innermost open span.
+pub fn note(name: &str, value: impl Into<String>) {
+    if let Some(collector) = current() {
+        collector.note(name, value.into());
+    }
+}
+
+/// Emission level selected by the `TELEMETRY` environment variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// No output (the default, and the fallback for unknown values).
+    Off,
+    /// One line per top-level stage.
+    Summary,
+    /// The full indented span tree.
+    Tree,
+    /// Pretty-printed JSON.
+    Json,
+}
+
+impl Mode {
+    /// Reads the `TELEMETRY` environment variable.
+    pub fn from_env() -> Mode {
+        match std::env::var("TELEMETRY").as_deref() {
+            Ok("summary") => Mode::Summary,
+            Ok("tree") => Mode::Tree,
+            Ok("json") => Mode::Json,
+            _ => Mode::Off,
+        }
+    }
+}
+
+/// Writes `report` to stderr in the form selected by `TELEMETRY`
+/// (nothing when off). stdout is never touched, so pipelines that
+/// consume a tool's primary output stay stable.
+pub fn emit(report: &Report) {
+    emit_with_mode(report, Mode::from_env());
+}
+
+/// Like [`emit`] but with an explicit mode, for callers that manage
+/// their own configuration.
+pub fn emit_with_mode(report: &Report, mode: Mode) {
+    match mode {
+        Mode::Off => {}
+        Mode::Summary => eprint!("{}", report.render_summary()),
+        Mode::Tree => eprint!("{}", report.render_tree()),
+        Mode::Json => eprintln!("{}", report.to_json_pretty()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_collector_is_a_noop() {
+        assert!(current().is_none());
+        let _span = span("orphan");
+        counter("unseen", 5);
+        gauge("unseen", 1.0);
+        note("unseen", "value");
+    }
+
+    #[test]
+    fn ambient_collector_records_nested_spans() {
+        let collector = Arc::new(Collector::new("root"));
+        with_collector(&collector, || {
+            {
+                let _outer = span("outer");
+                counter("ticks", 2);
+                {
+                    let _inner = span("inner");
+                    counter("ticks", 1);
+                    gauge("depth", 2.0);
+                    note("kind", "leaf");
+                }
+            }
+            let _second = span("second");
+        });
+        assert!(current().is_none());
+
+        let report = collector.report();
+        assert_eq!(report.root.name, "root");
+        let names: Vec<&str> = report
+            .root
+            .children
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(names, ["outer", "second"]);
+        let outer = &report.root.children[0];
+        assert_eq!(outer.counters["ticks"], 2);
+        let inner = &outer.children[0];
+        assert_eq!(inner.counters["ticks"], 1);
+        assert_eq!(inner.gauges["depth"], 2.0);
+        assert_eq!(inner.notes["kind"], "leaf");
+    }
+
+    #[test]
+    fn install_is_restored_on_panic() {
+        let collector = Arc::new(Collector::new("root"));
+        let result = std::panic::catch_unwind(|| {
+            with_collector(&collector, || panic!("boom"));
+        });
+        assert!(result.is_err());
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn children_durations_sum_within_parent() {
+        let collector = Arc::new(Collector::new("root"));
+        with_collector(&collector, || {
+            for _ in 0..3 {
+                let _s = span("work");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        });
+        let report = collector.report();
+        let sum: std::time::Duration = report.root.children.iter().map(|c| c.duration).sum();
+        assert!(
+            sum <= report.root.duration,
+            "{sum:?} > {:?}",
+            report.root.duration
+        );
+    }
+
+    #[test]
+    fn mode_matches_environment() {
+        // Tolerates an inherited TELEMETRY value: tests must pass both
+        // in a clean environment and under e.g. `TELEMETRY=json`.
+        let expected = match std::env::var("TELEMETRY").as_deref() {
+            Ok("summary") => Mode::Summary,
+            Ok("tree") => Mode::Tree,
+            Ok("json") => Mode::Json,
+            _ => Mode::Off,
+        };
+        assert_eq!(Mode::from_env(), expected);
+    }
+}

@@ -16,7 +16,11 @@ fn main() {
     let gate = huff_style_or();
     let params = PhysicalParams::default().with_mu_minus(-0.28);
     println!("=== Figure 1c: Y-shaped OR gate, μ− = −0.28 eV ===");
-    println!("gate: {} ({} SiDBs + perturbers)\n", gate.name, gate.body.num_sites());
+    println!(
+        "gate: {} ({} SiDBs + perturbers)\n",
+        gate.name,
+        gate.body.num_sites()
+    );
 
     for pattern in 0..gate.num_patterns() {
         let a = pattern & 1 == 1;
@@ -29,7 +33,8 @@ fn main() {
             "inputs a={} b={}  →  output {}   (expected {})",
             a as u8,
             b as u8,
-            out.map(|v| (v as u8).to_string()).unwrap_or_else(|| "?".into()),
+            out.map(|v| (v as u8).to_string())
+                .unwrap_or_else(|| "?".into()),
             (a || b) as u8
         );
         // Dot-accurate charge map.

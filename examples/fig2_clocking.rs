@@ -50,9 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 (0..layout.ratio().width as i32).any(|x| sim.tile_is_live(HexCoord::new(x, y)))
             })
             .collect();
-        println!(
-            "tick {tick:>2}: zone {zone} activated; rows holding signals: {live_rows:?}"
-        );
+        println!("tick {tick:>2}: zone {zone} activated; rows holding signals: {live_rows:?}");
     }
 
     println!("\noutput samples (name, tick, value):");

@@ -36,7 +36,10 @@ fn main() {
         let optimized = rewrite(&b.xag, RewriteOptions::default());
         let net = map_xag(&optimized, MapOptions::default()).expect("mappable");
         let graph = NetGraph::new(net).expect("placeable");
-        let options = ExactOptions { max_area: 120, ..Default::default() };
+        let options = ExactOptions {
+            max_area: 120,
+            ..Default::default()
+        };
         let hex = exact_pnr(&graph, &options);
         let cart = cartesian_exact_pnr(&graph, &options);
         match (hex, cart) {

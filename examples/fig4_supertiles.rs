@@ -51,7 +51,11 @@ fn main() {
                     if fine.is_fabricable() { "ok " } else { "VIOL" },
                     merged.num_electrodes,
                     merged.electrode_pitch_nm,
-                    if merged.is_fabricable() { "ok " } else { "VIOL" },
+                    if merged.is_fabricable() {
+                        "ok "
+                    } else {
+                        "VIOL"
+                    },
                     merged.tiles_per_supertile,
                 );
             }

@@ -53,6 +53,10 @@ fn main() {
     println!(
         "domain-separated check — {}: {}",
         diag[0].name,
-        if diag[0].operational { "operational" } else { "not operational" }
+        if diag[0].operational {
+            "operational"
+        } else {
+            "not operational"
+        }
     );
 }

@@ -28,9 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if result.exact { "exact" } else { "heuristic" }
     );
     println!("formal verification: {:?}", result.equivalence);
-    println!(
-        "paper reports: 4 × 7 = 28 tiles, 284 SiDBs, 11 312.68 nm²\n"
-    );
+    println!("paper reports: 4 × 7 = 28 tiles, 284 SiDBs, 11 312.68 nm²\n");
     println!("{}", result.layout.render_ascii());
 
     let cell = result.cell.as_ref().expect("library applied");
@@ -55,6 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dots_path = std::env::temp_dir().join("par_check_sidbs.svg");
     std::fs::write(&tiles_path, tiles_svg)?;
     std::fs::write(&dots_path, dots_svg)?;
-    println!("SVG renderings written to {} and {}", tiles_path.display(), dots_path.display());
+    println!(
+        "SVG renderings written to {} and {}",
+        tiles_path.display(),
+        dots_path.display()
+    );
     Ok(())
 }

@@ -28,7 +28,11 @@ fn main() {
             "{} — coverage {:.0}% of the swept window, nominal point {}:",
             design.name,
             domain.coverage() * 100.0,
-            if domain.nominal_operational() { "operational" } else { "not operational" }
+            if domain.nominal_operational() {
+                "operational"
+            } else {
+                "not operational"
+            }
         );
         println!("{}", domain.render_ascii());
     }

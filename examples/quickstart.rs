@@ -55,5 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{line}");
     }
     println!("... ({} dots total)", cell.num_sidbs());
+
+    println!("\n--- flow telemetry (per-stage wall time) ---");
+    print!("{}", result.report.render_summary());
     Ok(())
 }

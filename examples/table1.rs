@@ -10,17 +10,25 @@
 //! Absolute SiDB counts differ from the paper's because the tile dot
 //! patterns are this reproduction's own designs; the layout dimensions
 //! and areas are directly comparable (see `EXPERIMENTS.md`).
+//!
+//! Besides the table, the run writes `BENCH_table1.json`: one entry per
+//! benchmark with its wall time and the full flow-telemetry report
+//! (per-stage durations, SAT probe statistics per aspect ratio). Set
+//! `TELEMETRY=summary|tree|json` to also stream each flow's report to
+//! stderr as it completes.
 
 use bestagon_core::benchmarks::{benchmark, benchmark_names};
 use bestagon_core::flow::{run_flow, FlowOptions, PnrMethod};
+use fcn_telemetry::json::Value;
 use std::time::Instant;
 
 fn main() {
     println!("=== Table 1: generated layout data ===\n");
     println!(
-        "{:<16} {:>9} {:>5} {:>7} {:>12} {:>7}  {:<28}",
+        "{:<16} {:>9} {:>5} {:>7} {:>12} {:>7}  {:<28} runtime",
         "Name", "w × h", "A", "SiDBs", "nm²", "engine", "paper (w×h, SiDBs, nm²)"
     );
+    let mut entries: Vec<Value> = Vec::new();
     for name in benchmark_names() {
         let b = benchmark(name);
         let started = Instant::now();
@@ -48,8 +56,28 @@ fn main() {
                     paper,
                     started.elapsed(),
                 );
+                entries.push(Value::Obj(vec![
+                    ("name".to_owned(), Value::Str(name.to_owned())),
+                    (
+                        "seconds".to_owned(),
+                        Value::Num(started.elapsed().as_secs_f64()),
+                    ),
+                    ("exact".to_owned(), Value::Bool(result.exact)),
+                    ("report".to_owned(), result.report.to_value()),
+                ]));
             }
             Err(e) => println!("{name:<16} FAILED: {e}"),
         }
+    }
+    let doc = Value::Obj(vec![
+        (
+            "generator".to_owned(),
+            Value::Str("examples/table1.rs".to_owned()),
+        ),
+        ("benchmarks".to_owned(), Value::Arr(entries)),
+    ]);
+    match std::fs::write("BENCH_table1.json", doc.serialize_pretty() + "\n") {
+        Ok(()) => eprintln!("wrote BENCH_table1.json"),
+        Err(e) => eprintln!("could not write BENCH_table1.json: {e}"),
     }
 }

@@ -15,6 +15,8 @@
 //! * [`sidb`] — SiDB electrostatic ground-state simulation
 //! * [`bestagon_lib`] — the Bestagon hexagonal gate library
 //! * [`flow`] — the end-to-end design flow and benchmarks
+//! * [`telemetry`] — hierarchical span/counter telemetry (`TELEMETRY`
+//!   environment variable selects the emission format)
 
 pub use bestagon_core as flow;
 pub use bestagon_lib;
@@ -23,5 +25,6 @@ pub use fcn_equiv as equiv;
 pub use fcn_layout as layout;
 pub use fcn_logic as logic;
 pub use fcn_pnr as pnr;
+pub use fcn_telemetry as telemetry;
 pub use msat as sat;
 pub use sidb_sim as sidb;

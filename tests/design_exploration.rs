@@ -7,10 +7,10 @@
 //! run them with `cargo test --release --test design_exploration --
 //! --ignored --nocapture` when (re)calibrating the library.
 
+use sidb_sim::charge::ChargeState::Negative;
 use sidb_sim::layout::SidbLayout;
 use sidb_sim::model::PhysicalParams;
 use sidb_sim::quickexact::quick_exact_ground_state;
-use sidb_sim::charge::ChargeState::Negative;
 
 fn hp(l: &mut SidbLayout, cx: i32, y: i32) {
     l.add_site((cx - 1, y, 0));
@@ -110,8 +110,14 @@ fn classify(r: &[Option<bool>]) -> &'static str {
 fn random_gate_search() {
     // Randomized structural + bias search for the remaining gate types.
     let mut seed = 0x9e3779b97f4a7c15u64;
-    let mut rand = move || { seed ^= seed << 13; seed ^= seed >> 7; seed ^= seed << 17; seed };
-    let mut found: std::collections::HashMap<&'static str, (Knobs, Option<(i32,i32)>)> = Default::default();
+    let mut rand = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    type Found = std::collections::HashMap<&'static str, (Knobs, Option<(i32, i32)>)>;
+    let mut found: Found = Default::default();
     for _ in 0..20000 {
         let k = Knobs {
             lx: 24 + (rand() % 6) as i32,
@@ -121,7 +127,11 @@ fn random_gate_search() {
             cy: 10 + (rand() % 5) as i32,
             rox: 31 + (rand() % 5) as i32,
             roy: 15 + (rand() % 3) as i32,
-            bias: if rand() % 3 == 0 { None } else { Some((22 + (rand() % 17) as i32, 8 + (rand() % 12) as i32)) },
+            bias: if rand() % 3 == 0 {
+                None
+            } else {
+                Some((22 + (rand() % 17) as i32, 8 + (rand() % 12) as i32))
+            },
             ostep: if rand() % 2 == 0 { 3 } else { 2 },
         };
         let mut r = vec![];
@@ -132,7 +142,9 @@ fn random_gate_search() {
         if matches!(c, "NOR" | "NAND" | "XOR" | "XNOR") && !found.contains_key(c) {
             println!("FOUND {c}: {k:?}");
             found.insert(c, (k, k.bias));
-            if found.len() >= 4 { break; }
+            if found.len() >= 4 {
+                break;
+            }
         }
     }
     println!("search done: {:?}", found.keys().collect::<Vec<_>>());
@@ -144,7 +156,17 @@ fn bias_sweep() {
     let mut found: std::collections::HashMap<&'static str, Vec<Knobs>> = Default::default();
     for bx in 22..=38 {
         for by in 9..=19 {
-            let k = Knobs { lx: 28, rx: 32, rrow: 10, ccx: 28, cy: 13, rox: 33, roy: 16, bias: Some((bx, by)), ostep: 3 };
+            let k = Knobs {
+                lx: 28,
+                rx: 32,
+                rrow: 10,
+                ccx: 28,
+                cy: 13,
+                rox: 33,
+                roy: 16,
+                bias: Some((bx, by)),
+                ostep: 3,
+            };
             let mut r = vec![];
             for (a, b) in [(false, false), (true, false), (false, true), (true, true)] {
                 r.push(out_value(&build(&k, a, b)));
@@ -156,7 +178,10 @@ fn bias_sweep() {
             }
         }
     }
-    println!("summary: {:?}", found.iter().map(|(k, v)| (k, v.len())).collect::<Vec<_>>());
+    println!(
+        "summary: {:?}",
+        found.iter().map(|(k, v)| (k, v.len())).collect::<Vec<_>>()
+    );
 }
 
 #[test]
@@ -171,9 +196,21 @@ fn knob_sweep() {
                     for cy in [10i32, 11, 12, 13] {
                         for rox in [33i32, 35] {
                             for roy in [15i32, 16, 17] {
-                                let k = Knobs { lx, rx, rrow, ccx, cy, rox, roy, bias: None, ostep: 3 };
+                                let k = Knobs {
+                                    lx,
+                                    rx,
+                                    rrow,
+                                    ccx,
+                                    cy,
+                                    rox,
+                                    roy,
+                                    bias: None,
+                                    ostep: 3,
+                                };
                                 let mut r = vec![];
-                                for (a, b) in [(false, false), (true, false), (false, true), (true, true)] {
+                                for (a, b) in
+                                    [(false, false), (true, false), (false, true), (true, true)]
+                                {
                                     r.push(out_value(&build(&k, a, b)));
                                 }
                                 let c = classify(&r);
@@ -205,23 +242,43 @@ fn diagnose2() {
     ] {
         match d.check_operational(&p, Engine::QuickExact) {
             OperationalStatus::Operational => println!("{name}: OK"),
-            OperationalStatus::NonOperational { pattern, observed, expected } => {
-                println!("{name}: FAIL pattern {pattern} observed {observed:?} expected {expected:?}");
+            OperationalStatus::NonOperational {
+                pattern,
+                observed,
+                expected,
+            } => {
+                println!(
+                    "{name}: FAIL pattern {pattern} observed {observed:?} expected {expected:?}"
+                );
                 let sim = d.simulate_pattern(pattern, &p, Engine::QuickExact).unwrap();
-                let neg: Vec<String> = sim.layout.sites().iter().zip(sim.ground_state.states())
+                let neg: Vec<String> = sim
+                    .layout
+                    .sites()
+                    .iter()
+                    .zip(sim.ground_state.states())
                     .filter(|(_, c)| **c == Negative)
-                    .map(|(s, _)| format!("({},{})", s.x, s.y)).collect();
+                    .map(|(s, _)| format!("({},{})", s.x, s.y))
+                    .collect();
                 println!("   neg: {}", neg.join(" "));
             }
         }
     }
 }
 
-
 /// A fast regression guard: the calibrated AND frame stays functional.
 #[test]
 fn calibrated_and_frame_is_operational() {
-    let k = Knobs { lx: 28, rx: 32, rrow: 10, ccx: 28, cy: 13, rox: 33, roy: 16, bias: None, ostep: 3 };
+    let k = Knobs {
+        lx: 28,
+        rx: 32,
+        rrow: 10,
+        ccx: 28,
+        cy: 13,
+        rox: 33,
+        roy: 16,
+        bias: None,
+        ostep: 3,
+    };
     let mut r = vec![];
     for (a, b) in [(false, false), (true, false), (false, true), (true, true)] {
         r.push(out_value(&build(&k, a, b)));

@@ -6,14 +6,21 @@ use bestagon_core::flow::{run_flow, run_flow_from_verilog, FlowOptions, PnrMetho
 use fcn_equiv::Equivalence;
 
 fn default_options(pnr: PnrMethod) -> FlowOptions {
-    FlowOptions { pnr, ..Default::default() }
+    FlowOptions {
+        pnr,
+        ..Default::default()
+    }
 }
 
 #[test]
 fn xor2_flow_matches_paper_dimensions() {
     let b = benchmark("xor2");
-    let r = run_flow("xor2", &b.xag, &default_options(PnrMethod::Exact { max_area: 60 }))
-        .expect("flow succeeds");
+    let r = run_flow(
+        "xor2",
+        &b.xag,
+        &default_options(PnrMethod::Exact { max_area: 60 }),
+    )
+    .expect("flow succeeds");
     // Paper Table 1: 2 × 3 tiles.
     assert_eq!((r.layout.ratio().width, r.layout.ratio().height), (2, 3));
     assert!(r.layout.verify().is_empty());
@@ -27,8 +34,12 @@ fn xor2_flow_matches_paper_dimensions() {
 fn all_small_benchmarks_flow_exactly() {
     for name in ["xor2", "xnor2", "par_gen", "majority"] {
         let b = benchmark(name);
-        let r = run_flow(name, &b.xag, &default_options(PnrMethod::Exact { max_area: 100 }))
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let r = run_flow(
+            name,
+            &b.xag,
+            &default_options(PnrMethod::Exact { max_area: 100 }),
+        )
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(r.exact, "{name}");
         assert!(r.layout.verify().is_empty(), "{name}");
         assert_eq!(r.equivalence, Some(Equivalence::Equivalent), "{name}");
@@ -66,8 +77,11 @@ fn verilog_to_layout_round_trip() {
           output f;
           assign f = (a & b) | (a & c) | (b & c);
         endmodule";
-    let r = run_flow_from_verilog(src, &default_options(PnrMethod::ExactWithFallback { max_area: 100 }))
-        .expect("flow");
+    let r = run_flow_from_verilog(
+        src,
+        &default_options(PnrMethod::ExactWithFallback { max_area: 100 }),
+    )
+    .expect("flow");
     assert_eq!(r.name, "voter");
     assert_eq!(r.equivalence, Some(Equivalence::Equivalent));
 }
@@ -110,11 +124,15 @@ fn flow_exports_consistent_verilog() {
     let b = benchmark("par_gen");
     let r = run_flow("par_gen", &b.xag, &default_options(PnrMethod::Heuristic)).expect("flow");
     let exported = r.to_verilog();
-    let (_, reparsed) = fcn_logic::verilog::parse_verilog(&exported)
-        .unwrap_or_else(|e| panic!("{e}\n{exported}"));
+    let (_, reparsed) =
+        fcn_logic::verilog::parse_verilog(&exported).unwrap_or_else(|e| panic!("{e}\n{exported}"));
     for row in 0..8u32 {
         let inputs: Vec<bool> = (0..3).map(|i| (row >> i) & 1 == 1).collect();
-        assert_eq!(b.xag.simulate(&inputs), reparsed.simulate(&inputs), "row {row}");
+        assert_eq!(
+            b.xag.simulate(&inputs),
+            reparsed.simulate(&inputs),
+            "row {row}"
+        );
     }
 }
 

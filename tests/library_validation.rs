@@ -50,9 +50,12 @@ fn huff_or_works_at_figure_1c_parameters() {
 fn validated_gates_have_resolvable_stability_gaps() {
     // Each validated logic tile must keep its ground state separated from
     // the nearest wrong-reading state by a positive gap.
-    for design in [huff_style_or(), catalog_gate(GateKind::And), catalog_gate(GateKind::Or)] {
-        let stability =
-            logic_stability(&design, &PhysicalParams::default(), 6, Engine::QuickExact);
+    for design in [
+        huff_style_or(),
+        catalog_gate(GateKind::And),
+        catalog_gate(GateKind::Or),
+    ] {
+        let stability = logic_stability(&design, &PhysicalParams::default(), 6, Engine::QuickExact);
         if let Some(gap) = worst_case_gap_ev(&stability) {
             assert!(gap > 0.0, "{}: non-positive gap", design.name);
         }
@@ -68,7 +71,10 @@ fn operational_gates_agree_with_their_truth_tables_under_annealing() {
     for design in [wire_nw_sw(), inverter_nw_sw()] {
         let verdict = design.check_operational(
             &params,
-            Engine::Anneal(AnnealParams { instances: 30, ..Default::default() }),
+            Engine::Anneal(AnnealParams {
+                instances: 30,
+                ..Default::default()
+            }),
         );
         assert!(verdict.is_operational(), "{}: {verdict:?}", design.name);
     }

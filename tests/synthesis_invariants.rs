@@ -17,7 +17,13 @@ struct NetworkRecipe {
 }
 
 fn arb_recipe() -> impl Strategy<Value = NetworkRecipe> {
-    (2usize..5, proptest::collection::vec((0u8..3, 0usize..64, 0usize..64, any::<bool>(), any::<bool>()), 1..14))
+    (
+        2usize..5,
+        proptest::collection::vec(
+            (0u8..3, 0usize..64, 0usize..64, any::<bool>(), any::<bool>()),
+            1..14,
+        ),
+    )
         .prop_map(|(num_inputs, ops)| NetworkRecipe { num_inputs, ops })
 }
 
@@ -39,8 +45,8 @@ fn build(recipe: &NetworkRecipe) -> Option<Xag> {
     // Output: fold every input in via AND-OR so no PI dangles and the
     // output is non-constant for mapping.
     let mut out = *signals.last()?;
-    for i in 0..recipe.num_inputs {
-        out = xag.xor(out, signals[i]);
+    for &pi in signals.iter().take(recipe.num_inputs) {
+        out = xag.xor(out, pi);
     }
     if out.node().index() == 0 {
         return None;

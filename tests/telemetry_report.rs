@@ -1,0 +1,101 @@
+//! End-to-end checks of the flow telemetry layer: the report attached to
+//! a [`FlowResult`] names the paper's eight stages, its JSON encoding
+//! parses with the crate's own parser, and the per-stage wall times are
+//! consistent with the total.
+
+use bestagon::flow::benchmarks::benchmark;
+use bestagon::flow::flow::{run_flow, FlowOptions, PnrMethod};
+use bestagon::telemetry::json::{parse, Value};
+
+const STAGES: [&str; 8] = [
+    "step1:parse",
+    "step2:rewrite",
+    "step3:techmap",
+    "step4:pnr",
+    "step5:equiv",
+    "step6:supertiles",
+    "step7:apply",
+    "step8:export",
+];
+
+fn c17_report() -> bestagon::telemetry::Report {
+    let b = benchmark("c17");
+    let options = FlowOptions {
+        pnr: PnrMethod::ExactWithFallback { max_area: 40 },
+        ..Default::default()
+    };
+    run_flow("c17", &b.xag, &options)
+        .expect("c17 flows end to end")
+        .report
+}
+
+#[test]
+fn report_names_the_eight_paper_stages() {
+    let report = c17_report();
+    assert_eq!(report.root.name, "flow");
+    assert_eq!(report.stages(), STAGES);
+    assert_eq!(
+        report.root.notes.get("circuit").map(String::as_str),
+        Some("c17")
+    );
+}
+
+#[test]
+fn stage_durations_sum_to_at_most_the_total() {
+    let report = c17_report();
+    let encoded = report.to_json_pretty();
+    let value = parse(&encoded).expect("report JSON must parse");
+
+    let children = value
+        .get("children")
+        .and_then(Value::as_array)
+        .expect("stages");
+    let total = value
+        .get("duration_ns")
+        .and_then(Value::as_f64)
+        .expect("total");
+    let mut sum = 0.0;
+    for child in children {
+        sum += child
+            .get("duration_ns")
+            .and_then(Value::as_f64)
+            .expect("stage duration");
+    }
+    assert!(
+        sum <= total,
+        "stage durations {sum} ns exceed the flow total {total} ns"
+    );
+
+    let names: Vec<&str> = children
+        .iter()
+        .map(|c| c.get("name").and_then(Value::as_str).expect("stage name"))
+        .collect();
+    assert_eq!(names, STAGES);
+}
+
+#[test]
+fn pnr_stage_records_sat_probes() {
+    let report = c17_report();
+    let pnr = report.root.child("step4:pnr").expect("pnr stage");
+    // The exact engine probes aspect ratios in a child span each; every
+    // probe carries the solver counters and a verdict note.
+    if pnr.notes.get("engine").map(String::as_str) == Some("exact") {
+        assert!(
+            !pnr.children.is_empty(),
+            "exact P&R must record ratio probes"
+        );
+        for probe in &pnr.children {
+            assert!(probe.name.starts_with("ratio:"), "{}", probe.name);
+            assert!(probe.counters.contains_key("sat.decisions"), "{probe:?}");
+            assert!(probe.notes.contains_key("verdict"), "{probe:?}");
+        }
+    }
+    // The equivalence stage always solves a miter.
+    let equiv = report.root.child("step5:equiv").expect("equiv stage");
+    let miter = equiv.child("miter").expect("miter span");
+    assert!(miter.counters.contains_key("miter.clauses"));
+    assert_eq!(
+        miter.notes.get("verdict").map(String::as_str),
+        Some("equivalent")
+    );
+}

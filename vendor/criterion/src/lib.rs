@@ -1,0 +1,158 @@
+//! Offline stand-in for the `criterion` crate, implementing the API
+//! subset this workspace's benches use: benchmark groups,
+//! `bench_function`/`bench_with_input`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery, each benchmark runs a
+//! single warm-up iteration followed by `sample_size` timed iterations
+//! and prints the mean wall time. See `vendor/README.md`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup { _criterion: self, name, sample_size: 10 }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("default").bench_function(id, f);
+    }
+}
+
+/// A named set of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { iterations: self.sample_size, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        let mean = bencher.elapsed / bencher.iterations.max(1) as u32;
+        eprintln!("  {}/{}: mean {:?} over {} iterations", self.name, id.0, mean, bencher.iterations);
+        self
+    }
+
+    /// Times `f` under `id`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark, optionally parameterised.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id of the form `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_owned())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iterations: usize,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` once to warm up, then `sample_size` timed times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Bundles benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` invoking the given group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("input", 7), &7usize, |b, n| {
+            b.iter(|| *n * 2)
+        });
+        group.finish();
+        // one warm-up + three timed iterations
+        assert_eq!(runs, 4);
+    }
+}
