@@ -17,19 +17,24 @@ fn bench_pnr(c: &mut Criterion) {
     group.sample_size(10);
     for name in ["xor2", "par_gen", "mux21"] {
         let graph = graph_for(name);
-        group.bench_function(format!("exact/{name}"), |b| {
-            b.iter(|| {
-                exact_pnr(
-                    &graph,
-                    &ExactOptions {
-                        max_area: 100,
-                        ..Default::default()
-                    },
-                )
-            })
-        });
+        // Sequential vs portfolio exact engine: same layout, different
+        // wall-clock (the tentpole win this ablation quantifies).
+        for threads in [1, 4] {
+            group.bench_function(format!("exact/{name}/t{threads}"), |b| {
+                b.iter(|| {
+                    exact_pnr(
+                        &graph,
+                        &ExactOptions {
+                            max_area: 100,
+                            num_threads: threads,
+                            ..Default::default()
+                        },
+                    )
+                })
+            });
+        }
         group.bench_function(format!("heuristic/{name}"), |b| {
-            b.iter(|| heuristic_pnr(&graph))
+            b.iter(|| heuristic_pnr(&graph).expect("routes"))
         });
     }
     group.finish();

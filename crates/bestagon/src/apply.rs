@@ -6,6 +6,7 @@
 //! dots are translated to the tile's lattice origin
 //! ([`fcn_coords::siqad::hex_tile_origin`]) and merged into one surface.
 
+use crate::geometry::{check_port_geometry, GeometryError};
 use crate::tiles::BestagonLibrary;
 use fcn_coords::siqad::{bestagon_layout_area_nm2, hex_tile_origin};
 use fcn_coords::{AspectRatio, HexCoord, HexDirection};
@@ -13,6 +14,7 @@ use fcn_layout::hexagonal::HexGateLayout;
 use fcn_layout::tile::TileContents;
 use fcn_logic::GateKind;
 use sidb_sim::layout::SidbLayout;
+use sidb_sim::operational::GateDesign;
 
 /// The dot-accurate result of applying the gate library.
 #[derive(Debug, Clone)]
@@ -42,6 +44,15 @@ pub enum ApplyError {
         /// Human-readable description of the missing variant.
         what: String,
     },
+    /// A resolved library design failed port-geometry validation.
+    MalformedTile {
+        /// The tile coordinate.
+        tile: (i32, i32),
+        /// The name of the offending design.
+        design: String,
+        /// The geometric inconsistency.
+        error: GeometryError,
+    },
 }
 
 impl core::fmt::Display for ApplyError {
@@ -51,6 +62,17 @@ impl core::fmt::Display for ApplyError {
                 write!(
                     f,
                     "tile ({}, {}): no library design for {what}",
+                    tile.0, tile.1
+                )
+            }
+            ApplyError::MalformedTile {
+                tile,
+                design,
+                error,
+            } => {
+                write!(
+                    f,
+                    "tile ({}, {}): design '{design}' is malformed: {error}",
                     tile.0, tile.1
                 )
             }
@@ -94,6 +116,17 @@ fn tile_design(
         tile: (coord.x, coord.y),
         what,
     };
+    // Every resolved design passes port-geometry validation before its
+    // body is merged, so a malformed library entry surfaces as a typed
+    // error naming the tile and design instead of a downstream panic.
+    let checked = |design: &GateDesign| -> Result<SidbLayout, ApplyError> {
+        check_port_geometry(design).map_err(|error| ApplyError::MalformedTile {
+            tile: (coord.x, coord.y),
+            design: design.name.clone(),
+            error,
+        })?;
+        Ok(design.body.clone())
+    };
 
     match contents {
         TileContents::Gate {
@@ -121,14 +154,14 @@ fn tile_design(
             let tile = library
                 .tile(kind, &inputs, &outputs)
                 .ok_or_else(|| missing(format!("{kind} {inputs:?} → {outputs:?}")))?;
-            Ok(tile.design.body.clone())
+            checked(&tile.design)
         }
         TileContents::Wire { segments } => match segments.as_slice() {
             [(i, o)] => {
                 let tile = library
                     .tile(GateKind::Buf, &[*i], &[*o])
                     .ok_or_else(|| missing(format!("wire {i} → {o}")))?;
-                Ok(tile.design.body.clone())
+                checked(&tile.design)
             }
             [a, b] => {
                 let set: std::collections::BTreeSet<(HexDirection, HexDirection)> =
@@ -138,7 +171,7 @@ fn tile_design(
                 let parallel: std::collections::BTreeSet<_> =
                     [(NW, SW), (NE, SE)].into_iter().collect();
                 if set == crossing {
-                    Ok(library.crossing_design().body)
+                    checked(&library.crossing_design())
                 } else if set == parallel {
                     let tile = library
                         .tile(GateKind::Buf, &[NW], &[SW])
@@ -146,8 +179,8 @@ fn tile_design(
                     let mirrored = library
                         .tile(GateKind::Buf, &[NE], &[SE])
                         .ok_or_else(|| missing("double wire".into()))?;
-                    let mut body = tile.design.body.clone();
-                    body.merge(&mirrored.design.body);
+                    let mut body = checked(&tile.design)?;
+                    body.merge(&checked(&mirrored.design)?);
                     Ok(body)
                 } else {
                     Err(missing(format!("wire pair {set:?}")))
@@ -213,6 +246,30 @@ mod tests {
             .sites()
             .iter()
             .any(|s| (30..90).contains(&s.x) && (23..46).contains(&s.y)));
+    }
+
+    #[test]
+    fn library_port_geometry_is_well_formed() {
+        let lib = BestagonLibrary::new();
+        for tile in lib.iter() {
+            check_port_geometry(&tile.design)
+                .unwrap_or_else(|e| panic!("design '{}': {e}", tile.design.name));
+        }
+        check_port_geometry(&lib.crossing_design()).expect("crossing design");
+    }
+
+    #[test]
+    fn malformed_tile_reports_design_and_position() {
+        let err = ApplyError::MalformedTile {
+            tile: (2, 3),
+            design: "wire_nw_sw".into(),
+            error: GeometryError::MissingDot {
+                dot: fcn_coords::LatticeCoord::new(15, 1, 0),
+            },
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("(2, 3)"), "missing tile coordinate: {msg}");
+        assert!(msg.contains("wire_nw_sw"), "missing design name: {msg}");
     }
 
     #[test]

@@ -33,7 +33,108 @@
 
 use fcn_coords::LatticeCoord;
 use sidb_sim::bdl::{BdlPair, InputPort, OutputPort};
+use sidb_sim::charge::{ChargeConfiguration, ChargeState};
 use sidb_sim::layout::SidbLayout;
+use sidb_sim::operational::GateDesign;
+
+/// A geometric inconsistency in a BDL pair or gate design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeometryError {
+    /// A dot that a pair or port refers to is absent from the layout.
+    MissingDot {
+        /// The absent dot.
+        dot: LatticeCoord,
+    },
+    /// A pair's charge read-out is ambiguous (both or neither dot
+    /// negative), so it encodes no logic value.
+    AmbiguousPair {
+        /// The pair's center column.
+        cx: i32,
+        /// The pair's dimer row.
+        y: i32,
+    },
+    /// A port pair whose 0-dot and 1-dot coincide cannot encode a bit.
+    DegeneratePair {
+        /// The coinciding dot.
+        dot: LatticeCoord,
+    },
+}
+
+impl core::fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GeometryError::MissingDot { dot } => {
+                write!(f, "dot {dot} is not part of the layout")
+            }
+            GeometryError::AmbiguousPair { cx, y } => {
+                write!(f, "ambiguous charge read-out for the pair at ({cx}, {y})")
+            }
+            GeometryError::DegeneratePair { dot } => {
+                write!(f, "degenerate port pair: 0-dot and 1-dot coincide at {dot}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+/// Reads the logic state of the horizontal pair centered at `(cx, y)`
+/// from a charge configuration.
+///
+/// # Errors
+///
+/// [`GeometryError::MissingDot`] when either dot is absent from the
+/// layout, [`GeometryError::AmbiguousPair`] when the electron count on
+/// the pair is not exactly one.
+pub fn pair_state(
+    layout: &SidbLayout,
+    config: &ChargeConfiguration,
+    cx: i32,
+    y: i32,
+) -> Result<bool, GeometryError> {
+    let [left, right] = pair_dots(cx, y);
+    let li = layout
+        .index_of(left)
+        .ok_or(GeometryError::MissingDot { dot: left })?;
+    let ri = layout
+        .index_of(right)
+        .ok_or(GeometryError::MissingDot { dot: right })?;
+    match (
+        config.state(li) == ChargeState::Negative,
+        config.state(ri) == ChargeState::Negative,
+    ) {
+        (true, false) => Ok(false),
+        (false, true) => Ok(true),
+        _ => Err(GeometryError::AmbiguousPair { cx, y }),
+    }
+}
+
+/// Validates that every port pair of a gate design is non-degenerate and
+/// fully contained in the design's body.
+///
+/// # Errors
+///
+/// [`GeometryError::DegeneratePair`] when a port's 0-dot and 1-dot
+/// coincide, [`GeometryError::MissingDot`] when a port dot is absent
+/// from the body layout.
+pub fn check_port_geometry(design: &GateDesign) -> Result<(), GeometryError> {
+    let pairs = design
+        .inputs
+        .iter()
+        .map(|p| p.pair)
+        .chain(design.outputs.iter().map(|p| p.pair));
+    for pair in pairs {
+        if pair.zero_dot == pair.one_dot {
+            return Err(GeometryError::DegeneratePair { dot: pair.zero_dot });
+        }
+        for dot in pair.dots() {
+            if design.body.index_of(dot).is_none() {
+                return Err(GeometryError::MissingDot { dot });
+            }
+        }
+    }
+    Ok(())
+}
 
 /// Tile width in lattice cells.
 pub const TILE_WIDTH: i32 = 60;
@@ -174,7 +275,6 @@ pub fn balanced_run(layout: &mut SidbLayout, y: i32, centers: &[i32]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sidb_sim::charge::ChargeState;
     use sidb_sim::model::PhysicalParams;
     use sidb_sim::quickexact::quick_exact_ground_state;
 
@@ -219,17 +319,7 @@ mod tests {
         let gs = quick_exact_ground_state(&layout, &PhysicalParams::default()).expect("non-empty");
         let mut last = None;
         for &y in &WIRE_ROWS {
-            let [l, r] = pair_dots(30, y);
-            let li = layout.index_of(l).expect("dot");
-            let ri = layout.index_of(r).expect("dot");
-            let state = match (
-                gs.state(li) == ChargeState::Negative,
-                gs.state(ri) == ChargeState::Negative,
-            ) {
-                (true, false) => false,
-                (false, true) => true,
-                _ => panic!("ambiguous pair at row {y}"),
-            };
+            let state = pair_state(&layout, &gs, 30, y).unwrap_or_else(|e| panic!("{e}"));
             if let Some(prev) = last {
                 assert_ne!(prev, state, "pairs at adjacent rows must anti-align");
             }
@@ -247,23 +337,92 @@ mod tests {
         let gs = quick_exact_ground_state(&layout, &PhysicalParams::default()).expect("non-empty");
         let mut states = Vec::new();
         for cx in [15, 23, 31, 39] {
-            let [l, r] = pair_dots(cx, 9);
-            let li = layout.index_of(l).expect("dot");
-            let ri = layout.index_of(r).expect("dot");
-            states.push(
-                match (
-                    gs.state(li) == ChargeState::Negative,
-                    gs.state(ri) == ChargeState::Negative,
-                ) {
-                    (true, false) => false,
-                    (false, true) => true,
-                    _ => panic!("ambiguous pair at {cx}"),
-                },
-            );
+            states.push(pair_state(&layout, &gs, cx, 9).unwrap_or_else(|e| panic!("{e}")));
         }
         assert!(
             states.windows(2).all(|w| w[0] == w[1]),
             "run must copy: {states:?}"
         );
+    }
+
+    #[test]
+    fn pair_state_reports_missing_dot() {
+        let layout = SidbLayout::new();
+        let cfg = ChargeConfiguration::neutral(0);
+        let [left, _] = pair_dots(30, 5);
+        assert_eq!(
+            pair_state(&layout, &cfg, 30, 5),
+            Err(GeometryError::MissingDot { dot: left })
+        );
+    }
+
+    #[test]
+    fn pair_state_reports_ambiguous_readout() {
+        let mut layout = SidbLayout::new();
+        add_pair(&mut layout, 30, 5);
+        // Neither dot negative: no electron on the pair.
+        let cfg = ChargeConfiguration::neutral(layout.num_sites());
+        assert_eq!(
+            pair_state(&layout, &cfg, 30, 5),
+            Err(GeometryError::AmbiguousPair { cx: 30, y: 5 })
+        );
+        let err = pair_state(&layout, &cfg, 30, 5).expect_err("ambiguous");
+        assert!(err.to_string().contains("(30, 5)"));
+    }
+
+    #[test]
+    fn check_port_geometry_accepts_standard_ports() {
+        let mut body = SidbLayout::new();
+        add_pair(&mut body, WEST_PORT_X, INPUT_ROW);
+        add_pair(&mut body, WEST_PORT_X, OUTPUT_ROW);
+        let design = GateDesign {
+            name: "wire".into(),
+            body,
+            inputs: vec![standard_input_port(WEST_PORT_X)],
+            outputs: vec![standard_output_port(WEST_PORT_X)],
+            truth_table: vec![vec![false], vec![true]],
+        };
+        assert_eq!(check_port_geometry(&design), Ok(()));
+    }
+
+    #[test]
+    fn check_port_geometry_reports_degenerate_and_missing() {
+        let mut body = SidbLayout::new();
+        add_pair(&mut body, WEST_PORT_X, INPUT_ROW);
+        let dot = LatticeCoord::new(WEST_PORT_X, INPUT_ROW, 0);
+        let degenerate = GateDesign {
+            name: "bad".into(),
+            body: body.clone(),
+            inputs: vec![InputPort {
+                pair: BdlPair::new(dot, dot),
+                perturber_zero: dot,
+                perturber_one: dot,
+            }],
+            outputs: vec![],
+            truth_table: vec![],
+        };
+        assert_eq!(
+            check_port_geometry(&degenerate),
+            Err(GeometryError::DegeneratePair { dot })
+        );
+
+        let missing = GateDesign {
+            name: "bad".into(),
+            body,
+            inputs: vec![],
+            outputs: vec![standard_output_port(WEST_PORT_X)],
+            truth_table: vec![],
+        };
+        let [left, _] = pair_dots(WEST_PORT_X, OUTPUT_ROW);
+        // The output-port pair is reversed (one_dot on the left), so the
+        // first dot checked is the zero dot on the right… both absent;
+        // assert on whichever the walk reports.
+        match check_port_geometry(&missing) {
+            Err(GeometryError::MissingDot { dot }) => {
+                assert_eq!(dot.y, OUTPUT_ROW);
+                assert!((dot.x - left.x).abs() <= 2 * PAIR_HALF_WIDTH);
+            }
+            other => panic!("expected MissingDot, got {other:?}"),
+        }
     }
 }

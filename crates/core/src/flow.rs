@@ -55,6 +55,10 @@ pub struct FlowOptions {
     pub map: MapOptions,
     /// Physical-design engine (step 4).
     pub pnr: PnrMethod,
+    /// Worker threads for the exact engine's aspect-ratio portfolio
+    /// (step 4). `None` uses [`fcn_pnr::default_num_threads`]; the
+    /// layout is identical at any thread count.
+    pub pnr_threads: Option<usize>,
     /// Run SAT-based equivalence checking (step 5).
     pub verify: bool,
     /// Apply the Bestagon library for a dot-accurate layout (step 7).
@@ -67,6 +71,7 @@ impl Default for FlowOptions {
             rewrite: Some(RewriteOptions::default()),
             map: MapOptions::default(),
             pnr: PnrMethod::default(),
+            pnr_threads: None,
             verify: true,
             apply_library: true,
         }
@@ -268,29 +273,23 @@ fn run_flow_steps(name: &str, xag: &Xag, options: &FlowOptions) -> Result<FlowRe
     // Step 4: placement & routing.
     let (layout, exact) = {
         let _step = fcn_telemetry::span("step4:pnr");
+        let exact_options = |max_area: u64| ExactOptions {
+            max_area,
+            num_threads: options
+                .pnr_threads
+                .unwrap_or_else(fcn_pnr::default_num_threads),
+            ..Default::default()
+        };
         let (layout, exact) = match options.pnr {
             PnrMethod::Exact { max_area } => {
-                let r = exact_pnr(
-                    &graph,
-                    &ExactOptions {
-                        max_area,
-                        ..Default::default()
-                    },
-                )
-                .map_err(FlowError::Pnr)?;
+                let r = exact_pnr(&graph, &exact_options(max_area)).map_err(FlowError::Pnr)?;
                 (r.layout, true)
             }
-            PnrMethod::Heuristic => (heuristic_pnr(&graph), false),
+            PnrMethod::Heuristic => (heuristic_pnr(&graph).map_err(FlowError::Pnr)?, false),
             PnrMethod::ExactWithFallback { max_area } => {
-                match exact_pnr(
-                    &graph,
-                    &ExactOptions {
-                        max_area,
-                        ..Default::default()
-                    },
-                ) {
+                match exact_pnr(&graph, &exact_options(max_area)) {
                     Ok(r) => (r.layout, true),
-                    Err(_) => (heuristic_pnr(&graph), false),
+                    Err(_) => (heuristic_pnr(&graph).map_err(FlowError::Pnr)?, false),
                 }
             }
         };

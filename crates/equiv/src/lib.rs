@@ -471,7 +471,7 @@ mod tests {
     fn heuristic_layout_is_equivalent() {
         let xag = full_adder();
         let net = map_xag(&xag, MapOptions::default()).expect("mappable");
-        let layout = heuristic_pnr(&NetGraph::new(net).expect("ok"));
+        let layout = heuristic_pnr(&NetGraph::new(net).expect("ok")).expect("routes");
         assert_eq!(
             check_equivalence(&xag, &layout).expect("checkable"),
             Equivalence::Equivalent
@@ -482,7 +482,7 @@ mod tests {
     fn extraction_round_trips_simulation() {
         let xag = full_adder();
         let net = map_xag(&xag, MapOptions::default()).expect("mappable");
-        let layout = heuristic_pnr(&NetGraph::new(net).expect("ok"));
+        let layout = heuristic_pnr(&NetGraph::new(net).expect("ok")).expect("routes");
         let extracted = extract_network(&layout).expect("extractable");
         for row in 0..8u32 {
             let inputs: Vec<bool> = (0..3).map(|i| (row >> i) & 1 == 1).collect();
@@ -509,7 +509,7 @@ mod tests {
         let f = wrong.or(a, b);
         wrong.primary_output("f", f);
         let net = map_xag(&wrong, MapOptions::default()).expect("mappable");
-        let layout = heuristic_pnr(&NetGraph::new(net).expect("ok"));
+        let layout = heuristic_pnr(&NetGraph::new(net).expect("ok")).expect("routes");
 
         match check_equivalence(&spec, &layout).expect("checkable") {
             Equivalence::NotEquivalent { counterexample } => {
@@ -534,7 +534,7 @@ mod tests {
         let x = other.primary_input("x"); // different pad name
         other.primary_output("f", !x);
         let net = map_xag(&other, MapOptions::default()).expect("mappable");
-        let layout = heuristic_pnr(&NetGraph::new(net).expect("ok"));
+        let layout = heuristic_pnr(&NetGraph::new(net).expect("ok")).expect("routes");
         assert!(matches!(
             check_equivalence(&spec, &layout),
             Err(EquivError::InterfaceMismatch(_))

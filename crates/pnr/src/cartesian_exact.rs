@@ -16,13 +16,14 @@
 
 use crate::exact::{ExactOptions, PnrError, ProbeVerdict, RatioProbe};
 use crate::netgraph::NetGraph;
+use crate::portfolio::{run_portfolio, CancelFlag, ProbeOutcome};
 use fcn_coords::{AspectRatio, CartCoord, CartDirection};
 use fcn_layout::cartesian::CartGateLayout;
 use fcn_layout::clocking::ClockingScheme;
 use fcn_layout::tile::TileContents;
 use fcn_logic::techmap::MappedId;
 use fcn_logic::GateKind;
-use msat::{CnfBuilder, Lit, SolverStats};
+use msat::{BoundedResult, CnfBuilder, Lit, SolverStats};
 use std::collections::HashMap;
 
 /// A successful Cartesian placement & routing.
@@ -74,46 +75,50 @@ pub fn cartesian_exact_pnr(
     options: &ExactOptions,
 ) -> Result<CartPnrResult, PnrError> {
     let num_nodes = graph.network.num_nodes() as u64;
-    let mut tried = 0usize;
+    // The last diagonal frontier must fit all POs, the first all PIs;
+    // the number of diagonals is w + h − 1 and must cover min_height
+    // (the longest node path).
+    let candidates: Vec<AspectRatio> = AspectRatio::in_area_order(options.max_area)
+        .filter(|ratio| {
+            let diagonals = ratio.width + ratio.height - 1;
+            diagonals >= graph.min_height()
+                && ratio.tile_count() >= num_nodes
+                && (ratio.width.min(ratio.height) as usize)
+                    >= graph
+                        .network
+                        .primary_inputs()
+                        .len()
+                        .min(graph.network.primary_outputs().len())
+                        .min(1)
+        })
+        .collect();
+
+    let outcome = run_portfolio(&candidates, options.num_threads, |_, ratio, cancel| {
+        solve_ratio(graph, *ratio, options.max_conflicts_per_ratio, cancel)
+    });
+    if outcome.cancelled > 0 {
+        fcn_telemetry::counter("probes.cancelled", outcome.cancelled as u64);
+    }
+
     let mut cumulative = SolverStats::default();
-    let mut probes = Vec::new();
-    for ratio in AspectRatio::in_area_order(options.max_area) {
-        // The last diagonal frontier must fit all POs, the first all PIs;
-        // the number of diagonals is w + h − 1 and must cover min_height
-        // (the longest node path).
-        let diagonals = ratio.width + ratio.height - 1;
-        if diagonals < graph.min_height()
-            || ratio.tile_count() < num_nodes
-            || (ratio.width.min(ratio.height) as usize)
-                < graph
-                    .network
-                    .primary_inputs()
-                    .len()
-                    .min(graph.network.primary_outputs().len())
-                    .min(1)
-        {
-            continue;
-        }
-        tried += 1;
-        let (layout, probe) = solve_ratio(graph, ratio, options.max_conflicts_per_ratio);
-        if let Some(probe) = probe {
-            cumulative += probe.stats;
-            probes.push(probe);
-        }
-        if let Some(layout) = layout {
-            return Ok(CartPnrResult {
-                layout,
-                ratio,
-                ratios_tried: tried,
-                stats: cumulative,
-                probes,
-            });
+    for probe in &outcome.probes {
+        cumulative += probe.stats;
+    }
+    match outcome.winner {
+        Some((idx, layout)) => Ok(CartPnrResult {
+            layout,
+            ratio: candidates[idx],
+            ratios_tried: outcome.attempted,
+            stats: cumulative,
+            probes: outcome.probes,
+        }),
+        None => {
+            fcn_telemetry::note("verdict", "no-feasible-ratio");
+            Err(PnrError::NoFeasibleRatio {
+                max_area: options.max_area,
+            })
         }
     }
-    fcn_telemetry::note("verdict", "no-feasible-ratio");
-    Err(PnrError::NoFeasibleRatio {
-        max_area: options.max_area,
-    })
 }
 
 /// The inclusive diagonal (`x + y`) range a node may occupy for a layout
@@ -138,17 +143,24 @@ fn border_ok(kind: GateKind, t: CartCoord, w: i32, h: i32) -> bool {
 
 /// Attempts to place & route at a fixed aspect ratio. The probe record
 /// is `None` when the ratio was discarded before reaching the solver
-/// (unschedulable or with an unplaceable node).
+/// (unschedulable or with an unplaceable node); such ratios still count
+/// as attempted.
 fn solve_ratio(
     graph: &NetGraph,
     ratio: AspectRatio,
     max_conflicts: u64,
-) -> (Option<CartGateLayout>, Option<RatioProbe>) {
+    cancel: &CancelFlag,
+) -> ProbeOutcome<CartGateLayout, RatioProbe> {
+    let filtered = ProbeOutcome {
+        layout: None,
+        probe: None,
+        cancelled: false,
+    };
     let _span = fcn_telemetry::span(format!("ratio:{}", ratio.label()));
     let (w, h) = (ratio.width as i32, ratio.height as i32);
     let diagonals = ratio.width + ratio.height - 1;
     let Some(alap) = graph.alap(diagonals) else {
-        return (None, None);
+        return filtered;
     };
     let mut cnf = CnfBuilder::new();
     let node_ids: Vec<MappedId> = graph.network.node_ids().collect();
@@ -177,7 +189,7 @@ fn solve_ratio(
             }
         }
         if vars.is_empty() {
-            return (None, None);
+            return filtered;
         }
         cnf.exactly_one(&vars);
     }
@@ -319,12 +331,23 @@ fn solve_ratio(
 
     fcn_telemetry::counter("cnf.vars", cnf.solver().num_vars() as u64);
     fcn_telemetry::counter("cnf.clauses", cnf.solver().num_clauses() as u64);
-    let outcome = cnf.solver_mut().solve_bounded(max_conflicts);
+    cnf.solver_mut().set_interrupt(cancel.clone());
+    let outcome = cnf
+        .solver_mut()
+        .solve_bounded_with_assumptions(max_conflicts, &[]);
     let stats = cnf.solver().stats();
+    if let BoundedResult::Interrupted = outcome {
+        fcn_telemetry::note("verdict", "cancelled");
+        return ProbeOutcome {
+            layout: None,
+            probe: None,
+            cancelled: true,
+        };
+    }
     let verdict = match &outcome {
-        Some(msat::SolveResult::Sat(_)) => ProbeVerdict::Sat,
-        Some(msat::SolveResult::Unsat) => ProbeVerdict::Unsat,
-        None => ProbeVerdict::BudgetExceeded,
+        BoundedResult::Sat(_) => ProbeVerdict::Sat,
+        BoundedResult::Unsat => ProbeVerdict::Unsat,
+        BoundedResult::BudgetExceeded | BoundedResult::Interrupted => ProbeVerdict::BudgetExceeded,
     };
     fcn_telemetry::counter("sat.conflicts", stats.conflicts);
     fcn_telemetry::counter("sat.decisions", stats.decisions);
@@ -337,8 +360,14 @@ fn solve_ratio(
         stats,
     });
     let model = match outcome {
-        Some(msat::SolveResult::Sat(m)) => m,
-        Some(msat::SolveResult::Unsat) | None => return (None, probe),
+        BoundedResult::Sat(m) => m,
+        _ => {
+            return ProbeOutcome {
+                layout: None,
+                probe,
+                cancelled: false,
+            }
+        }
     };
 
     // Extraction.
@@ -389,7 +418,11 @@ fn solve_ratio(
     for (t, segs) in segments {
         layout.place(t, TileContents::Wire { segments: segs });
     }
-    (Some(layout), probe)
+    ProbeOutcome {
+        layout: Some(layout),
+        probe,
+        cancelled: false,
+    }
 }
 
 #[cfg(test)]

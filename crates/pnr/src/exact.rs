@@ -20,13 +20,14 @@
 //! (edge `e` leaves tile `t` towards diagonal direction `d`).
 
 use crate::netgraph::NetGraph;
+use crate::portfolio::{run_portfolio, CancelFlag, ProbeOutcome};
 use fcn_coords::{AspectRatio, HexCoord, HexDirection};
 use fcn_layout::clocking::ClockingScheme;
 use fcn_layout::hexagonal::HexGateLayout;
 use fcn_layout::tile::TileContents;
 use fcn_logic::techmap::MappedId;
 use fcn_logic::GateKind;
-use msat::{CnfBuilder, Lit, SolverStats};
+use msat::{BoundedResult, CnfBuilder, Lit, SolverStats};
 use std::collections::HashMap;
 
 /// Options for the exact engine.
@@ -39,6 +40,11 @@ pub struct ExactOptions {
     /// guaranteed minimality for bounded runtime on large netlists
     /// (`u64::MAX` restores full exactness).
     pub max_conflicts_per_ratio: u64,
+    /// Number of worker threads racing aspect-ratio probes (see
+    /// [`crate::portfolio`]). `1` probes sequentially on the calling
+    /// thread; the result is identical either way. Defaults to
+    /// [`default_num_threads`].
+    pub num_threads: usize,
 }
 
 impl Default for ExactOptions {
@@ -46,8 +52,23 @@ impl Default for ExactOptions {
         ExactOptions {
             max_area: 120,
             max_conflicts_per_ratio: 10_000,
+            num_threads: default_num_threads(),
         }
     }
+}
+
+/// The default worker-thread count for the exact engines: the
+/// `PNR_THREADS` environment variable when set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`] (1 when unknown).
+pub fn default_num_threads() -> usize {
+    if let Ok(value) = std::env::var("PNR_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// How one aspect-ratio SAT probe concluded.
@@ -113,13 +134,22 @@ impl PnrResult {
     }
 }
 
-/// An error of the exact engine.
+/// An error of a placement & routing engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PnrError {
     /// No aspect ratio within the area bound admits a legal layout.
     NoFeasibleRatio {
         /// The exhausted area bound.
         max_area: u64,
+    },
+    /// The heuristic router's drift search found no legal position —
+    /// an internal invariant violation reported as an error so the
+    /// flow's fallback path degrades gracefully instead of aborting.
+    RouterInvariant {
+        /// The layout row being routed when the invariant failed.
+        row: i32,
+        /// The doubled-coordinate position with no legal drift.
+        pos: i32,
     },
 }
 
@@ -128,6 +158,13 @@ impl core::fmt::Display for PnrError {
         match self {
             PnrError::NoFeasibleRatio { max_area } => {
                 write!(f, "no feasible layout within {max_area} tiles")
+            }
+            PnrError::RouterInvariant { row, pos } => {
+                write!(
+                    f,
+                    "heuristic router invariant violated: no legal drift \
+                     around doubled position {pos} in row {row}"
+                )
             }
         }
     }
@@ -161,37 +198,48 @@ impl std::error::Error for PnrError {}
 /// ```
 pub fn exact_pnr(graph: &NetGraph, options: &ExactOptions) -> Result<PnrResult, PnrError> {
     let num_nodes = graph.network.num_nodes() as u64;
-    let mut tried = 0usize;
+    // Materialize the candidate stream up front: the filters are cheap
+    // relative to a single SAT probe, and a concrete slice lets the
+    // portfolio dispatch candidates to workers in area order.
+    let candidates: Vec<(AspectRatio, Vec<u32>)> = AspectRatio::in_area_order(options.max_area)
+        .filter(|ratio| {
+            ratio.width >= graph.min_width()
+                && ratio.height >= graph.min_height()
+                && ratio.tile_count() >= num_nodes
+        })
+        .filter_map(|ratio| Some((ratio, graph.alap(ratio.height)?)))
+        .collect();
+
+    let outcome = run_portfolio(
+        &candidates,
+        options.num_threads,
+        |_, (ratio, alap), cancel| {
+            solve_ratio(graph, *ratio, alap, options.max_conflicts_per_ratio, cancel)
+        },
+    );
+    if outcome.cancelled > 0 {
+        fcn_telemetry::counter("probes.cancelled", outcome.cancelled as u64);
+    }
+
     let mut cumulative = SolverStats::default();
-    let mut probes = Vec::new();
-    for ratio in AspectRatio::in_area_order(options.max_area) {
-        if ratio.width < graph.min_width()
-            || ratio.height < graph.min_height()
-            || ratio.tile_count() < num_nodes
-        {
-            continue;
-        }
-        let Some(alap) = graph.alap(ratio.height) else {
-            continue;
-        };
-        tried += 1;
-        let (layout, probe) = solve_ratio(graph, ratio, &alap, options.max_conflicts_per_ratio);
+    for probe in &outcome.probes {
         cumulative += probe.stats;
-        probes.push(probe);
-        if let Some(layout) = layout {
-            return Ok(PnrResult {
-                layout,
-                ratio,
-                ratios_tried: tried,
-                stats: cumulative,
-                probes,
-            });
+    }
+    match outcome.winner {
+        Some((idx, layout)) => Ok(PnrResult {
+            layout,
+            ratio: candidates[idx].0,
+            ratios_tried: outcome.attempted,
+            stats: cumulative,
+            probes: outcome.probes,
+        }),
+        None => {
+            fcn_telemetry::note("verdict", "no-feasible-ratio");
+            Err(PnrError::NoFeasibleRatio {
+                max_area: options.max_area,
+            })
         }
     }
-    fcn_telemetry::note("verdict", "no-feasible-ratio");
-    Err(PnrError::NoFeasibleRatio {
-        max_area: options.max_area,
-    })
 }
 
 /// The inclusive row range a node may occupy.
@@ -204,13 +252,16 @@ fn row_range(graph: &NetGraph, alap: &[u32], height: u32, n: MappedId) -> (u32, 
 }
 
 /// Attempts to place & route at a fixed aspect ratio, reporting the
-/// probe's verdict and solver cost alongside any layout found.
+/// probe's verdict and solver cost alongside any layout found. The
+/// cancel flag is forwarded to the solver's cooperative interrupt; a
+/// cancelled probe yields no probe record.
 fn solve_ratio(
     graph: &NetGraph,
     ratio: AspectRatio,
     alap: &[u32],
     max_conflicts: u64,
-) -> (Option<HexGateLayout>, RatioProbe) {
+    cancel: &CancelFlag,
+) -> ProbeOutcome<HexGateLayout, RatioProbe> {
     let _span = fcn_telemetry::span(format!("ratio:{}", ratio.label()));
     let (w, h) = (ratio.width as i32, ratio.height as i32);
     let mut cnf = CnfBuilder::new();
@@ -376,12 +427,23 @@ fn solve_ratio(
 
     fcn_telemetry::counter("cnf.vars", cnf.solver().num_vars() as u64);
     fcn_telemetry::counter("cnf.clauses", cnf.solver().num_clauses() as u64);
-    let outcome = cnf.solver_mut().solve_bounded(max_conflicts);
+    cnf.solver_mut().set_interrupt(cancel.clone());
+    let outcome = cnf
+        .solver_mut()
+        .solve_bounded_with_assumptions(max_conflicts, &[]);
     let stats = cnf.solver().stats();
+    if let BoundedResult::Interrupted = outcome {
+        fcn_telemetry::note("verdict", "cancelled");
+        return ProbeOutcome {
+            layout: None,
+            probe: None,
+            cancelled: true,
+        };
+    }
     let verdict = match &outcome {
-        Some(msat::SolveResult::Sat(_)) => ProbeVerdict::Sat,
-        Some(msat::SolveResult::Unsat) => ProbeVerdict::Unsat,
-        None => ProbeVerdict::BudgetExceeded,
+        BoundedResult::Sat(_) => ProbeVerdict::Sat,
+        BoundedResult::Unsat => ProbeVerdict::Unsat,
+        BoundedResult::BudgetExceeded | BoundedResult::Interrupted => ProbeVerdict::BudgetExceeded,
     };
     fcn_telemetry::counter("sat.conflicts", stats.conflicts);
     fcn_telemetry::counter("sat.decisions", stats.decisions);
@@ -394,8 +456,14 @@ fn solve_ratio(
         stats,
     };
     let model = match outcome {
-        Some(msat::SolveResult::Sat(m)) => m,
-        Some(msat::SolveResult::Unsat) | None => return (None, probe),
+        BoundedResult::Sat(m) => m,
+        _ => {
+            return ProbeOutcome {
+                layout: None,
+                probe: Some(probe),
+                cancelled: false,
+            }
+        }
     };
 
     // Extract the layout.
@@ -456,7 +524,11 @@ fn solve_ratio(
         layout.place(t, TileContents::Wire { segments: segs });
     }
 
-    (Some(layout), probe)
+    ProbeOutcome {
+        layout: Some(layout),
+        probe: Some(probe),
+        cancelled: false,
+    }
 }
 
 #[cfg(test)]

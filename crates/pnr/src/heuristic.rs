@@ -22,6 +22,7 @@
 //! tile only as a crossing (or as the two fresh outputs of a fan-out /
 //! half-adder tile), in which case their next-row exits are forced.
 
+use crate::exact::PnrError;
 use crate::netgraph::NetGraph;
 use fcn_coords::{AspectRatio, HexCoord, HexDirection};
 use fcn_layout::clocking::ClockingScheme;
@@ -60,9 +61,16 @@ enum Pending {
 
 /// Runs the heuristic placement & routing sweep.
 ///
-/// Always succeeds for a fan-out-legalized netlist with at least one
-/// primary output; the resulting layout passes
-/// [`HexGateLayout::verify`].
+/// Succeeds for every fan-out-legalized netlist with at least one
+/// primary output the router's drift invariants hold for; the resulting
+/// layout passes [`HexGateLayout::verify`].
+///
+/// # Errors
+///
+/// Returns [`PnrError::RouterInvariant`] when the drift search finds no
+/// legal position for a signal — an internal invariant violation
+/// surfaced as an error so callers (notably the flow's
+/// exact-with-fallback path) can degrade gracefully.
 ///
 /// # Examples
 ///
@@ -77,11 +85,11 @@ enum Pending {
 /// let f = xag.or(a, b);
 /// xag.primary_output("f", f);
 /// let net = map_xag(&xag, MapOptions::default())?;
-/// let layout = heuristic_pnr(&NetGraph::new(net)?);
+/// let layout = heuristic_pnr(&NetGraph::new(net)?)?;
 /// assert!(layout.verify().is_empty());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn heuristic_pnr(graph: &NetGraph) -> HexGateLayout {
+pub fn heuristic_pnr(graph: &NetGraph) -> Result<HexGateLayout, PnrError> {
     Router::new(graph).run()
 }
 
@@ -105,7 +113,7 @@ impl<'a> Router<'a> {
         }
     }
 
-    fn run(mut self) -> HexGateLayout {
+    fn run(mut self) -> Result<HexGateLayout, PnrError> {
         self.place_pi_row();
         loop {
             let pending_pos: Vec<MappedId> = self
@@ -119,10 +127,10 @@ impl<'a> Router<'a> {
                 .all(|n| self.graph.network.node(*n).kind == GateKind::Po)
                 && self.alive.iter().all(|a| a.forced.is_none())
             {
-                self.place_po_row();
-                return self.finish();
+                self.place_po_row()?;
+                return Ok(self.finish());
             }
-            self.advance_row();
+            self.advance_row()?;
         }
     }
 
@@ -170,7 +178,7 @@ impl<'a> Router<'a> {
 
     /// Advances the frontier by one row: gate placements, at most one
     /// bubble/convergence action, and straight drifts for the rest.
-    fn advance_row(&mut self) {
+    fn advance_row(&mut self) -> Result<(), PnrError> {
         let next_row = self.row + 1;
         // Plan per alive index: either consumed by a gate or drifting.
         let mut consumed_by: HashMap<usize, MappedId> = HashMap::new(); // track -> gate
@@ -302,22 +310,22 @@ impl<'a> Router<'a> {
                 |c: i32| c >= last_assigned + 2 && !gate_tiles.contains(&c) && expected(c) == 0;
             let shared =
                 |c: i32| c >= last_assigned && !gate_tiles.contains(&c) && expected(c) == 1;
-            let pick = |desired: i32| -> i32 {
+            let pick = |desired: i32| -> Option<i32> {
                 let (first, second) = if desired == a.pos - 1 {
                     (a.pos - 1, a.pos + 1)
                 } else {
                     (a.pos + 1, a.pos - 1)
                 };
                 if fresh(first) {
-                    first
+                    Some(first)
                 } else if fresh(second) {
-                    second
+                    Some(second)
                 } else if shared(first) {
-                    first
+                    Some(first)
                 } else if shared(second) {
-                    second
+                    Some(second)
                 } else {
-                    panic!("router invariant violated: no legal drift around {}", a.pos)
+                    None
                 }
             };
 
@@ -391,7 +399,10 @@ impl<'a> Router<'a> {
                         .expect("forced exit registered") -= 1;
                     f
                 }
-                None => pick(desired),
+                None => pick(desired).ok_or(PnrError::RouterInvariant {
+                    row: next_row,
+                    pos: a.pos,
+                })?,
             };
             new_tiles.entry(p).or_default().push((a.edge, a.pos));
             new_alive.push(Alive {
@@ -460,25 +471,39 @@ impl<'a> Router<'a> {
         self.alive = new_alive;
         self.alive.sort_by_key(|a| a.pos);
         self.row = next_row;
+        Ok(())
     }
 
-    /// Picks a legal drift position for an unforced signal.
-    fn choose_position(&self, a: Alive, last: i32, reserved: &[i32], desired: i32) -> i32 {
+    /// Picks a legal drift position for an unforced signal, or reports
+    /// the invariant violation when neither neighbor is available.
+    fn choose_position(
+        &self,
+        a: Alive,
+        last: i32,
+        reserved: &[i32],
+        desired: i32,
+    ) -> Result<i32, PnrError> {
         let left = a.pos - 1;
         let right = a.pos + 1;
         let ok = |p: i32| p >= last + 2 && !reserved.contains(&p);
+        let violated = PnrError::RouterInvariant {
+            row: self.row + 1,
+            pos: a.pos,
+        };
         if desired == left {
             if ok(left) {
-                left
+                Ok(left)
+            } else if ok(right) {
+                Ok(right)
             } else {
-                assert!(ok(right), "router invariant violated: no legal drift");
-                right
+                Err(violated)
             }
         } else if ok(right) {
-            right
+            Ok(right)
+        } else if ok(left) {
+            Ok(left)
         } else {
-            assert!(ok(left), "router invariant violated: no legal drift");
-            left
+            Err(violated)
         }
     }
 
@@ -567,14 +592,14 @@ impl<'a> Router<'a> {
         }
     }
 
-    fn place_po_row(&mut self) {
+    fn place_po_row(&mut self) -> Result<(), PnrError> {
         let next_row = self.row + 1;
         let mut last = i32::MIN / 2;
         let alive = self.alive.clone();
         for a in &alive {
             let po = self.graph.edges[a.edge].target;
             debug_assert_eq!(self.graph.network.node(po).kind, GateKind::Po);
-            let p = self.choose_position(*a, last, &[], a.pos - 1);
+            let p = self.choose_position(*a, last, &[], a.pos - 1)?;
             let (out_dir, in_dir) = if a.pos < p {
                 (HexDirection::SouthEast, HexDirection::NorthWest)
             } else {
@@ -594,6 +619,7 @@ impl<'a> Router<'a> {
         }
         self.alive.clear();
         self.row = next_row;
+        Ok(())
     }
 
     /// Converts the pending tiles into a [`HexGateLayout`], normalizing
@@ -658,7 +684,7 @@ mod tests {
 
     fn route(xag: &Xag) -> HexGateLayout {
         let net = map_xag(xag, MapOptions::default()).expect("mappable");
-        heuristic_pnr(&NetGraph::new(net).expect("legalized"))
+        heuristic_pnr(&NetGraph::new(net).expect("legalized")).expect("routes")
     }
 
     #[test]
@@ -700,7 +726,7 @@ mod tests {
             },
         )
         .expect("mappable");
-        let layout = heuristic_pnr(&NetGraph::new(net).expect("legalized"));
+        let layout = heuristic_pnr(&NetGraph::new(net).expect("legalized")).expect("routes");
         let v = layout.verify();
         assert!(v.is_empty(), "{}\n{v:?}", layout.render_ascii());
     }

@@ -28,8 +28,11 @@ pub mod cartesian_exact;
 pub mod exact;
 pub mod heuristic;
 pub mod netgraph;
+pub mod portfolio;
 
 pub use cartesian_exact::{cartesian_exact_pnr, CartPnrResult};
-pub use exact::{exact_pnr, ExactOptions, PnrError, PnrResult, ProbeVerdict, RatioProbe};
+pub use exact::{
+    default_num_threads, exact_pnr, ExactOptions, PnrError, PnrResult, ProbeVerdict, RatioProbe,
+};
 pub use heuristic::heuristic_pnr;
 pub use netgraph::NetGraph;

@@ -1,0 +1,331 @@
+//! Parallel aspect-ratio portfolio scheduling, shared by the hexagonal
+//! and Cartesian exact engines.
+//!
+//! The exact engines probe aspect ratios in increasing-area order; the
+//! first satisfiable ratio is area-minimal. Sequentially, nearly all
+//! wall-clock on larger netlists is spent proving small ratios UNSAT
+//! before the first SAT ratio is reached. [`run_portfolio`] races those
+//! probes across a worker pool while preserving the sequential engine's
+//! semantics bit for bit:
+//!
+//! * **Ordered dispatch** — candidates are handed to workers strictly in
+//!   stream order, so every candidate with a smaller index than a SAT
+//!   result has already been dispatched when that result arrives.
+//! * **Ordered commit** — a SAT result only becomes the winner once it
+//!   has the smallest index among possible winners; since each probe's
+//!   verdict is deterministic (fresh solver, fixed conflict budget), the
+//!   smallest SAT index is the same one the sequential scan would find.
+//! * **Cancellation** — when a probe at index `i` turns out SAT, every
+//!   in-flight probe with an index greater than `i` is cancelled through
+//!   its [`CancelFlag`] (the solver's cooperative interrupt). Probes
+//!   with smaller indices are left to conclude: their verdicts are
+//!   needed for the minimality guarantee.
+//! * **Result assembly** — outcomes of cancelled probes and of probes
+//!   beyond the winner are discarded, so the surviving probe list is
+//!   exactly the sequential prefix: every pre-winner verdict plus the
+//!   winner itself, in area order.
+//!
+//! Worker threads cannot record into the coordinator's thread-local
+//! telemetry collector, so when one is installed each probe runs under a
+//! scoped child [`fcn_telemetry::Collector`]; the committed snapshots
+//! are adopted into the parent in index order after the pool joins,
+//! which makes the merged span tree independent of worker scheduling.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cooperative cancellation handle passed to every probe. Probes must
+/// forward it to [`msat::Solver::set_interrupt`] (or poll it themselves
+/// in long non-solver phases) and report `cancelled: true` when it
+/// fired before a verdict was reached.
+pub type CancelFlag = Arc<AtomicBool>;
+
+/// What one probe concluded, as reported back to the scheduler.
+#[derive(Debug)]
+pub struct ProbeOutcome<L, P> {
+    /// The layout, when the probe was satisfiable.
+    pub layout: Option<L>,
+    /// The probe record (verdict + cost). `None` when the candidate was
+    /// filtered out before reaching the solver; such candidates still
+    /// count as attempted.
+    pub probe: Option<P>,
+    /// True when the cancel flag fired before a verdict; the outcome
+    /// carries no information and is discarded.
+    pub cancelled: bool,
+}
+
+/// The assembled result of a portfolio run, equivalent to what the
+/// sequential scan over the same candidates would produce.
+#[derive(Debug)]
+pub struct PortfolioOutcome<L, P> {
+    /// Winning candidate index and its layout, if any probe was SAT.
+    pub winner: Option<(usize, L)>,
+    /// Probe records in candidate order: every concluded pre-winner
+    /// probe plus the winner's own.
+    pub probes: Vec<P>,
+    /// Number of candidates attempted (dispatched and committed),
+    /// including ones filtered before the solver.
+    pub attempted: usize,
+    /// Number of in-flight probes cancelled by the winner.
+    pub cancelled: usize,
+}
+
+/// Scheduler state shared between workers, guarded by one mutex: the
+/// dispatch cursor, the best (smallest) SAT index so far, and the
+/// cancel flags of in-flight probes.
+struct Shared {
+    next: usize,
+    best_sat: usize,
+    inflight: Vec<(usize, CancelFlag)>,
+}
+
+/// Runs `probe` over `candidates` on `num_threads` workers and
+/// assembles a sequential-equivalent result. With `num_threads <= 1`
+/// (or a single candidate) the probes run inline on the caller's
+/// thread, recording telemetry ambiently with zero overhead.
+///
+/// `probe(index, candidate, cancel)` must be deterministic per
+/// candidate — independent of thread interleaving — for the portfolio
+/// to be equivalent to the sequential scan. Probes receive a fresh
+/// [`CancelFlag`] each and should return `cancelled: true` if it fired.
+pub fn run_portfolio<C, L, P, F>(
+    candidates: &[C],
+    num_threads: usize,
+    probe: F,
+) -> PortfolioOutcome<L, P>
+where
+    C: Sync,
+    L: Send,
+    P: Send,
+    F: Fn(usize, &C, &CancelFlag) -> ProbeOutcome<L, P> + Sync,
+{
+    if num_threads <= 1 || candidates.len() <= 1 {
+        return run_sequential(candidates, probe);
+    }
+
+    let parent = fcn_telemetry::current();
+    let shared = Mutex::new(Shared {
+        next: 0,
+        best_sat: usize::MAX,
+        inflight: Vec::new(),
+    });
+    type Slot<L, P> = Option<(ProbeOutcome<L, P>, Option<fcn_telemetry::Report>)>;
+    let slots: Mutex<Vec<Slot<L, P>>> = Mutex::new((0..candidates.len()).map(|_| None).collect());
+
+    let workers = num_threads.min(candidates.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                // Dispatch strictly in index order; stop once the stream
+                // is exhausted or a SAT result rules out everything that
+                // remains (indices past the best SAT cannot win).
+                let (idx, flag) = {
+                    let mut s = shared.lock().unwrap();
+                    if s.next >= candidates.len() || s.next > s.best_sat {
+                        break;
+                    }
+                    let idx = s.next;
+                    s.next += 1;
+                    let flag: CancelFlag = Arc::new(AtomicBool::new(false));
+                    s.inflight.push((idx, flag.clone()));
+                    (idx, flag)
+                };
+
+                // Run the probe, under a scoped child collector when the
+                // coordinator has telemetry installed.
+                let (outcome, report) = match &parent {
+                    Some(_) => {
+                        let child = Arc::new(fcn_telemetry::Collector::new("probe"));
+                        let outcome = fcn_telemetry::with_collector(&child, || {
+                            probe(idx, &candidates[idx], &flag)
+                        });
+                        child.finish();
+                        (outcome, Some(child.report()))
+                    }
+                    None => (probe(idx, &candidates[idx], &flag), None),
+                };
+
+                {
+                    let mut s = shared.lock().unwrap();
+                    s.inflight.retain(|(i, _)| *i != idx);
+                    if outcome.layout.is_some() && idx < s.best_sat {
+                        s.best_sat = idx;
+                        for (i, f) in &s.inflight {
+                            if *i > idx {
+                                f.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+                slots.lock().unwrap()[idx] = Some((outcome, report));
+            });
+        }
+    });
+
+    // Assemble in index order, discarding everything the sequential
+    // engine would never have run: cancelled probes and completed
+    // probes beyond the winner.
+    let mut result = PortfolioOutcome {
+        winner: None,
+        probes: Vec::new(),
+        attempted: 0,
+        cancelled: 0,
+    };
+    for (idx, slot) in slots.into_inner().unwrap().into_iter().enumerate() {
+        let Some((outcome, report)) = slot else {
+            // Never dispatched: only possible past a committed winner.
+            debug_assert!(result.winner.is_some());
+            continue;
+        };
+        if outcome.cancelled {
+            // Cancellation only ever targets indices above the best SAT
+            // index, so the winner is already committed by now.
+            debug_assert!(result.winner.is_some());
+            result.cancelled += 1;
+            continue;
+        }
+        if result.winner.is_some() {
+            continue; // raced past the winner before its flag fired
+        }
+        result.attempted += 1;
+        if let Some(report) = report {
+            fcn_telemetry::adopt_report(&report);
+        }
+        if let Some(p) = outcome.probe {
+            result.probes.push(p);
+        }
+        if let Some(layout) = outcome.layout {
+            result.winner = Some((idx, layout));
+        }
+    }
+    result
+}
+
+/// The inline path: probe candidates one at a time on the caller's
+/// thread, exactly like the pre-portfolio engines did.
+fn run_sequential<C, L, P, F>(candidates: &[C], probe: F) -> PortfolioOutcome<L, P>
+where
+    F: Fn(usize, &C, &CancelFlag) -> ProbeOutcome<L, P>,
+{
+    let never: CancelFlag = Arc::new(AtomicBool::new(false));
+    let mut result = PortfolioOutcome {
+        winner: None,
+        probes: Vec::new(),
+        attempted: 0,
+        cancelled: 0,
+    };
+    for (idx, candidate) in candidates.iter().enumerate() {
+        let outcome = probe(idx, candidate, &never);
+        result.attempted += 1;
+        if let Some(p) = outcome.probe {
+            result.probes.push(p);
+        }
+        if let Some(layout) = outcome.layout {
+            result.winner = Some((idx, layout));
+            break;
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic probe: a candidate is SAT iff its value is 0; value 1
+    /// is UNSAT; value 2 is filtered (no probe record); value 3 spins
+    /// until cancelled.
+    fn fake_probe(value: &u32, cancel: &CancelFlag) -> ProbeOutcome<String, u32> {
+        match value {
+            0 => ProbeOutcome {
+                layout: Some("sat".to_owned()),
+                probe: Some(*value),
+                cancelled: false,
+            },
+            1 => ProbeOutcome {
+                layout: None,
+                probe: Some(*value),
+                cancelled: false,
+            },
+            2 => ProbeOutcome {
+                layout: None,
+                probe: None,
+                cancelled: false,
+            },
+            _ => {
+                while !cancel.load(Ordering::Relaxed) {
+                    std::thread::yield_now();
+                }
+                ProbeOutcome {
+                    layout: None,
+                    probe: None,
+                    cancelled: true,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let candidates = [1u32, 2, 1, 0, 1];
+        let seq = run_portfolio(&candidates, 1, |_, c, f| fake_probe(c, f));
+        let par = run_portfolio(&candidates, 4, |_, c, f| fake_probe(c, f));
+        assert_eq!(seq.winner.as_ref().map(|(i, _)| *i), Some(3));
+        assert_eq!(par.winner.as_ref().map(|(i, _)| *i), Some(3));
+        assert_eq!(seq.probes, par.probes);
+        assert_eq!(seq.probes, vec![1, 1, 0]);
+        assert_eq!(seq.attempted, par.attempted);
+        assert_eq!(seq.attempted, 4); // the filtered candidate counts
+    }
+
+    #[test]
+    fn winner_cancels_slower_larger_probes() {
+        // Candidate 3 spins until cancelled; the SAT candidate at index
+        // 1 must cut it loose rather than wait for it.
+        let candidates = [1u32, 0, 3, 3];
+        let out = run_portfolio(&candidates, 4, |_, c, f| fake_probe(c, f));
+        assert_eq!(out.winner.as_ref().map(|(i, _)| *i), Some(1));
+        assert_eq!(out.probes, vec![1, 0]);
+        assert_eq!(out.attempted, 2);
+        // At least every dispatched spinner was cancelled (dispatch may
+        // have stopped before reaching all of them).
+        assert!(out.cancelled <= 2);
+    }
+
+    #[test]
+    fn no_sat_candidate_yields_no_winner() {
+        let candidates = [1u32, 2, 1];
+        for threads in [1, 4] {
+            let out = run_portfolio(&candidates, threads, |_, c, f| fake_probe(c, f));
+            assert!(out.winner.is_none());
+            assert_eq!(out.probes, vec![1, 1]);
+            assert_eq!(out.attempted, 3);
+            assert_eq!(out.cancelled, 0);
+        }
+    }
+
+    #[test]
+    fn parallel_telemetry_merges_in_index_order() {
+        let collector = Arc::new(fcn_telemetry::Collector::new("root"));
+        let candidates = [1u32, 1, 0];
+        fcn_telemetry::with_collector(&collector, || {
+            let _pnr = fcn_telemetry::span("stage");
+            run_portfolio(&candidates, 4, |idx, c, f| {
+                let _span = fcn_telemetry::span(format!("probe:{idx}"));
+                fake_probe(c, f)
+            })
+        });
+        let report = collector.report();
+        let stage = report.root.child("stage").expect("stage span");
+        let names: Vec<&str> = stage.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["probe:0", "probe:1", "probe:2"]);
+    }
+
+    #[test]
+    fn empty_candidate_list_is_fine() {
+        let out = run_portfolio(&[] as &[u32], 4, |_, c, f| fake_probe(c, f));
+        assert!(out.winner.is_none());
+        assert!(out.probes.is_empty());
+        assert_eq!(out.attempted, 0);
+    }
+}

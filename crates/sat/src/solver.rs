@@ -1,6 +1,8 @@
 //! The CDCL search engine.
 
 use crate::types::{Lit, Var};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 const UNASSIGNED: u8 = 2;
 
@@ -11,6 +13,41 @@ pub enum SolveResult {
     Sat(Model),
     /// The formula is unsatisfiable.
     Unsat,
+}
+
+/// Result of a bounded (and possibly cancellable) solve:
+/// [`Solver::solve_bounded_with_assumptions`].
+///
+/// Unlike [`SolveResult`], the two "no verdict" outcomes are kept apart:
+/// a probe that ran out of budget carries information (the instance is
+/// hard), while one that was cancelled carries none and should be
+/// discarded by the caller.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundedResult {
+    /// The formula is satisfiable under the assumptions.
+    Sat(Model),
+    /// The formula is unsatisfiable under the assumptions.
+    Unsat,
+    /// The conflict budget ran out before a verdict.
+    BudgetExceeded,
+    /// The cooperative interrupt flag was raised before a verdict (see
+    /// [`Solver::set_interrupt`]).
+    Interrupted,
+}
+
+impl BoundedResult {
+    /// True if satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, BoundedResult::Sat(_))
+    }
+
+    /// The model, if satisfiable.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            BoundedResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
 }
 
 impl SolveResult {
@@ -152,11 +189,15 @@ pub struct Solver {
     unsat: bool,
     stats: SolverStats,
     cla_inc: f64,
-    conflict_limit: Option<u64>,
-    budget_exhausted: bool,
+    interrupt: Option<Arc<AtomicBool>>,
 }
 
 const NO_REASON: u32 = u32::MAX;
+
+/// How many search-loop iterations pass between polls of the interrupt
+/// flag. Small enough for millisecond-scale cancellation latency, large
+/// enough that the atomic load is invisible in profiles.
+const INTERRUPT_POLL_INTERVAL: u32 = 64;
 
 impl Solver {
     /// Creates an empty solver with no variables or clauses.
@@ -567,55 +608,109 @@ impl Solver {
         self.solve_with_assumptions(&[])
     }
 
+    /// Installs a cooperative interrupt flag. Bounded solves
+    /// ([`Solver::solve_bounded`], [`Solver::solve_bounded_with_assumptions`])
+    /// poll the flag periodically and return
+    /// [`BoundedResult::Interrupted`] once it reads `true`, leaving the
+    /// solver at the root level and reusable. Unbounded solves ignore the
+    /// flag so their exact semantics are unchanged; pass a `u64::MAX`
+    /// budget for cancellation without a meaningful conflict limit.
+    pub fn set_interrupt(&mut self, flag: Arc<AtomicBool>) {
+        self.interrupt = Some(flag);
+    }
+
+    /// Removes the interrupt flag installed by [`Solver::set_interrupt`].
+    pub fn clear_interrupt(&mut self) {
+        self.interrupt = None;
+    }
+
     /// Solves with a conflict budget. Returns `None` when the budget is
-    /// exhausted before a definitive answer — useful for anytime searches
-    /// that fall back to heuristics.
+    /// exhausted (or the interrupt flag fired) before a definitive answer
+    /// — useful for anytime searches that fall back to heuristics.
     pub fn solve_bounded(&mut self, max_conflicts: u64) -> Option<SolveResult> {
-        let start = self.stats.conflicts;
-        self.conflict_limit = Some(start.saturating_add(max_conflicts));
-        let result = self.solve_with_assumptions(&[]);
-        let exhausted = self.budget_exhausted;
-        self.conflict_limit = None;
-        self.budget_exhausted = false;
-        if exhausted {
-            None
-        } else {
-            Some(result)
+        match self.solve_bounded_with_assumptions(max_conflicts, &[]) {
+            BoundedResult::Sat(m) => Some(SolveResult::Sat(m)),
+            BoundedResult::Unsat => Some(SolveResult::Unsat),
+            BoundedResult::BudgetExceeded | BoundedResult::Interrupted => None,
         }
+    }
+
+    /// Solves under assumptions with a conflict budget, distinguishing
+    /// budget exhaustion from cooperative interruption (see
+    /// [`Solver::set_interrupt`]) so the two compose: a portfolio can both
+    /// cap per-probe effort and cancel losing probes early.
+    pub fn solve_bounded_with_assumptions(
+        &mut self,
+        max_conflicts: u64,
+        assumptions: &[Lit],
+    ) -> BoundedResult {
+        let limit = self.stats.conflicts.saturating_add(max_conflicts);
+        self.search(assumptions, Some(limit))
     }
 
     /// Solves under the given assumptions (literals forced true for this
     /// call only). The solver state (learned clauses, activities) persists
     /// across calls, enabling incremental use.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        match self.search(assumptions, None) {
+            BoundedResult::Sat(m) => SolveResult::Sat(m),
+            BoundedResult::Unsat => SolveResult::Unsat,
+            BoundedResult::BudgetExceeded | BoundedResult::Interrupted => {
+                unreachable!("unbounded search cannot run out of budget")
+            }
+        }
+    }
+
+    /// The CDCL search loop shared by all solve entry points. `limit` is
+    /// an absolute conflict-count ceiling (`None` = unbounded); the
+    /// interrupt flag is only polled when a limit is present, so plain
+    /// [`Solver::solve`] semantics are unaffected by a stale flag.
+    fn search(&mut self, assumptions: &[Lit], limit: Option<u64>) -> BoundedResult {
         if self.unsat {
-            return SolveResult::Unsat;
+            return BoundedResult::Unsat;
+        }
+        let interrupt = if limit.is_some() {
+            self.interrupt.clone()
+        } else {
+            None
+        };
+        if let Some(flag) = &interrupt {
+            if flag.load(Ordering::Relaxed) {
+                return BoundedResult::Interrupted;
+            }
         }
         self.backtrack_to(0);
         if self.propagate().is_some() {
             self.unsat = true;
-            return SolveResult::Unsat;
+            return BoundedResult::Unsat;
         }
 
         let mut conflicts_until_restart = luby(self.stats.restarts) * 100;
         let mut max_learned = (self.clauses.len() as u64).max(1000) * 2;
+        let mut interrupt_countdown = INTERRUPT_POLL_INTERVAL;
 
         loop {
+            if let Some(flag) = &interrupt {
+                interrupt_countdown -= 1;
+                if interrupt_countdown == 0 {
+                    interrupt_countdown = INTERRUPT_POLL_INTERVAL;
+                    if flag.load(Ordering::Relaxed) {
+                        self.backtrack_to(0);
+                        return BoundedResult::Interrupted;
+                    }
+                }
+            }
             if let Some(conflict) = self.propagate() {
                 self.stats.conflicts += 1;
-                if self
-                    .conflict_limit
-                    .is_some_and(|limit| self.stats.conflicts >= limit)
-                {
+                if limit.is_some_and(|limit| self.stats.conflicts >= limit) {
                     // Budget exhausted: give up without a verdict. The
                     // caller treats this as "unknown".
-                    self.budget_exhausted = true;
                     self.backtrack_to(0);
-                    return SolveResult::Unsat;
+                    return BoundedResult::BudgetExceeded;
                 }
                 if self.decision_level() == 0 {
                     self.unsat = true;
-                    return SolveResult::Unsat;
+                    return BoundedResult::Unsat;
                 }
                 // Assumptions are re-applied after backjumping; if a learned
                 // clause ends up contradicting one, the re-application below
@@ -627,7 +722,7 @@ impl Solver {
                     self.backtrack_to(0);
                     if !self.enqueue(asserting, NO_REASON) {
                         self.unsat = true;
-                        return SolveResult::Unsat;
+                        return BoundedResult::Unsat;
                     }
                 } else {
                     let idx = self.attach_clause(Clause {
@@ -665,7 +760,16 @@ impl Solver {
                             self.trail_lim.push(self.trail.len());
                             continue;
                         }
-                        Some(false) => return SolveResult::Unsat,
+                        Some(false) => {
+                            // The assumption is falsified by the current
+                            // (possibly non-root) assignment. Restore the
+                            // root level before reporting: leaving the
+                            // pseudo-decisions on the trail would poison
+                            // later `add_clause` calls, which filter
+                            // literals against root-level state.
+                            self.backtrack_to(0);
+                            return BoundedResult::Unsat;
+                        }
                         None => next_decision = Some(a),
                     }
                 }
@@ -681,7 +785,7 @@ impl Solver {
                         let model = Model { values };
                         debug_assert!(self.model_satisfies_all(&model));
                         self.backtrack_to(0);
-                        return SolveResult::Sat(model);
+                        return BoundedResult::Sat(model);
                     }
                     Some(lit) => {
                         self.stats.decisions += 1;
@@ -827,6 +931,24 @@ mod tests {
         s
     }
 
+    /// The (unsatisfiable for n > h) pigeonhole instance: n pigeons into
+    /// h holes, at most one pigeon per hole.
+    fn pigeonhole(n: u32, h: u32) -> Solver {
+        let mut s = solver_with_vars(n * h);
+        let p = |i: u32, j: u32| Lit::pos(Var(i * h + j));
+        for i in 0..n {
+            s.add_clause((0..h).map(|j| p(i, j)));
+        }
+        for j in 0..h {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause([p(i1, j).negated(), p(i2, j).negated()]);
+                }
+            }
+        }
+        s
+    }
+
     #[test]
     fn empty_formula_is_sat() {
         let mut s = Solver::new();
@@ -893,20 +1015,7 @@ mod tests {
 
     #[test]
     fn pigeonhole_5_into_4_is_unsat() {
-        let n = 5u32;
-        let h = 4u32;
-        let mut s = solver_with_vars(n * h);
-        let p = |i: u32, j: u32| Lit::pos(Var(i * h + j));
-        for i in 0..n {
-            s.add_clause((0..h).map(|j| p(i, j)));
-        }
-        for j in 0..h {
-            for i1 in 0..n {
-                for i2 in (i1 + 1)..n {
-                    s.add_clause([p(i1, j).negated(), p(i2, j).negated()]);
-                }
-            }
-        }
+        let mut s = pigeonhole(5, 4);
         assert_eq!(s.solve(), SolveResult::Unsat);
         assert!(s.stats().conflicts > 0);
     }
@@ -915,20 +1024,7 @@ mod tests {
     fn stats_reset_zeroes_run_counters() {
         // Pigeonhole forces real search work, so every run counter is
         // exercised before the reset.
-        let n = 5u32;
-        let h = 4u32;
-        let mut s = solver_with_vars(n * h);
-        let p = |i: u32, j: u32| Lit::pos(Var(i * h + j));
-        for i in 0..n {
-            s.add_clause((0..h).map(|j| p(i, j)));
-        }
-        for j in 0..h {
-            for i1 in 0..n {
-                for i2 in (i1 + 1)..n {
-                    s.add_clause([p(i1, j).negated(), p(i2, j).negated()]);
-                }
-            }
-        }
+        let mut s = pigeonhole(5, 4);
         assert_eq!(s.solve(), SolveResult::Unsat);
         let before = s.stats();
         assert!(before.conflicts > 0);
@@ -1048,5 +1144,106 @@ mod tests {
         for (i, &e) in expect.iter().enumerate() {
             assert_eq!(super::luby(i as u64), e, "luby({i})");
         }
+    }
+
+    /// Regression: an assumption falsified by propagation from an earlier
+    /// assumption must not leave pseudo-decisions on the trail. Before
+    /// the fix, the early UNSAT return skipped `backtrack_to(0)`, so the
+    /// next `add_clause` filtered literals against a stale non-root
+    /// assignment and could silently corrupt the formula.
+    #[test]
+    fn falsified_assumption_leaves_root_state_clean() {
+        let mut s = solver_with_vars(2);
+        s.add_clause([lit(-1), lit(2)]); // x → y
+                                         // Assuming x propagates y, so the second assumption ¬y is
+                                         // falsified at level 1 (not level 0).
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(1), lit(-2)]),
+            SolveResult::Unsat
+        );
+        assert!(s.trail_lim.is_empty(), "trail must be at root level");
+        // Adding ¬x must not be filtered against the stale assignment:
+        // the formula {x → y, ¬x} is satisfiable (x = false).
+        s.add_clause([lit(-1)]);
+        let m = s.solve().expect_sat();
+        assert!(!m.value(Var(0)));
+    }
+
+    #[test]
+    fn duplicate_assumptions_are_handled() {
+        let mut s = solver_with_vars(2);
+        s.add_clause([lit(1), lit(2)]);
+        let m = s.solve_with_assumptions(&[lit(-1), lit(-1)]).expect_sat();
+        assert!(!m.value(Var(0)));
+        assert!(m.value(Var(1)));
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn assumption_contradicting_root_unit_is_unsat_without_poisoning() {
+        let mut s = solver_with_vars(2);
+        s.add_clause([lit(1)]); // root-level unit: x
+        assert_eq!(s.solve_with_assumptions(&[lit(-1)]), SolveResult::Unsat);
+        // Directly contradictory assumption pair.
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(2), lit(-2)]),
+            SolveResult::Unsat
+        );
+        // The formula itself is still satisfiable.
+        let m = s.solve().expect_sat();
+        assert!(m.value(Var(0)));
+    }
+
+    #[test]
+    fn bounded_solve_with_assumptions_composes_budget() {
+        let mut s = pigeonhole(5, 4);
+        assert_eq!(
+            s.solve_bounded_with_assumptions(1, &[]),
+            BoundedResult::BudgetExceeded
+        );
+        // With an effectively unlimited budget the verdict is reached.
+        assert_eq!(
+            s.solve_bounded_with_assumptions(u64::MAX, &[]),
+            BoundedResult::Unsat
+        );
+    }
+
+    #[test]
+    fn preset_interrupt_flag_cancels_bounded_solve() {
+        let mut s = pigeonhole(5, 4);
+        let flag = Arc::new(AtomicBool::new(true));
+        s.set_interrupt(flag.clone());
+        assert_eq!(
+            s.solve_bounded_with_assumptions(u64::MAX, &[]),
+            BoundedResult::Interrupted
+        );
+        // Unbounded solves ignore the flag entirely.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        flag.store(false, Ordering::Relaxed);
+        assert_eq!(
+            s.solve_bounded_with_assumptions(u64::MAX, &[]),
+            BoundedResult::Unsat
+        );
+    }
+
+    #[test]
+    fn interrupt_from_another_thread_cancels_search() {
+        // Large enough that the search certainly outlives the signal.
+        let mut s = pigeonhole(9, 8);
+        let flag = Arc::new(AtomicBool::new(false));
+        s.set_interrupt(flag.clone());
+        let signaller = {
+            let flag = flag.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                flag.store(true, Ordering::Relaxed);
+            })
+        };
+        let result = s.solve_bounded_with_assumptions(u64::MAX, &[]);
+        signaller.join().expect("signaller thread");
+        assert_eq!(result, BoundedResult::Interrupted);
+        // The solver stays reusable after cancellation.
+        s.clear_interrupt();
+        assert!(s.trail_lim.is_empty());
     }
 }

@@ -123,6 +123,49 @@ impl Collector {
         }
     }
 
+    /// Grafts a finished span subtree (typically snapshotted from a
+    /// worker thread's child collector) under the innermost open span.
+    ///
+    /// The adopted spans keep their recorded durations, counters,
+    /// gauges, notes, and child structure; only their absolute start
+    /// times are lost (an `Instant` cannot cross a snapshot boundary),
+    /// which matters to no renderer — reports expose durations only.
+    pub fn adopt(&self, span: &SpanReport) {
+        let mut inner = self.inner.lock().unwrap();
+        let parent = *inner.stack.last().expect("root span always open");
+        let id = adopt_span(&mut inner.spans, span);
+        inner.spans[parent].children.push(id);
+    }
+
+    /// Adopts every top-level span of `report` in order, then merges the
+    /// report root's own counters, gauges, and notes into the innermost
+    /// open span (counters add; gauges and notes overwrite).
+    ///
+    /// This is the parent-side half of the scoped child-collector
+    /// pattern: a worker runs under its own `Collector`, finishes it,
+    /// snapshots a [`Report`], and the coordinating thread adopts the
+    /// reports in a deterministic order — the merged tree is then
+    /// independent of worker scheduling.
+    pub fn adopt_report(&self, report: &Report) {
+        let mut inner = self.inner.lock().unwrap();
+        let parent = *inner.stack.last().expect("root span always open");
+        for child in &report.root.children {
+            let id = adopt_span(&mut inner.spans, child);
+            inner.spans[parent].children.push(id);
+        }
+        let root = &report.root;
+        let target = &mut inner.spans[parent];
+        for (name, &delta) in &root.counters {
+            *target.counters.entry(name.clone()).or_insert(0) += delta;
+        }
+        for (name, &value) in &root.gauges {
+            target.gauges.insert(name.clone(), value);
+        }
+        for (name, value) in &root.notes {
+            target.notes.insert(name.clone(), value.clone());
+        }
+    }
+
     fn close(&self, id: usize) {
         let mut inner = self.inner.lock().unwrap();
         if inner.spans[id].duration.is_none() {
@@ -137,6 +180,29 @@ impl Collector {
             inner.stack.push(0);
         }
     }
+}
+
+/// Copies a [`SpanReport`] subtree into the arena, returning the new
+/// root's index. The span is stored already closed (`duration` set), so
+/// snapshots never re-time it.
+fn adopt_span(spans: &mut Vec<SpanData>, report: &SpanReport) -> usize {
+    let id = spans.len();
+    spans.push(SpanData {
+        name: report.name.clone(),
+        start: Instant::now(), // placeholder; duration below is authoritative
+        duration: Some(report.duration),
+        children: Vec::new(),
+        counters: report.counters.clone(),
+        gauges: report.gauges.clone(),
+        notes: report.notes.clone(),
+    });
+    let children: Vec<usize> = report
+        .children
+        .iter()
+        .map(|child| adopt_span(spans, child))
+        .collect();
+    spans[id].children = children;
+    id
 }
 
 fn build_report(spans: &[SpanData], id: usize) -> SpanReport {
@@ -424,6 +490,72 @@ mod tests {
         assert_eq!(report.stages(), ["step1:parse", "step4:pnr"]);
         assert!(report.stage_duration("step4:pnr").is_some());
         assert!(report.stage_duration("step9:none").is_none());
+    }
+
+    #[test]
+    fn adopt_grafts_child_collector_spans_under_open_span() {
+        // A worker records probes under its own collector...
+        let worker = Arc::new(Collector::new("probe"));
+        {
+            let _probe = worker.span("ratio:2x3");
+            worker.counter("sat.conflicts", 7);
+            worker.note("verdict", "sat");
+        }
+        worker.finish();
+        let worker_report = worker.report();
+
+        // ...and the parent adopts the snapshot inside step4:pnr.
+        let parent = Arc::new(Collector::new("flow"));
+        {
+            let _pnr = parent.span("step4:pnr");
+            parent.adopt_report(&worker_report);
+        }
+        parent.finish();
+        let report = parent.report();
+        let pnr = report.root.child("step4:pnr").expect("stage span");
+        let probe = pnr.child("ratio:2x3").expect("adopted span");
+        assert_eq!(probe.counters.get("sat.conflicts"), Some(&7));
+        assert_eq!(probe.notes.get("verdict").map(String::as_str), Some("sat"));
+    }
+
+    #[test]
+    fn adopt_report_merges_root_counters_into_open_span() {
+        let worker = Arc::new(Collector::new("probe"));
+        worker.counter("probes.cancelled", 2);
+        worker.gauge("fill", 0.25);
+        worker.note("mode", "parallel");
+        worker.finish();
+        let snapshot = worker.report();
+
+        let parent = Arc::new(Collector::new("flow"));
+        parent.counter("probes.cancelled", 1);
+        parent.adopt_report(&snapshot);
+        let report = parent.report();
+        assert_eq!(report.root.counters.get("probes.cancelled"), Some(&3));
+        assert_eq!(report.root.gauges.get("fill"), Some(&0.25));
+        assert_eq!(
+            report.root.notes.get("mode").map(String::as_str),
+            Some("parallel")
+        );
+    }
+
+    #[test]
+    fn adopted_spans_keep_recorded_durations_and_structure() {
+        let worker = Arc::new(Collector::new("probe"));
+        {
+            let _outer = worker.span("outer");
+            let _inner = worker.span("inner");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        worker.finish();
+        let snapshot = worker.report();
+        let recorded = snapshot.root.children[0].duration;
+
+        let parent = Arc::new(Collector::new("flow"));
+        parent.adopt(&snapshot.root.children[0]);
+        let adopted = &parent.report().root.children[0];
+        assert_eq!(adopted.duration, recorded, "duration must be preserved");
+        assert_eq!(adopted.children[0].name, "inner");
     }
 
     #[test]

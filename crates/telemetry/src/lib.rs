@@ -96,6 +96,21 @@ pub fn note(name: &str, value: impl Into<String>) {
     }
 }
 
+/// Adopts a finished child-collector snapshot into the ambient
+/// collector (see [`Collector::adopt_report`]): its top-level spans are
+/// grafted under the innermost open span and its root counters, gauges,
+/// and notes merged into it. A no-op when no collector is installed.
+///
+/// Worker threads cannot see the parent's thread-local collector, so
+/// parallel stages run each unit of work under a fresh
+/// [`Collector`], snapshot it with [`Collector::report`], and let the
+/// coordinating thread adopt the snapshots in a deterministic order.
+pub fn adopt_report(report: &Report) {
+    if let Some(collector) = current() {
+        collector.adopt_report(report);
+    }
+}
+
 /// Emission level selected by the `TELEMETRY` environment variable.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Mode {

@@ -16,6 +16,11 @@
 //! (per-stage durations, SAT probe statistics per aspect ratio). Set
 //! `TELEMETRY=summary|tree|json` to also stream each flow's report to
 //! stderr as it completes.
+//!
+//! The exact P&R step probes aspect ratios on a parallel portfolio; the
+//! thread count defaults to the machine's parallelism and is recorded in
+//! the JSON (`pnr_threads`). Override it with the `PNR_THREADS`
+//! environment variable — results are identical at any thread count.
 
 use bestagon_core::benchmarks::{benchmark, benchmark_names};
 use bestagon_core::flow::{run_flow, FlowOptions, PnrMethod};
@@ -23,7 +28,9 @@ use fcn_telemetry::json::Value;
 use std::time::Instant;
 
 fn main() {
+    let pnr_threads = fcn_pnr::default_num_threads();
     println!("=== Table 1: generated layout data ===\n");
+    println!("(exact P&R portfolio: {pnr_threads} thread(s))\n");
     println!(
         "{:<16} {:>9} {:>5} {:>7} {:>12} {:>7}  {:<28} runtime",
         "Name", "w × h", "A", "SiDBs", "nm²", "engine", "paper (w×h, SiDBs, nm²)"
@@ -34,6 +41,7 @@ fn main() {
         let started = Instant::now();
         let options = FlowOptions {
             pnr: PnrMethod::ExactWithFallback { max_area: 120 },
+            pnr_threads: Some(pnr_threads),
             ..Default::default()
         };
         match run_flow(name, &b.xag, &options) {
@@ -74,6 +82,7 @@ fn main() {
             "generator".to_owned(),
             Value::Str("examples/table1.rs".to_owned()),
         ),
+        ("pnr_threads".to_owned(), Value::Num(pnr_threads as f64)),
         ("benchmarks".to_owned(), Value::Arr(entries)),
     ]);
     match std::fs::write("BENCH_table1.json", doc.serialize_pretty() + "\n") {

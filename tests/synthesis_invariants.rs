@@ -103,7 +103,7 @@ proptest! {
         if let Some(xag) = build(&recipe) {
             let net = map_xag(&xag, MapOptions::default()).expect("mappable");
             let graph = NetGraph::new(net).expect("placeable");
-            let layout = heuristic_pnr(&graph);
+            let layout = heuristic_pnr(&graph).expect("heuristic routes every legalized netlist");
             prop_assert!(layout.verify().is_empty());
             prop_assert_eq!(
                 check_equivalence(&xag, &layout).expect("checkable"),
