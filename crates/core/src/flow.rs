@@ -47,7 +47,22 @@ impl Default for PnrMethod {
 }
 
 /// Options of the full flow.
+///
+/// Construct with the chainable builder methods; the struct is
+/// `#[non_exhaustive]`, so downstream crates cannot use literal syntax
+/// and remain source-compatible when options are added:
+///
+/// ```
+/// use bestagon_core::flow::{FlowOptions, PnrMethod};
+///
+/// let options = FlowOptions::new()
+///     .with_pnr(PnrMethod::Exact { max_area: 60 })
+///     .with_threads(4)
+///     .without_verify();
+/// assert!(!options.verify);
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct FlowOptions {
     /// Logic rewriting (step 2); `None` skips the pass (ablation A3).
     pub rewrite: Option<RewriteOptions>,
@@ -59,6 +74,12 @@ pub struct FlowOptions {
     /// (step 4). `None` uses [`fcn_pnr::default_num_threads`]; the
     /// layout is identical at any thread count.
     pub pnr_threads: Option<usize>,
+    /// Incremental SAT probing for the exact engine (step 4): each
+    /// worker keeps one solver alive across aspect-ratio probes. `None`
+    /// uses [`fcn_pnr::default_incremental`] (the `PNR_INCREMENTAL`
+    /// environment variable, on by default); the layout is identical
+    /// either way.
+    pub pnr_incremental: Option<bool>,
     /// Run SAT-based equivalence checking (step 5).
     pub verify: bool,
     /// Apply the Bestagon library for a dot-accurate layout (step 7).
@@ -72,9 +93,76 @@ impl Default for FlowOptions {
             map: MapOptions::default(),
             pnr: PnrMethod::default(),
             pnr_threads: None,
+            pnr_incremental: None,
             verify: true,
             apply_library: true,
         }
+    }
+}
+
+impl FlowOptions {
+    /// The default flow: rewrite, map, exact P&R with heuristic
+    /// fallback, verify, apply the gate library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the logic-rewriting configuration (step 2).
+    #[must_use]
+    pub fn with_rewrite(mut self, rewrite: RewriteOptions) -> Self {
+        self.rewrite = Some(rewrite);
+        self
+    }
+
+    /// Skips logic rewriting entirely (ablation A3).
+    #[must_use]
+    pub fn without_rewrite(mut self) -> Self {
+        self.rewrite = None;
+        self
+    }
+
+    /// Selects the technology-mapping configuration (step 3).
+    #[must_use]
+    pub fn with_map(mut self, map: MapOptions) -> Self {
+        self.map = map;
+        self
+    }
+
+    /// Selects the physical-design engine (step 4).
+    #[must_use]
+    pub fn with_pnr(mut self, pnr: PnrMethod) -> Self {
+        self.pnr = pnr;
+        self
+    }
+
+    /// Pins the exact engine's portfolio to `threads` workers.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.pnr_threads = Some(threads);
+        self
+    }
+
+    /// Forces incremental (`true`) or from-scratch (`false`) SAT
+    /// probing for the exact engine, overriding `PNR_INCREMENTAL`.
+    #[must_use]
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.pnr_incremental = Some(incremental);
+        self
+    }
+
+    /// Skips SAT-based equivalence checking (step 5).
+    #[must_use]
+    pub fn without_verify(mut self) -> Self {
+        self.verify = false;
+        self
+    }
+
+    /// Skips gate-library application (step 7), leaving the result at
+    /// the gate level.
+    #[must_use]
+    pub fn without_library(mut self) -> Self {
+        self.apply_library = false;
+        self
     }
 }
 
@@ -278,6 +366,9 @@ fn run_flow_steps(name: &str, xag: &Xag, options: &FlowOptions) -> Result<FlowRe
             num_threads: options
                 .pnr_threads
                 .unwrap_or_else(fcn_pnr::default_num_threads),
+            incremental: options
+                .pnr_incremental
+                .unwrap_or_else(fcn_pnr::default_incremental),
             ..Default::default()
         };
         let (layout, exact) = match options.pnr {
@@ -399,10 +490,7 @@ mod tests {
         let r = run_flow(
             "xor2",
             &b.xag,
-            &FlowOptions {
-                pnr: PnrMethod::Exact { max_area: 60 },
-                ..Default::default()
-            },
+            &FlowOptions::new().with_pnr(PnrMethod::Exact { max_area: 60 }),
         )
         .expect("flow succeeds");
         assert!(r.exact);
@@ -416,19 +504,13 @@ mod tests {
         let exact = run_flow(
             "par_gen",
             &b.xag,
-            &FlowOptions {
-                pnr: PnrMethod::Exact { max_area: 80 },
-                ..Default::default()
-            },
+            &FlowOptions::new().with_pnr(PnrMethod::Exact { max_area: 80 }),
         )
         .expect("exact flow");
         let heur = run_flow(
             "par_gen",
             &b.xag,
-            &FlowOptions {
-                pnr: PnrMethod::Heuristic,
-                ..Default::default()
-            },
+            &FlowOptions::new().with_pnr(PnrMethod::Heuristic),
         )
         .expect("heuristic flow");
         assert!(heur.layout.ratio().tile_count() >= exact.layout.ratio().tile_count());
@@ -441,22 +523,18 @@ mod tests {
         let with = run_flow(
             "x",
             &b.xag,
-            &FlowOptions {
-                pnr: PnrMethod::Heuristic,
-                apply_library: false,
-                ..Default::default()
-            },
+            &FlowOptions::new()
+                .with_pnr(PnrMethod::Heuristic)
+                .without_library(),
         )
         .expect("flow");
         let without = run_flow(
             "x",
             &b.xag,
-            &FlowOptions {
-                rewrite: None,
-                pnr: PnrMethod::Heuristic,
-                apply_library: false,
-                ..Default::default()
-            },
+            &FlowOptions::new()
+                .without_rewrite()
+                .with_pnr(PnrMethod::Heuristic)
+                .without_library(),
         )
         .expect("flow");
         assert!(with.gates_after_rewrite <= without.gates_after_rewrite);
@@ -467,10 +545,7 @@ mod tests {
     fn verilog_entry_point_works() {
         let r = run_flow_from_verilog(
             "module and2 (a, b, f); input a, b; output f; assign f = a & b; endmodule",
-            &FlowOptions {
-                apply_library: false,
-                ..Default::default()
-            },
+            &FlowOptions::new().without_library(),
         )
         .expect("flow");
         assert_eq!(r.name, "and2");

@@ -166,11 +166,9 @@ mod tests {
         run_flow(
             "or2",
             &xag,
-            &FlowOptions {
-                pnr: PnrMethod::Exact { max_area: 60 },
-                apply_library: false,
-                ..Default::default()
-            },
+            &FlowOptions::new()
+                .with_pnr(PnrMethod::Exact { max_area: 60 })
+                .without_library(),
         )
         .expect("flow")
         .layout

@@ -5,7 +5,8 @@
 //! clocking (zone `(x+y) mod 4`, information flowing east and south).
 //! This engine mirrors the hexagonal [`crate::exact`] encoding on that
 //! topology, so the two floor plans can be compared with the same
-//! optimality guarantees.
+//! optimality guarantees — including the incremental probing mode (see
+//! [`crate::incremental`]).
 //!
 //! Note what this baseline *cannot* model: the experimentally
 //! demonstrated SiDB gates are Y-shaped and need two upper-border input
@@ -14,7 +15,10 @@
 //! plus-shaped gates — the paper's point is precisely that such gates do
 //! not exist on the SiDB platform.
 
-use crate::exact::{ExactOptions, PnrError, ProbeVerdict, RatioProbe};
+use crate::exact::{
+    assemble_outcome, ExactOptions, PnrError, PnrOutcome, ProbeVerdict, RatioProbe, SessionBounds,
+};
+use crate::incremental::{IncrementalCnf, ProbeEmitter, ScratchEmitter};
 use crate::netgraph::NetGraph;
 use crate::portfolio::{run_portfolio, CancelFlag, ProbeOutcome};
 use fcn_coords::{AspectRatio, CartCoord, CartDirection};
@@ -23,23 +27,13 @@ use fcn_layout::clocking::ClockingScheme;
 use fcn_layout::tile::TileContents;
 use fcn_logic::techmap::MappedId;
 use fcn_logic::GateKind;
-use msat::{BoundedResult, CnfBuilder, Lit, SolverStats};
+use msat::{BoundedResult, Lit, Model, SolveParams};
 use std::collections::HashMap;
 
-/// A successful Cartesian placement & routing.
-#[derive(Debug, Clone)]
-pub struct CartPnrResult {
-    /// The resulting 2DDWave-clocked layout.
-    pub layout: CartGateLayout,
-    /// The area-minimal aspect ratio found.
-    pub ratio: AspectRatio,
-    /// Number of aspect ratios attempted.
-    pub ratios_tried: usize,
-    /// Cumulative solver statistics over every probe.
-    pub stats: SolverStats,
-    /// Per-ratio verdicts and solver costs, in probing order.
-    pub probes: Vec<RatioProbe>,
-}
+/// Historical name of [`PnrOutcome`] specialized to the Cartesian
+/// engine.
+#[deprecated(note = "use `PnrOutcome<CartGateLayout>`")]
+pub type CartPnrResult = PnrOutcome<CartGateLayout>;
 
 /// Runs exact placement & routing on a Cartesian 2DDWave floor plan.
 ///
@@ -73,7 +67,7 @@ pub struct CartPnrResult {
 pub fn cartesian_exact_pnr(
     graph: &NetGraph,
     options: &ExactOptions,
-) -> Result<CartPnrResult, PnrError> {
+) -> Result<PnrOutcome<CartGateLayout>, PnrError> {
     let num_nodes = graph.network.num_nodes() as u64;
     // The last diagonal frontier must fit all POs, the first all PIs;
     // the number of diagonals is w + h − 1 and must cover min_height
@@ -92,33 +86,43 @@ pub fn cartesian_exact_pnr(
                         .min(1)
         })
         .collect();
-
-    let outcome = run_portfolio(&candidates, options.num_threads, |_, ratio, cancel| {
-        solve_ratio(graph, *ratio, options.max_conflicts_per_ratio, cancel)
-    });
-    if outcome.cancelled > 0 {
-        fcn_telemetry::counter("probes.cancelled", outcome.cancelled as u64);
-    }
-
-    let mut cumulative = SolverStats::default();
-    for probe in &outcome.probes {
-        cumulative += probe.stats;
-    }
-    match outcome.winner {
-        Some((idx, layout)) => Ok(CartPnrResult {
-            layout,
-            ratio: candidates[idx],
-            ratios_tried: outcome.attempted,
-            stats: cumulative,
-            probes: outcome.probes,
-        }),
-        None => {
-            fcn_telemetry::note("verdict", "no-feasible-ratio");
-            Err(PnrError::NoFeasibleRatio {
-                max_area: options.max_area,
-            })
+    // The session union for incremental workers: the variable universe
+    // covers every candidate rectangle, with ALAP levels taken at the
+    // longest candidate diagonal (the loosest schedule of the session).
+    let session = (|| {
+        let d_max = candidates.iter().map(|r| r.width + r.height - 1).max()?;
+        let height = candidates.iter().map(|r| r.height).max()?;
+        let alap = graph.alap(d_max)?;
+        let mut width_at_row = vec![0i32; height as usize];
+        for r in &candidates {
+            for slot in width_at_row.iter_mut().take(r.height as usize) {
+                *slot = (*slot).max(r.width as i32);
+            }
         }
-    }
+        Some(SessionBounds {
+            height,
+            width_at_row,
+            alap,
+        })
+    })();
+
+    let outcome = run_portfolio(
+        &candidates,
+        options.num_threads,
+        || options.incremental.then(IncrementalCnf::<CartKey>::new),
+        |inc, _, ratio, cancel| match inc {
+            Some(inc) => solve_ratio_incremental(
+                inc,
+                graph,
+                *ratio,
+                session.as_ref().expect("probing implies candidates"),
+                options.max_conflicts_per_ratio,
+                cancel,
+            ),
+            None => solve_ratio_scratch(graph, *ratio, options.max_conflicts_per_ratio, cancel),
+        },
+    );
+    assemble_outcome(outcome, |idx| candidates[idx], options)
 }
 
 /// The inclusive diagonal (`x + y`) range a node may occupy for a layout
@@ -141,57 +145,111 @@ fn border_ok(kind: GateKind, t: CartCoord, w: i32, h: i32) -> bool {
     }
 }
 
-/// Attempts to place & route at a fixed aspect ratio. The probe record
-/// is `None` when the ratio was discarded before reaching the solver
-/// (unschedulable or with an unplaceable node); such ratios still count
-/// as attempted.
-fn solve_ratio(
+/// Semantic identity of a Cartesian-encoding problem variable (see the
+/// hexagonal twin in [`crate::exact`] for the caching rationale).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum CartKey {
+    /// Node `n` occupies tile `t`.
+    Place(usize, CartCoord),
+    /// Edge `e` runs a wire segment through tile `t`.
+    Wire(usize, CartCoord),
+    /// Edge `e` leaves tile `t` east or south.
+    Step(usize, CartCoord, CartDirection),
+}
+
+/// The problem variables of one Cartesian aspect-ratio encoding.
+struct CartEncoding {
+    place: HashMap<(usize, CartCoord), Lit>,
+    wire: HashMap<(usize, CartCoord), Lit>,
+    step: HashMap<(usize, CartCoord, CartDirection), Lit>,
+}
+
+const DIRS: [CartDirection; 2] = [CartDirection::East, CartDirection::South];
+
+/// Encodes the Cartesian placement & routing problem at a fixed aspect
+/// ratio through a [`ProbeEmitter`]. Returns `None` when the ratio is
+/// unschedulable or leaves some node with no placeable tile; such
+/// ratios are filtered before reaching the solver but still count as
+/// attempted.
+///
+/// As in the hexagonal twin, `session: None` encodes exactly the
+/// ratio's rectangle (the from-scratch mode), while a [`SessionBounds`]
+/// builds the shared variable universe over the whole session union and
+/// imposes the ratio — including its border rules and diagonal ranges —
+/// through guarded unit clauses only, which keeps learned lemmas free
+/// of the activation literal.
+fn encode_ratio<E: ProbeEmitter<CartKey>>(
+    em: &mut E,
     graph: &NetGraph,
     ratio: AspectRatio,
-    max_conflicts: u64,
-    cancel: &CancelFlag,
-) -> ProbeOutcome<CartGateLayout, RatioProbe> {
-    let filtered = ProbeOutcome {
-        layout: None,
-        probe: None,
-        cancelled: false,
-    };
-    let _span = fcn_telemetry::span(format!("ratio:{}", ratio.label()));
+    session: Option<&SessionBounds>,
+) -> Option<CartEncoding> {
     let (w, h) = (ratio.width as i32, ratio.height as i32);
     let diagonals = ratio.width + ratio.height - 1;
-    let Some(alap) = graph.alap(diagonals) else {
-        return filtered;
-    };
-    let mut cnf = CnfBuilder::new();
+    let alap = graph.alap(diagonals)?;
     let node_ids: Vec<MappedId> = graph.network.node_ids().collect();
-    let in_bounds = |t: CartCoord| t.x >= 0 && t.x < w && t.y >= 0 && t.y < h;
+    let ratio_bounds;
+    let bounds = match session {
+        Some(b) => b,
+        None => {
+            ratio_bounds = SessionBounds {
+                height: ratio.height,
+                width_at_row: vec![w; ratio.height as usize],
+                alap: alap.clone(),
+            };
+            &ratio_bounds
+        }
+    };
+    let in_ratio = |t: CartCoord| t.x >= 0 && t.x < w && t.y >= 0 && t.y < h;
+    let in_bounds = |t: CartCoord| bounds.contains_xy(t.x, t.y);
+    // Row 0 is spanned by every candidate, so `width_at(0)` is the
+    // session's widest rectangle.
     let tiles_on_diag = |d: u32| -> Vec<CartCoord> {
-        (0..w)
+        (0..bounds.width_at(0))
             .map(|x| CartCoord::new(x, d as i32 - x))
             .filter(|&t| in_bounds(t))
             .collect()
     };
 
-    // place(n, t) for tiles on the node's allowed diagonals.
+    // place(n, t) for tiles on the node's allowed diagonals. The
+    // at-least-one disjunction ranges over the session universe and is
+    // shared; this ratio's diagonal ranges and Po border rule arrive as
+    // guarded units. (Pi borders — top/left — mean the same tiles in
+    // every ratio, so they restrict creation itself.)
     let mut place: HashMap<(usize, CartCoord), Lit> = HashMap::new();
     for &n in &node_ids {
         let kind = graph.network.node(n).kind;
         let (lo, hi) = diag_range(graph, &alap, diagonals, n);
+        let (clo, chi) = match session {
+            Some(b) => (graph.asap[n.index()], b.alap[n.index()]),
+            None => (lo, hi),
+        };
         let mut vars = Vec::new();
-        for d in lo..=hi {
+        let mut admissible = 0usize;
+        for d in clo..=chi {
             for t in tiles_on_diag(d) {
-                if !border_ok(kind, t, w, h) {
+                let create_ok = match kind {
+                    GateKind::Pi => t.x == 0 || t.y == 0,
+                    _ => session.is_some() || border_ok(kind, t, w, h),
+                };
+                if !create_ok {
                     continue;
                 }
-                let lit = cnf.new_lit();
+                let lit = em.var(CartKey::Place(n.index(), t));
                 place.insert((n.index(), t), lit);
                 vars.push(lit);
+                if in_ratio(t) && border_ok(kind, t, w, h) && (lo..=hi).contains(&d) {
+                    admissible += 1;
+                } else {
+                    em.guarded(vec![lit.negated()]);
+                }
             }
         }
-        if vars.is_empty() {
-            return filtered;
+        if admissible == 0 {
+            return None;
         }
-        cnf.exactly_one(&vars);
+        em.shared(vars.clone());
+        em.shared_at_most_one(&vars);
     }
 
     // wire(e, t) strictly between the endpoints' diagonals.
@@ -199,63 +257,78 @@ fn solve_ratio(
     for e in &graph.edges {
         let (src_lo, _) = diag_range(graph, &alap, diagonals, e.source);
         let (_, dst_hi) = diag_range(graph, &alap, diagonals, e.target);
-        for d in (src_lo + 1)..dst_hi {
+        let (src_clo, dst_chi) = match session {
+            Some(b) => (graph.asap[e.source.index()], b.alap[e.target.index()]),
+            None => (src_lo, dst_hi),
+        };
+        for d in (src_clo + 1)..dst_chi {
             for t in tiles_on_diag(d) {
-                wire.insert((e.id, t), cnf.new_lit());
+                let lit = em.var(CartKey::Wire(e.id, t));
+                wire.insert((e.id, t), lit);
+                if !(in_ratio(t) && d > src_lo && d < dst_hi) {
+                    em.guarded(vec![lit.negated()]);
+                }
             }
         }
     }
 
-    // step(e, t, dir): edge e leaves t east or south.
-    const DIRS: [CartDirection; 2] = [CartDirection::East, CartDirection::South];
+    // step(e, t, dir): edge e leaves t east or south. Out-of-ratio
+    // steps need no units: the shared step → presence clauses propagate
+    // them off once the probe's place/wire units land.
     let mut step: HashMap<(usize, CartCoord, CartDirection), Lit> = HashMap::new();
     for e in &graph.edges {
-        let presence_src = |t: CartCoord| {
+        let presence_src = |wire: &HashMap<(usize, CartCoord), Lit>,
+                            place: &HashMap<(usize, CartCoord), Lit>,
+                            t: CartCoord| {
             wire.contains_key(&(e.id, t)) || place.contains_key(&(e.source.index(), t))
         };
-        let presence_dst = |t: CartCoord| {
+        let presence_dst = |wire: &HashMap<(usize, CartCoord), Lit>,
+                            place: &HashMap<(usize, CartCoord), Lit>,
+                            t: CartCoord| {
             wire.contains_key(&(e.id, t)) || place.contains_key(&(e.target.index(), t))
         };
-        for y in 0..h {
-            for x in 0..w {
+        for y in 0..bounds.height as i32 {
+            for x in 0..bounds.width_at(y as u32) {
                 let t = CartCoord::new(x, y);
-                if !presence_src(t) {
+                if !presence_src(&wire, &place, t) {
                     continue;
                 }
                 for dir in DIRS {
                     let s = t.neighbor(dir);
-                    if in_bounds(s) && presence_dst(s) {
-                        step.insert((e.id, t, dir), cnf.new_lit());
+                    if in_bounds(s) && presence_dst(&wire, &place, s) {
+                        step.insert((e.id, t, dir), em.var(CartKey::Step(e.id, t, dir)));
                     }
                 }
             }
         }
     }
 
-    // Tile capacity.
-    for y in 0..h {
-        for x in 0..w {
+    // Tile capacity: universal, shared across probes.
+    for y in 0..bounds.height as i32 {
+        for x in 0..bounds.width_at(y as u32) {
             let t = CartCoord::new(x, y);
             let gates: Vec<Lit> = node_ids
                 .iter()
                 .filter_map(|n| place.get(&(n.index(), t)).copied())
                 .collect();
-            cnf.at_most_one(&gates);
+            em.shared_at_most_one(&gates);
             if !gates.is_empty() {
-                let occ = cnf.or_all(gates.iter().copied());
+                let occ = em.shared_or_all(&gates);
                 for e in &graph.edges {
                     if let Some(&wv) = wire.get(&(e.id, t)) {
-                        cnf.implies(wv, occ.negated());
+                        em.shared(vec![wv.negated(), occ.negated()]);
                     }
                 }
             }
         }
     }
 
-    // Flow constraints per edge (same shape as the hexagonal encoding).
+    // Flow constraints per edge, over the session universe (shared for
+    // the same reason as in the hexagonal encoding: every probe's
+    // models route each present edge through some step of the union).
     for e in &graph.edges {
-        for y in 0..h {
-            for x in 0..w {
+        for y in 0..bounds.height as i32 {
+            for x in 0..bounds.width_at(y as u32) {
                 let t = CartCoord::new(x, y);
                 let src_lits: Vec<Lit> = [
                     wire.get(&(e.id, t)).copied(),
@@ -269,16 +342,16 @@ fn solve_ratio(
                         .into_iter()
                         .filter_map(|d| step.get(&(e.id, t, d)).copied())
                         .collect();
-                    cnf.at_most_one(&outs);
+                    em.shared_at_most_one(&outs);
                     for &p in &src_lits {
                         let mut clause = vec![p.negated()];
                         clause.extend(outs.iter().copied());
-                        cnf.add_clause(clause);
+                        em.shared(clause);
                     }
                     for &s in &outs {
                         let mut clause = vec![s.negated()];
                         clause.extend(src_lits.iter().copied());
-                        cnf.add_clause(clause);
+                        em.shared(clause);
                     }
                 }
 
@@ -298,16 +371,16 @@ fn solve_ratio(
                             step.get(&(e.id, n, towards)).copied()
                         })
                         .collect();
-                    cnf.at_most_one(&ins);
+                    em.shared_at_most_one(&ins);
                     for &p in &dst_lits {
                         let mut clause = vec![p.negated()];
                         clause.extend(ins.iter().copied());
-                        cnf.add_clause(clause);
+                        em.shared(clause);
                     }
                     for &s in &ins {
                         let mut clause = vec![s.negated()];
                         clause.extend(dst_lits.iter().copied());
-                        cnf.add_clause(clause);
+                        em.shared(clause);
                     }
                 }
             }
@@ -315,8 +388,8 @@ fn solve_ratio(
     }
 
     // Port exclusivity.
-    for y in 0..h {
-        for x in 0..w {
+    for y in 0..bounds.height as i32 {
+        for x in 0..bounds.width_at(y as u32) {
             let t = CartCoord::new(x, y);
             for d in DIRS {
                 let users: Vec<Lit> = graph
@@ -324,17 +397,109 @@ fn solve_ratio(
                     .iter()
                     .filter_map(|e| step.get(&(e.id, t, d)).copied())
                     .collect();
-                cnf.at_most_one(&users);
+                em.shared_at_most_one(&users);
             }
         }
     }
 
+    Some(CartEncoding { place, wire, step })
+}
+
+/// Reads a satisfying model back into a Cartesian gate layout.
+fn extract_layout(
+    model: &Model,
+    enc: &CartEncoding,
+    graph: &NetGraph,
+    ratio: AspectRatio,
+) -> CartGateLayout {
+    let (w, h) = (ratio.width as i32, ratio.height as i32);
+    let mut layout = CartGateLayout::new(ratio, ClockingScheme::TwoDdWave);
+    let mut node_tile: HashMap<usize, CartCoord> = HashMap::new();
+    for (&(n, t), &lit) in &enc.place {
+        if model.lit_value(lit) {
+            node_tile.insert(n, t);
+        }
+    }
+    let step_true = |e: usize, t: CartCoord, d: CartDirection| {
+        enc.step
+            .get(&(e, t, d))
+            .is_some_and(|&l| model.lit_value(l))
+    };
+    let incoming_dir = |e: usize, t: CartCoord| -> Option<CartDirection> {
+        [CartDirection::West, CartDirection::North]
+            .into_iter()
+            .find(|&d| step_true(e, t.neighbor(d), d.opposite()))
+    };
+    let outgoing_dir = |e: usize, t: CartCoord| -> Option<CartDirection> {
+        DIRS.into_iter().find(|&d| step_true(e, t, d))
+    };
+
+    for n in graph.network.node_ids() {
+        let t = node_tile[&n.index()];
+        let node = graph.network.node(n);
+        let inputs: Vec<CartDirection> = graph.in_edges[n.index()]
+            .iter()
+            .map(|&e| incoming_dir(e, t).expect("routed input"))
+            .collect();
+        let outputs: Vec<CartDirection> = graph.out_edges[n.index()]
+            .iter()
+            .map(|&e| outgoing_dir(e, t).expect("routed output"))
+            .collect();
+        layout.place(
+            t,
+            TileContents::gate(node.kind, inputs, outputs, node.name.clone()),
+        );
+    }
+    // Wire tiles, visited in deterministic edge-then-row-major order so
+    // the per-tile segment lists are reproducible run to run.
+    let mut segments: HashMap<CartCoord, Vec<(CartDirection, CartDirection)>> = HashMap::new();
+    for e in &graph.edges {
+        for y in 0..h {
+            for x in 0..w {
+                let t = CartCoord::new(x, y);
+                let Some(&lit) = enc.wire.get(&(e.id, t)) else {
+                    continue;
+                };
+                if model.lit_value(lit) {
+                    segments.entry(t).or_default().push((
+                        incoming_dir(e.id, t).expect("wire predecessor"),
+                        outgoing_dir(e.id, t).expect("wire successor"),
+                    ));
+                }
+            }
+        }
+    }
+    for (t, segs) in segments {
+        layout.place(t, TileContents::Wire { segments: segs });
+    }
+    layout
+}
+
+/// Attempts to place & route at a fixed aspect ratio on a fresh solver.
+/// The probe record is `None` when the ratio was discarded before
+/// reaching the solver; such ratios still count as attempted. Also the
+/// authoritative extraction path for the incremental mode's winner.
+fn solve_ratio_scratch(
+    graph: &NetGraph,
+    ratio: AspectRatio,
+    max_conflicts: u64,
+    cancel: &CancelFlag,
+) -> ProbeOutcome<CartGateLayout, RatioProbe> {
+    let _span = fcn_telemetry::span(format!("ratio:{}", ratio.label()));
+    let mut em = ScratchEmitter::new();
+    let Some(enc) = encode_ratio(&mut em, graph, ratio, None) else {
+        return ProbeOutcome {
+            layout: None,
+            probe: None,
+            cancelled: false,
+        };
+    };
+    let mut cnf = em.cnf;
+
     fcn_telemetry::counter("cnf.vars", cnf.solver().num_vars() as u64);
     fcn_telemetry::counter("cnf.clauses", cnf.solver().num_clauses() as u64);
     cnf.solver_mut().set_interrupt(cancel.clone());
-    let outcome = cnf
-        .solver_mut()
-        .solve_bounded_with_assumptions(max_conflicts, &[]);
+    let outcome = cnf.solve_with(&SolveParams::new().budget(max_conflicts).interruptible());
     let stats = cnf.solver().stats();
     if let BoundedResult::Interrupted = outcome {
         fcn_telemetry::note("verdict", "cancelled");
@@ -358,6 +523,8 @@ fn solve_ratio(
         ratio,
         verdict,
         stats,
+        retained: 0,
+        extraction_conflicts: None,
     });
     let model = match outcome {
         BoundedResult::Sat(m) => m,
@@ -369,59 +536,109 @@ fn solve_ratio(
             }
         }
     };
-
-    // Extraction.
-    let mut layout = CartGateLayout::new(ratio, ClockingScheme::TwoDdWave);
-    let mut node_tile: HashMap<usize, CartCoord> = HashMap::new();
-    for (&(n, t), &lit) in &place {
-        if model.lit_value(lit) {
-            node_tile.insert(n, t);
-        }
-    }
-    let step_true = |e: usize, t: CartCoord, d: CartDirection| {
-        step.get(&(e, t, d)).is_some_and(|&l| model.lit_value(l))
-    };
-    let incoming_dir = |e: usize, t: CartCoord| -> Option<CartDirection> {
-        [CartDirection::West, CartDirection::North]
-            .into_iter()
-            .find(|&d| step_true(e, t.neighbor(d), d.opposite()))
-    };
-    let outgoing_dir = |e: usize, t: CartCoord| -> Option<CartDirection> {
-        DIRS.into_iter().find(|&d| step_true(e, t, d))
-    };
-
-    for &n in &node_ids {
-        let t = node_tile[&n.index()];
-        let node = graph.network.node(n);
-        let inputs: Vec<CartDirection> = graph.in_edges[n.index()]
-            .iter()
-            .map(|&e| incoming_dir(e, t).expect("routed input"))
-            .collect();
-        let outputs: Vec<CartDirection> = graph.out_edges[n.index()]
-            .iter()
-            .map(|&e| outgoing_dir(e, t).expect("routed output"))
-            .collect();
-        layout.place(
-            t,
-            TileContents::gate(node.kind, inputs, outputs, node.name.clone()),
-        );
-    }
-    let mut segments: HashMap<CartCoord, Vec<(CartDirection, CartDirection)>> = HashMap::new();
-    for (&(e, t), &lit) in &wire {
-        if model.lit_value(lit) {
-            segments.entry(t).or_default().push((
-                incoming_dir(e, t).expect("wire predecessor"),
-                outgoing_dir(e, t).expect("wire successor"),
-            ));
-        }
-    }
-    for (t, segs) in segments {
-        layout.place(t, TileContents::Wire { segments: segs });
-    }
     ProbeOutcome {
-        layout: Some(layout),
+        layout: Some(extract_layout(&model, &enc, graph, ratio)),
         probe,
         cancelled: false,
+    }
+}
+
+/// Probes a fixed aspect ratio on the worker's incremental session (see
+/// the hexagonal twin in [`crate::exact`] for the protocol: guarded
+/// encoding, assumption solve, retirement, and an authoritative fresh
+/// re-solve of SAT verdicts).
+fn solve_ratio_incremental(
+    inc: &mut IncrementalCnf<CartKey>,
+    graph: &NetGraph,
+    ratio: AspectRatio,
+    session: &SessionBounds,
+    max_conflicts: u64,
+    cancel: &CancelFlag,
+) -> ProbeOutcome<CartGateLayout, RatioProbe> {
+    let _span = fcn_telemetry::span(format!("ratio:{}", ratio.label()));
+    fcn_telemetry::note("mode", "incremental");
+    let retained = inc.begin_probe();
+    let encoded = encode_ratio(inc, graph, ratio, Some(session)).is_some();
+    if !encoded {
+        inc.end_probe();
+        return ProbeOutcome {
+            layout: None,
+            probe: None,
+            cancelled: false,
+        };
+    }
+    fcn_telemetry::counter("sat.retained", retained);
+    let outcome = inc.solve(max_conflicts, cancel);
+    let stats = inc.stats();
+    inc.end_probe();
+    fcn_telemetry::counter("sat.conflicts", stats.conflicts);
+    fcn_telemetry::counter("sat.decisions", stats.decisions);
+    fcn_telemetry::counter("sat.propagations", stats.propagations);
+    fcn_telemetry::counter("sat.restarts", stats.restarts);
+    let verdict = match &outcome {
+        BoundedResult::Sat(_) => "sat",
+        BoundedResult::Unsat => "unsat",
+        BoundedResult::BudgetExceeded => "budget-exceeded",
+        BoundedResult::Interrupted => "cancelled",
+    };
+    fcn_telemetry::note("verdict", verdict);
+
+    match outcome {
+        BoundedResult::Interrupted => ProbeOutcome {
+            layout: None,
+            probe: None,
+            cancelled: true,
+        },
+        BoundedResult::Unsat => ProbeOutcome {
+            layout: None,
+            probe: Some(RatioProbe {
+                ratio,
+                verdict: ProbeVerdict::Unsat,
+                stats,
+                retained,
+                extraction_conflicts: None,
+            }),
+            cancelled: false,
+        },
+        BoundedResult::BudgetExceeded => ProbeOutcome {
+            layout: None,
+            probe: Some(RatioProbe {
+                ratio,
+                verdict: ProbeVerdict::BudgetExceeded,
+                stats,
+                retained,
+                extraction_conflicts: None,
+            }),
+            cancelled: false,
+        },
+        BoundedResult::Sat(_) => {
+            let scratch = solve_ratio_scratch(graph, ratio, max_conflicts, cancel);
+            if scratch.cancelled {
+                return scratch;
+            }
+            let mut probe = scratch.probe.expect("scratch probes always record");
+            probe.retained = retained;
+            match probe.verdict {
+                ProbeVerdict::Sat => {
+                    fcn_telemetry::counter("sat.extraction_conflicts", probe.stats.conflicts);
+                    probe.extraction_conflicts = Some(probe.stats.conflicts);
+                    probe.stats = stats;
+                    ProbeOutcome {
+                        layout: scratch.layout,
+                        probe: Some(probe),
+                        cancelled: false,
+                    }
+                }
+                _ => {
+                    probe.stats += stats;
+                    ProbeOutcome {
+                        layout: None,
+                        probe: Some(probe),
+                        cancelled: false,
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -431,7 +648,7 @@ mod tests {
     use fcn_logic::network::Xag;
     use fcn_logic::techmap::{map_xag, MapOptions};
 
-    fn pnr(xag: &Xag) -> CartPnrResult {
+    fn pnr(xag: &Xag) -> PnrOutcome<CartGateLayout> {
         let net = map_xag(xag, MapOptions::default()).expect("mappable");
         let graph = NetGraph::new(net).expect("legalized");
         cartesian_exact_pnr(&graph, &ExactOptions::default()).expect("feasible")
@@ -495,5 +712,42 @@ mod tests {
                 _ => {}
             }
         }
+    }
+
+    #[test]
+    fn incremental_and_scratch_agree_on_cartesian_layouts() {
+        let mut xag = Xag::new();
+        let a = xag.primary_input("a");
+        let b = xag.primary_input("b");
+        let s = xag.xor(a, b);
+        let c = xag.and(a, b);
+        xag.primary_output("s", s);
+        xag.primary_output("c", c);
+        let net = map_xag(&xag, MapOptions::default()).expect("mappable");
+        let graph = NetGraph::new(net).expect("legalized");
+        let base = ExactOptions {
+            num_threads: 1,
+            ..Default::default()
+        };
+        let warm = cartesian_exact_pnr(
+            &graph,
+            &ExactOptions {
+                incremental: true,
+                ..base
+            },
+        )
+        .expect("feasible");
+        let cold = cartesian_exact_pnr(
+            &graph,
+            &ExactOptions {
+                incremental: false,
+                ..base
+            },
+        )
+        .expect("feasible");
+        assert_eq!(warm.ratio, cold.ratio);
+        assert_eq!(warm.ratios_tried, cold.ratios_tried);
+        assert_eq!(warm.layout.render_ascii(), cold.layout.render_ascii());
+        assert_eq!(cold.reuse, crate::incremental::ReuseStats::default());
     }
 }

@@ -27,12 +27,19 @@
 pub mod cartesian_exact;
 pub mod exact;
 pub mod heuristic;
+pub mod incremental;
 pub mod netgraph;
 pub mod portfolio;
 
-pub use cartesian_exact::{cartesian_exact_pnr, CartPnrResult};
+pub use cartesian_exact::cartesian_exact_pnr;
+#[allow(deprecated)]
+pub use cartesian_exact::CartPnrResult;
+#[allow(deprecated)]
+pub use exact::PnrResult;
 pub use exact::{
-    default_num_threads, exact_pnr, ExactOptions, PnrError, PnrResult, ProbeVerdict, RatioProbe,
+    default_incremental, default_num_threads, exact_pnr, ExactOptions, PnrError, PnrOutcome,
+    ProbeVerdict, RatioProbe,
 };
 pub use heuristic::heuristic_pnr;
+pub use incremental::ReuseStats;
 pub use netgraph::NetGraph;

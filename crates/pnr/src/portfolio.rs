@@ -84,23 +84,34 @@ struct Shared {
 /// (or a single candidate) the probes run inline on the caller's
 /// thread, recording telemetry ambiently with zero overhead.
 ///
-/// `probe(index, candidate, cancel)` must be deterministic per
-/// candidate — independent of thread interleaving — for the portfolio
-/// to be equivalent to the sequential scan. Probes receive a fresh
+/// Every worker owns a *probe context* built by `make_ctx` — the hook
+/// through which the exact engines give each worker a long-lived
+/// incremental SAT session. The sequential path builds one context and
+/// reuses it for the whole scan; the parallel path builds one per
+/// worker thread, so contexts never cross threads and need not be
+/// `Send`.
+///
+/// `probe(ctx, index, candidate, cancel)` must reach *semantically*
+/// identical verdicts per candidate regardless of thread interleaving
+/// (context state may legitimately differ — e.g. learned-clause counts
+/// depend on which probes a worker saw) for the portfolio to be
+/// equivalent to the sequential scan. Probes receive a fresh
 /// [`CancelFlag`] each and should return `cancelled: true` if it fired.
-pub fn run_portfolio<C, L, P, F>(
+pub fn run_portfolio<Ctx, C, L, P, MF, F>(
     candidates: &[C],
     num_threads: usize,
+    make_ctx: MF,
     probe: F,
 ) -> PortfolioOutcome<L, P>
 where
     C: Sync,
     L: Send,
     P: Send,
-    F: Fn(usize, &C, &CancelFlag) -> ProbeOutcome<L, P> + Sync,
+    MF: Fn() -> Ctx + Sync,
+    F: Fn(&mut Ctx, usize, &C, &CancelFlag) -> ProbeOutcome<L, P> + Sync,
 {
     if num_threads <= 1 || candidates.len() <= 1 {
-        return run_sequential(candidates, probe);
+        return run_sequential(candidates, make_ctx(), probe);
     }
 
     let parent = fcn_telemetry::current();
@@ -115,49 +126,53 @@ where
     let workers = num_threads.min(candidates.len());
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                // Dispatch strictly in index order; stop once the stream
-                // is exhausted or a SAT result rules out everything that
-                // remains (indices past the best SAT cannot win).
-                let (idx, flag) = {
-                    let mut s = shared.lock().unwrap();
-                    if s.next >= candidates.len() || s.next > s.best_sat {
-                        break;
-                    }
-                    let idx = s.next;
-                    s.next += 1;
-                    let flag: CancelFlag = Arc::new(AtomicBool::new(false));
-                    s.inflight.push((idx, flag.clone()));
-                    (idx, flag)
-                };
+            scope.spawn(|| {
+                let mut ctx = make_ctx();
+                loop {
+                    // Dispatch strictly in index order; stop once the
+                    // stream is exhausted or a SAT result rules out
+                    // everything that remains (indices past the best
+                    // SAT cannot win).
+                    let (idx, flag) = {
+                        let mut s = shared.lock().unwrap();
+                        if s.next >= candidates.len() || s.next > s.best_sat {
+                            break;
+                        }
+                        let idx = s.next;
+                        s.next += 1;
+                        let flag: CancelFlag = Arc::new(AtomicBool::new(false));
+                        s.inflight.push((idx, flag.clone()));
+                        (idx, flag)
+                    };
 
-                // Run the probe, under a scoped child collector when the
-                // coordinator has telemetry installed.
-                let (outcome, report) = match &parent {
-                    Some(_) => {
-                        let child = Arc::new(fcn_telemetry::Collector::new("probe"));
-                        let outcome = fcn_telemetry::with_collector(&child, || {
-                            probe(idx, &candidates[idx], &flag)
-                        });
-                        child.finish();
-                        (outcome, Some(child.report()))
-                    }
-                    None => (probe(idx, &candidates[idx], &flag), None),
-                };
+                    // Run the probe, under a scoped child collector when
+                    // the coordinator has telemetry installed.
+                    let (outcome, report) = match &parent {
+                        Some(_) => {
+                            let child = Arc::new(fcn_telemetry::Collector::new("probe"));
+                            let outcome = fcn_telemetry::with_collector(&child, || {
+                                probe(&mut ctx, idx, &candidates[idx], &flag)
+                            });
+                            child.finish();
+                            (outcome, Some(child.report()))
+                        }
+                        None => (probe(&mut ctx, idx, &candidates[idx], &flag), None),
+                    };
 
-                {
-                    let mut s = shared.lock().unwrap();
-                    s.inflight.retain(|(i, _)| *i != idx);
-                    if outcome.layout.is_some() && idx < s.best_sat {
-                        s.best_sat = idx;
-                        for (i, f) in &s.inflight {
-                            if *i > idx {
-                                f.store(true, Ordering::Relaxed);
+                    {
+                        let mut s = shared.lock().unwrap();
+                        s.inflight.retain(|(i, _)| *i != idx);
+                        if outcome.layout.is_some() && idx < s.best_sat {
+                            s.best_sat = idx;
+                            for (i, f) in &s.inflight {
+                                if *i > idx {
+                                    f.store(true, Ordering::Relaxed);
+                                }
                             }
                         }
                     }
+                    slots.lock().unwrap()[idx] = Some((outcome, report));
                 }
-                slots.lock().unwrap()[idx] = Some((outcome, report));
             });
         }
     });
@@ -202,10 +217,15 @@ where
 }
 
 /// The inline path: probe candidates one at a time on the caller's
-/// thread, exactly like the pre-portfolio engines did.
-fn run_sequential<C, L, P, F>(candidates: &[C], probe: F) -> PortfolioOutcome<L, P>
+/// thread, exactly like the pre-portfolio engines did, reusing a single
+/// probe context for the whole scan.
+fn run_sequential<Ctx, C, L, P, F>(
+    candidates: &[C],
+    mut ctx: Ctx,
+    probe: F,
+) -> PortfolioOutcome<L, P>
 where
-    F: Fn(usize, &C, &CancelFlag) -> ProbeOutcome<L, P>,
+    F: Fn(&mut Ctx, usize, &C, &CancelFlag) -> ProbeOutcome<L, P>,
 {
     let never: CancelFlag = Arc::new(AtomicBool::new(false));
     let mut result = PortfolioOutcome {
@@ -215,7 +235,7 @@ where
         cancelled: 0,
     };
     for (idx, candidate) in candidates.iter().enumerate() {
-        let outcome = probe(idx, candidate, &never);
+        let outcome = probe(&mut ctx, idx, candidate, &never);
         result.attempted += 1;
         if let Some(p) = outcome.probe {
             result.probes.push(p);
@@ -268,8 +288,8 @@ mod tests {
     #[test]
     fn sequential_and_parallel_agree() {
         let candidates = [1u32, 2, 1, 0, 1];
-        let seq = run_portfolio(&candidates, 1, |_, c, f| fake_probe(c, f));
-        let par = run_portfolio(&candidates, 4, |_, c, f| fake_probe(c, f));
+        let seq = run_portfolio(&candidates, 1, || (), |_, _, c, f| fake_probe(c, f));
+        let par = run_portfolio(&candidates, 4, || (), |_, _, c, f| fake_probe(c, f));
         assert_eq!(seq.winner.as_ref().map(|(i, _)| *i), Some(3));
         assert_eq!(par.winner.as_ref().map(|(i, _)| *i), Some(3));
         assert_eq!(seq.probes, par.probes);
@@ -283,7 +303,7 @@ mod tests {
         // Candidate 3 spins until cancelled; the SAT candidate at index
         // 1 must cut it loose rather than wait for it.
         let candidates = [1u32, 0, 3, 3];
-        let out = run_portfolio(&candidates, 4, |_, c, f| fake_probe(c, f));
+        let out = run_portfolio(&candidates, 4, || (), |_, _, c, f| fake_probe(c, f));
         assert_eq!(out.winner.as_ref().map(|(i, _)| *i), Some(1));
         assert_eq!(out.probes, vec![1, 0]);
         assert_eq!(out.attempted, 2);
@@ -296,7 +316,7 @@ mod tests {
     fn no_sat_candidate_yields_no_winner() {
         let candidates = [1u32, 2, 1];
         for threads in [1, 4] {
-            let out = run_portfolio(&candidates, threads, |_, c, f| fake_probe(c, f));
+            let out = run_portfolio(&candidates, threads, || (), |_, _, c, f| fake_probe(c, f));
             assert!(out.winner.is_none());
             assert_eq!(out.probes, vec![1, 1]);
             assert_eq!(out.attempted, 3);
@@ -310,10 +330,15 @@ mod tests {
         let candidates = [1u32, 1, 0];
         fcn_telemetry::with_collector(&collector, || {
             let _pnr = fcn_telemetry::span("stage");
-            run_portfolio(&candidates, 4, |idx, c, f| {
-                let _span = fcn_telemetry::span(format!("probe:{idx}"));
-                fake_probe(c, f)
-            })
+            run_portfolio(
+                &candidates,
+                4,
+                || (),
+                |_, idx, c, f| {
+                    let _span = fcn_telemetry::span(format!("probe:{idx}"));
+                    fake_probe(c, f)
+                },
+            )
         });
         let report = collector.report();
         let stage = report.root.child("stage").expect("stage span");
@@ -323,9 +348,52 @@ mod tests {
 
     #[test]
     fn empty_candidate_list_is_fine() {
-        let out = run_portfolio(&[] as &[u32], 4, |_, c, f| fake_probe(c, f));
+        let out = run_portfolio(&[] as &[u32], 4, || (), |_, _, c, f| fake_probe(c, f));
         assert!(out.winner.is_none());
         assert!(out.probes.is_empty());
         assert_eq!(out.attempted, 0);
+    }
+
+    #[test]
+    fn sequential_scan_reuses_one_context() {
+        use std::sync::atomic::AtomicUsize;
+        let built = AtomicUsize::new(0);
+        let candidates = [1u32, 1, 1, 0];
+        let out = run_portfolio(
+            &candidates,
+            1,
+            || {
+                built.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
+            |ctx, _, c, f| {
+                *ctx += 1; // probe count within this context
+                fake_probe(c, f)
+            },
+        );
+        assert_eq!(out.winner.as_ref().map(|(i, _)| *i), Some(3));
+        assert_eq!(built.load(Ordering::Relaxed), 1, "one context for the scan");
+    }
+
+    #[test]
+    fn parallel_run_builds_at_most_one_context_per_worker() {
+        use std::sync::atomic::AtomicUsize;
+        let built = AtomicUsize::new(0);
+        let candidates = [1u32, 1, 1, 1, 0];
+        let out = run_portfolio(
+            &candidates,
+            3,
+            || {
+                built.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
+            |ctx, _, c, f| {
+                *ctx += 1;
+                fake_probe(c, f)
+            },
+        );
+        assert_eq!(out.winner.as_ref().map(|(i, _)| *i), Some(4));
+        let n = built.load(Ordering::Relaxed);
+        assert!((1..=3).contains(&n), "one context per worker, got {n}");
     }
 }

@@ -6,7 +6,7 @@
 //! (used by the exact placement & routing encoding, e.g. "every logic node
 //! is placed on exactly one tile").
 
-use crate::solver::{SolveResult, Solver};
+use crate::solver::{BoundedResult, SolveParams, SolveResult, Solver};
 use crate::types::{Lit, Var};
 
 /// A convenience layer for building CNF formulas.
@@ -236,6 +236,11 @@ impl CnfBuilder {
     /// Solves under temporary assumptions.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.solver.solve_with_assumptions(assumptions)
+    }
+
+    /// Solves under the given [`SolveParams`] (see [`Solver::solve_with`]).
+    pub fn solve_with(&mut self, params: &SolveParams) -> BoundedResult {
+        self.solver.solve_with(params)
     }
 
     /// Grants access to the underlying solver.

@@ -41,5 +41,5 @@ mod solver;
 mod types;
 
 pub use builder::CnfBuilder;
-pub use solver::{BoundedResult, Model, SolveResult, Solver, SolverStats};
+pub use solver::{BoundedResult, Model, SolveParams, SolveResult, Solver, SolverStats};
 pub use types::{Lit, Var};

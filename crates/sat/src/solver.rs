@@ -50,6 +50,77 @@ impl BoundedResult {
     }
 }
 
+/// Parameters of a [`Solver::solve_with`] call — the single entry point
+/// behind every solve flavor.
+///
+/// The historical quartet (`solve`, `solve_bounded`,
+/// `solve_with_assumptions`, `solve_bounded_with_assumptions`) remains
+/// as thin wrappers, each a fixed parameterization of this struct:
+///
+/// | wrapper | assumptions | budget | interruptible |
+/// |---|---|---|---|
+/// | `solve` | none | unbounded | no |
+/// | `solve_with_assumptions` | yes | unbounded | no |
+/// | `solve_bounded` | none | bounded | yes |
+/// | `solve_bounded_with_assumptions` | yes | bounded | yes |
+///
+/// # Examples
+///
+/// ```
+/// use msat::{Lit, SolveParams, Solver};
+///
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause([Lit::pos(a), Lit::pos(b)]);
+/// let result = s.solve_with(&SolveParams::new().assume([Lit::neg(a)]));
+/// assert!(result.is_sat());
+/// assert!(result.model().unwrap().value(b));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SolveParams {
+    /// Literals forced true for this call only (incremental interface).
+    pub assumptions: Vec<Lit>,
+    /// Conflict budget; `None` is unbounded and the solve always returns
+    /// a definitive verdict.
+    pub max_conflicts: Option<u64>,
+    /// Whether the search polls the flag installed via
+    /// [`Solver::set_interrupt`]. Non-interruptible solves ignore a
+    /// stale flag, preserving plain `solve` semantics.
+    pub interruptible: bool,
+}
+
+impl SolveParams {
+    /// An unbounded, assumption-free, non-interruptible solve.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the assumptions (literals held true for this call only).
+    #[must_use]
+    pub fn assume<I: IntoIterator<Item = Lit>>(mut self, lits: I) -> Self {
+        self.assumptions = lits.into_iter().collect();
+        self
+    }
+
+    /// Caps the solve at `max_conflicts` conflicts past the current
+    /// conflict count; an exhausted budget yields
+    /// [`BoundedResult::BudgetExceeded`].
+    #[must_use]
+    pub fn budget(mut self, max_conflicts: u64) -> Self {
+        self.max_conflicts = Some(max_conflicts);
+        self
+    }
+
+    /// Makes the solve poll the cooperative interrupt flag (see
+    /// [`Solver::set_interrupt`]).
+    #[must_use]
+    pub fn interruptible(mut self) -> Self {
+        self.interruptible = true;
+        self
+    }
+}
+
 impl SolveResult {
     /// Returns the model, panicking on UNSAT.
     ///
@@ -160,6 +231,11 @@ struct Clause {
     lits: Vec<Lit>,
     learned: bool,
     activity: f64,
+    /// Literal block distance — the number of distinct decision levels
+    /// among the clause's literals at learn time (glucose). Lower is
+    /// better; "glue" clauses (LBD ≤ 2) are never garbage-collected.
+    /// `0` for original clauses, which are never reduced anyway.
+    lbd: u32,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -190,6 +266,9 @@ pub struct Solver {
     stats: SolverStats,
     cla_inc: f64,
     interrupt: Option<Arc<AtomicBool>>,
+    /// Per-level stamps for O(clause) LBD computation.
+    lbd_stamp: Vec<u64>,
+    lbd_counter: u64,
 }
 
 const NO_REASON: u32 = u32::MAX;
@@ -290,6 +369,7 @@ impl Solver {
                     lits: filtered,
                     learned: false,
                     activity: 0.0,
+                    lbd: 0,
                 });
             }
         }
@@ -401,8 +481,9 @@ impl Solver {
     }
 
     /// First-UIP conflict analysis. Returns the learned clause (asserting
-    /// literal first) and the backjump level.
-    fn analyze(&mut self, mut conflict: u32) -> (Vec<Lit>, u32) {
+    /// literal first), the backjump level, and the clause's LBD (computed
+    /// here, while every literal is still assigned).
+    fn analyze(&mut self, mut conflict: u32) -> (Vec<Lit>, u32, u32) {
         let mut learned: Vec<Lit> = vec![Lit::pos(Var(0))]; // placeholder slot 0
         let mut counter = 0usize;
         let mut trail_idx = self.trail.len();
@@ -472,7 +553,8 @@ impl Solver {
             minimized.swap(1, max_i);
             self.level[minimized[1].var().index()]
         };
-        (minimized, backjump)
+        let lbd = self.compute_lbd(&minimized);
+        (minimized, backjump, lbd)
     }
 
     /// A literal is redundant in the learned clause if its reason clause
@@ -516,7 +598,24 @@ impl Solver {
         self.heap.update(var, &self.activity);
     }
 
+    /// Activity bump plus dynamic LBD refresh (glucose): a clause
+    /// participating in conflict analysis has all literals assigned, so
+    /// its LBD can be recomputed; the minimum ever observed is kept.
+    /// Must only be called while the clause is fully assigned.
     fn bump_clause(&mut self, idx: usize) {
+        if !self.clauses[idx].learned {
+            return;
+        }
+        self.bump_clause_activity(idx);
+        let lits = std::mem::take(&mut self.clauses[idx].lits);
+        let lbd = self.compute_lbd(&lits);
+        self.clauses[idx].lits = lits;
+        if lbd < self.clauses[idx].lbd {
+            self.clauses[idx].lbd = lbd;
+        }
+    }
+
+    fn bump_clause_activity(&mut self, idx: usize) {
         if !self.clauses[idx].learned {
             return;
         }
@@ -527,6 +626,29 @@ impl Solver {
             }
             self.cla_inc *= 1e-20;
         }
+    }
+
+    /// The number of distinct decision levels among `lits` (their
+    /// variables must all be assigned). Root-level literals are not
+    /// counted: they are semantically fixed and do not block anything.
+    fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
+        self.lbd_counter += 1;
+        let stamp = self.lbd_counter;
+        let mut lbd = 0u32;
+        for &l in lits {
+            let lvl = self.level[l.var().index()] as usize;
+            if lvl == 0 {
+                continue;
+            }
+            if lvl >= self.lbd_stamp.len() {
+                self.lbd_stamp.resize(lvl + 1, 0);
+            }
+            if self.lbd_stamp[lvl] != stamp {
+                self.lbd_stamp[lvl] = stamp;
+                lbd += 1;
+            }
+        }
+        lbd
     }
 
     fn decay_activities(&mut self) {
@@ -543,20 +665,29 @@ impl Solver {
         None
     }
 
-    /// Removes roughly half of the learned clauses, keeping the most active
-    /// ones. Binary clauses and clauses currently used as reasons survive.
-    fn reduce_learned(&mut self) {
-        let mut learned: Vec<usize> = (0..self.clauses.len())
-            .filter(|&i| self.clauses[i].learned && self.clauses[i].lits.len() > 2)
+    /// Removes roughly half of the removable learned clauses,
+    /// glucose-style: binary clauses, glue clauses (LBD ≤ 2), and
+    /// clauses currently used as reasons always survive; among the rest,
+    /// high-LBD low-activity clauses go first. Public so incremental
+    /// sessions can cap the database they carry between probes.
+    pub fn reduce_learned(&mut self) {
+        let mut removable: Vec<usize> = (0..self.clauses.len())
+            .filter(|&i| {
+                let c = &self.clauses[i];
+                c.learned && c.lits.len() > 2 && c.lbd > 2
+            })
             .collect();
-        if learned.len() < 2 {
+        if removable.len() < 2 {
             return;
         }
-        learned.sort_by(|&a, &b| {
-            self.clauses[a]
-                .activity
-                .partial_cmp(&self.clauses[b].activity)
-                .unwrap_or(core::cmp::Ordering::Equal)
+        // Worst first: highest LBD, ties broken by lowest activity.
+        removable.sort_by(|&a, &b| {
+            let (ca, cb) = (&self.clauses[a], &self.clauses[b]);
+            cb.lbd.cmp(&ca.lbd).then(
+                ca.activity
+                    .partial_cmp(&cb.activity)
+                    .unwrap_or(core::cmp::Ordering::Equal),
+            )
         });
         let reasons: std::collections::HashSet<u32> = self
             .reason
@@ -564,15 +695,21 @@ impl Solver {
             .copied()
             .filter(|&r| r != NO_REASON)
             .collect();
-        let to_remove: std::collections::HashSet<u32> = learned[..learned.len() / 2]
+        let to_remove: std::collections::HashSet<u32> = removable[..removable.len() / 2]
             .iter()
             .map(|&i| i as u32)
             .filter(|i| !reasons.contains(i))
             .collect();
+        self.remove_clauses(&to_remove);
+        self.stats.learned = self.clauses.iter().filter(|c| c.learned).count() as u64;
+    }
+
+    /// Compacts the clause database, dropping the clauses in `to_remove`
+    /// and remapping watcher lists and reason indices.
+    fn remove_clauses(&mut self, to_remove: &std::collections::HashSet<u32>) {
         if to_remove.is_empty() {
             return;
         }
-        // Remap clause indices after compaction.
         let mut remap = vec![NO_REASON; self.clauses.len()];
         let mut kept = Vec::with_capacity(self.clauses.len() - to_remove.len());
         for (i, c) in self.clauses.drain(..).enumerate() {
@@ -600,10 +737,64 @@ impl Solver {
         }
     }
 
+    /// Garbage-collects clauses satisfied at the root level and returns
+    /// how many were removed.
+    ///
+    /// The primary use is incremental sessions that guard constraint
+    /// groups behind activation literals: once a group is retired by
+    /// asserting the activation literal's negation as a unit clause,
+    /// every clause of the group — and every learned clause that
+    /// depended on it — contains a root-true literal and is reclaimed
+    /// here. Root-level reasons become `NO_REASON`, which is safe:
+    /// level-0 assignments are permanent and conflict analysis never
+    /// revisits them.
+    ///
+    /// Must be called at the root level (decision level 0); solve entry
+    /// points always return there.
+    pub fn simplify(&mut self) -> usize {
+        assert!(
+            self.trail_lim.is_empty(),
+            "simplify requires the root level"
+        );
+        if self.unsat {
+            return 0;
+        }
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return 0;
+        }
+        let to_remove: std::collections::HashSet<u32> = (0..self.clauses.len())
+            .filter(|&i| {
+                self.clauses[i]
+                    .lits
+                    .iter()
+                    .any(|&l| self.level[l.var().index()] == 0 && self.lit_state(l) == Some(true))
+            })
+            .map(|i| i as u32)
+            .collect();
+        let removed = to_remove.len();
+        self.remove_clauses(&to_remove);
+        self.stats.learned = self.clauses.iter().filter(|c| c.learned).count() as u64;
+        removed
+    }
+
+    /// Solves under the given [`SolveParams`] — the single entry point
+    /// every other solve flavor wraps.
+    ///
+    /// Solver state (learned clauses, variable activities, saved
+    /// phases) persists across calls, enabling incremental use; the
+    /// assumptions hold for this call only.
+    pub fn solve_with(&mut self, params: &SolveParams) -> BoundedResult {
+        let limit = params
+            .max_conflicts
+            .map(|b| self.stats.conflicts.saturating_add(b));
+        self.search(&params.assumptions, limit, params.interruptible)
+    }
+
     /// Solves the formula.
     ///
     /// Returns [`SolveResult::Sat`] with a complete model, or
-    /// [`SolveResult::Unsat`].
+    /// [`SolveResult::Unsat`]. Thin wrapper over [`Solver::solve_with`].
     pub fn solve(&mut self) -> SolveResult {
         self.solve_with_assumptions(&[])
     }
@@ -627,6 +818,7 @@ impl Solver {
     /// Solves with a conflict budget. Returns `None` when the budget is
     /// exhausted (or the interrupt flag fired) before a definitive answer
     /// — useful for anytime searches that fall back to heuristics.
+    /// Thin wrapper over [`Solver::solve_with`].
     pub fn solve_bounded(&mut self, max_conflicts: u64) -> Option<SolveResult> {
         match self.solve_bounded_with_assumptions(max_conflicts, &[]) {
             BoundedResult::Sat(m) => Some(SolveResult::Sat(m)),
@@ -639,20 +831,26 @@ impl Solver {
     /// budget exhaustion from cooperative interruption (see
     /// [`Solver::set_interrupt`]) so the two compose: a portfolio can both
     /// cap per-probe effort and cancel losing probes early.
+    /// Thin wrapper over [`Solver::solve_with`].
     pub fn solve_bounded_with_assumptions(
         &mut self,
         max_conflicts: u64,
         assumptions: &[Lit],
     ) -> BoundedResult {
-        let limit = self.stats.conflicts.saturating_add(max_conflicts);
-        self.search(assumptions, Some(limit))
+        self.solve_with(
+            &SolveParams::new()
+                .assume(assumptions.iter().copied())
+                .budget(max_conflicts)
+                .interruptible(),
+        )
     }
 
     /// Solves under the given assumptions (literals forced true for this
     /// call only). The solver state (learned clauses, activities) persists
     /// across calls, enabling incremental use.
+    /// Thin wrapper over [`Solver::solve_with`].
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
-        match self.search(assumptions, None) {
+        match self.solve_with(&SolveParams::new().assume(assumptions.iter().copied())) {
             BoundedResult::Sat(m) => SolveResult::Sat(m),
             BoundedResult::Unsat => SolveResult::Unsat,
             BoundedResult::BudgetExceeded | BoundedResult::Interrupted => {
@@ -663,13 +861,18 @@ impl Solver {
 
     /// The CDCL search loop shared by all solve entry points. `limit` is
     /// an absolute conflict-count ceiling (`None` = unbounded); the
-    /// interrupt flag is only polled when a limit is present, so plain
+    /// interrupt flag is only polled when `interruptible`, so plain
     /// [`Solver::solve`] semantics are unaffected by a stale flag.
-    fn search(&mut self, assumptions: &[Lit], limit: Option<u64>) -> BoundedResult {
+    fn search(
+        &mut self,
+        assumptions: &[Lit],
+        limit: Option<u64>,
+        interruptible: bool,
+    ) -> BoundedResult {
         if self.unsat {
             return BoundedResult::Unsat;
         }
-        let interrupt = if limit.is_some() {
+        let interrupt = if interruptible {
             self.interrupt.clone()
         } else {
             None
@@ -715,7 +918,7 @@ impl Solver {
                 // Assumptions are re-applied after backjumping; if a learned
                 // clause ends up contradicting one, the re-application below
                 // observes the conflict and reports UNSAT.
-                let (learned, backjump) = self.analyze(conflict);
+                let (learned, backjump, lbd) = self.analyze(conflict);
                 self.backtrack_to(backjump);
                 let asserting = learned[0];
                 if learned.len() == 1 {
@@ -729,9 +932,10 @@ impl Solver {
                         lits: learned,
                         learned: true,
                         activity: 0.0,
+                        lbd,
                     });
                     self.stats.learned += 1;
-                    self.bump_clause(idx as usize);
+                    self.bump_clause_activity(idx as usize);
                     let ok = self.enqueue(asserting, idx);
                     debug_assert!(ok, "learned clause must be asserting");
                 }
@@ -746,7 +950,6 @@ impl Solver {
                 if self.stats.learned > max_learned {
                     self.backtrack_to(0);
                     self.reduce_learned();
-                    self.stats.learned = self.clauses.iter().filter(|c| c.learned).count() as u64;
                     max_learned = max_learned * 3 / 2;
                 }
                 // Apply pending assumptions as pseudo-decisions.
@@ -1167,6 +1370,111 @@ mod tests {
         s.add_clause([lit(-1)]);
         let m = s.solve().expect_sat();
         assert!(!m.value(Var(0)));
+    }
+
+    #[test]
+    fn solve_with_matches_the_wrappers() {
+        // SAT case with assumptions.
+        let mut s = solver_with_vars(2);
+        s.add_clause([lit(1), lit(2)]);
+        let via_params = s.solve_with(&SolveParams::new().assume([lit(-1)]));
+        assert!(via_params.is_sat());
+        assert!(via_params.model().unwrap().value(Var(1)));
+        // Budget case: zero-ish budget on a hard instance.
+        let mut s = pigeonhole(5, 4);
+        assert_eq!(
+            s.solve_with(&SolveParams::new().budget(1)),
+            BoundedResult::BudgetExceeded
+        );
+        assert_eq!(s.solve_with(&SolveParams::default()), BoundedResult::Unsat);
+    }
+
+    #[test]
+    fn solve_with_interruptible_honors_flag_even_unbounded() {
+        let mut s = pigeonhole(5, 4);
+        let flag = Arc::new(AtomicBool::new(true));
+        s.set_interrupt(flag.clone());
+        // No budget, but explicitly interruptible: the preset flag wins.
+        assert_eq!(
+            s.solve_with(&SolveParams::new().interruptible()),
+            BoundedResult::Interrupted
+        );
+        // Non-interruptible solves ignore the stale flag.
+        assert_eq!(s.solve_with(&SolveParams::new()), BoundedResult::Unsat);
+    }
+
+    #[test]
+    fn retired_activation_literal_frees_guarded_clauses() {
+        // Guard a group of clauses behind activation literal `act`; after
+        // retirement, simplify() must reclaim every guarded clause.
+        let mut s = solver_with_vars(4);
+        let act = lit(1);
+        let x = lit(2);
+        let y = lit(3);
+        s.add_clause([x, y]); // shared clause, survives
+        s.add_clause([act.negated(), x.negated()]); // guarded: act → ¬x
+        s.add_clause([act.negated(), y.negated(), lit(4)]); // guarded
+        let before = s.num_clauses();
+        // Probe under the activation assumption.
+        let r = s.solve_with(&SolveParams::new().assume([act]));
+        assert!(r.is_sat());
+        // Retire: assert ¬act as a root unit and collect.
+        s.add_clause([act.negated()]);
+        let removed = s.simplify();
+        assert!(removed >= 2, "guarded clauses reclaimed, got {removed}");
+        assert!(s.num_clauses() < before);
+        // The shared clause still constrains the formula.
+        let m = s.solve().expect_sat();
+        assert!(m.lit_value(x) || m.lit_value(y));
+    }
+
+    #[test]
+    fn simplify_preserves_verdicts_mid_session() {
+        // Interleave solving and GC on a nontrivial instance; the final
+        // verdict must be unaffected.
+        let mut s = pigeonhole(6, 5);
+        assert_eq!(
+            s.solve_with(&SolveParams::new().budget(5)),
+            BoundedResult::BudgetExceeded
+        );
+        s.simplify();
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn learned_clauses_carry_lbd() {
+        let mut s = pigeonhole(6, 5);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let learned: Vec<&Clause> = s.clauses.iter().filter(|c| c.learned).collect();
+        // Not every learned clause survives to the end, but those that
+        // do must have an LBD bounded by their length.
+        for c in &learned {
+            assert!(
+                (c.lbd as usize) <= c.lits.len(),
+                "lbd {} exceeds len {}",
+                c.lbd,
+                c.lits.len()
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_learned_keeps_glue_clauses() {
+        let mut s = pigeonhole(5, 4);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        // Force a reduction pass at the root.
+        let glue_before = s
+            .clauses
+            .iter()
+            .filter(|c| c.learned && (c.lits.len() <= 2 || c.lbd <= 2))
+            .count();
+        s.reduce_learned();
+        let glue_after = s
+            .clauses
+            .iter()
+            .filter(|c| c.learned && (c.lits.len() <= 2 || c.lbd <= 2))
+            .count();
+        assert_eq!(glue_before, glue_after, "glue clauses are never reduced");
     }
 
     #[test]

@@ -25,11 +25,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = run_flow(
         "or2",
         &xag,
-        &FlowOptions {
-            pnr: PnrMethod::Exact { max_area: 60 },
-            apply_library: false,
-            ..Default::default()
-        },
+        &FlowOptions::new()
+            .with_pnr(PnrMethod::Exact { max_area: 60 })
+            .without_library(),
     )?;
     let layout = &result.layout;
     println!("=== Figure 2: four-phase clocking wave ===\n");

@@ -33,11 +33,9 @@ fn main() {
     );
     for name in benchmark_names().into_iter().take(6) {
         let b = benchmark(name);
-        let options = FlowOptions {
-            pnr: PnrMethod::ExactWithFallback { max_area: 120 },
-            apply_library: false,
-            ..Default::default()
-        };
+        let options = FlowOptions::new()
+            .with_pnr(PnrMethod::ExactWithFallback { max_area: 120 })
+            .without_library();
         match run_flow(name, &b.xag, &options) {
             Ok(result) => {
                 let fine = plan_supertiles_with_rows(&result.layout, 1);

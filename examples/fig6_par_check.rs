@@ -15,10 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = run_flow(
         "par_check",
         &b.xag,
-        &FlowOptions {
-            pnr: PnrMethod::ExactWithFallback { max_area: 120 },
-            ..Default::default()
-        },
+        &FlowOptions::new().with_pnr(PnrMethod::ExactWithFallback { max_area: 120 }),
     )?;
 
     println!("=== Figure 6: par_check on hexagonal Bestagon tiles ===\n");

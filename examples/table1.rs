@@ -39,11 +39,9 @@ fn main() {
     for name in benchmark_names() {
         let b = benchmark(name);
         let started = Instant::now();
-        let options = FlowOptions {
-            pnr: PnrMethod::ExactWithFallback { max_area: 120 },
-            pnr_threads: Some(pnr_threads),
-            ..Default::default()
-        };
+        let options = FlowOptions::new()
+            .with_pnr(PnrMethod::ExactWithFallback { max_area: 120 })
+            .with_threads(pnr_threads);
         match run_flow(name, &b.xag, &options) {
             Ok(result) => {
                 let ratio = result.layout.ratio();

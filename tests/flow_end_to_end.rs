@@ -6,10 +6,7 @@ use bestagon_core::flow::{run_flow, run_flow_from_verilog, FlowOptions, PnrMetho
 use fcn_equiv::Equivalence;
 
 fn default_options(pnr: PnrMethod) -> FlowOptions {
-    FlowOptions {
-        pnr,
-        ..Default::default()
-    }
+    FlowOptions::new().with_pnr(pnr)
 }
 
 #[test]

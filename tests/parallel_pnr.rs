@@ -20,7 +20,21 @@ fn options(num_threads: usize) -> ExactOptions {
     ExactOptions {
         max_area: 100,
         num_threads,
+        // Pin the from-scratch engine: its per-probe solver statistics are
+        // bit-for-bit reproducible at any thread count, which is what this
+        // file asserts. (Incremental workers accumulate different learned
+        // state depending on which probes they drew, so only semantic
+        // observables are thread-count invariant there — see
+        // `incremental_portfolio_agrees_on_semantic_observables`.)
+        incremental: false,
         ..Default::default()
+    }
+}
+
+fn incremental_options(num_threads: usize) -> ExactOptions {
+    ExactOptions {
+        incremental: true,
+        ..options(num_threads)
     }
 }
 
@@ -48,7 +62,7 @@ fn portfolio_is_deterministic_across_thread_counts() {
             sequential.ratios_tried, parallel.ratios_tried,
             "{name}: ratios tried"
         );
-        let probe_log = |r: &fcn_pnr::PnrResult| -> Vec<_> {
+        let probe_log = |r: &fcn_pnr::PnrOutcome<fcn_layout::hexagonal::HexGateLayout>| -> Vec<_> {
             r.probes.iter().map(|p| (p.ratio, p.verdict)).collect()
         };
         assert_eq!(
@@ -60,6 +74,52 @@ fn portfolio_is_deterministic_across_thread_counts() {
             sequential.stats, parallel.stats,
             "{name}: cumulative solver statistics"
         );
+    }
+}
+
+/// The incremental engine keeps per-worker solver state, so raw conflict
+/// counts legitimately vary with the thread count — but every *semantic*
+/// observable (the chosen layout, the probe verdicts, the minimality
+/// claim) must still be thread-count invariant.
+#[test]
+fn incremental_portfolio_agrees_on_semantic_observables() {
+    for name in ["xor2", "par_check"] {
+        let graph = graph_for(name);
+        let sequential = exact_pnr(&graph, &incremental_options(1)).expect("feasible");
+        let parallel = exact_pnr(&graph, &incremental_options(4)).expect("feasible");
+
+        assert_eq!(sequential.ratio, parallel.ratio, "{name}: chosen ratio");
+        assert_eq!(
+            sequential.layout.render_ascii(),
+            parallel.layout.render_ascii(),
+            "{name}: layout"
+        );
+        assert_eq!(
+            sequential.is_provably_minimal(),
+            parallel.is_provably_minimal(),
+            "{name}: minimality verdict"
+        );
+        assert_eq!(
+            sequential.ratios_tried, parallel.ratios_tried,
+            "{name}: ratios tried"
+        );
+        let verdicts = |r: &fcn_pnr::PnrOutcome<fcn_layout::hexagonal::HexGateLayout>| -> Vec<_> {
+            r.probes.iter().map(|p| (p.ratio, p.verdict)).collect()
+        };
+        assert_eq!(
+            verdicts(&sequential),
+            verdicts(&parallel),
+            "{name}: probe verdicts"
+        );
+        // Tiny circuits can solve every probe by pure propagation, in
+        // which case there are no learned clauses to retain; but a
+        // multi-probe scan that did hit conflicts must show reuse.
+        if name == "par_check" {
+            assert!(
+                sequential.reuse.warm_probes > 0,
+                "{name}: incremental mode actually ran warm probes"
+            );
+        }
     }
 }
 

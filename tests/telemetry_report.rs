@@ -20,10 +20,7 @@ const STAGES: [&str; 8] = [
 
 fn c17_report() -> bestagon::telemetry::Report {
     let b = benchmark("c17");
-    let options = FlowOptions {
-        pnr: PnrMethod::ExactWithFallback { max_area: 40 },
-        ..Default::default()
-    };
+    let options = FlowOptions::new().with_pnr(PnrMethod::ExactWithFallback { max_area: 40 });
     run_flow("c17", &b.xag, &options)
         .expect("c17 flows end to end")
         .report
