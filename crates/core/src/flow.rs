@@ -7,11 +7,15 @@
 //! stage. The resulting [`FlowReport`] is returned on [`FlowResult`] and
 //! emitted to stderr according to the `TELEMETRY` environment variable.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use bestagon_lib::apply::{apply_gate_library, ApplyError, CellLevelLayout};
 use bestagon_lib::tiles::BestagonLibrary;
-use fcn_equiv::{check_equivalence, EquivError, Equivalence};
+use fcn_budget::fault::{self, Fault};
+use fcn_equiv::{
+    check_equivalence, check_equivalence_bounded, EquivError, Equivalence, MiterLimit,
+};
 use fcn_layout::hexagonal::HexGateLayout;
 use fcn_layout::supertile::{plan_supertiles, SuperTilePlan};
 use fcn_logic::network::Xag;
@@ -19,6 +23,8 @@ use fcn_logic::rewrite::{rewrite, RewriteOptions};
 use fcn_logic::techmap::{map_xag, MapError, MapOptions};
 use fcn_logic::verilog::{parse_verilog, ParseVerilogError};
 use fcn_pnr::{exact_pnr, heuristic_pnr, ExactOptions, NetGraph, PnrError};
+
+pub use fcn_budget::{Deadline, FlowBudget};
 
 /// Telemetry snapshot of one flow run (alias of [`fcn_telemetry::Report`]).
 pub type FlowReport = fcn_telemetry::Report;
@@ -44,6 +50,48 @@ impl Default for PnrMethod {
     fn default() -> Self {
         PnrMethod::ExactWithFallback { max_area: 150 }
     }
+}
+
+/// What pushed a stage off its preferred path (see [`Degradation`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeTrigger {
+    /// The flow's wall-clock deadline ([`FlowBudget::deadline`]) expired.
+    Deadline,
+    /// A per-stage resource budget (conflicts, iterations, steps) ran
+    /// out.
+    Budget,
+    /// The stage's preferred engine reported an error the flow could
+    /// absorb by switching engines.
+    EngineError,
+}
+
+impl core::fmt::Display for DegradeTrigger {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            DegradeTrigger::Deadline => "deadline",
+            DegradeTrigger::Budget => "budget",
+            DegradeTrigger::EngineError => "engine-error",
+        })
+    }
+}
+
+/// One graceful-degradation event: a stage that hit a resource limit and
+/// took its documented fallback instead of failing the run.
+///
+/// Collected on [`FlowResult::degradations`] and surfaced in telemetry
+/// (the `flow.degraded` counter and per-stage `degraded` notes), so a
+/// deployment can measure how often it runs degraded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// The stage span name (`"step4:pnr"`, `"step5:equiv"`, …).
+    pub stage: &'static str,
+    /// What tripped the fallback.
+    pub trigger: DegradeTrigger,
+    /// The fallback the stage took (human-readable, stable prose).
+    pub action: String,
+    /// Trigger-specific context: the engine error, the budget spent, the
+    /// clamped value.
+    pub detail: String,
 }
 
 /// Options of the full flow.
@@ -84,6 +132,13 @@ pub struct FlowOptions {
     pub verify: bool,
     /// Apply the Bestagon library for a dot-accurate layout (step 7).
     pub apply_library: bool,
+    /// Wall-clock deadline and per-stage resource budgets. The default
+    /// reads the `FLOW_*` environment variables
+    /// ([`FlowBudget::from_env`]); an empty environment imposes no
+    /// limits and leaves every stage byte-identical to an un-budgeted
+    /// run. A relative deadline (`FLOW_DEADLINE_MS`) starts ticking when
+    /// the options are constructed.
+    pub budget: FlowBudget,
 }
 
 impl Default for FlowOptions {
@@ -96,6 +151,7 @@ impl Default for FlowOptions {
             pnr_incremental: None,
             verify: true,
             apply_library: true,
+            budget: FlowBudget::from_env(),
         }
     }
 }
@@ -164,6 +220,22 @@ impl FlowOptions {
         self.apply_library = false;
         self
     }
+
+    /// Sets the full resource budget, replacing the environment-derived
+    /// default.
+    #[must_use]
+    pub fn with_budget(mut self, budget: FlowBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets a wall-clock deadline `ms` milliseconds from now, keeping
+    /// the other budget fields.
+    #[must_use]
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.budget.deadline = Deadline::after_ms(ms);
+        self
+    }
 }
 
 /// Everything the flow produces for one circuit.
@@ -189,6 +261,11 @@ pub struct FlowResult {
     pub supertiles: SuperTilePlan,
     /// Dot-accurate SiDB layout (step 7), when requested.
     pub cell: Option<CellLevelLayout>,
+    /// Every graceful-degradation event of this run, in stage order.
+    /// Empty when no stage hit a resource limit; a run under a tight
+    /// [`FlowBudget`] still returns `Ok` and records what it gave up
+    /// here.
+    pub degradations: Vec<Degradation>,
     /// Per-stage telemetry (wall times, SAT statistics, counters).
     pub report: FlowReport,
 }
@@ -206,6 +283,11 @@ impl FlowResult {
     /// Exports the optimized network as gate-level Verilog.
     pub fn to_verilog(&self) -> String {
         fcn_logic::verilog::write_verilog(&self.name, &self.optimized)
+    }
+
+    /// Whether any stage degraded (see [`FlowResult::degradations`]).
+    pub fn degraded(&self) -> bool {
+        !self.degradations.is_empty()
     }
 }
 
@@ -232,6 +314,16 @@ pub enum FlowError {
     },
     /// Step 7: missing library tile.
     Apply(ApplyError),
+    /// Any step: a panic was caught at the stage boundary (or inside a
+    /// portfolio worker) and converted into this typed error instead of
+    /// unwinding through the caller. Sibling workers are cancelled
+    /// before it is reported.
+    Internal {
+        /// The stage span name, e.g. `"step4:pnr"`.
+        stage: &'static str,
+        /// The panic payload, rendered as a string.
+        payload: String,
+    },
 }
 
 impl core::fmt::Display for FlowError {
@@ -247,6 +339,9 @@ impl core::fmt::Display for FlowError {
                 write!(f, "layout differs from specification at {counterexample:?}")
             }
             FlowError::Apply(e) => write!(f, "gate-library application: {e}"),
+            FlowError::Internal { stage, payload } => {
+                write!(f, "internal failure in {stage}: {payload}")
+            }
         }
     }
 }
@@ -300,24 +395,85 @@ pub fn run_flow(name: &str, xag: &Xag, options: &FlowOptions) -> Result<FlowResu
     run_instrumented(|| Ok((name.to_owned(), xag.clone())), options)
 }
 
+/// Renders a caught panic payload for [`FlowError::Internal`].
+fn payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one flow stage inside its telemetry span with panic isolation: a
+/// panic — organic, or injected at the stage's fault point (the span
+/// name doubles as the injection point) — is caught at the boundary and
+/// surfaces as [`FlowError::Internal`] instead of unwinding through the
+/// caller. The closure receives any *non-panic* fault scheduled at the
+/// boundary for stage-specific interpretation; stages without a
+/// meaningful corruption or exhaustion story ignore it (the engine-level
+/// points `msat.search`, `pnr.probe`, `equiv.miter`, and `sidb.sweep`
+/// cover those classes where they matter).
+fn stage<T>(
+    name: &'static str,
+    run: impl FnOnce(Option<Fault>) -> Result<T, FlowError>,
+) -> Result<T, FlowError> {
+    let _span = fcn_telemetry::span(name);
+    match catch_unwind(AssertUnwindSafe(|| {
+        let injected = fault::check(name); // panics here on an injected `panic`
+        run(injected)
+    })) {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let payload = payload_string(payload);
+            fcn_telemetry::note("panic", payload.clone());
+            Err(FlowError::Internal {
+                stage: name,
+                payload,
+            })
+        }
+    }
+}
+
+/// Records one degradation event: telemetry note in the current stage
+/// span, plus the structured record on the result.
+fn record(degradations: &mut Vec<Degradation>, d: Degradation) {
+    fcn_telemetry::note(
+        "degraded",
+        format!("{}: {} ({})", d.trigger, d.action, d.detail),
+    );
+    degradations.push(d);
+}
+
 /// Installs a per-run collector, times step 1 (`parse`), runs steps 2–8,
 /// and attaches the finished [`FlowReport`] to the result. The report is
 /// also emitted to stderr per the `TELEMETRY` environment variable —
 /// including on failure, so aborted runs still leave a trace.
+///
+/// When no fault plan is installed on this thread, the `FAULT_INJECT`
+/// environment variable is consulted once per run
+/// ([`fault::FaultPlan::from_env`]) so CI can exercise the degradation
+/// edges without code changes; a plan installed by the caller (tests)
+/// takes precedence.
 fn run_instrumented(
     parse: impl FnOnce() -> Result<(String, Xag), FlowError>,
     options: &FlowOptions,
 ) -> Result<FlowResult, FlowError> {
+    let env_plan = match fault::current() {
+        Some(_) => None,
+        None => fault::FaultPlan::from_env(),
+    };
+    let _fault_scope = env_plan.map(fault::install);
     let collector = Arc::new(fcn_telemetry::Collector::new("flow"));
     let outcome = fcn_telemetry::with_collector(&collector, || {
-        let (name, xag) = {
-            let _step = fcn_telemetry::span("step1:parse");
+        let (name, xag) = stage("step1:parse", |_| {
             let (name, xag) = parse()?;
             fcn_telemetry::counter("xag.inputs", xag.num_pis() as u64);
             fcn_telemetry::counter("xag.outputs", xag.num_pos() as u64);
             fcn_telemetry::counter("xag.gates", xag.num_gates() as u64);
-            (name, xag)
-        };
+            Ok((name, xag))
+        })?;
         fcn_telemetry::note("circuit", name.clone());
         run_flow_steps(&name, &xag, options)
     });
@@ -330,15 +486,58 @@ fn run_instrumented(
     })
 }
 
-/// Paper steps 2–8, each wrapped in its stage span. The spans exist even
-/// for skipped steps so every report lists the same eight stages.
+/// Paper steps 2–8, each wrapped in its stage span and panic boundary
+/// (see [`stage`]). The spans exist even for skipped steps so every
+/// report lists the same eight stages. Budget and deadline exhaustion
+/// degrade per the ladder documented on [`FlowBudget`]: exact P&R falls
+/// back to the heuristic engine, verification downgrades to a bounded
+/// check with an [`Equivalence::Unknown`] verdict, and every event is
+/// recorded on [`FlowResult::degradations`].
 fn run_flow_steps(name: &str, xag: &Xag, options: &FlowOptions) -> Result<FlowResult, FlowError> {
+    let budget = options.budget;
+    let mut degradations: Vec<Degradation> = Vec::new();
+
     // Step 2: cut rewriting.
     let gates_before_rewrite = xag.cleaned().num_gates();
-    let (optimized, gates_after_rewrite, depth) = {
-        let _step = fcn_telemetry::span("step2:rewrite");
-        let optimized = match &options.rewrite {
-            Some(opts) => rewrite(xag, *opts),
+    let (optimized, gates_after_rewrite, depth) = stage("step2:rewrite", |_| {
+        let rewrite_opts = match &options.rewrite {
+            Some(opts) if budget.deadline.expired() => {
+                record(
+                    &mut degradations,
+                    Degradation {
+                        stage: "step2:rewrite",
+                        trigger: DegradeTrigger::Deadline,
+                        action: "skipped logic rewriting".into(),
+                        detail: format!(
+                            "deadline expired before rewriting; configured {} iterations",
+                            opts.iterations
+                        ),
+                    },
+                );
+                None
+            }
+            Some(opts) => {
+                let mut opts = *opts;
+                if let Some(cap) = budget.rewrite_iterations {
+                    if cap < opts.iterations {
+                        record(
+                            &mut degradations,
+                            Degradation {
+                                stage: "step2:rewrite",
+                                trigger: DegradeTrigger::Budget,
+                                action: format!("clamped rewrite iterations to {cap}"),
+                                detail: format!("budget allows {cap} of {}", opts.iterations),
+                            },
+                        );
+                        opts.iterations = cap;
+                    }
+                }
+                Some(opts)
+            }
+            None => None,
+        };
+        let optimized = match rewrite_opts {
+            Some(opts) => rewrite(xag, opts),
             None => xag.cleaned(),
         };
         let gates_after_rewrite = optimized.num_gates();
@@ -346,95 +545,188 @@ fn run_flow_steps(name: &str, xag: &Xag, options: &FlowOptions) -> Result<FlowRe
         fcn_telemetry::counter("gates.before", gates_before_rewrite as u64);
         fcn_telemetry::counter("gates.after", gates_after_rewrite as u64);
         fcn_telemetry::counter("depth", depth as u64);
-        (optimized, gates_after_rewrite, depth)
-    };
+        Ok((optimized, gates_after_rewrite, depth))
+    })?;
 
     // Step 3: technology mapping.
-    let graph = {
-        let _step = fcn_telemetry::span("step3:techmap");
+    let graph = stage("step3:techmap", |_| {
         let mapped = map_xag(&optimized, options.map).map_err(FlowError::Map)?;
         let graph = NetGraph::new(mapped).map_err(FlowError::NetGraph)?;
         fcn_telemetry::counter("netgraph.edges", graph.edges.len() as u64);
-        graph
-    };
+        Ok(graph)
+    })?;
 
     // Step 4: placement & routing.
-    let (layout, exact) = {
-        let _step = fcn_telemetry::span("step4:pnr");
-        let exact_options = |max_area: u64| ExactOptions {
-            max_area,
-            num_threads: options
-                .pnr_threads
-                .unwrap_or_else(fcn_pnr::default_num_threads),
-            incremental: options
-                .pnr_incremental
-                .unwrap_or_else(fcn_pnr::default_incremental),
-            ..Default::default()
+    let (layout, exact) = stage("step4:pnr", |_| {
+        let exact_options = |max_area: u64| {
+            let mut eo = ExactOptions {
+                max_area,
+                num_threads: options
+                    .pnr_threads
+                    .unwrap_or_else(fcn_pnr::default_num_threads),
+                incremental: options
+                    .pnr_incremental
+                    .unwrap_or_else(fcn_pnr::default_incremental),
+                deadline: budget.deadline,
+                max_conflicts_total: budget.sat_conflicts_total,
+                ..Default::default()
+            };
+            if let Some(per_probe) = budget.sat_conflicts_per_probe {
+                eo.max_conflicts_per_ratio = per_probe;
+            }
+            eo
+        };
+        // A worker panic is an internal failure, not a feasibility
+        // verdict: it is reported typed (siblings already cancelled by
+        // the portfolio) rather than absorbed by the fallback ladder.
+        let internal = |e: PnrError| match e {
+            PnrError::WorkerPanic { payload } => FlowError::Internal {
+                stage: "step4:pnr",
+                payload,
+            },
+            other => FlowError::Pnr(other),
         };
         let (layout, exact) = match options.pnr {
             PnrMethod::Exact { max_area } => {
-                let r = exact_pnr(&graph, &exact_options(max_area)).map_err(FlowError::Pnr)?;
+                let r = exact_pnr(&graph, &exact_options(max_area)).map_err(internal)?;
                 (r.layout, true)
             }
             PnrMethod::Heuristic => (heuristic_pnr(&graph).map_err(FlowError::Pnr)?, false),
             PnrMethod::ExactWithFallback { max_area } => {
-                match exact_pnr(&graph, &exact_options(max_area)) {
+                let attempt = if budget.deadline.expired() {
+                    Err(PnrError::DeadlineExpired)
+                } else {
+                    exact_pnr(&graph, &exact_options(max_area))
+                };
+                match attempt {
                     Ok(r) => (r.layout, true),
-                    Err(_) => (heuristic_pnr(&graph).map_err(FlowError::Pnr)?, false),
+                    Err(PnrError::WorkerPanic { payload }) => {
+                        return Err(FlowError::Internal {
+                            stage: "step4:pnr",
+                            payload,
+                        });
+                    }
+                    Err(e) => {
+                        record(
+                            &mut degradations,
+                            Degradation {
+                                stage: "step4:pnr",
+                                trigger: match &e {
+                                    PnrError::DeadlineExpired => DegradeTrigger::Deadline,
+                                    PnrError::ConflictBudgetExhausted => DegradeTrigger::Budget,
+                                    _ => DegradeTrigger::EngineError,
+                                },
+                                action: "fell back to heuristic placement".into(),
+                                detail: e.to_string(),
+                            },
+                        );
+                        (heuristic_pnr(&graph).map_err(FlowError::Pnr)?, false)
+                    }
                 }
             }
         };
         fcn_telemetry::note("engine", if exact { "exact" } else { "heuristic" });
         fcn_telemetry::note("ratio", layout.ratio().label());
-        (layout, exact)
-    };
+        Ok((layout, exact))
+    })?;
 
     // Step 5: formal verification.
-    let equivalence = {
-        let _step = fcn_telemetry::span("step5:equiv");
-        if options.verify {
-            let verdict = check_equivalence(&optimized, &layout).map_err(FlowError::Equivalence)?;
-            if let Equivalence::NotEquivalent { counterexample } = &verdict {
+    let equivalence = stage("step5:equiv", |injected| {
+        if !options.verify {
+            return Ok(None);
+        }
+        let bounded = budget.equiv_conflicts.is_some() || budget.deadline.is_bounded();
+        let verdict = if matches!(injected, Some(Fault::Malform)) {
+            // Injected corruption: hand the checker a deliberately
+            // malformed extraction. The documented recovery is the
+            // typed `MalformedNetwork` error — never a panic.
+            let mut corrupted =
+                fcn_equiv::extract_network(&layout).map_err(FlowError::Equivalence)?;
+            corrupted.add_node(
+                fcn_logic::GateKind::Po,
+                vec![fcn_logic::techmap::MappedSignal {
+                    node: fcn_logic::techmap::MappedId(0),
+                    output: u8::MAX,
+                }],
+                Some("injected-malform".into()),
+            );
+            fcn_equiv::check_equivalence_extracted_bounded(
+                &optimized,
+                &corrupted,
+                budget.equiv_conflicts,
+                budget.deadline,
+            )
+            .map_err(FlowError::Equivalence)?
+        } else if bounded {
+            check_equivalence_bounded(&optimized, &layout, budget.equiv_conflicts, budget.deadline)
+                .map_err(FlowError::Equivalence)?
+        } else {
+            // The unbounded path is the pre-budget code path, verbatim.
+            check_equivalence(&optimized, &layout).map_err(FlowError::Equivalence)?
+        };
+        match &verdict {
+            Equivalence::NotEquivalent { counterexample } => {
                 return Err(FlowError::NotEquivalent {
                     counterexample: counterexample.clone(),
                 });
             }
-            Some(verdict)
-        } else {
-            None
+            Equivalence::Unknown { limit } => {
+                record(
+                    &mut degradations,
+                    Degradation {
+                        stage: "step5:equiv",
+                        trigger: match limit {
+                            MiterLimit::Deadline => DegradeTrigger::Deadline,
+                            MiterLimit::Conflicts => DegradeTrigger::Budget,
+                        },
+                        action: "verification downgraded to a bounded check".into(),
+                        detail: format!("verdict unknown: {limit}"),
+                    },
+                );
+            }
+            Equivalence::Equivalent => {}
         }
-    };
+        Ok(Some(verdict))
+    })?;
 
     // Step 6: super-tile clock-zone expansion.
-    let supertiles = {
-        let _step = fcn_telemetry::span("step6:supertiles");
+    let supertiles = stage("step6:supertiles", |_| {
         let plan = plan_supertiles(&layout);
         fcn_telemetry::counter("electrodes", plan.num_electrodes as u64);
         fcn_telemetry::counter("rows_per_supertile", plan.rows_per_supertile as u64);
-        plan
-    };
+        Ok(plan)
+    })?;
 
     // Step 7: gate-library application.
-    let cell = {
-        let _step = fcn_telemetry::span("step7:apply");
+    let cell = stage("step7:apply", |_| {
         if options.apply_library {
             let library = BestagonLibrary::new();
             let cell = apply_gate_library(&layout, &library).map_err(FlowError::Apply)?;
             fcn_telemetry::counter("sidbs", cell.num_sidbs() as u64);
-            Some(cell)
+            Ok(Some(cell))
         } else {
-            None
+            Ok(None)
         }
-    };
+    })?;
 
     // Step 8: export. `FlowResult::to_sqd` re-renders on demand; this
     // serialization is only for timing and sizing the artifact.
-    {
-        let _step = fcn_telemetry::span("step8:export");
+    stage("step8:export", |_| {
         if let Some(cell) = &cell {
             let sqd = bestagon_lib::sqd::to_sqd_string(&cell.sidb);
             fcn_telemetry::counter("sqd.bytes", sqd.len() as u64);
         }
+        Ok(())
+    })?;
+
+    // Root-level resilience counters, emitted only when the run was
+    // actually bounded or degraded so an unconstrained run's report is
+    // unchanged.
+    if !degradations.is_empty() {
+        fcn_telemetry::counter("flow.degraded", degradations.len() as u64);
+    }
+    if let Some(ms) = budget.deadline.remaining_ms() {
+        fcn_telemetry::counter("flow.deadline_remaining_ms", ms);
     }
 
     Ok(FlowResult {
@@ -448,6 +740,7 @@ fn run_flow_steps(name: &str, xag: &Xag, options: &FlowOptions) -> Result<FlowRe
         equivalence,
         supertiles,
         cell,
+        degradations,
         report: FlowReport::default(),
     })
 }

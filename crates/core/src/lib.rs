@@ -21,4 +21,7 @@ pub mod flow;
 pub mod pipeline;
 
 pub use benchmarks::{benchmark, benchmark_names, Benchmark};
-pub use flow::{run_flow, FlowError, FlowOptions, FlowResult, PnrMethod};
+pub use flow::{
+    run_flow, Deadline, Degradation, DegradeTrigger, FlowBudget, FlowError, FlowOptions,
+    FlowResult, PnrMethod,
+};

@@ -27,14 +27,34 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use fcn_budget::Deadline;
 use fcn_coords::HexCoord;
 use fcn_layout::hexagonal::HexGateLayout;
 use fcn_layout::tile::TileContents;
 use fcn_logic::network::Xag;
 use fcn_logic::techmap::{MappedId, MappedNetwork, MappedSignal};
 use fcn_logic::GateKind;
-use msat::{CnfBuilder, Lit};
+use msat::{BoundedResult, CnfBuilder, Lit, SolveParams};
 use std::collections::HashMap;
+
+/// The resource limit that stopped a bounded equivalence check before it
+/// reached a verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MiterLimit {
+    /// The conflict budget ran out.
+    Conflicts,
+    /// The wall-clock deadline expired.
+    Deadline,
+}
+
+impl core::fmt::Display for MiterLimit {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MiterLimit::Conflicts => write!(f, "conflict budget exhausted"),
+            MiterLimit::Deadline => write!(f, "deadline expired"),
+        }
+    }
+}
 
 /// The verdict of an equivalence check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,6 +66,13 @@ pub enum Equivalence {
     NotEquivalent {
         /// The counterexample input assignment.
         counterexample: Vec<bool>,
+    },
+    /// A *bounded* check ran out of resources before reaching a verdict.
+    /// Only [`check_equivalence_bounded`] and friends produce this; the
+    /// unbounded entry points always conclude.
+    Unknown {
+        /// Which resource limit stopped the check.
+        limit: MiterLimit,
     },
 }
 
@@ -59,6 +86,11 @@ pub enum EquivError {
     },
     /// Specification and layout differ in their input/output pads.
     InterfaceMismatch(String),
+    /// The extracted network is internally inconsistent — a fanin refers
+    /// to a signal that was never defined, or a gate has the wrong
+    /// number of inputs. Indicates a corrupted intermediate rather than
+    /// a bad design, so it is reported instead of panicking.
+    MalformedNetwork(String),
 }
 
 impl core::fmt::Display for EquivError {
@@ -68,6 +100,7 @@ impl core::fmt::Display for EquivError {
                 write!(f, "tile ({}, {}) has an undriven input", tile.0, tile.1)
             }
             EquivError::InterfaceMismatch(msg) => write!(f, "interface mismatch: {msg}"),
+            EquivError::MalformedNetwork(msg) => write!(f, "malformed network: {msg}"),
         }
     }
 }
@@ -213,6 +246,22 @@ pub fn check_equivalence_cart(
     check_equivalence_extracted(spec, &extracted)
 }
 
+/// Bounded variant of [`check_equivalence_cart`]; see
+/// [`check_equivalence_bounded`] for the semantics of the limits.
+///
+/// # Errors
+///
+/// Same conditions as [`check_equivalence`].
+pub fn check_equivalence_cart_bounded(
+    spec: &Xag,
+    layout: &fcn_layout::cartesian::CartGateLayout,
+    max_conflicts: Option<u64>,
+    deadline: Deadline,
+) -> Result<Equivalence, EquivError> {
+    let extracted = extract_network_cart(layout)?;
+    check_equivalence_extracted_bounded(spec, &extracted, max_conflicts, deadline)
+}
+
 /// Encodes an [`Xag`] into the CNF builder; returns one literal per PO.
 fn encode_xag(
     cnf: &mut CnfBuilder,
@@ -282,8 +331,29 @@ fn encode_mapped(
         let ins: Vec<Lit> = node
             .fanins
             .iter()
-            .map(|f| out_lits[&(f.node, f.output)])
-            .collect();
+            .map(|f| {
+                out_lits.get(&(f.node, f.output)).copied().ok_or_else(|| {
+                    EquivError::MalformedNetwork(format!(
+                        "node {} reads undefined signal ({}, {})",
+                        id.index(),
+                        f.node.index(),
+                        f.output
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let arity = |want: usize| -> Result<(), EquivError> {
+            if ins.len() == want {
+                Ok(())
+            } else {
+                Err(EquivError::MalformedNetwork(format!(
+                    "node {} ({:?}) has {} fanins, expected {want}",
+                    id.index(),
+                    node.kind,
+                    ins.len()
+                )))
+            }
+        };
         match node.kind {
             GateKind::Pi => {
                 let name = node.name.clone().unwrap_or_default();
@@ -295,43 +365,54 @@ fn encode_mapped(
                 out_lits.insert((id, 0), lit);
             }
             GateKind::Po => {
+                arity(1)?;
                 pos.push((node.name.clone().unwrap_or_default(), ins[0]));
             }
             GateKind::Buf => {
+                arity(1)?;
                 out_lits.insert((id, 0), ins[0]);
             }
             GateKind::Inv => {
+                arity(1)?;
                 out_lits.insert((id, 0), ins[0].negated());
             }
             GateKind::And => {
+                arity(2)?;
                 let o = cnf.and(ins[0], ins[1]);
                 out_lits.insert((id, 0), o);
             }
             GateKind::Nand => {
+                arity(2)?;
                 let o = cnf.and(ins[0], ins[1]);
                 out_lits.insert((id, 0), o.negated());
             }
             GateKind::Or => {
+                arity(2)?;
                 let o = cnf.or(ins[0], ins[1]);
                 out_lits.insert((id, 0), o);
             }
             GateKind::Nor => {
+                arity(2)?;
                 let o = cnf.or(ins[0], ins[1]);
                 out_lits.insert((id, 0), o.negated());
             }
             GateKind::Xor => {
+                arity(2)?;
                 let o = cnf.xor(ins[0], ins[1]);
                 out_lits.insert((id, 0), o);
             }
             GateKind::Xnor => {
+                arity(2)?;
                 let o = cnf.xor(ins[0], ins[1]);
                 out_lits.insert((id, 0), o.negated());
             }
             GateKind::Fanout => {
+                arity(1)?;
                 out_lits.insert((id, 0), ins[0]);
                 out_lits.insert((id, 1), ins[0]);
             }
             GateKind::HalfAdder => {
+                arity(2)?;
                 let s = cnf.xor(ins[0], ins[1]);
                 let c = cnf.and(ins[0], ins[1]);
                 out_lits.insert((id, 0), s);
@@ -356,6 +437,26 @@ pub fn check_equivalence(spec: &Xag, layout: &HexGateLayout) -> Result<Equivalen
     check_equivalence_extracted(spec, &extracted)
 }
 
+/// Bounded variant of [`check_equivalence`]: the miter solve stops at
+/// `max_conflicts` conflicts (when given) or at the wall-clock
+/// `deadline` (when bounded), reporting [`Equivalence::Unknown`] with
+/// the limit that fired instead of running to completion. With
+/// `max_conflicts: None` and an unbounded deadline this is exactly
+/// [`check_equivalence`].
+///
+/// # Errors
+///
+/// Same conditions as [`check_equivalence`].
+pub fn check_equivalence_bounded(
+    spec: &Xag,
+    layout: &HexGateLayout,
+    max_conflicts: Option<u64>,
+    deadline: Deadline,
+) -> Result<Equivalence, EquivError> {
+    let extracted = extract_network(layout)?;
+    check_equivalence_extracted_bounded(spec, &extracted, max_conflicts, deadline)
+}
+
 /// Equivalence check against an already extracted network.
 ///
 /// # Errors
@@ -364,6 +465,24 @@ pub fn check_equivalence(spec: &Xag, layout: &HexGateLayout) -> Result<Equivalen
 pub fn check_equivalence_extracted(
     spec: &Xag,
     extracted: &MappedNetwork,
+) -> Result<Equivalence, EquivError> {
+    check_equivalence_extracted_bounded(spec, extracted, None, Deadline::unbounded())
+}
+
+/// Bounded equivalence check against an already extracted network (see
+/// [`check_equivalence_bounded`]). Hosts the `equiv.miter` fault-
+/// injection point: an injected `exhaust` or `interrupt` forces an
+/// [`Equivalence::Unknown`] verdict when the corresponding limit is
+/// configured, and an injected `panic` fires here.
+///
+/// # Errors
+///
+/// Fails when the PI/PO interfaces disagree.
+pub fn check_equivalence_extracted_bounded(
+    spec: &Xag,
+    extracted: &MappedNetwork,
+    max_conflicts: Option<u64>,
+    deadline: Deadline,
 ) -> Result<Equivalence, EquivError> {
     let _span = fcn_telemetry::span("miter");
     let mut cnf = CnfBuilder::new();
@@ -411,24 +530,66 @@ pub fn check_equivalence_extracted(
     fcn_telemetry::counter("miter.vars", cnf.solver().num_vars() as u64);
     fcn_telemetry::counter("miter.clauses", cnf.solver().num_clauses() as u64);
     fcn_telemetry::counter("miter.outputs", spec_pos.len() as u64);
-    let outcome = cnf.solve();
+    // Injected faults can force the bounded no-verdict paths; as in the
+    // solver, they are gated on the corresponding limit actually being
+    // configured so an unbounded check can never report `Unknown`.
+    match fcn_budget::fault::check("equiv.miter") {
+        Some(fcn_budget::fault::Fault::Exhaust) if max_conflicts.is_some() => {
+            fcn_telemetry::note("verdict", "unknown");
+            return Ok(Equivalence::Unknown {
+                limit: MiterLimit::Conflicts,
+            });
+        }
+        Some(fcn_budget::fault::Fault::Interrupt) if deadline.is_bounded() => {
+            fcn_telemetry::note("verdict", "unknown");
+            return Ok(Equivalence::Unknown {
+                limit: MiterLimit::Deadline,
+            });
+        }
+        _ => {}
+    }
+    let outcome = if max_conflicts.is_none() && !deadline.is_bounded() {
+        // The unbounded path always concludes.
+        match cnf.solve() {
+            msat::SolveResult::Sat(model) => BoundedResult::Sat(model),
+            msat::SolveResult::Unsat => BoundedResult::Unsat,
+        }
+    } else {
+        let mut params = SolveParams::new().deadline(deadline);
+        if let Some(budget) = max_conflicts {
+            params = params.budget(budget);
+        }
+        cnf.solve_with(&params)
+    };
     let stats = cnf.solver().stats();
     fcn_telemetry::counter("sat.conflicts", stats.conflicts);
     fcn_telemetry::counter("sat.decisions", stats.decisions);
     fcn_telemetry::counter("sat.propagations", stats.propagations);
     fcn_telemetry::counter("sat.restarts", stats.restarts);
     match outcome {
-        msat::SolveResult::Unsat => {
+        BoundedResult::Unsat => {
             fcn_telemetry::note("verdict", "equivalent");
             Ok(Equivalence::Equivalent)
         }
-        msat::SolveResult::Sat(model) => {
+        BoundedResult::Sat(model) => {
             fcn_telemetry::note("verdict", "not-equivalent");
             Ok(Equivalence::NotEquivalent {
                 counterexample: pi_order
                     .iter()
                     .map(|n| model.lit_value(pi_lits[n]))
                     .collect(),
+            })
+        }
+        BoundedResult::DeadlineExpired => {
+            fcn_telemetry::note("verdict", "unknown");
+            Ok(Equivalence::Unknown {
+                limit: MiterLimit::Deadline,
+            })
+        }
+        BoundedResult::BudgetExceeded | BoundedResult::Interrupted => {
+            fcn_telemetry::note("verdict", "unknown");
+            Ok(Equivalence::Unknown {
+                limit: MiterLimit::Conflicts,
             })
         }
     }
@@ -520,7 +681,7 @@ mod tests {
                     .simulate(&counterexample);
                 assert_ne!(s, e);
             }
-            Equivalence::Equivalent => panic!("AND vs OR must not be equivalent"),
+            other => panic!("AND vs OR must not be {other:?}"),
         }
     }
 
@@ -538,6 +699,101 @@ mod tests {
         assert!(matches!(
             check_equivalence(&spec, &layout),
             Err(EquivError::InterfaceMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn bounded_check_with_zero_conflicts_still_concludes_or_reports_unknown() {
+        // A conflict budget of 0 must never panic or mis-report: the
+        // check either concludes without conflicts or says Unknown.
+        let xag = full_adder();
+        let net = map_xag(&xag, MapOptions::default()).expect("mappable");
+        let layout = heuristic_pnr(&NetGraph::new(net).expect("ok")).expect("routes");
+        let verdict = check_equivalence_bounded(&xag, &layout, Some(0), Deadline::unbounded())
+            .expect("checkable");
+        assert!(matches!(
+            verdict,
+            Equivalence::Equivalent
+                | Equivalence::Unknown {
+                    limit: MiterLimit::Conflicts
+                }
+        ));
+    }
+
+    #[test]
+    fn bounded_check_reports_deadline_as_unknown() {
+        let xag = full_adder();
+        let net = map_xag(&xag, MapOptions::default()).expect("mappable");
+        let layout = heuristic_pnr(&NetGraph::new(net).expect("ok")).expect("routes");
+        // An already-expired deadline forces the no-verdict path at the
+        // solver's entry check.
+        let expired = Deadline::at(std::time::Instant::now());
+        assert_eq!(
+            check_equivalence_bounded(&xag, &layout, None, expired).expect("checkable"),
+            Equivalence::Unknown {
+                limit: MiterLimit::Deadline
+            }
+        );
+    }
+
+    #[test]
+    fn unbounded_check_ignores_injected_miter_faults() {
+        use fcn_budget::fault::{install, Fault, FaultPlan};
+        let xag = full_adder();
+        let net = map_xag(&xag, MapOptions::default()).expect("mappable");
+        let layout = heuristic_pnr(&NetGraph::new(net).expect("ok")).expect("routes");
+        let _scope = install(std::sync::Arc::new(FaultPlan::single(
+            "equiv.miter",
+            Fault::Exhaust,
+        )));
+        // No conflict budget configured, so the injected exhaust cannot
+        // smuggle an Unknown verdict into the unbounded API.
+        assert_eq!(
+            check_equivalence(&xag, &layout).expect("checkable"),
+            Equivalence::Equivalent
+        );
+    }
+
+    #[test]
+    fn injected_miter_exhaust_forces_unknown_when_bounded() {
+        use fcn_budget::fault::{install, Fault, FaultPlan};
+        let xag = full_adder();
+        let net = map_xag(&xag, MapOptions::default()).expect("mappable");
+        let layout = heuristic_pnr(&NetGraph::new(net).expect("ok")).expect("routes");
+        let _scope = install(std::sync::Arc::new(FaultPlan::single(
+            "equiv.miter",
+            Fault::Exhaust,
+        )));
+        assert_eq!(
+            check_equivalence_bounded(&xag, &layout, Some(1_000_000), Deadline::unbounded())
+                .expect("checkable"),
+            Equivalence::Unknown {
+                limit: MiterLimit::Conflicts
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_network_is_an_error_not_a_panic() {
+        use fcn_logic::techmap::MappedSignal;
+        let mut spec = Xag::new();
+        let a = spec.primary_input("a");
+        spec.primary_output("f", a);
+
+        // A PO whose fanin points at a node output that no gate drives.
+        let mut net = MappedNetwork::new();
+        let pi = net.add_node(GateKind::Pi, vec![], Some("a".into()));
+        net.add_node(
+            GateKind::Po,
+            vec![MappedSignal {
+                node: pi,
+                output: 7, // PIs only drive output 0
+            }],
+            Some("f".into()),
+        );
+        assert!(matches!(
+            check_equivalence_extracted(&spec, &net),
+            Err(EquivError::MalformedNetwork(_))
         ));
     }
 

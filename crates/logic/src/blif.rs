@@ -105,7 +105,10 @@ pub fn parse_blif(src: &str) -> Result<(String, Xag), ParseBlifError> {
     let mut current: Option<Names> = None;
     for (line_no, line) in logical_lines {
         let mut parts = line.split_whitespace();
-        let head = parts.next().expect("non-empty by construction");
+        // Logical lines are non-empty by construction, but skipping a
+        // blank defensively is cheaper than trusting that invariant
+        // against every future edit of the joining loop above.
+        let Some(head) = parts.next() else { continue };
         if head.starts_with('.') {
             if let Some(block) = current.take() {
                 names_blocks.push(block);
@@ -198,64 +201,97 @@ pub fn parse_blif(src: &str) -> Result<(String, Xag), ParseBlifError> {
         .map(|b| (b.output.clone(), b))
         .collect();
 
+    /// One step of the iterative resolver: visit a signal's definition
+    /// (pushing its unresolved fanins first) or build its cover once
+    /// every fanin is available. An explicit work stack instead of
+    /// recursion keeps arbitrarily deep definition chains from
+    /// overflowing the call stack.
+    enum Step {
+        Visit(String),
+        Build(String),
+    }
+
     fn resolve(
         name: &str,
         xag: &mut Xag,
         env: &mut HashMap<String, Signal>,
         defs: &HashMap<String, Names>,
-        visiting: &mut Vec<String>,
     ) -> Result<Signal, ParseBlifError> {
-        if let Some(&s) = env.get(name) {
-            return Ok(s);
-        }
-        if visiting.iter().any(|v| v == name) {
-            return Err(ParseBlifError::new(
-                0,
-                format!("combinational cycle through '{name}'"),
-            ));
-        }
-        let block = defs
-            .get(name)
-            .ok_or_else(|| ParseBlifError::new(0, format!("signal '{name}' is never defined")))?;
-        visiting.push(name.to_owned());
-        let fanins: Vec<Signal> = block
-            .inputs
-            .iter()
-            .map(|i| resolve(i, xag, env, defs, visiting))
-            .collect::<Result<_, _>>()?;
-        visiting.pop();
+        use std::collections::HashSet;
+        let mut visiting: HashSet<String> = HashSet::new();
+        let mut work = vec![Step::Visit(name.to_owned())];
+        while let Some(step) = work.pop() {
+            match step {
+                Step::Visit(n) => {
+                    if env.contains_key(&n) {
+                        continue;
+                    }
+                    if !visiting.insert(n.clone()) {
+                        return Err(ParseBlifError::new(
+                            0,
+                            format!("combinational cycle through '{n}'"),
+                        ));
+                    }
+                    let block = defs.get(&n).ok_or_else(|| {
+                        ParseBlifError::new(0, format!("signal '{n}' is never defined"))
+                    })?;
+                    let fanins = block.inputs.clone();
+                    work.push(Step::Build(n));
+                    for i in fanins {
+                        if env.contains_key(&i) {
+                            continue;
+                        }
+                        if visiting.contains(&i) {
+                            return Err(ParseBlifError::new(
+                                0,
+                                format!("combinational cycle through '{i}'"),
+                            ));
+                        }
+                        work.push(Step::Visit(i));
+                    }
+                }
+                Step::Build(n) => {
+                    let block = &defs[&n];
+                    // Every fanin's Visit ran (and completed) before
+                    // this Build was popped, so lookups cannot miss.
+                    let fanins: Vec<Signal> =
+                        block.inputs.iter().map(|i| env[i.as_str()]).collect();
 
-        // Sum-of-products over the cover rows. The single-output cover's
-        // rows are ON-set rows when the output value is 1 (the common
-        // case); OFF-set covers (value 0) are complemented.
-        let on_set = block.cover.first().map(|(_, v)| *v).unwrap_or(true);
-        if block.cover.iter().any(|(_, v)| *v != on_set) {
-            return Err(ParseBlifError::new(
-                block.line,
-                "mixed ON/OFF cover rows are not valid BLIF",
-            ));
-        }
-        let mut sum = xag.constant_false();
-        for (pattern, _) in &block.cover {
-            let mut product = xag.constant_true();
-            for (i, c) in pattern.chars().enumerate() {
-                let lit = match c {
-                    '1' => fanins[i],
-                    '0' => !fanins[i],
-                    _ => continue,
-                };
-                product = xag.and(product, lit);
+                    // Sum-of-products over the cover rows. The single-
+                    // output cover's rows are ON-set rows when the
+                    // output value is 1 (the common case); OFF-set
+                    // covers (value 0) are complemented.
+                    let on_set = block.cover.first().map(|(_, v)| *v).unwrap_or(true);
+                    if block.cover.iter().any(|(_, v)| *v != on_set) {
+                        return Err(ParseBlifError::new(
+                            block.line,
+                            "mixed ON/OFF cover rows are not valid BLIF",
+                        ));
+                    }
+                    let mut sum = xag.constant_false();
+                    for (pattern, _) in &block.cover {
+                        let mut product = xag.constant_true();
+                        for (i, c) in pattern.chars().enumerate() {
+                            let lit = match c {
+                                '1' => fanins[i],
+                                '0' => !fanins[i],
+                                _ => continue,
+                            };
+                            product = xag.and(product, lit);
+                        }
+                        sum = xag.or(sum, product);
+                    }
+                    let signal = if on_set { sum } else { !sum };
+                    visiting.remove(&n);
+                    env.insert(n, signal);
+                }
             }
-            sum = xag.or(sum, product);
         }
-        let signal = if on_set { sum } else { !sum };
-        env.insert(name.to_owned(), signal);
-        Ok(signal)
+        Ok(env[name])
     }
 
     for output in &outputs {
-        let mut visiting = Vec::new();
-        let s = resolve(output, &mut xag, &mut env, &by_output, &mut visiting)?;
+        let s = resolve(output, &mut xag, &mut env, &by_output)?;
         xag.primary_output(output.clone(), s);
     }
     Ok((
@@ -359,5 +395,20 @@ mod tests {
         let src = ".model c\n.inputs a\n.outputs f\n.names f a x\n11 1\n.names x a f\n11 1\n.end\n";
         let err = parse_blif(src).expect_err("cycle");
         assert!(err.message.contains("cycle"));
+    }
+
+    #[test]
+    fn deep_definition_chains_do_not_overflow_the_stack() {
+        // 3000 chained buffers: the iterative resolver must handle the
+        // chain without recursing once per link.
+        let mut src = String::from(".model deep\n.inputs a\n.outputs f\n");
+        src.push_str(".names a w0\n1 1\n");
+        for i in 1..3000 {
+            src.push_str(&format!(".names w{} w{}\n1 1\n", i - 1, i));
+        }
+        src.push_str(".names w2999 f\n1 1\n.end\n");
+        let (_, xag) = parse_blif(&src).expect("deep chains are legal");
+        assert_eq!(xag.simulate(&[true]), vec![true]);
+        assert_eq!(xag.simulate(&[false]), vec![false]);
     }
 }

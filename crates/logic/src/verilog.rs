@@ -166,9 +166,49 @@ enum Expr {
     Mux(Box<Expr>, Box<Expr>, Box<Expr>),
 }
 
+// The derived drop glue recurses once per tree level, so a long operator
+// chain — parsed iteratively into a left-deep tree — would overflow the
+// stack on drop. Detach children onto an explicit worklist instead.
+impl Drop for Expr {
+    fn drop(&mut self) {
+        fn detach(e: &mut Expr, stack: &mut Vec<Expr>) {
+            let mut take =
+                |slot: &mut Box<Expr>| stack.push(std::mem::replace(slot, Expr::Const(false)));
+            match e {
+                Expr::Ident(_) | Expr::Const(_) => {}
+                Expr::Not(a) => take(a),
+                Expr::And(a, b) | Expr::Or(a, b) | Expr::Xor(a, b) => {
+                    take(a);
+                    take(b);
+                }
+                Expr::Mux(a, b, c) => {
+                    take(a);
+                    take(b);
+                    take(c);
+                }
+            }
+        }
+        let mut stack = Vec::new();
+        detach(self, &mut stack);
+        while let Some(mut e) = stack.pop() {
+            // `e` drops at the end of this iteration with only leaf
+            // children left, so the recursive glue bottoms out at once.
+            detach(&mut e, &mut stack);
+        }
+    }
+}
+
+/// Maximum *nesting* depth of an expression — parentheses, ternaries,
+/// and `~` chains. Binary operator chains associate iteratively and are
+/// not limited by this. Keeps adversarial input (`((((…` or `~~~~…`)
+/// from overflowing the parser stack; elaboration itself is iterative
+/// and has no depth limit.
+const MAX_EXPR_DEPTH: usize = 256;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -223,8 +263,23 @@ impl Parser {
         Ok(names)
     }
 
+    fn descend(&mut self) -> Result<(), ParseVerilogError> {
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            return Err(ParseVerilogError::new("expression nesting too deep"));
+        }
+        Ok(())
+    }
+
     // Expression grammar: mux > or > xor > and > unary.
     fn expr(&mut self) -> Result<Expr, ParseVerilogError> {
+        self.descend()?;
+        let result = self.expr_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn expr_inner(&mut self) -> Result<Expr, ParseVerilogError> {
         let cond = self.or_expr()?;
         if self.peek() == Some(&Token::Symbol('?')) {
             self.pos += 1;
@@ -272,6 +327,13 @@ impl Parser {
     }
 
     fn unary_expr(&mut self) -> Result<Expr, ParseVerilogError> {
+        self.descend()?;
+        let result = self.unary_expr_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn unary_expr_inner(&mut self) -> Result<Expr, ParseVerilogError> {
         match self.next()? {
             Token::Symbol('~') => Ok(Expr::Not(Box::new(self.unary_expr()?))),
             Token::Symbol('(') => {
@@ -298,7 +360,11 @@ struct Module {
 }
 
 fn parse_module(tokens: Vec<Token>) -> Result<Module, ParseVerilogError> {
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     p.expect_keyword("module")?;
     let name = p.ident()?;
     // Port list (names are re-declared by input/output statements).
@@ -400,77 +466,112 @@ pub fn parse_verilog(src: &str) -> Result<(String, Xag), ParseVerilogError> {
         }
     }
 
-    // Elaborate assignments on demand (topological by recursion).
+    // Elaborate assignments on demand. The walk is iterative — an
+    // explicit work stack plus an operand stack — so that neither deep
+    // expression trees (left-deep operator chains) nor long wire-
+    // definition chains can overflow the call stack.
+    enum Step<'a> {
+        /// Evaluate an expression, pushing its value on the operand
+        /// stack (possibly via further steps).
+        Eval(&'a Expr),
+        /// Combine already-evaluated operands of this expression.
+        Apply(&'a Expr),
+        /// Record the operand-stack top as the value of a named signal.
+        Bind(String),
+    }
+
     fn elaborate(
         name: &str,
         xag: &mut Xag,
         env: &mut HashMap<String, Signal>,
         defs: &HashMap<String, &Expr>,
-        visiting: &mut Vec<String>,
     ) -> Result<Signal, ParseVerilogError> {
+        use std::collections::HashSet;
         if let Some(&s) = env.get(name) {
             return Ok(s);
         }
-        if visiting.iter().any(|v| v == name) {
-            return Err(ParseVerilogError::new(format!(
-                "combinational cycle through '{name}'"
-            )));
-        }
-        let expr = *defs
+        let underflow = || ParseVerilogError::new("internal: operand stack underflow");
+        let mut visiting: HashSet<String> = HashSet::new();
+        let mut values: Vec<Signal> = Vec::new();
+        let root = *defs
             .get(name)
             .ok_or_else(|| ParseVerilogError::new(format!("signal '{name}' is never driven")))?;
-        visiting.push(name.to_owned());
-        let s = eval(expr, xag, env, defs, visiting)?;
-        visiting.pop();
-        env.insert(name.to_owned(), s);
-        Ok(s)
-    }
-
-    fn eval(
-        expr: &Expr,
-        xag: &mut Xag,
-        env: &mut HashMap<String, Signal>,
-        defs: &HashMap<String, &Expr>,
-        visiting: &mut Vec<String>,
-    ) -> Result<Signal, ParseVerilogError> {
-        Ok(match expr {
-            Expr::Ident(n) => elaborate(n, xag, env, defs, visiting)?,
-            Expr::Const(true) => xag.constant_true(),
-            Expr::Const(false) => xag.constant_false(),
-            Expr::Not(e) => !eval(e, xag, env, defs, visiting)?,
-            Expr::And(a, b) => {
-                let (a, b) = (
-                    eval(a, xag, env, defs, visiting)?,
-                    eval(b, xag, env, defs, visiting)?,
-                );
-                xag.and(a, b)
+        visiting.insert(name.to_owned());
+        let mut work = vec![Step::Bind(name.to_owned()), Step::Eval(root)];
+        while let Some(step) = work.pop() {
+            match step {
+                Step::Eval(e) => match e {
+                    Expr::Ident(n) => {
+                        if let Some(&s) = env.get(n) {
+                            values.push(s);
+                            continue;
+                        }
+                        if !visiting.insert(n.clone()) {
+                            return Err(ParseVerilogError::new(format!(
+                                "combinational cycle through '{n}'"
+                            )));
+                        }
+                        let expr = *defs.get(n).ok_or_else(|| {
+                            ParseVerilogError::new(format!("signal '{n}' is never driven"))
+                        })?;
+                        work.push(Step::Bind(n.clone()));
+                        work.push(Step::Eval(expr));
+                    }
+                    Expr::Const(true) => values.push(xag.constant_true()),
+                    Expr::Const(false) => values.push(xag.constant_false()),
+                    Expr::Not(a) => {
+                        work.push(Step::Apply(e));
+                        work.push(Step::Eval(a));
+                    }
+                    Expr::And(a, b) | Expr::Or(a, b) | Expr::Xor(a, b) => {
+                        work.push(Step::Apply(e));
+                        work.push(Step::Eval(b));
+                        work.push(Step::Eval(a));
+                    }
+                    Expr::Mux(s, t, f) => {
+                        work.push(Step::Apply(e));
+                        work.push(Step::Eval(f));
+                        work.push(Step::Eval(t));
+                        work.push(Step::Eval(s));
+                    }
+                },
+                Step::Apply(e) => {
+                    let result = match e {
+                        Expr::Not(_) => !values.pop().ok_or_else(underflow)?,
+                        Expr::And(..) | Expr::Or(..) | Expr::Xor(..) => {
+                            let b = values.pop().ok_or_else(underflow)?;
+                            let a = values.pop().ok_or_else(underflow)?;
+                            match e {
+                                Expr::And(..) => xag.and(a, b),
+                                Expr::Or(..) => xag.or(a, b),
+                                _ => xag.xor(a, b),
+                            }
+                        }
+                        Expr::Mux(..) => {
+                            let f = values.pop().ok_or_else(underflow)?;
+                            let t = values.pop().ok_or_else(underflow)?;
+                            let s = values.pop().ok_or_else(underflow)?;
+                            xag.mux(s, t, f)
+                        }
+                        _ => return Err(underflow()),
+                    };
+                    values.push(result);
+                }
+                Step::Bind(n) => {
+                    // The expression evaluated for this binding left its
+                    // value on top; it stays there as the value of the
+                    // identifier that triggered the binding.
+                    let s = *values.last().ok_or_else(underflow)?;
+                    visiting.remove(&n);
+                    env.insert(n, s);
+                }
             }
-            Expr::Or(a, b) => {
-                let (a, b) = (
-                    eval(a, xag, env, defs, visiting)?,
-                    eval(b, xag, env, defs, visiting)?,
-                );
-                xag.or(a, b)
-            }
-            Expr::Xor(a, b) => {
-                let (a, b) = (
-                    eval(a, xag, env, defs, visiting)?,
-                    eval(b, xag, env, defs, visiting)?,
-                );
-                xag.xor(a, b)
-            }
-            Expr::Mux(s, t, e) => {
-                let s = eval(s, xag, env, defs, visiting)?;
-                let t = eval(t, xag, env, defs, visiting)?;
-                let e = eval(e, xag, env, defs, visiting)?;
-                xag.mux(s, t, e)
-            }
-        })
+        }
+        values.pop().ok_or_else(underflow)
     }
 
     for output in &module.outputs {
-        let mut visiting = Vec::new();
-        let s = elaborate(output, &mut xag, &mut env, &defs, &mut visiting)?;
+        let s = elaborate(output, &mut xag, &mut env, &defs)?;
         xag.primary_output(output.clone(), s);
     }
 
@@ -572,6 +673,41 @@ mod tests {
         let err = parse_verilog("module t (a, f); input a; output f; assign a = f; endmodule")
             .expect_err("inputs are not assignable");
         assert!(err.message.contains("cannot be assigned"));
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // A tower of ~ and a tower of ( both stress the recursive
+        // descent; each must fail gracefully past the depth cap.
+        let nots = "~".repeat(100_000);
+        let err = parse_verilog(&format!(
+            "module t (a, f); input a; output f; assign f = {nots}a; endmodule"
+        ))
+        .expect_err("not-tower exceeds the nesting cap");
+        assert!(err.message.contains("too deep"));
+
+        let opens = "(".repeat(100_000);
+        assert!(parse_verilog(&format!(
+            "module t (a, f); input a; output f; assign f = {opens}a; endmodule"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn long_operator_chains_elaborate_without_overflowing() {
+        // Binary chains parse iteratively into a left-deep tree; the
+        // iterative elaborator must walk it without recursing per term.
+        let mut chain = String::from("a");
+        for _ in 0..100_000 {
+            chain.push_str(" ^ a");
+        }
+        let (_, xag) = parse_verilog(&format!(
+            "module t (a, f); input a; output f; assign f = {chain}; endmodule"
+        ))
+        .expect("long chains are legal");
+        // XOR of an odd number (100_001) of copies of `a` is `a`.
+        assert_eq!(xag.simulate(&[true]), vec![true]);
+        assert_eq!(xag.simulate(&[false]), vec![false]);
     }
 
     #[test]

@@ -16,11 +16,13 @@
 //! not exist on the SiDB platform.
 
 use crate::exact::{
-    assemble_outcome, ExactOptions, PnrError, PnrOutcome, ProbeVerdict, RatioProbe, SessionBounds,
+    assemble_outcome, ExactOptions, PnrError, PnrOutcome, ProbeGate, ProbeVerdict, RatioProbe,
+    ScanLimits, SessionBounds,
 };
 use crate::incremental::{IncrementalCnf, ProbeEmitter, ScratchEmitter};
 use crate::netgraph::NetGraph;
-use crate::portfolio::{run_portfolio, CancelFlag, ProbeOutcome};
+use crate::portfolio::{run_portfolio, CancelFlag, ProbeOutcome, ScanAbort};
+use fcn_budget::Deadline;
 use fcn_coords::{AspectRatio, CartCoord, CartDirection};
 use fcn_layout::cartesian::CartGateLayout;
 use fcn_layout::clocking::ClockingScheme;
@@ -106,20 +108,34 @@ pub fn cartesian_exact_pnr(
         })
     })();
 
+    let limits = ScanLimits::new(options);
+
     let outcome = run_portfolio(
         &candidates,
         options.num_threads,
         || options.incremental.then(IncrementalCnf::<CartKey>::new),
-        |inc, _, ratio, cancel| match inc {
-            Some(inc) => solve_ratio_incremental(
-                inc,
-                graph,
-                *ratio,
-                session.as_ref().expect("probing implies candidates"),
-                options.max_conflicts_per_ratio,
-                cancel,
-            ),
-            None => solve_ratio_scratch(graph, *ratio, options.max_conflicts_per_ratio, cancel),
+        |inc, _, ratio, cancel| {
+            let budget = match limits.pre_probe(options.max_conflicts_per_ratio) {
+                ProbeGate::Go(budget) => budget,
+                ProbeGate::Abort(abort) => return ProbeOutcome::aborted(abort),
+                ProbeGate::Cancelled => return ProbeOutcome::cancelled(),
+            };
+            let out = match inc {
+                Some(inc) => solve_ratio_incremental(
+                    inc,
+                    graph,
+                    *ratio,
+                    session.as_ref().expect("probing implies candidates"),
+                    budget,
+                    limits.deadline(),
+                    cancel,
+                ),
+                None => solve_ratio_scratch(graph, *ratio, budget, limits.deadline(), cancel),
+            };
+            if let Some(probe) = &out.probe {
+                limits.charge(probe.stats.conflicts);
+            }
+            out
         },
     );
     assemble_outcome(outcome, |idx| candidates[idx], options)
@@ -483,64 +499,59 @@ fn solve_ratio_scratch(
     graph: &NetGraph,
     ratio: AspectRatio,
     max_conflicts: u64,
+    deadline: Deadline,
     cancel: &CancelFlag,
 ) -> ProbeOutcome<CartGateLayout, RatioProbe> {
     let _span = fcn_telemetry::span(format!("ratio:{}", ratio.label()));
     let mut em = ScratchEmitter::new();
     let Some(enc) = encode_ratio(&mut em, graph, ratio, None) else {
-        return ProbeOutcome {
-            layout: None,
-            probe: None,
-            cancelled: false,
-        };
+        return ProbeOutcome::concluded(None, None);
     };
     let mut cnf = em.cnf;
 
     fcn_telemetry::counter("cnf.vars", cnf.solver().num_vars() as u64);
     fcn_telemetry::counter("cnf.clauses", cnf.solver().num_clauses() as u64);
     cnf.solver_mut().set_interrupt(cancel.clone());
-    let outcome = cnf.solve_with(&SolveParams::new().budget(max_conflicts).interruptible());
+    let outcome = cnf.solve_with(
+        &SolveParams::new()
+            .budget(max_conflicts)
+            .interruptible()
+            .deadline(deadline),
+    );
     let stats = cnf.solver().stats();
     if let BoundedResult::Interrupted = outcome {
         fcn_telemetry::note("verdict", "cancelled");
-        return ProbeOutcome {
-            layout: None,
-            probe: None,
-            cancelled: true,
-        };
+        return ProbeOutcome::cancelled();
+    }
+    if let BoundedResult::DeadlineExpired = outcome {
+        fcn_telemetry::note("verdict", "deadline-expired");
+        return ProbeOutcome::aborted(ScanAbort::Deadline);
     }
     let verdict = match &outcome {
         BoundedResult::Sat(_) => ProbeVerdict::Sat,
         BoundedResult::Unsat => ProbeVerdict::Unsat,
-        BoundedResult::BudgetExceeded | BoundedResult::Interrupted => ProbeVerdict::BudgetExceeded,
+        _ => ProbeVerdict::BudgetExceeded,
     };
     fcn_telemetry::counter("sat.conflicts", stats.conflicts);
     fcn_telemetry::counter("sat.decisions", stats.decisions);
     fcn_telemetry::counter("sat.propagations", stats.propagations);
     fcn_telemetry::counter("sat.restarts", stats.restarts);
     fcn_telemetry::note("verdict", verdict.to_string());
-    let probe = Some(RatioProbe {
+    let probe = RatioProbe {
         ratio,
         verdict,
         stats,
         retained: 0,
         extraction_conflicts: None,
-    });
+    };
     let model = match outcome {
         BoundedResult::Sat(m) => m,
-        _ => {
-            return ProbeOutcome {
-                layout: None,
-                probe,
-                cancelled: false,
-            }
-        }
+        _ => return ProbeOutcome::concluded(None, Some(probe)),
     };
-    ProbeOutcome {
-        layout: Some(extract_layout(&model, &enc, graph, ratio)),
-        probe,
-        cancelled: false,
-    }
+    ProbeOutcome::concluded(
+        Some(extract_layout(&model, &enc, graph, ratio)),
+        Some(probe),
+    )
 }
 
 /// Probes a fixed aspect ratio on the worker's incremental session (see
@@ -553,6 +564,7 @@ fn solve_ratio_incremental(
     ratio: AspectRatio,
     session: &SessionBounds,
     max_conflicts: u64,
+    deadline: Deadline,
     cancel: &CancelFlag,
 ) -> ProbeOutcome<CartGateLayout, RatioProbe> {
     let _span = fcn_telemetry::span(format!("ratio:{}", ratio.label()));
@@ -561,14 +573,10 @@ fn solve_ratio_incremental(
     let encoded = encode_ratio(inc, graph, ratio, Some(session)).is_some();
     if !encoded {
         inc.end_probe();
-        return ProbeOutcome {
-            layout: None,
-            probe: None,
-            cancelled: false,
-        };
+        return ProbeOutcome::concluded(None, None);
     }
     fcn_telemetry::counter("sat.retained", retained);
-    let outcome = inc.solve(max_conflicts, cancel);
+    let outcome = inc.solve(max_conflicts, deadline, cancel);
     let stats = inc.stats();
     inc.end_probe();
     fcn_telemetry::counter("sat.conflicts", stats.conflicts);
@@ -580,40 +588,36 @@ fn solve_ratio_incremental(
         BoundedResult::Unsat => "unsat",
         BoundedResult::BudgetExceeded => "budget-exceeded",
         BoundedResult::Interrupted => "cancelled",
+        BoundedResult::DeadlineExpired => "deadline-expired",
     };
     fcn_telemetry::note("verdict", verdict);
 
     match outcome {
-        BoundedResult::Interrupted => ProbeOutcome {
-            layout: None,
-            probe: None,
-            cancelled: true,
-        },
-        BoundedResult::Unsat => ProbeOutcome {
-            layout: None,
-            probe: Some(RatioProbe {
+        BoundedResult::Interrupted => ProbeOutcome::cancelled(),
+        BoundedResult::DeadlineExpired => ProbeOutcome::aborted(ScanAbort::Deadline),
+        BoundedResult::Unsat => ProbeOutcome::concluded(
+            None,
+            Some(RatioProbe {
                 ratio,
                 verdict: ProbeVerdict::Unsat,
                 stats,
                 retained,
                 extraction_conflicts: None,
             }),
-            cancelled: false,
-        },
-        BoundedResult::BudgetExceeded => ProbeOutcome {
-            layout: None,
-            probe: Some(RatioProbe {
+        ),
+        BoundedResult::BudgetExceeded => ProbeOutcome::concluded(
+            None,
+            Some(RatioProbe {
                 ratio,
                 verdict: ProbeVerdict::BudgetExceeded,
                 stats,
                 retained,
                 extraction_conflicts: None,
             }),
-            cancelled: false,
-        },
+        ),
         BoundedResult::Sat(_) => {
-            let scratch = solve_ratio_scratch(graph, ratio, max_conflicts, cancel);
-            if scratch.cancelled {
+            let scratch = solve_ratio_scratch(graph, ratio, max_conflicts, deadline, cancel);
+            if scratch.cancelled || scratch.abort.is_some() {
                 return scratch;
             }
             let mut probe = scratch.probe.expect("scratch probes always record");
@@ -623,19 +627,11 @@ fn solve_ratio_incremental(
                     fcn_telemetry::counter("sat.extraction_conflicts", probe.stats.conflicts);
                     probe.extraction_conflicts = Some(probe.stats.conflicts);
                     probe.stats = stats;
-                    ProbeOutcome {
-                        layout: scratch.layout,
-                        probe: Some(probe),
-                        cancelled: false,
-                    }
+                    ProbeOutcome::concluded(scratch.layout, Some(probe))
                 }
                 _ => {
                     probe.stats += stats;
-                    ProbeOutcome {
-                        layout: None,
-                        probe: Some(probe),
-                        cancelled: false,
-                    }
+                    ProbeOutcome::concluded(None, Some(probe))
                 }
             }
         }

@@ -21,7 +21,8 @@
 
 use crate::incremental::{IncrementalCnf, ProbeEmitter, ReuseStats, ScratchEmitter};
 use crate::netgraph::NetGraph;
-use crate::portfolio::{run_portfolio, CancelFlag, ProbeOutcome};
+use crate::portfolio::{run_portfolio, CancelFlag, ProbeOutcome, ScanAbort};
+use fcn_budget::Deadline;
 use fcn_coords::{AspectRatio, HexCoord, HexDirection};
 use fcn_layout::clocking::ClockingScheme;
 use fcn_layout::hexagonal::HexGateLayout;
@@ -30,6 +31,8 @@ use fcn_logic::techmap::MappedId;
 use fcn_logic::GateKind;
 use msat::{BoundedResult, Lit, Model, SolveParams, SolverStats};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Options for the exact engine.
 #[derive(Debug, Clone, Copy)]
@@ -54,6 +57,19 @@ pub struct ExactOptions {
     /// from-scratch path (one fresh solver per probe) for A/B
     /// validation. Defaults to [`default_incremental`].
     pub incremental: bool,
+    /// Wall-clock deadline for the whole scan. When it expires the scan
+    /// stops and reports [`PnrError::DeadlineExpired`] (unless a winner
+    /// was already committed); the flow degrades to the heuristic
+    /// engine. Unbounded by default.
+    pub deadline: Deadline,
+    /// Cumulative conflict budget across *all* probes of the scan, on
+    /// top of the per-ratio budget. Exhaustion stops the scan with
+    /// [`PnrError::ConflictBudgetExhausted`]. Under a parallel
+    /// portfolio the cut-off point depends on scheduling (the meter is
+    /// shared across workers), so bounded runs trade the determinism
+    /// guarantee for bounded work; `None` (the default) changes
+    /// nothing.
+    pub max_conflicts_total: Option<u64>,
 }
 
 impl Default for ExactOptions {
@@ -63,6 +79,8 @@ impl Default for ExactOptions {
             max_conflicts_per_ratio: 10_000,
             num_threads: default_num_threads(),
             incremental: default_incremental(),
+            deadline: Deadline::unbounded(),
+            max_conflicts_total: None,
         }
     }
 }
@@ -196,6 +214,20 @@ pub enum PnrError {
         /// The doubled-coordinate position with no legal drift.
         pos: i32,
     },
+    /// The scan's wall-clock deadline ([`ExactOptions::deadline`])
+    /// expired before any ratio was proven SAT.
+    DeadlineExpired,
+    /// The cumulative conflict budget
+    /// ([`ExactOptions::max_conflicts_total`]) ran out before any ratio
+    /// was proven SAT.
+    ConflictBudgetExhausted,
+    /// A portfolio worker panicked. The scheduler caught the unwind,
+    /// cancelled the sibling probes, and reports the stringified panic
+    /// payload here instead of propagating it.
+    WorkerPanic {
+        /// The panic payload, rendered as a string.
+        payload: String,
+    },
 }
 
 impl core::fmt::Display for PnrError {
@@ -210,6 +242,18 @@ impl core::fmt::Display for PnrError {
                     "heuristic router invariant violated: no legal drift \
                      around doubled position {pos} in row {row}"
                 )
+            }
+            PnrError::DeadlineExpired => {
+                write!(f, "deadline expired before any feasible ratio was found")
+            }
+            PnrError::ConflictBudgetExhausted => {
+                write!(
+                    f,
+                    "cumulative conflict budget exhausted before any feasible ratio was found"
+                )
+            }
+            PnrError::WorkerPanic { payload } => {
+                write!(f, "portfolio worker panicked: {payload}")
             }
         }
     }
@@ -241,6 +285,82 @@ impl std::error::Error for PnrError {}
 /// assert!(result.layout.verify().is_empty());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+/// What the scan-limit gate decides at the start of one probe.
+pub(crate) enum ProbeGate {
+    /// Proceed, with this effective conflict budget.
+    Go(u64),
+    /// A scan-wide limit is exhausted; end the scan.
+    Abort(ScanAbort),
+    /// Discard this probe without a verdict (injected interrupt).
+    Cancelled,
+}
+
+/// Scan-wide resource limits shared by every probe of one P&R scan: the
+/// wall-clock deadline plus the cumulative conflict meter, shared
+/// across portfolio workers through an `Arc`. Also hosts the scan's
+/// fault-injection point (`pnr.probe`).
+#[derive(Clone)]
+pub(crate) struct ScanLimits {
+    deadline: Deadline,
+    total: Option<u64>,
+    spent: Arc<AtomicU64>,
+}
+
+impl ScanLimits {
+    pub(crate) fn new(options: &ExactOptions) -> Self {
+        ScanLimits {
+            deadline: options.deadline,
+            total: options.max_conflicts_total,
+            spent: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The scan's wall-clock deadline, for threading into the solver.
+    pub(crate) fn deadline(&self) -> Deadline {
+        self.deadline
+    }
+
+    /// The gate run at probe start: reports an abort when a scan-wide
+    /// limit is already exhausted, otherwise the effective conflict
+    /// budget for the probe — the per-ratio budget clamped to what
+    /// remains of the cumulative one. Fault injection at `pnr.probe`
+    /// can force a panic, an abort, or a cancelled probe here.
+    ///
+    /// With no limits configured and no fault plan armed this is a
+    /// no-op returning the per-ratio budget unchanged, keeping
+    /// unbudgeted scans byte-identical.
+    pub(crate) fn pre_probe(&self, per_ratio: u64) -> ProbeGate {
+        match fcn_budget::fault::check("pnr.probe") {
+            Some(fcn_budget::fault::Fault::Exhaust) => {
+                return ProbeGate::Abort(ScanAbort::ConflictBudget)
+            }
+            Some(fcn_budget::fault::Fault::Interrupt) => return ProbeGate::Cancelled,
+            _ => {}
+        }
+        if self.deadline.expired() {
+            return ProbeGate::Abort(ScanAbort::Deadline);
+        }
+        match self.total {
+            None => ProbeGate::Go(per_ratio),
+            Some(total) => {
+                let spent = self.spent.load(Ordering::Relaxed);
+                if spent >= total {
+                    ProbeGate::Abort(ScanAbort::ConflictBudget)
+                } else {
+                    ProbeGate::Go(per_ratio.min(total - spent))
+                }
+            }
+        }
+    }
+
+    /// Charges solver work against the cumulative meter.
+    pub(crate) fn charge(&self, conflicts: u64) {
+        if self.total.is_some() {
+            self.spent.fetch_add(conflicts, Ordering::Relaxed);
+        }
+    }
+}
+
 pub fn exact_pnr(
     graph: &NetGraph,
     options: &ExactOptions,
@@ -258,24 +378,35 @@ pub fn exact_pnr(
         .filter_map(|ratio| Some((ratio, graph.alap(ratio.height)?)))
         .collect();
     let session = SessionBounds::from_candidates(&candidates);
+    let limits = ScanLimits::new(options);
 
     let outcome = run_portfolio(
         &candidates,
         options.num_threads,
         || options.incremental.then(IncrementalCnf::<HexKey>::new),
-        |inc, _, (ratio, alap), cancel| match inc {
-            Some(inc) => solve_ratio_incremental(
-                inc,
-                graph,
-                *ratio,
-                alap,
-                session.as_ref().expect("probing implies candidates"),
-                options.max_conflicts_per_ratio,
-                cancel,
-            ),
-            None => {
-                solve_ratio_scratch(graph, *ratio, alap, options.max_conflicts_per_ratio, cancel)
+        |inc, _, (ratio, alap), cancel| {
+            let budget = match limits.pre_probe(options.max_conflicts_per_ratio) {
+                ProbeGate::Go(budget) => budget,
+                ProbeGate::Abort(abort) => return ProbeOutcome::aborted(abort),
+                ProbeGate::Cancelled => return ProbeOutcome::cancelled(),
+            };
+            let out = match inc {
+                Some(inc) => solve_ratio_incremental(
+                    inc,
+                    graph,
+                    *ratio,
+                    alap,
+                    session.as_ref().expect("probing implies candidates"),
+                    budget,
+                    limits.deadline(),
+                    cancel,
+                ),
+                None => solve_ratio_scratch(graph, *ratio, alap, budget, limits.deadline(), cancel),
+            };
+            if let Some(probe) = &out.probe {
+                limits.charge(probe.stats.conflicts);
             }
+            out
         },
     );
     assemble_outcome(outcome, |idx| candidates[idx].0, options)
@@ -315,6 +446,13 @@ pub(crate) fn assemble_outcome<L>(
             fcn_telemetry::counter("pnr.conflicts_saved", saved);
         }
     }
+    if let Some(payload) = outcome.panicked {
+        // A panicked worker poisons the scan even when another probe
+        // found a layout: the panic is an internal bug whose blast
+        // radius is unknown, so surface it and let the caller degrade.
+        fcn_telemetry::note("verdict", "worker-panic");
+        return Err(PnrError::WorkerPanic { payload });
+    }
     match outcome.winner {
         Some((idx, layout)) => Ok(PnrOutcome {
             layout,
@@ -324,12 +462,22 @@ pub(crate) fn assemble_outcome<L>(
             probes: outcome.probes,
             reuse,
         }),
-        None => {
-            fcn_telemetry::note("verdict", "no-feasible-ratio");
-            Err(PnrError::NoFeasibleRatio {
-                max_area: options.max_area,
-            })
-        }
+        None => match outcome.aborted {
+            Some(ScanAbort::Deadline) => {
+                fcn_telemetry::note("verdict", "deadline-expired");
+                Err(PnrError::DeadlineExpired)
+            }
+            Some(ScanAbort::ConflictBudget) => {
+                fcn_telemetry::note("verdict", "conflict-budget-exhausted");
+                Err(PnrError::ConflictBudgetExhausted)
+            }
+            None => {
+                fcn_telemetry::note("verdict", "no-feasible-ratio");
+                Err(PnrError::NoFeasibleRatio {
+                    max_area: options.max_area,
+                })
+            }
+        },
     }
 }
 
@@ -752,6 +900,7 @@ fn solve_ratio_scratch(
     ratio: AspectRatio,
     alap: &[u32],
     max_conflicts: u64,
+    deadline: Deadline,
     cancel: &CancelFlag,
 ) -> ProbeOutcome<HexGateLayout, RatioProbe> {
     let _span = fcn_telemetry::span(format!("ratio:{}", ratio.label()));
@@ -762,20 +911,25 @@ fn solve_ratio_scratch(
     fcn_telemetry::counter("cnf.vars", cnf.solver().num_vars() as u64);
     fcn_telemetry::counter("cnf.clauses", cnf.solver().num_clauses() as u64);
     cnf.solver_mut().set_interrupt(cancel.clone());
-    let outcome = cnf.solve_with(&SolveParams::new().budget(max_conflicts).interruptible());
+    let outcome = cnf.solve_with(
+        &SolveParams::new()
+            .budget(max_conflicts)
+            .interruptible()
+            .deadline(deadline),
+    );
     let stats = cnf.solver().stats();
     if let BoundedResult::Interrupted = outcome {
         fcn_telemetry::note("verdict", "cancelled");
-        return ProbeOutcome {
-            layout: None,
-            probe: None,
-            cancelled: true,
-        };
+        return ProbeOutcome::cancelled();
+    }
+    if let BoundedResult::DeadlineExpired = outcome {
+        fcn_telemetry::note("verdict", "deadline-expired");
+        return ProbeOutcome::aborted(ScanAbort::Deadline);
     }
     let verdict = match &outcome {
         BoundedResult::Sat(_) => ProbeVerdict::Sat,
         BoundedResult::Unsat => ProbeVerdict::Unsat,
-        BoundedResult::BudgetExceeded | BoundedResult::Interrupted => ProbeVerdict::BudgetExceeded,
+        _ => ProbeVerdict::BudgetExceeded,
     };
     fcn_telemetry::counter("sat.conflicts", stats.conflicts);
     fcn_telemetry::counter("sat.decisions", stats.decisions);
@@ -791,19 +945,12 @@ fn solve_ratio_scratch(
     };
     let model = match outcome {
         BoundedResult::Sat(m) => m,
-        _ => {
-            return ProbeOutcome {
-                layout: None,
-                probe: Some(probe),
-                cancelled: false,
-            }
-        }
+        _ => return ProbeOutcome::concluded(None, Some(probe)),
     };
-    ProbeOutcome {
-        layout: Some(extract_layout(&model, &enc, graph, ratio)),
-        probe: Some(probe),
-        cancelled: false,
-    }
+    ProbeOutcome::concluded(
+        Some(extract_layout(&model, &enc, graph, ratio)),
+        Some(probe),
+    )
 }
 
 /// Probes a fixed aspect ratio on the worker's long-lived incremental
@@ -818,6 +965,7 @@ fn solve_ratio_scratch(
 /// fresh solver's verdict is authoritative: if it exhausts the conflict
 /// budget the probe reports `BudgetExceeded`, exactly as from-scratch
 /// mode would.
+#[allow(clippy::too_many_arguments)]
 fn solve_ratio_incremental(
     inc: &mut IncrementalCnf<HexKey>,
     graph: &NetGraph,
@@ -825,6 +973,7 @@ fn solve_ratio_incremental(
     alap: &[u32],
     session: &SessionBounds,
     max_conflicts: u64,
+    deadline: Deadline,
     cancel: &CancelFlag,
 ) -> ProbeOutcome<HexGateLayout, RatioProbe> {
     // One span covers the whole probe; the winning ratio's fresh
@@ -834,7 +983,7 @@ fn solve_ratio_incremental(
     let retained = inc.begin_probe();
     encode_ratio(inc, graph, ratio, alap, Some(session));
     fcn_telemetry::counter("sat.retained", retained);
-    let outcome = inc.solve(max_conflicts, cancel);
+    let outcome = inc.solve(max_conflicts, deadline, cancel);
     let stats = inc.stats();
     inc.end_probe();
     fcn_telemetry::counter("sat.conflicts", stats.conflicts);
@@ -846,40 +995,36 @@ fn solve_ratio_incremental(
         BoundedResult::Unsat => "unsat",
         BoundedResult::BudgetExceeded => "budget-exceeded",
         BoundedResult::Interrupted => "cancelled",
+        BoundedResult::DeadlineExpired => "deadline-expired",
     };
     fcn_telemetry::note("verdict", verdict);
 
     match outcome {
-        BoundedResult::Interrupted => ProbeOutcome {
-            layout: None,
-            probe: None,
-            cancelled: true,
-        },
-        BoundedResult::Unsat => ProbeOutcome {
-            layout: None,
-            probe: Some(RatioProbe {
+        BoundedResult::Interrupted => ProbeOutcome::cancelled(),
+        BoundedResult::DeadlineExpired => ProbeOutcome::aborted(ScanAbort::Deadline),
+        BoundedResult::Unsat => ProbeOutcome::concluded(
+            None,
+            Some(RatioProbe {
                 ratio,
                 verdict: ProbeVerdict::Unsat,
                 stats,
                 retained,
                 extraction_conflicts: None,
             }),
-            cancelled: false,
-        },
-        BoundedResult::BudgetExceeded => ProbeOutcome {
-            layout: None,
-            probe: Some(RatioProbe {
+        ),
+        BoundedResult::BudgetExceeded => ProbeOutcome::concluded(
+            None,
+            Some(RatioProbe {
                 ratio,
                 verdict: ProbeVerdict::BudgetExceeded,
                 stats,
                 retained,
                 extraction_conflicts: None,
             }),
-            cancelled: false,
-        },
+        ),
         BoundedResult::Sat(_) => {
-            let scratch = solve_ratio_scratch(graph, ratio, alap, max_conflicts, cancel);
-            if scratch.cancelled {
+            let scratch = solve_ratio_scratch(graph, ratio, alap, max_conflicts, deadline, cancel);
+            if scratch.cancelled || scratch.abort.is_some() {
                 return scratch;
             }
             let mut probe = scratch.probe.expect("scratch probes always record");
@@ -891,11 +1036,7 @@ fn solve_ratio_incremental(
                     // The probe's decision cost is the warm solve; the
                     // fresh re-solve is accounted as extraction.
                     probe.stats = stats;
-                    ProbeOutcome {
-                        layout: scratch.layout,
-                        probe: Some(probe),
-                        cancelled: false,
-                    }
+                    ProbeOutcome::concluded(scratch.layout, Some(probe))
                 }
                 _ => {
                     // Budget divergence: the warm solver proved SAT
@@ -903,11 +1044,7 @@ fn solve_ratio_incremental(
                     // both costs and keep the fresh verdict so the mode
                     // behaves observably like from-scratch probing.
                     probe.stats += stats;
-                    ProbeOutcome {
-                        layout: None,
-                        probe: Some(probe),
-                        cancelled: false,
-                    }
+                    ProbeOutcome::concluded(None, Some(probe))
                 }
             }
         }

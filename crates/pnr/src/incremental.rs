@@ -33,7 +33,7 @@
 //! guard/share split above.
 
 use crate::portfolio::CancelFlag;
-use msat::{BoundedResult, CnfBuilder, Lit, SolveParams, SolverStats};
+use msat::{BoundedResult, CnfBuilder, Deadline, Lit, SolveParams, SolverStats};
 use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
 
@@ -201,16 +201,23 @@ impl<K: Eq + Hash> IncrementalCnf<K> {
     }
 
     /// Solves the active probe: the activation literal is assumed, the
-    /// conflict budget applies to this call only, and the cancel flag
-    /// is polled cooperatively.
-    pub fn solve(&mut self, max_conflicts: u64, cancel: &CancelFlag) -> BoundedResult {
+    /// conflict budget applies to this call only, and both the cancel
+    /// flag and the wall-clock deadline are polled cooperatively
+    /// (pass [`Deadline::unbounded`] for no time limit).
+    pub fn solve(
+        &mut self,
+        max_conflicts: u64,
+        deadline: Deadline,
+        cancel: &CancelFlag,
+    ) -> BoundedResult {
         let act = self.act.expect("begin_probe before solve");
         self.cnf.solver_mut().set_interrupt(cancel.clone());
         self.cnf.solve_with(
             &SolveParams::new()
                 .assume([act])
                 .budget(max_conflicts)
-                .interruptible(),
+                .interruptible()
+                .deadline(deadline),
         )
     }
 
@@ -372,14 +379,17 @@ mod tests {
         let x = inc.var(Key::X(0));
         inc.guarded(vec![x]);
         inc.guarded(vec![x.negated()]);
-        assert_eq!(inc.solve(u64::MAX, &never()), BoundedResult::Unsat);
+        assert_eq!(
+            inc.solve(u64::MAX, Deadline::unbounded(), &never()),
+            BoundedResult::Unsat
+        );
         inc.end_probe();
         // Probe 2: the same variable is unconstrained again.
         inc.begin_probe();
         let x2 = inc.var(Key::X(0));
         assert_eq!(x, x2);
         inc.guarded(vec![x2]);
-        let r = inc.solve(u64::MAX, &never());
+        let r = inc.solve(u64::MAX, Deadline::unbounded(), &never());
         assert!(r.is_sat());
         assert!(r.model().unwrap().lit_value(x2));
         inc.end_probe();
@@ -395,13 +405,18 @@ mod tests {
         let n = inc.cnf.solver().num_clauses();
         inc.shared(vec![b, a]); // same clause, different order
         assert_eq!(inc.cnf.solver().num_clauses(), n, "deduplicated");
-        assert!(inc.solve(u64::MAX, &never()).is_sat());
+        assert!(inc
+            .solve(u64::MAX, Deadline::unbounded(), &never())
+            .is_sat());
         inc.end_probe();
         // Probe 2: the shared clause still constrains the formula.
         inc.begin_probe();
         inc.guarded(vec![a.negated()]);
         inc.guarded(vec![b.negated()]);
-        assert_eq!(inc.solve(u64::MAX, &never()), BoundedResult::Unsat);
+        assert_eq!(
+            inc.solve(u64::MAX, Deadline::unbounded(), &never()),
+            BoundedResult::Unsat
+        );
         inc.end_probe();
     }
 
@@ -411,10 +426,15 @@ mod tests {
         inc.begin_probe();
         let lits: [Lit; 0] = [];
         ProbeEmitter::<Key>::guarded_at_least_one(&mut inc, &lits);
-        assert_eq!(inc.solve(u64::MAX, &never()), BoundedResult::Unsat);
+        assert_eq!(
+            inc.solve(u64::MAX, Deadline::unbounded(), &never()),
+            BoundedResult::Unsat
+        );
         inc.end_probe();
         inc.begin_probe();
-        assert!(inc.solve(u64::MAX, &never()).is_sat());
+        assert!(inc
+            .solve(u64::MAX, Deadline::unbounded(), &never())
+            .is_sat());
         inc.end_probe();
     }
 
@@ -439,12 +459,18 @@ mod tests {
                 }
             }
         }
-        assert_eq!(inc.solve(u64::MAX, &never()), BoundedResult::Unsat);
+        assert_eq!(
+            inc.solve(u64::MAX, Deadline::unbounded(), &never()),
+            BoundedResult::Unsat
+        );
         inc.end_probe();
         // The session itself is now unsat at the root (shared clauses
         // are contradictory) — begin_probe still reports retained state.
         inc.begin_probe();
-        assert_eq!(inc.solve(u64::MAX, &never()), BoundedResult::Unsat);
+        assert_eq!(
+            inc.solve(u64::MAX, Deadline::unbounded(), &never()),
+            BoundedResult::Unsat
+        );
         inc.end_probe();
     }
 

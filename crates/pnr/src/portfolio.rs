@@ -40,6 +40,27 @@ use std::sync::{Arc, Mutex};
 /// fired before a verdict was reached.
 pub type CancelFlag = Arc<AtomicBool>;
 
+/// Why a scan gave up before exhausting its candidate stream. Unlike a
+/// per-probe `BudgetExceeded` verdict (which skips one ratio and moves
+/// on), an abort ends the whole scan: the caller is expected to degrade
+/// — typically by falling back to the heuristic engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanAbort {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The cumulative conflict budget across all probes ran out.
+    ConflictBudget,
+}
+
+impl std::fmt::Display for ScanAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ScanAbort::Deadline => "deadline expired",
+            ScanAbort::ConflictBudget => "cumulative conflict budget exhausted",
+        })
+    }
+}
+
 /// What one probe concluded, as reported back to the scheduler.
 #[derive(Debug)]
 pub struct ProbeOutcome<L, P> {
@@ -52,6 +73,42 @@ pub struct ProbeOutcome<L, P> {
     /// True when the cancel flag fired before a verdict; the outcome
     /// carries no information and is discarded.
     pub cancelled: bool,
+    /// Set when the probe hit a scan-wide resource limit (deadline or
+    /// cumulative budget). The scheduler stops dispatching further
+    /// candidates; in-flight probes conclude under their own limits.
+    pub abort: Option<ScanAbort>,
+}
+
+impl<L, P> ProbeOutcome<L, P> {
+    /// A probe that reached a verdict (or was filtered pre-solver).
+    pub fn concluded(layout: Option<L>, probe: Option<P>) -> Self {
+        ProbeOutcome {
+            layout,
+            probe,
+            cancelled: false,
+            abort: None,
+        }
+    }
+
+    /// A probe whose cancel flag fired before a verdict.
+    pub fn cancelled() -> Self {
+        ProbeOutcome {
+            layout: None,
+            probe: None,
+            cancelled: true,
+            abort: None,
+        }
+    }
+
+    /// A probe that hit a scan-wide limit; ends the scan.
+    pub fn aborted(abort: ScanAbort) -> Self {
+        ProbeOutcome {
+            layout: None,
+            probe: None,
+            cancelled: false,
+            abort: Some(abort),
+        }
+    }
 }
 
 /// The assembled result of a portfolio run, equivalent to what the
@@ -68,15 +125,38 @@ pub struct PortfolioOutcome<L, P> {
     pub attempted: usize,
     /// Number of in-flight probes cancelled by the winner.
     pub cancelled: usize,
+    /// Set when the scan stopped early on a scan-wide resource limit
+    /// and no winner had been committed by then. Probe records cover
+    /// the candidates that concluded before the abort.
+    pub aborted: Option<ScanAbort>,
+    /// Set when a probe panicked: the (stringified) panic payload. The
+    /// scheduler catches the unwind, cancels every in-flight sibling,
+    /// stops dispatch, and reports here instead of propagating — the
+    /// caller converts this into a typed error.
+    pub panicked: Option<String>,
 }
 
 /// Scheduler state shared between workers, guarded by one mutex: the
-/// dispatch cursor, the best (smallest) SAT index so far, and the
-/// cancel flags of in-flight probes.
+/// dispatch cursor, the best (smallest) SAT index so far, the cancel
+/// flags of in-flight probes, and the halt latch (panic or abort).
 struct Shared {
     next: usize,
     best_sat: usize,
     inflight: Vec<(usize, CancelFlag)>,
+    halt: bool,
+    panicked: Option<String>,
+}
+
+/// Renders a caught panic payload for the typed error path. Panics with
+/// non-string payloads surface as a placeholder rather than being lost.
+fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
 }
 
 /// Runs `probe` over `candidates` on `num_threads` workers and
@@ -115,10 +195,17 @@ where
     }
 
     let parent = fcn_telemetry::current();
+    // Worker threads start with empty thread-local fault state; hand
+    // them the coordinator's plan (shared hit counters) exactly like
+    // the telemetry collector, so injected faults fire at any thread
+    // count.
+    let fault_plan = fcn_budget::fault::current();
     let shared = Mutex::new(Shared {
         next: 0,
         best_sat: usize::MAX,
         inflight: Vec::new(),
+        halt: false,
+        panicked: None,
     });
     type Slot<L, P> = Option<(ProbeOutcome<L, P>, Option<fcn_telemetry::Report>)>;
     let slots: Mutex<Vec<Slot<L, P>>> = Mutex::new((0..candidates.len()).map(|_| None).collect());
@@ -127,15 +214,16 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
+                let _fault_scope = fault_plan.clone().map(fcn_budget::fault::install);
                 let mut ctx = make_ctx();
                 loop {
                     // Dispatch strictly in index order; stop once the
-                    // stream is exhausted or a SAT result rules out
+                    // stream is exhausted, a SAT result rules out
                     // everything that remains (indices past the best
-                    // SAT cannot win).
+                    // SAT cannot win), or the scan halted (panic/abort).
                     let (idx, flag) = {
                         let mut s = shared.lock().unwrap();
-                        if s.next >= candidates.len() || s.next > s.best_sat {
+                        if s.halt || s.next >= candidates.len() || s.next > s.best_sat {
                             break;
                         }
                         let idx = s.next;
@@ -146,17 +234,42 @@ where
                     };
 
                     // Run the probe, under a scoped child collector when
-                    // the coordinator has telemetry installed.
-                    let (outcome, report) = match &parent {
-                        Some(_) => {
-                            let child = Arc::new(fcn_telemetry::Collector::new("probe"));
-                            let outcome = fcn_telemetry::with_collector(&child, || {
-                                probe(&mut ctx, idx, &candidates[idx], &flag)
-                            });
-                            child.finish();
-                            (outcome, Some(child.report()))
+                    // the coordinator has telemetry installed. The probe
+                    // is isolated with `catch_unwind`: a panic must not
+                    // unwind through the pool, it becomes a typed error
+                    // and cancels the siblings.
+                    let probed =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &parent {
+                            Some(_) => {
+                                let child = Arc::new(fcn_telemetry::Collector::new("probe"));
+                                let outcome = fcn_telemetry::with_collector(&child, || {
+                                    probe(&mut ctx, idx, &candidates[idx], &flag)
+                                });
+                                child.finish();
+                                (outcome, Some(child.report()))
+                            }
+                            None => (probe(&mut ctx, idx, &candidates[idx], &flag), None),
+                        }));
+                    let (outcome, report) = match probed {
+                        Ok(pair) => pair,
+                        Err(payload) => {
+                            let mut s = shared.lock().unwrap();
+                            s.inflight.retain(|(i, _)| *i != idx);
+                            s.halt = true;
+                            if s.panicked.is_none() {
+                                s.panicked = Some(payload_string(payload.as_ref()));
+                            }
+                            // Cancel every sibling: the scan's result is
+                            // an internal error either way, so pending
+                            // verdicts have no value and holding the
+                            // pool open only delays the caller.
+                            for (_, f) in &s.inflight {
+                                f.store(true, Ordering::Relaxed);
+                            }
+                            // The probe context may be poisoned by the
+                            // unwind; this worker retires.
+                            break;
                         }
-                        None => (probe(&mut ctx, idx, &candidates[idx], &flag), None),
                     };
 
                     {
@@ -170,6 +283,13 @@ where
                                 }
                             }
                         }
+                        if outcome.abort.is_some() {
+                            // Scan-wide limit: stop dispatching. Probes
+                            // already in flight conclude under their own
+                            // (identical) limits, so any SAT among them
+                            // still commits.
+                            s.halt = true;
+                        }
                     }
                     slots.lock().unwrap()[idx] = Some((outcome, report));
                 }
@@ -179,28 +299,32 @@ where
 
     // Assemble in index order, discarding everything the sequential
     // engine would never have run: cancelled probes and completed
-    // probes beyond the winner.
+    // probes beyond the winner or beyond an abort.
     let mut result = PortfolioOutcome {
         winner: None,
         probes: Vec::new(),
         attempted: 0,
         cancelled: 0,
+        aborted: None,
+        panicked: shared.into_inner().unwrap().panicked,
     };
     for (idx, slot) in slots.into_inner().unwrap().into_iter().enumerate() {
         let Some((outcome, report)) = slot else {
-            // Never dispatched: only possible past a committed winner.
-            debug_assert!(result.winner.is_some());
+            // Never dispatched: past a committed winner or a halt.
+            debug_assert!(
+                result.winner.is_some() || result.aborted.is_some() || result.panicked.is_some()
+            );
             continue;
         };
         if outcome.cancelled {
-            // Cancellation only ever targets indices above the best SAT
-            // index, so the winner is already committed by now.
-            debug_assert!(result.winner.is_some());
+            // Cancellation targets indices above the best SAT index (or
+            // any index, after a panic), so by now the winner — if one
+            // exists — is already committed.
             result.cancelled += 1;
             continue;
         }
-        if result.winner.is_some() {
-            continue; // raced past the winner before its flag fired
+        if result.winner.is_some() || result.aborted.is_some() {
+            continue; // raced past the winner/abort before halting
         }
         result.attempted += 1;
         if let Some(report) = report {
@@ -211,7 +335,14 @@ where
         }
         if let Some(layout) = outcome.layout {
             result.winner = Some((idx, layout));
+        } else if let Some(abort) = outcome.abort {
+            result.aborted = Some(abort);
         }
+    }
+    if result.winner.is_some() {
+        // A committed winner outranks a larger-index abort: the
+        // sequential scan would have stopped at the winner first.
+        result.aborted = None;
     }
     result
 }
@@ -233,15 +364,38 @@ where
         probes: Vec::new(),
         attempted: 0,
         cancelled: 0,
+        aborted: None,
+        panicked: None,
     };
     for (idx, candidate) in candidates.iter().enumerate() {
-        let outcome = probe(&mut ctx, idx, candidate, &never);
+        // Same panic isolation as the parallel path: a probe panic
+        // becomes a typed outcome, never an unwind through the engine.
+        let probed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            probe(&mut ctx, idx, candidate, &never)
+        }));
+        let outcome = match probed {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                result.panicked = Some(payload_string(payload.as_ref()));
+                break;
+            }
+        };
+        if outcome.cancelled {
+            // Possible without a winner only through injected faults;
+            // the probe carries no information either way.
+            result.cancelled += 1;
+            continue;
+        }
         result.attempted += 1;
         if let Some(p) = outcome.probe {
             result.probes.push(p);
         }
         if let Some(layout) = outcome.layout {
             result.winner = Some((idx, layout));
+            break;
+        }
+        if let Some(abort) = outcome.abort {
+            result.aborted = Some(abort);
             break;
         }
     }
@@ -253,34 +407,21 @@ mod tests {
     use super::*;
 
     /// Synthetic probe: a candidate is SAT iff its value is 0; value 1
-    /// is UNSAT; value 2 is filtered (no probe record); value 3 spins
-    /// until cancelled.
+    /// is UNSAT; value 2 is filtered (no probe record); value 4 panics;
+    /// value 5 aborts the scan (deadline); value 3 and anything else
+    /// spins until cancelled.
     fn fake_probe(value: &u32, cancel: &CancelFlag) -> ProbeOutcome<String, u32> {
         match value {
-            0 => ProbeOutcome {
-                layout: Some("sat".to_owned()),
-                probe: Some(*value),
-                cancelled: false,
-            },
-            1 => ProbeOutcome {
-                layout: None,
-                probe: Some(*value),
-                cancelled: false,
-            },
-            2 => ProbeOutcome {
-                layout: None,
-                probe: None,
-                cancelled: false,
-            },
+            0 => ProbeOutcome::concluded(Some("sat".to_owned()), Some(*value)),
+            1 => ProbeOutcome::concluded(None, Some(*value)),
+            2 => ProbeOutcome::concluded(None, None),
+            4 => panic!("probe exploded"),
+            5 => ProbeOutcome::aborted(ScanAbort::Deadline),
             _ => {
                 while !cancel.load(Ordering::Relaxed) {
                     std::thread::yield_now();
                 }
-                ProbeOutcome {
-                    layout: None,
-                    probe: None,
-                    cancelled: true,
-                }
+                ProbeOutcome::cancelled()
             }
         }
     }
@@ -344,6 +485,74 @@ mod tests {
         let stage = report.root.child("stage").expect("stage span");
         let names: Vec<&str> = stage.children.iter().map(|c| c.name.as_str()).collect();
         assert_eq!(names, ["probe:0", "probe:1", "probe:2"]);
+    }
+
+    #[test]
+    fn probe_panic_is_isolated_and_cancels_siblings() {
+        // Candidate 4 panics; candidate 3 spins until cancelled. The
+        // panic must not unwind out of run_portfolio, must cancel the
+        // spinner, and must surface its payload.
+        let candidates = [1u32, 4, 3, 1];
+        let out = run_portfolio(&candidates, 4, || (), |_, _, c, f| fake_probe(c, f));
+        assert!(out.winner.is_none());
+        let payload = out.panicked.expect("panic reported");
+        assert!(payload.contains("probe exploded"), "payload: {payload}");
+    }
+
+    #[test]
+    fn sequential_probe_panic_is_isolated() {
+        let candidates = [1u32, 4, 0];
+        let out = run_portfolio(&candidates, 1, || (), |_, _, c, f| fake_probe(c, f));
+        assert!(out.winner.is_none(), "scan stops at the panic");
+        assert_eq!(out.probes, vec![1]);
+        assert!(out
+            .panicked
+            .expect("panic reported")
+            .contains("probe exploded"));
+    }
+
+    #[test]
+    fn abort_stops_dispatch_without_a_winner() {
+        let candidates = [1u32, 5, 1, 1];
+        for threads in [1, 4] {
+            let out = run_portfolio(&candidates, threads, || (), |_, _, c, f| fake_probe(c, f));
+            assert!(out.winner.is_none());
+            assert_eq!(out.aborted, Some(ScanAbort::Deadline), "threads={threads}");
+            assert!(out.panicked.is_none());
+            // Only the pre-abort prefix is guaranteed recorded.
+            assert!(out.probes.starts_with(&[1]), "probes: {:?}", out.probes);
+        }
+    }
+
+    #[test]
+    fn committed_winner_outranks_later_abort() {
+        let candidates = [1u32, 0, 5];
+        for threads in [1, 4] {
+            let out = run_portfolio(&candidates, threads, || (), |_, _, c, f| fake_probe(c, f));
+            assert_eq!(out.winner.as_ref().map(|(i, _)| *i), Some(1));
+            assert!(out.aborted.is_none(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fault_plan_propagates_to_workers() {
+        use fcn_budget::fault::{self, Fault, FaultPlan};
+        let plan = Arc::new(FaultPlan::single("portfolio.test", Fault::Malform));
+        let _scope = fault::install(plan.clone());
+        let candidates = [1u32, 1, 1, 1];
+        let out = run_portfolio(
+            &candidates,
+            4,
+            || (),
+            |_, _, c, f| {
+                // Visible only if the coordinator's plan was installed
+                // in this worker thread.
+                let _ = fault::at("portfolio.test");
+                fake_probe(c, f)
+            },
+        );
+        assert!(out.winner.is_none());
+        assert_eq!(plan.hits("portfolio.test"), 4, "all workers saw the plan");
     }
 
     #[test]

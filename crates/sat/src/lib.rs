@@ -43,3 +43,8 @@ mod types;
 pub use builder::CnfBuilder;
 pub use solver::{BoundedResult, Model, SolveParams, SolveResult, Solver, SolverStats};
 pub use types::{Lit, Var};
+
+// The wall-clock cut-off accepted by [`SolveParams::deadline`] comes
+// from the shared budget crate; re-exported so solver callers need not
+// depend on it directly.
+pub use fcn_budget::Deadline;

@@ -1,8 +1,10 @@
 //! The CDCL search engine.
 
 use crate::types::{Lit, Var};
+use fcn_budget::Deadline;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 const UNASSIGNED: u8 = 2;
 
@@ -33,6 +35,12 @@ pub enum BoundedResult {
     /// The cooperative interrupt flag was raised before a verdict (see
     /// [`Solver::set_interrupt`]).
     Interrupted,
+    /// The wall-clock deadline (see [`SolveParams::deadline`]) passed
+    /// before a verdict. Distinct from [`BoundedResult::BudgetExceeded`]
+    /// (which bounds *this* probe's effort and lets a scan move on) —
+    /// an expired deadline means the whole scan is out of time and
+    /// should degrade.
+    DeadlineExpired,
 }
 
 impl BoundedResult {
@@ -88,6 +96,10 @@ pub struct SolveParams {
     /// [`Solver::set_interrupt`]. Non-interruptible solves ignore a
     /// stale flag, preserving plain `solve` semantics.
     pub interruptible: bool,
+    /// Wall-clock cut-off polled at the interrupt cadence; an expired
+    /// deadline yields [`BoundedResult::DeadlineExpired`]. The default
+    /// ([`Deadline::unbounded`]) is never polled and costs nothing.
+    pub deadline: Deadline,
 }
 
 impl SolveParams {
@@ -117,6 +129,15 @@ impl SolveParams {
     #[must_use]
     pub fn interruptible(mut self) -> Self {
         self.interruptible = true;
+        self
+    }
+
+    /// Sets a wall-clock deadline for the solve; once it passes, the
+    /// search returns [`BoundedResult::DeadlineExpired`] at the next
+    /// poll, leaving the solver at the root level and reusable.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
         self
     }
 }
@@ -788,7 +809,12 @@ impl Solver {
         let limit = params
             .max_conflicts
             .map(|b| self.stats.conflicts.saturating_add(b));
-        self.search(&params.assumptions, limit, params.interruptible)
+        self.search(
+            &params.assumptions,
+            limit,
+            params.interruptible,
+            params.deadline.instant(),
+        )
     }
 
     /// Solves the formula.
@@ -815,16 +841,15 @@ impl Solver {
         self.interrupt = None;
     }
 
-    /// Solves with a conflict budget. Returns `None` when the budget is
-    /// exhausted (or the interrupt flag fired) before a definitive answer
-    /// — useful for anytime searches that fall back to heuristics.
+    /// Solves with a conflict budget — useful for anytime searches that
+    /// fall back to heuristics. Returns the full [`BoundedResult`]:
+    /// earlier versions collapsed the no-verdict outcomes into `None`,
+    /// but callers picking a degradation action must tell budget
+    /// exhaustion (the instance is hard; skip or retry with more fuel)
+    /// from cooperative interruption (the work is moot; discard).
     /// Thin wrapper over [`Solver::solve_with`].
-    pub fn solve_bounded(&mut self, max_conflicts: u64) -> Option<SolveResult> {
-        match self.solve_bounded_with_assumptions(max_conflicts, &[]) {
-            BoundedResult::Sat(m) => Some(SolveResult::Sat(m)),
-            BoundedResult::Unsat => Some(SolveResult::Unsat),
-            BoundedResult::BudgetExceeded | BoundedResult::Interrupted => None,
-        }
+    pub fn solve_bounded(&mut self, max_conflicts: u64) -> BoundedResult {
+        self.solve_bounded_with_assumptions(max_conflicts, &[])
     }
 
     /// Solves under assumptions with a conflict budget, distinguishing
@@ -850,11 +875,19 @@ impl Solver {
     /// across calls, enabling incremental use.
     /// Thin wrapper over [`Solver::solve_with`].
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
-        match self.solve_with(&SolveParams::new().assume(assumptions.iter().copied())) {
-            BoundedResult::Sat(m) => SolveResult::Sat(m),
-            BoundedResult::Unsat => SolveResult::Unsat,
-            BoundedResult::BudgetExceeded | BoundedResult::Interrupted => {
-                unreachable!("unbounded search cannot run out of budget")
+        // An unbounded, non-interruptible, deadline-free search can only
+        // return a verdict; the no-verdict arms are unreachable by
+        // construction. Defend with a re-entry rather than a panic:
+        // the solver is left at the root level after any return, so
+        // re-searching is always sound, and a bug here must not unwind
+        // through callers that promise graceful degradation.
+        loop {
+            match self.solve_with(&SolveParams::new().assume(assumptions.iter().copied())) {
+                BoundedResult::Sat(m) => return SolveResult::Sat(m),
+                BoundedResult::Unsat => return SolveResult::Unsat,
+                no_verdict => {
+                    debug_assert!(false, "unbounded search returned {no_verdict:?}");
+                }
             }
         }
     }
@@ -863,11 +896,16 @@ impl Solver {
     /// an absolute conflict-count ceiling (`None` = unbounded); the
     /// interrupt flag is only polled when `interruptible`, so plain
     /// [`Solver::solve`] semantics are unaffected by a stale flag.
+    /// `deadline`, when set, is polled at the same cadence as the
+    /// interrupt flag and wins over it (an expired deadline reports
+    /// [`BoundedResult::DeadlineExpired`] even if a cancel flag is also
+    /// up, so callers degrade rather than silently discard).
     fn search(
         &mut self,
         assumptions: &[Lit],
         limit: Option<u64>,
         interruptible: bool,
+        deadline: Option<Instant>,
     ) -> BoundedResult {
         if self.unsat {
             return BoundedResult::Unsat;
@@ -877,6 +915,9 @@ impl Solver {
         } else {
             None
         };
+        if deadline.is_some_and(|t| Instant::now() >= t) {
+            return BoundedResult::DeadlineExpired;
+        }
         if let Some(flag) = &interrupt {
             if flag.load(Ordering::Relaxed) {
                 return BoundedResult::Interrupted;
@@ -891,15 +932,43 @@ impl Solver {
         let mut conflicts_until_restart = luby(self.stats.restarts) * 100;
         let mut max_learned = (self.clauses.len() as u64).max(1000) * 2;
         let mut interrupt_countdown = INTERRUPT_POLL_INTERVAL;
+        // One flag decides whether the countdown runs at all, so an
+        // un-instrumented unbounded solve pays nothing per iteration.
+        let polls = interrupt.is_some() || deadline.is_some() || fcn_budget::fault::armed();
 
         loop {
-            if let Some(flag) = &interrupt {
+            if polls {
                 interrupt_countdown -= 1;
                 if interrupt_countdown == 0 {
                     interrupt_countdown = INTERRUPT_POLL_INTERVAL;
-                    if flag.load(Ordering::Relaxed) {
+                    if deadline.is_some_and(|t| Instant::now() >= t) {
                         self.backtrack_to(0);
-                        return BoundedResult::Interrupted;
+                        return BoundedResult::DeadlineExpired;
+                    }
+                    if let Some(flag) = &interrupt {
+                        if flag.load(Ordering::Relaxed) {
+                            self.backtrack_to(0);
+                            return BoundedResult::Interrupted;
+                        }
+                    }
+                    // Fault injection: `msat.search` fires at the poll
+                    // cadence. Exhaustion/interruption are only honored
+                    // when the solve could produce them naturally, so an
+                    // injected fault can never smuggle a no-verdict
+                    // result into an unbounded `solve()`.
+                    match fcn_budget::fault::at("msat.search") {
+                        Some(fcn_budget::fault::Fault::Panic) => {
+                            panic!("injected fault: panic at msat.search")
+                        }
+                        Some(fcn_budget::fault::Fault::Exhaust) if limit.is_some() => {
+                            self.backtrack_to(0);
+                            return BoundedResult::BudgetExceeded;
+                        }
+                        Some(fcn_budget::fault::Fault::Interrupt) if interrupt.is_some() => {
+                            self.backtrack_to(0);
+                            return BoundedResult::Interrupted;
+                        }
+                        _ => {}
                     }
                 }
             }
@@ -1401,6 +1470,90 @@ mod tests {
         );
         // Non-interruptible solves ignore the stale flag.
         assert_eq!(s.solve_with(&SolveParams::new()), BoundedResult::Unsat);
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_expired() {
+        let mut s = pigeonhole(6, 5);
+        // Already-expired deadline: reported before any search effort.
+        assert_eq!(
+            s.solve_with(&SolveParams::new().deadline(Deadline::after_ms(0))),
+            BoundedResult::DeadlineExpired
+        );
+        // The solver stays reusable and an unbounded solve still decides.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn deadline_expires_mid_search() {
+        // Large enough that the search outlives a 1 ms deadline, so the
+        // expiry is caught by the in-loop poll rather than the entry
+        // check (pigeonhole instances blow up exponentially).
+        let mut s = pigeonhole(9, 8);
+        let r = s.solve_with(&SolveParams::new().deadline(Deadline::after_ms(1)));
+        assert_eq!(r, BoundedResult::DeadlineExpired);
+        assert!(s.trail_lim.is_empty(), "trail must be at root level");
+    }
+
+    #[test]
+    fn deadline_wins_over_interrupt() {
+        let mut s = pigeonhole(5, 4);
+        let flag = Arc::new(AtomicBool::new(true));
+        s.set_interrupt(flag);
+        assert_eq!(
+            s.solve_with(
+                &SolveParams::new()
+                    .interruptible()
+                    .deadline(Deadline::after_ms(0))
+            ),
+            BoundedResult::DeadlineExpired
+        );
+    }
+
+    #[test]
+    fn solve_bounded_distinguishes_exhaustion_from_interruption() {
+        let mut s = pigeonhole(5, 4);
+        assert_eq!(s.solve_bounded(1), BoundedResult::BudgetExceeded);
+        let flag = Arc::new(AtomicBool::new(true));
+        s.set_interrupt(flag);
+        assert_eq!(s.solve_bounded(u64::MAX), BoundedResult::Interrupted);
+        s.clear_interrupt();
+        assert_eq!(s.solve_bounded(u64::MAX), BoundedResult::Unsat);
+    }
+
+    #[test]
+    fn injected_search_faults_respect_solve_mode() {
+        use fcn_budget::fault::{self, Fault, FaultPlan};
+        // Exhaust fires only on bounded solves; an unbounded solve with
+        // the same plan still reaches its verdict.
+        let plan = Arc::new(FaultPlan::single("msat.search", Fault::Exhaust));
+        let _scope = fault::install(plan);
+        // Big enough that the search reaches the 64-iteration poll
+        // cadence (pigeonhole(5,4) concludes in fewer loop iterations).
+        let mut s = pigeonhole(7, 6);
+        assert_eq!(
+            s.solve_with(&SolveParams::new().budget(u64::MAX)),
+            BoundedResult::BudgetExceeded
+        );
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn injected_search_panic_fires_at_poll_cadence() {
+        use fcn_budget::fault::{self, Fault, FaultPlan};
+        let plan = Arc::new(FaultPlan::single("msat.search", Fault::Panic));
+        let _scope = fault::install(plan);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut s = pigeonhole(7, 6);
+            s.solve()
+        }));
+        let payload = caught.expect_err("must panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("msat.search"), "payload names the point");
     }
 
     #[test]

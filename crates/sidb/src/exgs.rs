@@ -10,6 +10,7 @@
 use crate::charge::{ChargeConfiguration, ChargeState, InteractionMatrix};
 use crate::layout::SidbLayout;
 use crate::model::PhysicalParams;
+use fcn_budget::StepBudget;
 
 /// A configuration together with its energies, as returned by the search
 /// engines.
@@ -56,13 +57,58 @@ pub fn exhaustive_low_energy(
     params: &PhysicalParams,
     k: usize,
 ) -> Vec<SimulatedState> {
+    exhaustive_low_energy_bounded(layout, params, k, &StepBudget::unbounded()).states
+}
+
+/// Result of a bounded exhaustive sweep (see
+/// [`exhaustive_low_energy_bounded`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundedSweep {
+    /// The lowest-free-energy states found *within the budget*, sorted
+    /// ascending. Exact when `truncated` is false.
+    pub states: Vec<SimulatedState>,
+    /// Whether the sweep stopped early; when true, `states` covers only
+    /// the configurations visited before the budget ran out.
+    pub truncated: bool,
+    /// Gray-code steps actually taken (configurations visited).
+    pub steps: u64,
+}
+
+/// How often the Gray-code sweep polls the wall-clock deadline. Cheap
+/// relative to a step (one `Instant::now` per this many O(n) updates)
+/// while keeping deadline overshoot in the microsecond range.
+const DEADLINE_POLL_INTERVAL: u64 = 4096;
+
+/// [`exhaustive_low_energy`] under a step/wall-clock budget: the sweep
+/// visits at most `budget.max_steps` configurations and polls
+/// `budget.deadline` every 4096 steps, reporting
+/// a truncated (best-effort) spectrum instead of running to completion.
+/// With an unbounded budget the result is exact and byte-identical to
+/// [`exhaustive_low_energy`], and nothing is polled. Hosts the
+/// `sidb.sweep` fault-injection point: an injected `exhaust` truncates
+/// the sweep immediately when any limit is configured, and an injected
+/// `panic` fires here.
+///
+/// # Panics
+///
+/// See [`exhaustive_ground_state`].
+pub fn exhaustive_low_energy_bounded(
+    layout: &SidbLayout,
+    params: &PhysicalParams,
+    k: usize,
+    budget: &StepBudget,
+) -> BoundedSweep {
     assert!(
         !params.three_state,
         "exhaustive search implements the two-state model"
     );
     let n = layout.num_sites();
     if n == 0 || k == 0 {
-        return Vec::new();
+        return BoundedSweep {
+            states: Vec::new(),
+            truncated: false,
+            steps: 0,
+        };
     }
     let m = InteractionMatrix::new(layout, params);
 
@@ -159,8 +205,34 @@ pub fn exhaustive_low_energy(
         best.truncate(k);
     };
 
+    // Budget checks are strictly opt-in: with no limits configured and
+    // no fault plan armed, the sweep below is the exact loop the
+    // unbounded API always ran.
+    let bounded = !budget.is_unbounded() || fcn_budget::fault::armed();
+    let mut truncated = false;
+    let mut steps_taken = 1u64; // the seed configuration counts
+
     consider(&config, &potentials, energy, num_negative, &mut best);
     for step in 1u64..(1u64 << n_free) {
+        if bounded {
+            if matches!(
+                fcn_budget::fault::check("sidb.sweep"),
+                Some(fcn_budget::fault::Fault::Exhaust)
+            ) && !budget.is_unbounded()
+            {
+                truncated = true;
+                break;
+            }
+            if budget.max_steps.is_some_and(|max| step >= max) {
+                truncated = true;
+                break;
+            }
+            if step % DEADLINE_POLL_INTERVAL == 0 && budget.deadline.expired() {
+                truncated = true;
+                break;
+            }
+        }
+        steps_taken += 1;
         let site = free_sites[step.trailing_zeros() as usize];
         let (new_state, delta) = match config.state(site) {
             ChargeState::Neutral => (ChargeState::Negative, -1.0),
@@ -183,7 +255,14 @@ pub fn exhaustive_low_energy(
         consider(&config, &potentials, energy, num_negative, &mut best);
     }
     fcn_telemetry::counter("exgs.valid_states", valid_states);
-    best
+    if truncated {
+        fcn_telemetry::counter("exgs.truncated", 1);
+    }
+    BoundedSweep {
+        states: best,
+        truncated,
+        steps: steps_taken,
+    }
 }
 
 #[cfg(test)]
@@ -281,6 +360,69 @@ mod tests {
     fn empty_layout_has_no_ground_state() {
         let layout = SidbLayout::new();
         assert!(exhaustive_ground_state(&layout, &PhysicalParams::default()).is_none());
+    }
+
+    #[test]
+    fn unbounded_budget_matches_unbounded_api() {
+        let layout = SidbLayout::from_sites([(0, 0, 0), (3, 0, 0), (6, 1, 0), (1, 2, 1)]);
+        let params = PhysicalParams::default();
+        let sweep = exhaustive_low_energy_bounded(&layout, &params, 3, &StepBudget::unbounded());
+        assert!(!sweep.truncated);
+        assert_eq!(sweep.states, exhaustive_low_energy(&layout, &params, 3));
+    }
+
+    #[test]
+    fn step_budget_truncates_the_sweep() {
+        let layout =
+            SidbLayout::from_sites([(0, 0, 0), (3, 0, 0), (6, 1, 0), (1, 2, 1), (8, 2, 0)]);
+        let params = PhysicalParams::default();
+        let budget = StepBudget {
+            max_steps: Some(4),
+            deadline: fcn_budget::Deadline::unbounded(),
+        };
+        let sweep = exhaustive_low_energy_bounded(&layout, &params, 3, &budget);
+        assert!(sweep.truncated);
+        assert_eq!(sweep.steps, 4);
+    }
+
+    #[test]
+    fn expired_deadline_truncates_without_panicking() {
+        let layout =
+            SidbLayout::from_sites([(0, 0, 0), (3, 0, 0), (6, 1, 0), (1, 2, 1), (8, 2, 0)]);
+        let params = PhysicalParams::default();
+        let budget = StepBudget {
+            max_steps: None,
+            deadline: fcn_budget::Deadline::after_ms(0),
+        };
+        // The 5-site sweep is shorter than the poll interval, so an
+        // expired deadline may or may not be observed — but either way
+        // the call returns a well-formed result.
+        let sweep = exhaustive_low_energy_bounded(&layout, &params, 1, &budget);
+        assert!(sweep.steps >= 1);
+    }
+
+    #[test]
+    fn injected_sweep_exhaust_truncates_only_bounded_runs() {
+        use fcn_budget::fault::{install, Fault, FaultPlan};
+        let layout = SidbLayout::from_sites([(0, 0, 0), (3, 0, 0), (6, 1, 0), (1, 2, 1)]);
+        let params = PhysicalParams::default();
+        let _scope = install(std::sync::Arc::new(FaultPlan::single(
+            "sidb.sweep",
+            Fault::Exhaust,
+        )));
+        let unbounded =
+            exhaustive_low_energy_bounded(&layout, &params, 1, &StepBudget::unbounded());
+        assert!(!unbounded.truncated, "unbounded sweeps stay exact");
+        let bounded = exhaustive_low_energy_bounded(
+            &layout,
+            &params,
+            1,
+            &StepBudget {
+                max_steps: Some(1 << 20),
+                deadline: fcn_budget::Deadline::unbounded(),
+            },
+        );
+        assert!(bounded.truncated);
     }
 }
 

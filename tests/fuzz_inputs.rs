@@ -1,0 +1,139 @@
+//! Fuzz-style property tests: the netlist parsers and the flow entry
+//! points must return typed errors — never panic, overflow the stack,
+//! or abort — on arbitrary byte inputs.
+//!
+//! Two input distributions per target: raw random bytes (exercises the
+//! lexers), and "token soup" assembled from real grammar fragments
+//! (penetrates deep into the parsers and occasionally produces valid
+//! netlists, exercising the full flow behind the parser).
+
+use bestagon_core::flow::{
+    run_flow_from_blif, run_flow_from_verilog, FlowBudget, FlowOptions, PnrMethod,
+};
+use fcn_logic::blif::parse_blif;
+use fcn_logic::verilog::parse_verilog;
+use proptest::prelude::*;
+
+/// Raw bytes as a lossy string: parsers take `&str`, so invalid UTF-8
+/// becomes replacement characters — still arbitrary input to the lexer.
+fn lossy(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}
+
+/// Verilog grammar fragments for token-soup composition.
+const VERILOG_FRAGMENTS: &[&str] = &[
+    "module ",
+    "endmodule",
+    "input ",
+    "output ",
+    "wire ",
+    "assign ",
+    "m",
+    "a",
+    "b",
+    "c",
+    "f",
+    "=",
+    "~",
+    "&",
+    "|",
+    "^",
+    "?",
+    ":",
+    "(",
+    ")",
+    ";",
+    ",",
+    " ",
+    "\n",
+    "1'b0",
+    "1'b1",
+    "//x\n",
+];
+
+/// BLIF grammar fragments for token-soup composition.
+const BLIF_FRAGMENTS: &[&str] = &[
+    ".model ",
+    ".inputs ",
+    ".outputs ",
+    ".names ",
+    ".end",
+    "a",
+    "b",
+    "c",
+    "f",
+    "0",
+    "1",
+    "-",
+    " ",
+    "\n",
+    "# x\n",
+    "01 1",
+    "11 1",
+    "0 1",
+];
+
+fn soup(fragments: &[&str], picks: &[usize]) -> String {
+    picks
+        .iter()
+        .map(|&i| fragments[i % fragments.len()])
+        .collect()
+}
+
+/// A cheap flow configuration for fuzzing: the entry points must not
+/// panic, but there is no need to run exact P&R on every accidental
+/// valid netlist the soup produces.
+fn fuzz_flow_options() -> FlowOptions {
+    FlowOptions::new()
+        .with_pnr(PnrMethod::Heuristic)
+        .without_library()
+        .with_budget(FlowBudget::unbounded())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn verilog_parser_never_panics_on_bytes(bytes in proptest::collection::vec(0u8..=255u8, 0..512)) {
+        let _ = parse_verilog(&lossy(&bytes));
+    }
+
+    #[test]
+    fn blif_parser_never_panics_on_bytes(bytes in proptest::collection::vec(0u8..=255u8, 0..512)) {
+        let _ = parse_blif(&lossy(&bytes));
+    }
+
+    #[test]
+    fn verilog_parser_never_panics_on_token_soup(picks in proptest::collection::vec(0usize..64, 0..96)) {
+        let _ = parse_verilog(&soup(VERILOG_FRAGMENTS, &picks));
+    }
+
+    #[test]
+    fn blif_parser_never_panics_on_token_soup(picks in proptest::collection::vec(0usize..64, 0..96)) {
+        let _ = parse_blif(&soup(BLIF_FRAGMENTS, &picks));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn flow_never_panics_on_arbitrary_verilog(bytes in proptest::collection::vec(0u8..=255u8, 0..256)) {
+        let _ = run_flow_from_verilog(&lossy(&bytes), &fuzz_flow_options());
+    }
+
+    #[test]
+    fn flow_never_panics_on_arbitrary_blif(bytes in proptest::collection::vec(0u8..=255u8, 0..256)) {
+        let _ = run_flow_from_blif(&lossy(&bytes), &fuzz_flow_options());
+    }
+
+    #[test]
+    fn flow_never_panics_on_verilog_soup(picks in proptest::collection::vec(0usize..64, 0..64)) {
+        let _ = run_flow_from_verilog(&soup(VERILOG_FRAGMENTS, &picks), &fuzz_flow_options());
+    }
+
+    #[test]
+    fn flow_never_panics_on_blif_soup(picks in proptest::collection::vec(0usize..64, 0..64)) {
+        let _ = run_flow_from_blif(&soup(BLIF_FRAGMENTS, &picks), &fuzz_flow_options());
+    }
+}

@@ -1,0 +1,264 @@
+//! End-to-end resilience tests: budget-driven graceful degradation,
+//! panic isolation at every stage boundary, and deterministic fault
+//! injection covering each failure class — panic, budget exhaustion,
+//! interrupt, and malformed intermediate data.
+//!
+//! Every test sets its [`FlowBudget`] explicitly so the suite is immune
+//! to `FLOW_*` environment variables the CI matrix may have exported.
+
+use std::sync::Arc;
+
+use bestagon_core::benchmark;
+use bestagon_core::flow::{
+    run_flow, run_flow_from_verilog, Deadline, DegradeTrigger, FlowBudget, FlowError, FlowOptions,
+    PnrMethod,
+};
+use fcn_budget::fault::{install, Fault, FaultPlan};
+use fcn_equiv::{EquivError, Equivalence, MiterLimit};
+
+const AND2: &str = "module and2 (a, b, f); input a, b; output f; assign f = a & b; endmodule";
+
+fn unbounded() -> FlowOptions {
+    FlowOptions::new().with_budget(FlowBudget::unbounded())
+}
+
+/// The acceptance scenario: a deliberately tiny deadline on a Table 1
+/// circuit returns `Ok` with a heuristic layout and a populated
+/// degradation record — never a panic or a bare error.
+#[test]
+fn tiny_deadline_degrades_to_heuristic_with_record() {
+    let b = benchmark("par_gen");
+    let options = FlowOptions::new()
+        .with_budget(FlowBudget::unbounded().with_deadline(Deadline::after_ms(0)));
+    let r = run_flow("par_gen", &b.xag, &options).expect("a budgeted flow degrades, never errors");
+    assert!(!r.exact, "expired deadline must force the heuristic engine");
+    assert!(r.degraded());
+    assert!(r
+        .degradations
+        .iter()
+        .any(|d| d.stage == "step4:pnr" && d.trigger == DegradeTrigger::Deadline));
+    // Verification ran bounded and reported its ignorance explicitly.
+    assert!(matches!(r.equivalence, Some(Equivalence::Unknown { .. })));
+    assert!(r
+        .degradations
+        .iter()
+        .any(|d| d.stage == "step5:equiv" && d.trigger == DegradeTrigger::Deadline));
+    // The degraded artifact is still a real, DRC-clean layout.
+    assert!(r.layout.verify().is_empty());
+    assert!(r.cell.expect("library applied").num_sidbs() > 0);
+    // And the report records the events for fleet monitoring.
+    assert!(r.report.root.counters.contains_key("flow.degraded"));
+}
+
+/// A bounded-but-unexhausted run takes the exact path and produces the
+/// exact same artifact as an unbounded one.
+#[test]
+fn loose_budget_is_byte_identical_to_unbounded() {
+    let b = benchmark("xor2");
+    let free = run_flow("xor2", &b.xag, &unbounded()).expect("flow");
+    let loose = run_flow(
+        "xor2",
+        &b.xag,
+        &FlowOptions::new().with_budget(
+            FlowBudget::unbounded()
+                .with_deadline(Deadline::after_ms(600_000))
+                .with_sat_conflicts_per_probe(u64::MAX)
+                .with_sat_conflicts_total(u64::MAX)
+                .with_equiv_conflicts(u64::MAX)
+                .with_sim_steps(u64::MAX),
+        ),
+    )
+    .expect("flow");
+    assert!(free.exact && loose.exact);
+    assert!(free.degradations.is_empty() && loose.degradations.is_empty());
+    assert_eq!(free.equivalence, Some(Equivalence::Equivalent));
+    // `Unknown` is only reachable when a limit actually fires, so the
+    // loose bounded verdict is the same concluded one.
+    assert_eq!(loose.equivalence, Some(Equivalence::Equivalent));
+    assert_eq!(free.to_sqd(), loose.to_sqd());
+    assert_eq!(free.to_verilog(), loose.to_verilog());
+}
+
+/// An injected panic at any of the eight stage boundaries surfaces as
+/// `FlowError::Internal` naming that stage — never an unwind.
+#[test]
+fn stage_panics_become_typed_internal_errors() {
+    for stage in [
+        "step1:parse",
+        "step2:rewrite",
+        "step3:techmap",
+        "step4:pnr",
+        "step5:equiv",
+        "step6:supertiles",
+        "step7:apply",
+        "step8:export",
+    ] {
+        let _scope = install(Arc::new(FaultPlan::single(stage, Fault::Panic)));
+        match run_flow_from_verilog(AND2, &unbounded()) {
+            Err(FlowError::Internal { stage: s, payload }) => {
+                assert_eq!(s, stage);
+                assert!(
+                    payload.contains(stage),
+                    "payload `{payload}` names the point"
+                );
+            }
+            other => panic!("{stage}: expected Internal, got {other:?}"),
+        }
+    }
+}
+
+/// A panic inside a portfolio worker is caught by the scheduler,
+/// siblings are cancelled, and the flow reports it typed — at any
+/// thread count.
+#[test]
+fn worker_panic_is_typed_and_cancels_siblings() {
+    for threads in [1, 4] {
+        let b = benchmark("xor2");
+        let _scope = install(Arc::new(FaultPlan::single("pnr.probe", Fault::Panic)));
+        match run_flow("xor2", &b.xag, &unbounded().with_threads(threads)) {
+            Err(FlowError::Internal { stage, payload }) => {
+                assert_eq!(stage, "step4:pnr");
+                assert!(payload.contains("pnr.probe"), "payload: {payload}");
+            }
+            other => panic!("threads={threads}: expected Internal, got {other:?}"),
+        }
+    }
+}
+
+/// Exhausting the cumulative SAT conflict budget ends the scan and
+/// triggers the documented fallback to the heuristic engine.
+#[test]
+fn conflict_budget_exhaustion_falls_back_to_heuristic() {
+    let b = benchmark("xor2");
+    let options =
+        FlowOptions::new().with_budget(FlowBudget::unbounded().with_sat_conflicts_total(0));
+    let r = run_flow("xor2", &b.xag, &options).expect("budget exhaustion degrades");
+    assert!(!r.exact);
+    assert!(r
+        .degradations
+        .iter()
+        .any(|d| d.stage == "step4:pnr" && d.trigger == DegradeTrigger::Budget));
+    // No equivalence budget was set, so verification still concludes.
+    assert_eq!(r.equivalence, Some(Equivalence::Equivalent));
+}
+
+/// An injected budget-exhaustion fault at the probe gate takes the same
+/// documented path as a genuinely exhausted meter.
+#[test]
+fn injected_probe_exhaust_falls_back_to_heuristic() {
+    let b = benchmark("xor2");
+    let _scope = install(Arc::new(FaultPlan::single("pnr.probe", Fault::Exhaust)));
+    let r = run_flow("xor2", &b.xag, &unbounded()).expect("injected exhaustion degrades");
+    assert!(!r.exact);
+    assert!(r
+        .degradations
+        .iter()
+        .any(|d| d.stage == "step4:pnr" && d.trigger == DegradeTrigger::Budget));
+}
+
+/// An injected interrupt at the probe gate discards probes (cooperative
+/// cancellation); the scan then concludes without those ratios and the
+/// fallback ladder still yields a layout.
+#[test]
+fn injected_probe_interrupt_still_yields_a_layout() {
+    let b = benchmark("xor2");
+    let _scope = install(Arc::new(FaultPlan::single("pnr.probe", Fault::Interrupt)));
+    let r = run_flow("xor2", &b.xag, &unbounded()).expect("interrupts never fail the flow");
+    assert!(
+        !r.exact,
+        "every probe cancelled, so the heuristic engine produced the layout"
+    );
+    assert!(r.layout.verify().is_empty());
+    assert_eq!(r.equivalence, Some(Equivalence::Equivalent));
+}
+
+/// An exhausted equivalence-miter budget downgrades verification to an
+/// explicit `Unknown` verdict instead of failing or hanging.
+#[test]
+fn injected_miter_exhaust_downgrades_verification() {
+    let b = benchmark("xor2");
+    let _scope = install(Arc::new(FaultPlan::single("equiv.miter", Fault::Exhaust)));
+    let options =
+        FlowOptions::new().with_budget(FlowBudget::unbounded().with_equiv_conflicts(1_000_000));
+    let r = run_flow("xor2", &b.xag, &options).expect("bounded verification degrades");
+    assert!(r.exact, "the P&R stage was not budgeted");
+    assert_eq!(
+        r.equivalence,
+        Some(Equivalence::Unknown {
+            limit: MiterLimit::Conflicts
+        })
+    );
+    assert!(r
+        .degradations
+        .iter()
+        .any(|d| d.stage == "step5:equiv" && d.trigger == DegradeTrigger::Budget));
+}
+
+/// An injected interrupt during a deadline-bounded miter solve reports
+/// the deadline limit on the `Unknown` verdict.
+#[test]
+fn injected_miter_interrupt_reports_deadline_unknown() {
+    let b = benchmark("xor2");
+    let _scope = install(Arc::new(FaultPlan::single("equiv.miter", Fault::Interrupt)));
+    let options = FlowOptions::new()
+        .with_budget(FlowBudget::unbounded().with_deadline(Deadline::after_ms(600_000)));
+    let r = run_flow("xor2", &b.xag, &options).expect("bounded verification degrades");
+    assert_eq!(
+        r.equivalence,
+        Some(Equivalence::Unknown {
+            limit: MiterLimit::Deadline
+        })
+    );
+    assert!(r
+        .degradations
+        .iter()
+        .any(|d| d.stage == "step5:equiv" && d.trigger == DegradeTrigger::Deadline));
+}
+
+/// Malformed intermediate data handed to the verifier is detected and
+/// reported as a typed error — never a panic or an out-of-bounds crash.
+#[test]
+fn injected_malformed_network_is_a_typed_error() {
+    let b = benchmark("xor2");
+    let _scope = install(Arc::new(FaultPlan::single("step5:equiv", Fault::Malform)));
+    match run_flow("xor2", &b.xag, &unbounded()) {
+        Err(FlowError::Equivalence(EquivError::MalformedNetwork(msg))) => {
+            assert!(!msg.is_empty());
+        }
+        other => panic!("expected MalformedNetwork, got {other:?}"),
+    }
+}
+
+/// The rewrite-iteration budget clamps step 2 and records what it gave
+/// up; the result still verifies.
+#[test]
+fn rewrite_iteration_budget_clamps_step2() {
+    let b = benchmark("xor5_majority");
+    // Heuristic P&R: without rewriting the network is large, and this
+    // test is about step 2, not about exact placement of the raw XAG.
+    let options = FlowOptions::new()
+        .with_pnr(PnrMethod::Heuristic)
+        .with_budget(FlowBudget::unbounded().with_rewrite_iterations(0));
+    let r = run_flow("xor5_majority", &b.xag, &options).expect("flow");
+    assert!(r
+        .degradations
+        .iter()
+        .any(|d| d.stage == "step2:rewrite" && d.trigger == DegradeTrigger::Budget));
+    assert_eq!(r.equivalence, Some(Equivalence::Equivalent));
+}
+
+/// Heuristic-only flows ignore the SAT probe budgets entirely.
+#[test]
+fn heuristic_flow_is_unaffected_by_probe_budgets() {
+    let b = benchmark("xor2");
+    let options = FlowOptions::new()
+        .with_pnr(PnrMethod::Heuristic)
+        .with_budget(FlowBudget::unbounded().with_sat_conflicts_total(0));
+    let r = run_flow("xor2", &b.xag, &options).expect("flow");
+    assert!(!r.exact);
+    assert!(
+        r.degradations.is_empty(),
+        "no exact engine ran, so nothing degraded: {:?}",
+        r.degradations
+    );
+}
