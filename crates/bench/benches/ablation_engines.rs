@@ -1,14 +1,14 @@
 //! Ablation: scaling of the three ground-state engines (exhaustive
 //! Gray-code sweep, branch-and-bound QuickExact, SimAnneal) with layout
 //! size — the design-choice analysis behind using QuickExact in the gate
-//! designer's inner loop.
+//! designer's inner loop. All engines run through the unified
+//! [`sidb_sim::simulate_with`] entry point; the parallel variants pin
+//! the worker pool explicitly so the comparison is thread-count-honest.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sidb_sim::exgs::exhaustive_ground_state;
 use sidb_sim::layout::SidbLayout;
-use sidb_sim::model::PhysicalParams;
-use sidb_sim::quickexact::quick_exact_ground_state;
-use sidb_sim::simanneal::{simulated_annealing, AnnealParams};
+use sidb_sim::simanneal::AnnealParams;
+use sidb_sim::{simulate_with, PhysicalParams, SimCache, SimEngine, SimParams};
 
 /// A BDL chain of `pairs` horizontal pairs at a three-row pitch.
 fn chain(pairs: usize) -> SidbLayout {
@@ -22,32 +22,47 @@ fn chain(pairs: usize) -> SidbLayout {
 }
 
 fn bench_engines(c: &mut Criterion) {
-    let params = PhysicalParams::default();
+    let base = SimParams::new(PhysicalParams::default());
     let mut group = c.benchmark_group("ground_state_engines");
     group.sample_size(10);
     for pairs in [4usize, 6, 8, 10] {
         let layout = chain(pairs);
         if pairs <= 8 {
-            group.bench_with_input(BenchmarkId::new("exhaustive", pairs), &layout, |b, l| {
-                b.iter(|| exhaustive_ground_state(l, &params))
-            });
+            for threads in [1usize, 4] {
+                let params = base
+                    .clone()
+                    .with_engine(SimEngine::Exhaustive)
+                    .with_threads(threads);
+                group.bench_with_input(
+                    BenchmarkId::new(format!("exhaustive_t{threads}"), pairs),
+                    &layout,
+                    |b, l| b.iter(|| simulate_with(l, &params)),
+                );
+            }
         }
+        let qe = base.clone().with_engine(SimEngine::QuickExact);
         group.bench_with_input(BenchmarkId::new("quick_exact", pairs), &layout, |b, l| {
-            b.iter(|| quick_exact_ground_state(l, &params))
+            b.iter(|| simulate_with(l, &qe))
         });
+        let anneal = base.clone().with_engine(SimEngine::Anneal(AnnealParams {
+            instances: 4,
+            ..Default::default()
+        }));
         group.bench_with_input(BenchmarkId::new("simanneal", pairs), &layout, |b, l| {
-            b.iter(|| {
-                simulated_annealing(
-                    l,
-                    &params,
-                    &AnnealParams {
-                        instances: 4,
-                        ..Default::default()
-                    },
-                )
-            })
+            b.iter(|| simulate_with(l, &anneal))
         });
     }
+    // The cache ablation: repeated simulation of an identical layout is
+    // answered from the content-addressed cache.
+    let layout = chain(8);
+    let cached = base
+        .clone()
+        .with_engine(SimEngine::QuickExact)
+        .with_cache(SimCache::new());
+    simulate_with(&layout, &cached); // warm the single entry
+    group.bench_function("quick_exact_cached_8", |b| {
+        b.iter(|| simulate_with(&layout, &cached))
+    });
     group.finish();
 }
 

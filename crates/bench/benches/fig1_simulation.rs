@@ -3,25 +3,22 @@
 
 use bestagon_lib::tiles::huff_style_or;
 use criterion::{criterion_group, criterion_main, Criterion};
-use sidb_sim::exgs::exhaustive_ground_state;
-use sidb_sim::model::PhysicalParams;
-use sidb_sim::operational::Engine;
-use sidb_sim::quickexact::quick_exact_ground_state;
+use sidb_sim::{simulate_with, PhysicalParams, SimEngine, SimParams};
 
 fn bench_fig1(c: &mut Criterion) {
     let gate = huff_style_or();
-    let params = PhysicalParams::default().with_mu_minus(-0.28);
+    let base = SimParams::new(PhysicalParams::default().with_mu_minus(-0.28));
     let layout = gate.layout_for_pattern(0b11);
 
     let mut group = c.benchmark_group("fig1c_or_gate");
+    let exhaustive = base.clone().with_engine(SimEngine::Exhaustive);
     group.bench_function("exhaustive_gray_code", |b| {
-        b.iter(|| exhaustive_ground_state(&layout, &params))
+        b.iter(|| simulate_with(&layout, &exhaustive))
     });
-    group.bench_function("quick_exact", |b| {
-        b.iter(|| quick_exact_ground_state(&layout, &params))
-    });
+    let qe = base.clone().with_engine(SimEngine::QuickExact);
+    group.bench_function("quick_exact", |b| b.iter(|| simulate_with(&layout, &qe)));
     group.bench_function("full_truth_table_check", |b| {
-        b.iter(|| gate.check_operational(&params, Engine::QuickExact))
+        b.iter(|| gate.check_operational_with(&qe))
     });
     group.finish();
 }

@@ -1,13 +1,13 @@
 //! Figure 5 bench: tile-validation runtime for the library designs that
-//! pass their truth tables under exact simulation.
+//! pass their truth tables under exact simulation — uncached vs. cached
+//! (the gate-library validation path shares one simulation cache).
 
 use bestagon_lib::tiles::{double_wire, huff_style_or, inverter_nw_sw, wire_nw_sw};
 use criterion::{criterion_group, criterion_main, Criterion};
-use sidb_sim::model::PhysicalParams;
-use sidb_sim::operational::Engine;
+use sidb_sim::{PhysicalParams, SimCache, SimEngine, SimParams};
 
 fn bench_fig5(c: &mut Criterion) {
-    let params = PhysicalParams::default();
+    let sim = SimParams::new(PhysicalParams::default()).with_engine(SimEngine::QuickExact);
     let mut group = c.benchmark_group("fig5_tile_validation");
     group.sample_size(20);
     for (name, design) in [
@@ -16,8 +16,11 @@ fn bench_fig5(c: &mut Criterion) {
         ("inverter", inverter_nw_sw()),
         ("double_wire", double_wire()),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| design.check_operational(&params, Engine::QuickExact))
+        group.bench_function(name, |b| b.iter(|| design.check_operational_with(&sim)));
+        let cached = sim.clone().with_cache(SimCache::new());
+        design.check_operational_with(&cached); // warm the cache
+        group.bench_function(format!("{name}_cached"), |b| {
+            b.iter(|| design.check_operational_with(&cached))
         });
     }
     group.finish();

@@ -94,9 +94,10 @@ pub fn apply_gate_library(
 ) -> Result<CellLevelLayout, ApplyError> {
     let mut sidb = SidbLayout::new();
     for (coord, contents) in layout.occupied_tiles() {
-        let design = tile_design(library, coord, contents)?;
         let (ox, oy) = hex_tile_origin(coord.x, coord.y);
-        sidb.merge(&design.translated(ox, oy));
+        for design in tile_designs(library, coord, contents)? {
+            sidb.merge(&design.body.translated(ox, oy));
+        }
     }
     Ok(CellLevelLayout {
         sidb,
@@ -105,12 +106,42 @@ pub fn apply_gate_library(
     })
 }
 
-/// Resolves the SiDB body for one tile.
-fn tile_design(
+/// The distinct library designs a layout instantiates, in first-use
+/// order (deduplicated by design name).
+///
+/// This is the validation work-list for flow step 7: each returned
+/// design carries its ports and truth table, so the flow can re-check
+/// exactly the tiles a circuit uses — once per design, not per tile —
+/// with the simulation engine.
+///
+/// # Errors
+///
+/// Fails exactly when [`apply_gate_library`] would: a tile requires a
+/// gate/port-direction combination the library does not provide, or a
+/// resolved design fails port-geometry validation.
+pub fn used_designs(
+    layout: &HexGateLayout,
+    library: &BestagonLibrary,
+) -> Result<Vec<GateDesign>, ApplyError> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut designs = Vec::new();
+    for (coord, contents) in layout.occupied_tiles() {
+        for design in tile_designs(library, coord, contents)? {
+            if seen.insert(design.name.clone()) {
+                designs.push(design);
+            }
+        }
+    }
+    Ok(designs)
+}
+
+/// Resolves the library designs realizing one tile (two for a parallel
+/// double wire, one otherwise), each validated for port geometry.
+fn tile_designs(
     library: &BestagonLibrary,
     coord: HexCoord,
     contents: &TileContents<HexDirection>,
-) -> Result<SidbLayout, ApplyError> {
+) -> Result<Vec<GateDesign>, ApplyError> {
     use HexDirection::{NorthEast as NE, NorthWest as NW, SouthEast as SE, SouthWest as SW};
     let missing = |what: String| ApplyError::MissingTile {
         tile: (coord.x, coord.y),
@@ -119,13 +150,13 @@ fn tile_design(
     // Every resolved design passes port-geometry validation before its
     // body is merged, so a malformed library entry surfaces as a typed
     // error naming the tile and design instead of a downstream panic.
-    let checked = |design: &GateDesign| -> Result<SidbLayout, ApplyError> {
+    let checked = |design: &GateDesign| -> Result<GateDesign, ApplyError> {
         check_port_geometry(design).map_err(|error| ApplyError::MalformedTile {
             tile: (coord.x, coord.y),
             design: design.name.clone(),
             error,
         })?;
-        Ok(design.body.clone())
+        Ok(design.clone())
     };
 
     match contents {
@@ -154,14 +185,14 @@ fn tile_design(
             let tile = library
                 .tile(kind, &inputs, &outputs)
                 .ok_or_else(|| missing(format!("{kind} {inputs:?} → {outputs:?}")))?;
-            checked(&tile.design)
+            Ok(vec![checked(&tile.design)?])
         }
         TileContents::Wire { segments } => match segments.as_slice() {
             [(i, o)] => {
                 let tile = library
                     .tile(GateKind::Buf, &[*i], &[*o])
                     .ok_or_else(|| missing(format!("wire {i} → {o}")))?;
-                checked(&tile.design)
+                Ok(vec![checked(&tile.design)?])
             }
             [a, b] => {
                 let set: std::collections::BTreeSet<(HexDirection, HexDirection)> =
@@ -171,7 +202,7 @@ fn tile_design(
                 let parallel: std::collections::BTreeSet<_> =
                     [(NW, SW), (NE, SE)].into_iter().collect();
                 if set == crossing {
-                    checked(&library.crossing_design())
+                    Ok(vec![checked(&library.crossing_design())?])
                 } else if set == parallel {
                     let tile = library
                         .tile(GateKind::Buf, &[NW], &[SW])
@@ -179,9 +210,7 @@ fn tile_design(
                     let mirrored = library
                         .tile(GateKind::Buf, &[NE], &[SE])
                         .ok_or_else(|| missing("double wire".into()))?;
-                    let mut body = checked(&tile.design)?;
-                    body.merge(&checked(&mirrored.design)?);
-                    Ok(body)
+                    Ok(vec![checked(&tile.design)?, checked(&mirrored.design)?])
                 } else {
                     Err(missing(format!("wire pair {set:?}")))
                 }
@@ -246,6 +275,22 @@ mod tests {
             .sites()
             .iter()
             .any(|s| (30..90).contains(&s.x) && (23..46).contains(&s.y)));
+    }
+
+    #[test]
+    fn used_designs_deduplicates_by_name() {
+        let layout = pi_wire_po_layout();
+        let lib = BestagonLibrary::new();
+        let designs = used_designs(&layout, &lib).expect("library covers wires");
+        // PI, wire, and PO all resolve to straight-wire tiles; only the
+        // two distinct variants (NW→SW and NE→SE) remain after dedup.
+        assert_eq!(designs.len(), 2);
+        let names: std::collections::BTreeSet<_> =
+            designs.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names.len(), 2);
+        for d in &designs {
+            assert!(!d.truth_table.is_empty(), "{} carries its table", d.name);
+        }
     }
 
     #[test]

@@ -14,8 +14,10 @@
 use fcn_coords::LatticeCoord;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use sidb_sim::cache::SimCache;
+use sidb_sim::engine::{SimEngine, SimParams};
 use sidb_sim::model::PhysicalParams;
-use sidb_sim::operational::{Engine, GateDesign};
+use sidb_sim::operational::GateDesign;
 
 /// Options controlling the canvas search.
 #[derive(Debug, Clone, Copy)]
@@ -45,11 +47,11 @@ impl Default for DesignerOptions {
 }
 
 /// The score of a candidate: patterns correct, then read-out crispness.
-fn score(design: &GateDesign, params: &PhysicalParams) -> (u32, i32) {
+fn score(design: &GateDesign, sim_params: &SimParams) -> (u32, i32) {
     let mut correct = 0u32;
     let mut crisp = 0i32;
     for pattern in 0..design.num_patterns() {
-        let Some(sim) = design.simulate_pattern(pattern, params, Engine::QuickExact) else {
+        let Some(sim) = design.simulate_pattern_with(pattern, sim_params) else {
             continue;
         };
         let expected = &design.truth_table[pattern as usize];
@@ -94,8 +96,15 @@ pub fn design_canvas(
     options: &DesignerOptions,
     params: &PhysicalParams,
 ) -> Option<GateDesign> {
+    // Hill climbing revisits layouts (rejected mutations, restarts that
+    // rediscover a canvas); a shared cache answers those from memory.
+    // `SIM_CACHE=0` turns it off.
+    let mut sim_params = SimParams::new(*params).with_engine(SimEngine::QuickExact);
+    if let Some(cache) = SimCache::from_env() {
+        sim_params = sim_params.with_cache(cache);
+    }
     let target = max_score(base);
-    if score(base, params).0 == target {
+    if score(base, &sim_params).0 == target {
         return Some(base.clone());
     }
     let mut rng = StdRng::seed_from_u64(options.seed);
@@ -114,7 +123,7 @@ pub fn design_canvas(
             .map(|_| random_dot(&mut rng))
             .collect();
         let mut current = with_canvas(base, &canvas);
-        let mut best = score(&current, params);
+        let mut best = score(&current, &sim_params);
         if best.0 == target {
             return Some(current);
         }
@@ -147,7 +156,7 @@ pub fn design_canvas(
                 }
             }
             let candidate = with_canvas(base, &next);
-            let s = score(&candidate, params);
+            let s = score(&candidate, &sim_params);
             if s.0 == target {
                 return Some(candidate);
             }
@@ -188,8 +197,8 @@ mod tests {
     #[test]
     fn scoring_counts_correct_patterns() {
         let base = wire_nw_sw();
-        let params = PhysicalParams::default();
-        let (correct, _) = score(&base, &params);
+        let sim = SimParams::new(PhysicalParams::default()).with_engine(SimEngine::QuickExact);
+        let (correct, _) = score(&base, &sim);
         assert_eq!(correct, max_score(&base));
         // Flipping the truth table makes every pattern wrong.
         let mut broken = base.clone();
@@ -198,6 +207,6 @@ mod tests {
                 *v = !*v;
             }
         }
-        assert_eq!(score(&broken, &params).0, 0);
+        assert_eq!(score(&broken, &sim).0, 0);
     }
 }

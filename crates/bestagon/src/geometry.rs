@@ -275,8 +275,19 @@ pub fn balanced_run(layout: &mut SidbLayout, y: i32, centers: &[i32]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sidb_sim::charge::ChargeConfiguration;
+    use sidb_sim::engine::{simulate_with, SimEngine, SimParams};
     use sidb_sim::model::PhysicalParams;
-    use sidb_sim::quickexact::quick_exact_ground_state;
+
+    fn ground_state(layout: &SidbLayout) -> Option<ChargeConfiguration> {
+        simulate_with(
+            layout,
+            &SimParams::new(PhysicalParams::default()).with_engine(SimEngine::QuickExact),
+        )
+        .states
+        .pop()
+        .map(|s| s.config)
+    }
 
     #[test]
     fn pair_dots_are_7_68_angstrom_apart() {
@@ -316,7 +327,7 @@ mod tests {
         column(&mut layout, 30, &WIRE_ROWS);
         // Force the first pair with a perturber on the left.
         layout.add_site((29, PERTURBER_ROW, 0));
-        let gs = quick_exact_ground_state(&layout, &PhysicalParams::default()).expect("non-empty");
+        let gs = ground_state(&layout).expect("non-empty");
         let mut last = None;
         for &y in &WIRE_ROWS {
             let state = pair_state(&layout, &gs, 30, y).unwrap_or_else(|e| panic!("{e}"));
@@ -334,7 +345,7 @@ mod tests {
         run(&mut layout, 9, &[15, 23, 31, 39]);
         // A perturber left of the run pushes the first electron right.
         layout.add_site((8, 9, 0));
-        let gs = quick_exact_ground_state(&layout, &PhysicalParams::default()).expect("non-empty");
+        let gs = ground_state(&layout).expect("non-empty");
         let mut states = Vec::new();
         for cx in [15, 23, 31, 39] {
             states.push(pair_state(&layout, &gs, cx, 9).unwrap_or_else(|e| panic!("{e}")));

@@ -663,14 +663,23 @@ pub struct TileValidation {
 
 /// Validates a set of designs with the exact engine, reporting per-tile
 /// operational status (used by the Figure 5 reproduction).
+///
+/// Validation shares one simulation cache across the whole set (disable
+/// with `SIM_CACHE=0`), so repeated validations of a library — and tiles
+/// that share pattern layouts — are answered from memory.
 pub fn validate_designs(
     designs: &[GateDesign],
     params: &sidb_sim::model::PhysicalParams,
 ) -> Vec<TileValidation> {
-    use sidb_sim::operational::{Engine, OperationalStatus};
+    use sidb_sim::engine::{SimEngine, SimParams};
+    use sidb_sim::operational::OperationalStatus;
+    let mut sim = SimParams::new(*params).with_engine(SimEngine::QuickExact);
+    if let Some(cache) = sidb_sim::cache::SimCache::from_env() {
+        sim = sim.with_cache(cache);
+    }
     designs
         .iter()
-        .map(|d| match d.check_operational(params, Engine::QuickExact) {
+        .map(|d| match d.check_operational_with(&sim).status {
             OperationalStatus::Operational => TileValidation {
                 name: d.name.clone(),
                 num_sidbs: d.body.num_sites(),
@@ -710,13 +719,17 @@ pub fn figure5_designs() -> Vec<GateDesign> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sidb_sim::engine::{SimEngine, SimParams};
     use sidb_sim::model::PhysicalParams;
-    use sidb_sim::operational::Engine;
+
+    fn check_at(design: &GateDesign, params: &PhysicalParams) -> bool {
+        design
+            .check_operational_with(&SimParams::new(*params).with_engine(SimEngine::QuickExact))
+            .is_operational()
+    }
 
     fn check(design: &GateDesign) -> bool {
-        design
-            .check_operational(&PhysicalParams::default(), Engine::QuickExact)
-            .is_operational()
+        check_at(design, &PhysicalParams::default())
     }
 
     #[test]
@@ -770,9 +783,7 @@ mod tests {
         // it passes under the domain-separated simulation the calibration
         // sweeps use (see EXPERIMENTS.md, Figure 5).
         let d = wire_nw_se();
-        assert!(d
-            .check_operational(&crate::geometry::validation_params(), Engine::QuickExact)
-            .is_operational());
+        assert!(check_at(&d, &crate::geometry::validation_params()));
     }
 
     #[test]
@@ -785,10 +796,7 @@ mod tests {
         let d = huff_style_or();
         for mu in [-0.32, -0.28] {
             let p = PhysicalParams::default().with_mu_minus(mu);
-            assert!(
-                d.check_operational(&p, Engine::QuickExact).is_operational(),
-                "mu = {mu}"
-            );
+            assert!(check_at(&d, &p), "mu = {mu}");
         }
     }
 

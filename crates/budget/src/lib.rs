@@ -220,6 +220,20 @@ impl StepBudget {
     pub const fn is_unbounded(&self) -> bool {
         self.max_steps.is_none() && !self.deadline.is_bounded()
     }
+
+    /// Caps the number of steps.
+    #[must_use]
+    pub const fn with_max_steps(mut self, steps: u64) -> Self {
+        self.max_steps = Some(steps);
+        self
+    }
+
+    /// Sets the wall-clock cut-off.
+    #[must_use]
+    pub const fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
+    }
 }
 
 #[cfg(test)]

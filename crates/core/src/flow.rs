@@ -132,6 +132,13 @@ pub struct FlowOptions {
     pub verify: bool,
     /// Apply the Bestagon library for a dot-accurate layout (step 7).
     pub apply_library: bool,
+    /// Physically re-validate the distinct library designs the layout
+    /// instantiates (step 7): each design's truth table is checked with
+    /// the cached exact simulation engine, and the `sidb.*` counters
+    /// (configurations visited/pruned, cache hits) land in the step-7
+    /// span of [`FlowResult::report`]. Off by default — the library
+    /// ships pre-validated; turn it on to audit a deployment's tiles.
+    pub tile_validation: bool,
     /// Wall-clock deadline and per-stage resource budgets. The default
     /// reads the `FLOW_*` environment variables
     /// ([`FlowBudget::from_env`]); an empty environment imposes no
@@ -151,6 +158,7 @@ impl Default for FlowOptions {
             pnr_incremental: None,
             verify: true,
             apply_library: true,
+            tile_validation: false,
             budget: FlowBudget::from_env(),
         }
     }
@@ -218,6 +226,14 @@ impl FlowOptions {
     #[must_use]
     pub fn without_library(mut self) -> Self {
         self.apply_library = false;
+        self
+    }
+
+    /// Physically re-validates the used library tiles during step 7
+    /// (see [`FlowOptions::tile_validation`]).
+    #[must_use]
+    pub fn with_tile_validation(mut self) -> Self {
+        self.tile_validation = true;
         self
     }
 
@@ -697,16 +713,65 @@ fn run_flow_steps(name: &str, xag: &Xag, options: &FlowOptions) -> Result<FlowRe
         Ok(plan)
     })?;
 
-    // Step 7: gate-library application.
+    // Step 7: gate-library application (and optional physical
+    // re-validation of the distinct tile designs the layout uses).
     let cell = stage("step7:apply", |_| {
-        if options.apply_library {
-            let library = BestagonLibrary::new();
-            let cell = apply_gate_library(&layout, &library).map_err(FlowError::Apply)?;
-            fcn_telemetry::counter("sidbs", cell.num_sidbs() as u64);
-            Ok(Some(cell))
-        } else {
-            Ok(None)
+        if !options.apply_library {
+            return Ok(None);
         }
+        let library = BestagonLibrary::new();
+        let cell = apply_gate_library(&layout, &library).map_err(FlowError::Apply)?;
+        fcn_telemetry::counter("sidbs", cell.num_sidbs() as u64);
+        if options.tile_validation {
+            if budget.deadline.expired() {
+                record(
+                    &mut degradations,
+                    Degradation {
+                        stage: "step7:apply",
+                        trigger: DegradeTrigger::Deadline,
+                        action: "skipped physical tile validation".into(),
+                        detail: "deadline expired before validation".into(),
+                    },
+                );
+            } else {
+                let designs = bestagon_lib::apply::used_designs(&layout, &library)
+                    .map_err(FlowError::Apply)?;
+                let mut sim = sidb_sim::SimParams::new(bestagon_lib::geometry::validation_params())
+                    .with_engine(sidb_sim::SimEngine::QuickExact);
+                if let Some(cache) = sidb_sim::SimCache::from_env() {
+                    sim = sim.with_cache(cache);
+                }
+                let mut validated = 0u64;
+                let mut failing: Vec<String> = Vec::new();
+                for design in &designs {
+                    if budget.deadline.expired() {
+                        record(
+                            &mut degradations,
+                            Degradation {
+                                stage: "step7:apply",
+                                trigger: DegradeTrigger::Deadline,
+                                action: "stopped tile validation early".into(),
+                                detail: format!(
+                                    "validated {validated} of {} designs",
+                                    designs.len()
+                                ),
+                            },
+                        );
+                        break;
+                    }
+                    if !design.check_operational_with(&sim).is_operational() {
+                        failing.push(design.name.clone());
+                    }
+                    validated += 1;
+                }
+                fcn_telemetry::counter("tiles.validated", validated);
+                if !failing.is_empty() {
+                    fcn_telemetry::counter("tiles.failing", failing.len() as u64);
+                    fcn_telemetry::note("tiles.failing", failing.join(", "));
+                }
+            }
+        }
+        Ok(Some(cell))
     })?;
 
     // Step 8: export. `FlowResult::to_sqd` re-renders on demand; this
@@ -832,6 +897,26 @@ mod tests {
         .expect("flow");
         assert!(with.gates_after_rewrite <= without.gates_after_rewrite);
         assert_eq!(with.gates_before_rewrite, without.gates_before_rewrite);
+    }
+
+    #[test]
+    fn tile_validation_reports_simulation_counters() {
+        let b = benchmark("xor2");
+        let r = run_flow(
+            "xor2",
+            &b.xag,
+            &FlowOptions::new()
+                .with_pnr(PnrMethod::Heuristic)
+                .with_tile_validation(),
+        )
+        .expect("flow succeeds");
+        assert!(r.degradations.is_empty());
+        let apply = r.report.root.child("step7:apply").expect("apply stage");
+        assert!(*apply.counters.get("tiles.validated").unwrap_or(&0) > 0);
+        // The XOR tile is a known-non-operational design (EXPERIMENTS.md,
+        // Figure 5); validation reports it honestly rather than hiding it.
+        assert!(*apply.counters.get("tiles.failing").unwrap_or(&0) >= 1);
+        assert!(r.report.counter_total("sidb.visited") > 0);
     }
 
     #[test]

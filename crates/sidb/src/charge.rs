@@ -83,6 +83,57 @@ impl InteractionMatrix {
         }
     }
 
+    /// Builds the matrix of `layout` by reusing every interaction whose
+    /// two sites both appear in `base_layout` (whose matrix `base` is),
+    /// computing only the pairs that involve new sites.
+    ///
+    /// Gate validation simulates the same body under `2^k` input
+    /// patterns that differ only in a handful of perturber dots; sharing
+    /// the body-to-body block across patterns removes the dominant
+    /// O(n²) rebuild per pattern. The reused values are the stored ones,
+    /// so the result is bit-identical to [`InteractionMatrix::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` was not built from `base_layout` with `params`.
+    pub fn extended(
+        base: &InteractionMatrix,
+        base_layout: &SidbLayout,
+        layout: &SidbLayout,
+        params: &PhysicalParams,
+    ) -> Self {
+        assert_eq!(base.n, base_layout.num_sites(), "base matrix mismatch");
+        assert_eq!(base.params, *params, "base params mismatch");
+        let n = layout.num_sites();
+        let in_base: Vec<Option<usize>> = layout
+            .sites()
+            .iter()
+            .map(|&s| base_layout.index_of(s))
+            .collect();
+        let mut v = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let e = match (in_base[i], in_base[j]) {
+                    (Some(bi), Some(bj)) => base.interaction(bi, bj),
+                    _ => {
+                        let mut e = params.interaction_ev(layout.distance_angstrom(i, j));
+                        if e < params.interaction_cutoff_ev {
+                            e = 0.0;
+                        }
+                        e
+                    }
+                };
+                v[i * n + j] = e;
+                v[j * n + i] = e;
+            }
+        }
+        InteractionMatrix {
+            n,
+            v,
+            params: *params,
+        }
+    }
+
     /// Number of sites.
     pub fn num_sites(&self) -> usize {
         self.n
@@ -412,6 +463,28 @@ mod tests {
         // Under the three-state model the check at least runs the positive
         // branch (validity depends on the detailed potentials).
         let _ = with_pos.is_population_stable(&m);
+    }
+
+    #[test]
+    fn extended_matrix_matches_fresh_construction() {
+        let params = PhysicalParams::default();
+        let base_layout = SidbLayout::from_sites([(0, 0, 0), (4, 1, 0), (9, 2, 1)]);
+        let base = InteractionMatrix::new(&base_layout, &params);
+        let mut layout = base_layout.clone();
+        layout.add_site((0, -4, 0));
+        layout.add_site((12, 5, 1));
+        let fresh = InteractionMatrix::new(&layout, &params);
+        let extended = InteractionMatrix::extended(&base, &base_layout, &layout, &params);
+        let n = layout.num_sites();
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(
+                    fresh.interaction(i, j).to_bits(),
+                    extended.interaction(i, j).to_bits(),
+                    "({i},{j})"
+                );
+            }
+        }
     }
 
     #[test]

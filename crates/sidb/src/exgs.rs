@@ -1,13 +1,20 @@
-//! Exhaustive ground-state search (ExGS).
+//! Exhaustive ground-state search (ExGS) — legacy entry points.
 //!
-//! Enumerates all `2^n` two-state charge configurations in Gray-code
-//! order, maintaining local potentials incrementally (O(n) per step), and
-//! returns the physically valid configuration of minimal grand-potential
-//! free energy. Exact, and fast enough for gate-sized instances (the
-//! Bestagon standard tiles have ≈ 10–25 SiDBs); circuit-scale layouts use
-//! [`crate::simanneal`] instead.
+//! The exhaustive engine enumerates all `2^n` two-state charge
+//! configurations in Gray-code order, maintaining local potentials
+//! incrementally (O(n) per step), and returns the physically valid
+//! configurations of minimal grand-potential free energy. Exact, and
+//! fast enough for gate-sized instances (the Bestagon standard tiles
+//! have ≈ 10–25 SiDBs); circuit-scale layouts use annealing instead.
+//!
+//! The engine itself lives in [`crate::engine`]; the free functions
+//! here are thin deprecated wrappers kept for source compatibility.
+//! New code selects the same algorithm with
+//! [`crate::engine::simulate_with`] and
+//! [`SimEngine::Exhaustive`](crate::engine::SimEngine).
 
-use crate::charge::{ChargeConfiguration, ChargeState, InteractionMatrix};
+use crate::charge::ChargeConfiguration;
+use crate::engine::{simulate_with, SimEngine, SimParams};
 use crate::layout::SidbLayout;
 use crate::model::PhysicalParams;
 use fcn_budget::StepBudget;
@@ -27,22 +34,33 @@ pub struct SimulatedState {
 /// Practical site-count limit of the exhaustive search.
 pub const MAX_EXHAUSTIVE_SITES: usize = 30;
 
+/// Practical site-count limit of the three-state search.
+pub const MAX_THREE_STATE_SITES: usize = 16;
+
 /// Finds the exact ground state of a layout (two-state model).
 ///
 /// Returns `None` for an empty layout.
 ///
 /// # Panics
 ///
-/// Panics if the layout has more than [`MAX_EXHAUSTIVE_SITES`] sites or if
-/// `params.three_state` is set (the exhaustive engine models the
-/// negative/neutral system the paper's gates operate in).
+/// Panics if the layout has more than [`MAX_EXHAUSTIVE_SITES`] free
+/// sites or if `params.three_state` is set (the exhaustive engine
+/// models the negative/neutral system the paper's gates operate in).
+#[deprecated(
+    since = "0.6.0",
+    note = "use `engine::simulate_with` with `SimEngine::Exhaustive`"
+)]
 pub fn exhaustive_ground_state(
     layout: &SidbLayout,
     params: &PhysicalParams,
 ) -> Option<ChargeConfiguration> {
-    exhaustive_low_energy(layout, params, 1)
-        .pop()
-        .map(|s| s.config)
+    simulate_with(
+        layout,
+        &SimParams::new(*params).with_engine(SimEngine::Exhaustive),
+    )
+    .states
+    .pop()
+    .map(|s| s.config)
 }
 
 /// Finds the `k` lowest-free-energy physically valid configurations,
@@ -52,12 +70,22 @@ pub fn exhaustive_ground_state(
 /// # Panics
 ///
 /// See [`exhaustive_ground_state`].
+#[deprecated(
+    since = "0.6.0",
+    note = "use `engine::simulate_with` with `SimEngine::Exhaustive`"
+)]
 pub fn exhaustive_low_energy(
     layout: &SidbLayout,
     params: &PhysicalParams,
     k: usize,
 ) -> Vec<SimulatedState> {
-    exhaustive_low_energy_bounded(layout, params, k, &StepBudget::unbounded()).states
+    simulate_with(
+        layout,
+        &SimParams::new(*params)
+            .with_engine(SimEngine::Exhaustive)
+            .with_k(k),
+    )
+    .states
 }
 
 /// Result of a bounded exhaustive sweep (see
@@ -74,17 +102,11 @@ pub struct BoundedSweep {
     pub steps: u64,
 }
 
-/// How often the Gray-code sweep polls the wall-clock deadline. Cheap
-/// relative to a step (one `Instant::now` per this many O(n) updates)
-/// while keeping deadline overshoot in the microsecond range.
-const DEADLINE_POLL_INTERVAL: u64 = 4096;
-
 /// [`exhaustive_low_energy`] under a step/wall-clock budget: the sweep
 /// visits at most `budget.max_steps` configurations and polls
 /// `budget.deadline` every 4096 steps, reporting
 /// a truncated (best-effort) spectrum instead of running to completion.
-/// With an unbounded budget the result is exact and byte-identical to
-/// [`exhaustive_low_energy`], and nothing is polled. Hosts the
+/// With an unbounded budget the result is exact. Bounded runs host the
 /// `sidb.sweep` fault-injection point: an injected `exhaust` truncates
 /// the sweep immediately when any limit is configured, and an injected
 /// `panic` fires here.
@@ -92,182 +114,63 @@ const DEADLINE_POLL_INTERVAL: u64 = 4096;
 /// # Panics
 ///
 /// See [`exhaustive_ground_state`].
+#[deprecated(
+    since = "0.6.0",
+    note = "use `engine::simulate_with` with `SimEngine::Exhaustive` and `with_budget`"
+)]
 pub fn exhaustive_low_energy_bounded(
     layout: &SidbLayout,
     params: &PhysicalParams,
     k: usize,
     budget: &StepBudget,
 ) -> BoundedSweep {
-    assert!(
-        !params.three_state,
-        "exhaustive search implements the two-state model"
+    let r = simulate_with(
+        layout,
+        &SimParams::new(*params)
+            .with_engine(SimEngine::Exhaustive)
+            .with_k(k)
+            .with_budget(*budget),
     );
-    let n = layout.num_sites();
-    if n == 0 || k == 0 {
-        return BoundedSweep {
-            states: Vec::new(),
-            truncated: false,
-            steps: 0,
-        };
-    }
-    let m = InteractionMatrix::new(layout, params);
-
-    // Pre-assign sites that are negative in *every* population-stable
-    // configuration: if even the all-negative surroundings leave
-    // V_i ≥ μ−, a neutral state at i can never be stable (the same
-    // pruning idea as SiQAD/fiction's exact engines use). Perturbers and
-    // other isolated dots fall out of the exponential search this way.
-    let mut free_sites: Vec<usize> = Vec::new();
-    let mut fixed_negative = vec![false; n];
-    for (i, fixed) in fixed_negative.iter_mut().enumerate() {
-        let lower_bound: f64 = (0..n)
-            .filter(|&j| j != i)
-            .map(|j| -m.interaction(i, j))
-            .sum();
-        if lower_bound >= params.mu_minus - 1e-9 {
-            *fixed = true;
-        } else {
-            free_sites.push(i);
-        }
-    }
-    let n_free = free_sites.len();
-    assert!(
-        n_free <= MAX_EXHAUSTIVE_SITES,
-        "exhaustive search supports at most {MAX_EXHAUSTIVE_SITES} free sites"
-    );
-    fcn_telemetry::counter("exgs.sites", n as u64);
-    fcn_telemetry::counter("exgs.fixed_sites", (n - n_free) as u64);
-    fcn_telemetry::counter("exgs.states", 1u64 << n_free);
-
-    // Gray-code sweep over the free sites with incremental local
-    // potentials and energy, starting from the fixed-negative background.
-    let mut config = ChargeConfiguration::neutral(n);
-    let mut potentials = vec![0.0f64; n];
-    let mut energy = 0.0f64;
-    let mut num_negative = 0usize;
-    for (i, &fixed) in fixed_negative.iter().enumerate() {
-        if fixed {
-            config.set_state(i, ChargeState::Negative);
-            num_negative += 1;
-        }
-    }
-    for (i, &fixed) in fixed_negative.iter().enumerate() {
-        if !fixed {
-            continue;
-        }
-        for (j, p) in potentials.iter_mut().enumerate() {
-            if j != i {
-                *p -= m.interaction(i, j);
-            }
-        }
-        energy += (0..i)
-            .filter(|&j| fixed_negative[j])
-            .map(|j| m.interaction(i, j))
-            .sum::<f64>();
-    }
-
-    let mut best: Vec<SimulatedState> = Vec::new();
-    let mut valid_states = 0u64;
-    let mut consider = |config: &ChargeConfiguration,
-                        potentials: &[f64],
-                        energy: f64,
-                        num_negative: usize,
-                        best: &mut Vec<SimulatedState>| {
-        const EPS: f64 = 1e-9;
-        // Population stability from the maintained potentials.
-        let stable = config
-            .states()
-            .iter()
-            .zip(potentials)
-            .all(|(s, &v)| match s {
-                ChargeState::Negative => v >= params.mu_minus - EPS,
-                ChargeState::Neutral => v <= params.mu_minus + EPS,
-                ChargeState::Positive => false,
-            });
-        if !stable || !config.is_configuration_stable(&m) {
-            return;
-        }
-        valid_states += 1;
-        let free = energy + params.mu_minus * num_negative as f64;
-        let state = SimulatedState {
-            config: config.clone(),
-            electrostatic_energy: energy,
-            free_energy: free,
-        };
-        let pos = best
-            .binary_search_by(|s| {
-                s.free_energy
-                    .partial_cmp(&free)
-                    .unwrap_or(core::cmp::Ordering::Equal)
-            })
-            .unwrap_or_else(|p| p);
-        best.insert(pos, state);
-        best.truncate(k);
-    };
-
-    // Budget checks are strictly opt-in: with no limits configured and
-    // no fault plan armed, the sweep below is the exact loop the
-    // unbounded API always ran.
-    let bounded = !budget.is_unbounded() || fcn_budget::fault::armed();
-    let mut truncated = false;
-    let mut steps_taken = 1u64; // the seed configuration counts
-
-    consider(&config, &potentials, energy, num_negative, &mut best);
-    for step in 1u64..(1u64 << n_free) {
-        if bounded {
-            if matches!(
-                fcn_budget::fault::check("sidb.sweep"),
-                Some(fcn_budget::fault::Fault::Exhaust)
-            ) && !budget.is_unbounded()
-            {
-                truncated = true;
-                break;
-            }
-            if budget.max_steps.is_some_and(|max| step >= max) {
-                truncated = true;
-                break;
-            }
-            if step % DEADLINE_POLL_INTERVAL == 0 && budget.deadline.expired() {
-                truncated = true;
-                break;
-            }
-        }
-        steps_taken += 1;
-        let site = free_sites[step.trailing_zeros() as usize];
-        let (new_state, delta) = match config.state(site) {
-            ChargeState::Neutral => (ChargeState::Negative, -1.0),
-            ChargeState::Negative => (ChargeState::Neutral, 1.0),
-            ChargeState::Positive => unreachable!("two-state sweep"),
-        };
-        // ΔE = Δn_i · V_i.
-        energy += delta * potentials[site];
-        num_negative = if new_state == ChargeState::Negative {
-            num_negative + 1
-        } else {
-            num_negative - 1
-        };
-        config.set_state(site, new_state);
-        for (j, p) in potentials.iter_mut().enumerate() {
-            if j != site {
-                *p += delta * m.interaction(site, j);
-            }
-        }
-        consider(&config, &potentials, energy, num_negative, &mut best);
-    }
-    fcn_telemetry::counter("exgs.valid_states", valid_states);
-    if truncated {
-        fcn_telemetry::counter("exgs.truncated", 1);
-    }
     BoundedSweep {
-        states: best,
-        truncated,
-        steps: steps_taken,
+        states: r.states,
+        truncated: r.truncated,
+        steps: r.stats.visited,
     }
 }
 
+/// Exhaustive ground-state search in the **three-state** model
+/// (negative/neutral/positive), for small layouts.
+///
+/// Positive charge states only appear under extreme Coulombic crowding
+/// (the paper's gate configurations never populate them), but the full
+/// model is needed to *demonstrate* that, and for robustness analyses
+/// near dense canvases. Complexity is `3^n`; intended for `n ≤ 16`.
+///
+/// Returns the valid configuration with minimal grand-potential free
+/// energy, or `None` for an empty layout.
+///
+/// # Panics
+///
+/// Panics if the layout has more than [`MAX_THREE_STATE_SITES`] sites.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `engine::simulate_with` with `with_three_state`"
+)]
+pub fn exhaustive_ground_state_three_state(
+    layout: &SidbLayout,
+    params: &PhysicalParams,
+) -> Option<ChargeConfiguration> {
+    simulate_with(layout, &SimParams::new(*params).with_three_state())
+        .states
+        .pop()
+        .map(|s| s.config)
+}
+
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::charge::{ChargeState, InteractionMatrix};
 
     #[test]
     fn single_dot_ground_state_is_negative() {
@@ -426,75 +329,11 @@ mod tests {
     }
 }
 
-/// Exhaustive ground-state search in the **three-state** model
-/// (negative/neutral/positive), for small layouts.
-///
-/// Positive charge states only appear under extreme Coulombic crowding
-/// (the paper's gate configurations never populate them), but the full
-/// model is needed to *demonstrate* that, and for robustness analyses
-/// near dense canvases. Complexity is `3^n`; intended for `n ≤ 16`.
-///
-/// Returns the valid configuration with minimal grand-potential free
-/// energy, or `None` for an empty layout.
-///
-/// # Panics
-///
-/// Panics if the layout has more than [`MAX_THREE_STATE_SITES`] sites.
-pub fn exhaustive_ground_state_three_state(
-    layout: &SidbLayout,
-    params: &PhysicalParams,
-) -> Option<ChargeConfiguration> {
-    let n = layout.num_sites();
-    assert!(
-        n <= MAX_THREE_STATE_SITES,
-        "three-state exhaustive search supports at most {MAX_THREE_STATE_SITES} sites"
-    );
-    if n == 0 {
-        return None;
-    }
-    let params = PhysicalParams {
-        three_state: true,
-        ..*params
-    };
-    let m = InteractionMatrix::new(layout, &params);
-    let mut best: Option<(f64, ChargeConfiguration)> = None;
-    let mut config = ChargeConfiguration::neutral(n);
-    enumerate_three_state(&m, &mut config, 0, &mut best);
-    best.map(|(_, c)| c)
-}
-
-/// Practical site-count limit of the three-state search.
-pub const MAX_THREE_STATE_SITES: usize = 16;
-
-fn enumerate_three_state(
-    m: &InteractionMatrix,
-    config: &mut ChargeConfiguration,
-    depth: usize,
-    best: &mut Option<(f64, ChargeConfiguration)>,
-) {
-    if depth == config.len() {
-        if config.is_physically_valid(m) {
-            let f = config.free_energy(m);
-            if best.as_ref().map(|(bf, _)| f < *bf).unwrap_or(true) {
-                *best = Some((f, config.clone()));
-            }
-        }
-        return;
-    }
-    for state in [
-        ChargeState::Negative,
-        ChargeState::Neutral,
-        ChargeState::Positive,
-    ] {
-        config.set_state(depth, state);
-        enumerate_three_state(m, config, depth + 1, best);
-    }
-    config.set_state(depth, ChargeState::Neutral);
-}
-
 #[cfg(test)]
+#[allow(deprecated)]
 mod three_state_tests {
     use super::*;
+    use crate::charge::{ChargeState, InteractionMatrix};
 
     #[test]
     fn isolated_dot_is_negative_in_three_state_model() {

@@ -10,8 +10,16 @@
 //!   `λ_TF = 5 nm`),
 //! * [`charge`] — charge configurations, electrostatic energies,
 //!   *population* and *configuration* stability,
+//! * [`engine`] — the unified simulation entry point:
+//!   [`engine::simulate_with`] dispatches to every engine behind one
+//!   [`engine::SimParams`] builder, partitions the search across a
+//!   worker pool, and reports [`engine::SimStats`],
+//! * [`cache`] — a content-addressed simulation cache shared across
+//!   gate-library validation, domain sweeps, and designer searches,
 //! * [`exgs`] — exhaustive ground-state search (exact for gate-sized
 //!   instances),
+//! * [`quickexact`] — a branch-and-bound exact engine with
+//!   physically-informed pruning,
 //! * [`simanneal`] — a SimAnneal-style simulated-annealing ground-state
 //!   finder for circuit-scale instances,
 //! * [`bdl`] — binary-dot logic: I/O pairs, input perturbers (the paper's
@@ -25,20 +33,22 @@
 //! An isolated SiDB settles into the negative charge state:
 //!
 //! ```
+//! use sidb_sim::engine::{simulate_with, SimParams};
 //! use sidb_sim::layout::SidbLayout;
 //! use sidb_sim::model::PhysicalParams;
-//! use sidb_sim::exgs::exhaustive_ground_state;
 //! use sidb_sim::charge::ChargeState;
 //!
 //! let mut layout = SidbLayout::new();
 //! layout.add_site((0, 0, 0));
-//! let gs = exhaustive_ground_state(&layout, &PhysicalParams::default())
-//!     .expect("a single dot always has a ground state");
-//! assert_eq!(gs.state(0), ChargeState::Negative);
+//! let result = simulate_with(&layout, &SimParams::new(PhysicalParams::default()));
+//! let gs = result.ground_state().expect("a single dot always has a ground state");
+//! assert_eq!(gs.config.state(0), ChargeState::Negative);
 //! ```
 
 pub mod bdl;
+pub mod cache;
 pub mod charge;
+pub mod engine;
 pub mod exgs;
 pub mod layout;
 pub mod model;
@@ -48,6 +58,8 @@ pub mod quickexact;
 pub mod simanneal;
 pub mod stability;
 
+pub use cache::SimCache;
 pub use charge::{ChargeConfiguration, ChargeState};
+pub use engine::{simulate_with, SimEngine, SimParams, SimResult, SimStats};
 pub use layout::SidbLayout;
 pub use model::PhysicalParams;

@@ -11,6 +11,7 @@
 //! literature; fabricated devices experience parameter variation, so a
 //! larger domain means a more manufacturable gate.
 
+use crate::engine::{self, SimParams, SimStats};
 use crate::model::PhysicalParams;
 use crate::operational::{Engine, GateDesign};
 
@@ -114,14 +115,19 @@ impl OperationalDomain {
 
 /// Sweeps the operational domain of a design.
 ///
-/// `base` supplies the non-swept parameters (μ−, model flags); the grid
-/// overrides ε_r and λ_TF per sample.
+/// `sim.physical` supplies the non-swept parameters (μ−, model flags);
+/// the grid overrides ε_r and λ_TF per sample. Grid points are the
+/// partition units of the engine's worker pool (each point validates
+/// serially inside its unit), so the sampled domain is identical at any
+/// thread count. With `sim.cache` set, repeated sweeps of the same
+/// design are answered from the cache.
 ///
 /// # Examples
 ///
 /// ```
-/// use sidb_sim::opdomain::{operational_domain, DomainGrid};
-/// use sidb_sim::operational::{Engine, GateDesign};
+/// use sidb_sim::engine::{SimEngine, SimParams};
+/// use sidb_sim::opdomain::{operational_domain_with, DomainGrid};
+/// use sidb_sim::operational::GateDesign;
 /// use sidb_sim::bdl::{BdlPair, InputPort, OutputPort};
 /// use sidb_sim::layout::SidbLayout;
 /// use sidb_sim::model::PhysicalParams;
@@ -142,29 +148,59 @@ impl OperationalDomain {
 ///     truth_table: vec![vec![false], vec![true]],
 /// };
 /// let grid = DomainGrid { steps: 3, ..Default::default() };
-/// let domain = operational_domain(&design, &PhysicalParams::default(), grid, Engine::QuickExact);
+/// let sim = SimParams::new(PhysicalParams::default()).with_engine(SimEngine::QuickExact);
+/// let domain = operational_domain_with(&design, grid, &sim);
 /// assert_eq!(domain.samples.len(), 9);
 /// ```
+pub fn operational_domain_with(
+    design: &GateDesign,
+    grid: DomainGrid,
+    sim: &SimParams,
+) -> OperationalDomain {
+    let points = grid.points();
+    let threads = sim.threads.unwrap_or_else(engine::default_sim_threads);
+    let run = engine::run_partitioned(points.len(), threads, |i| {
+        let (eps, lam) = points[i];
+        let point_sim = SimParams {
+            physical: PhysicalParams {
+                epsilon_r: eps,
+                lambda_tf_nm: lam,
+                ..sim.physical
+            },
+            ..sim.clone()
+        }
+        .with_threads(1);
+        let report = design.check_core(&point_sim);
+        (eps, lam, report.is_operational(), report.stats)
+    });
+    let mut stats = SimStats {
+        recovered: run.recovered,
+        ..SimStats::default()
+    };
+    let samples = run
+        .results
+        .into_iter()
+        .map(|(eps, lam, ok, point_stats)| {
+            stats.merge(&point_stats);
+            (eps, lam, ok)
+        })
+        .collect();
+    engine::emit_stats(&stats);
+    OperationalDomain { grid, samples }
+}
+
+/// Sweeps the operational domain of a design.
+///
+/// `base` supplies the non-swept parameters (μ−, model flags); the grid
+/// overrides ε_r and λ_TF per sample.
+#[deprecated(since = "0.6.0", note = "use `operational_domain_with(&SimParams)`")]
 pub fn operational_domain(
     design: &GateDesign,
     base: &PhysicalParams,
     grid: DomainGrid,
     engine: Engine,
 ) -> OperationalDomain {
-    let samples = grid
-        .points()
-        .into_iter()
-        .map(|(eps, lam)| {
-            let params = PhysicalParams {
-                epsilon_r: eps,
-                lambda_tf_nm: lam,
-                ..*base
-            };
-            let ok = design.check_operational(&params, engine).is_operational();
-            (eps, lam, ok)
-        })
-        .collect();
-    OperationalDomain { grid, samples }
+    operational_domain_with(design, grid, &SimParams::new(*base).with_engine(engine))
 }
 
 #[cfg(test)]
@@ -211,18 +247,17 @@ mod tests {
         assert!(pts.contains(&(5.0, 5.0)));
     }
 
+    fn sim() -> SimParams {
+        SimParams::new(PhysicalParams::default()).with_engine(Engine::QuickExact)
+    }
+
     #[test]
     fn wire_domain_includes_the_nominal_point() {
         let grid = DomainGrid {
             steps: 3,
             ..Default::default()
         };
-        let domain = operational_domain(
-            &wire(),
-            &PhysicalParams::default(),
-            grid,
-            Engine::QuickExact,
-        );
+        let domain = operational_domain_with(&wire(), grid, &sim());
         assert!(domain.nominal_operational());
         assert!(domain.coverage() > 0.0);
     }
@@ -233,12 +268,7 @@ mod tests {
             steps: 3,
             ..Default::default()
         };
-        let domain = operational_domain(
-            &wire(),
-            &PhysicalParams::default(),
-            grid,
-            Engine::QuickExact,
-        );
+        let domain = operational_domain_with(&wire(), grid, &sim());
         assert!((0.0..=1.0).contains(&domain.coverage()));
     }
 
@@ -248,14 +278,20 @@ mod tests {
             steps: 4,
             ..Default::default()
         };
-        let domain = operational_domain(
-            &wire(),
-            &PhysicalParams::default(),
-            grid,
-            Engine::QuickExact,
-        );
+        let domain = operational_domain_with(&wire(), grid, &sim());
         let map = domain.render_ascii();
         assert_eq!(map.lines().count(), 5); // 4 ε_r rows + axis caption
+    }
+
+    #[test]
+    fn domain_samples_are_thread_invariant() {
+        let grid = DomainGrid {
+            steps: 3,
+            ..Default::default()
+        };
+        let one = operational_domain_with(&wire(), grid, &sim().with_threads(1));
+        let four = operational_domain_with(&wire(), grid, &sim().with_threads(4));
+        assert_eq!(one.samples, four.samples);
     }
 
     #[test]
@@ -264,12 +300,7 @@ mod tests {
             steps: 1,
             ..Default::default()
         };
-        let domain = operational_domain(
-            &wire(),
-            &PhysicalParams::default(),
-            grid,
-            Engine::QuickExact,
-        );
+        let domain = operational_domain_with(&wire(), grid, &sim());
         assert_eq!(domain.samples.len(), 1);
     }
 }

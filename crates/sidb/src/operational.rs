@@ -5,14 +5,23 @@
 //! their near/far positions and output perturbers present) reproduces the
 //! intended truth table on the output BDL pairs. This is the acceptance
 //! criterion the paper applied to every tile of the Bestagon library.
+//!
+//! Validation fans the `2^k` input patterns out across the simulation
+//! engine's worker pool and shares the gate body's interaction matrix
+//! between them (patterns differ only in a few perturber dots, so the
+//! dominant O(n²) matrix build happens once). Every pattern is always
+//! simulated — no early exit — so verdicts *and* work counters are
+//! identical at any thread count.
 
 use crate::bdl::{InputPort, OutputPort};
-use crate::charge::ChargeConfiguration;
-use crate::exgs::exhaustive_ground_state;
+use crate::charge::{ChargeConfiguration, InteractionMatrix};
+use crate::engine::{self, SimParams, SimStats};
 use crate::layout::SidbLayout;
 use crate::model::PhysicalParams;
-use crate::quickexact::quick_exact_ground_state;
-use crate::simanneal::{simulated_annealing, AnnealParams};
+
+/// Which ground-state engine validates a design (an alias of
+/// [`crate::engine::SimEngine`], kept for source compatibility).
+pub use crate::engine::SimEngine as Engine;
 
 /// A complete, simulatable SiDB gate design.
 #[derive(Debug, Clone)]
@@ -28,19 +37,6 @@ pub struct GateDesign {
     /// Expected outputs per input pattern; row `p` corresponds to the
     /// pattern whose bit `i` is input `i`'s value.
     pub truth_table: Vec<Vec<bool>>,
-}
-
-/// Which ground-state engine validates the design.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Engine {
-    /// Exhaustive search — exact, gate-sized instances only.
-    Exhaustive,
-    /// Simulated annealing with the given parameters.
-    Anneal(AnnealParams),
-    /// Branch-and-bound exact search (fast on BDL-structured layouts).
-    QuickExact,
-    /// QuickExact for exact results; the default choice.
-    Auto,
 }
 
 /// The validation verdict.
@@ -63,6 +59,22 @@ impl OperationalStatus {
     /// True if the design is fully operational.
     pub fn is_operational(&self) -> bool {
         matches!(self, OperationalStatus::Operational)
+    }
+}
+
+/// A validation verdict together with the simulation work it took.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperationalReport {
+    /// The verdict.
+    pub status: OperationalStatus,
+    /// Work counters summed over all simulated input patterns.
+    pub stats: SimStats,
+}
+
+impl OperationalReport {
+    /// True if the design is fully operational.
+    pub fn is_operational(&self) -> bool {
+        self.status.is_operational()
     }
 }
 
@@ -98,22 +110,19 @@ impl GateDesign {
         layout
     }
 
-    /// Simulates one input pattern and decodes the outputs.
+    /// Simulates one input pattern under the given parameters and
+    /// decodes the outputs.
     ///
     /// Returns `None` when no ground state could be determined (empty
     /// design).
-    pub fn simulate_pattern(
+    pub fn simulate_pattern_with(
         &self,
         pattern: u32,
-        params: &PhysicalParams,
-        engine: Engine,
+        sim: &SimParams,
     ) -> Option<PatternSimulation> {
         let layout = self.layout_for_pattern(pattern);
-        let ground_state = match engine {
-            Engine::Exhaustive => exhaustive_ground_state(&layout, params)?,
-            Engine::Anneal(a) => simulated_annealing(&layout, params, &a)?.config,
-            Engine::QuickExact | Engine::Auto => quick_exact_ground_state(&layout, params)?,
-        };
+        let result = engine::simulate_with(&layout, sim);
+        let ground_state = result.states.first().map(|s| s.config.clone())?;
         let outputs = self
             .outputs
             .iter()
@@ -126,37 +135,103 @@ impl GateDesign {
         })
     }
 
-    /// Validates the design against its truth table.
+    /// Simulates one input pattern and decodes the outputs.
+    ///
+    /// Returns `None` when no ground state could be determined (empty
+    /// design).
+    #[deprecated(since = "0.6.0", note = "use `simulate_pattern_with(&SimParams)`")]
+    pub fn simulate_pattern(
+        &self,
+        pattern: u32,
+        params: &PhysicalParams,
+        engine: Engine,
+    ) -> Option<PatternSimulation> {
+        self.simulate_pattern_with(pattern, &SimParams::new(*params).with_engine(engine))
+    }
+
+    /// Validates the design against its truth table, returning the
+    /// verdict together with the summed simulation work counters.
+    ///
+    /// All `2^k` input patterns run across the engine's worker pool with
+    /// a shared body interaction matrix; the reported failing pattern is
+    /// always the lowest-numbered one, independent of scheduling.
     ///
     /// # Panics
     ///
     /// Panics if the truth table does not cover every input pattern.
-    pub fn check_operational(&self, params: &PhysicalParams, engine: Engine) -> OperationalStatus {
+    pub fn check_operational_with(&self, sim: &SimParams) -> OperationalReport {
+        let report = self.check_core(sim);
+        engine::emit_stats(&report.stats);
+        report
+    }
+
+    /// [`check_operational_with`](Self::check_operational_with) without
+    /// telemetry emission, for callers that aggregate several designs.
+    pub(crate) fn check_core(&self, sim: &SimParams) -> OperationalReport {
         assert_eq!(
             self.truth_table.len() as u32,
             self.num_patterns(),
             "truth table must cover all input patterns"
         );
-        for pattern in 0..self.num_patterns() {
-            let expected = &self.truth_table[pattern as usize];
-            let sim = self
-                .simulate_pattern(pattern, params, engine)
+        let threads = sim.threads.unwrap_or_else(engine::default_sim_threads);
+        // Patterns are the partition units; each unit simulates serially
+        // so the pool width never changes any per-pattern arithmetic.
+        let unit_sim = sim.clone().with_threads(1);
+        let body_matrix = InteractionMatrix::new(&self.body, &sim.physical);
+        let patterns = self.num_patterns() as usize;
+        let run = engine::run_partitioned(patterns, threads, |p| {
+            let layout = self.layout_for_pattern(p as u32);
+            let matrix =
+                InteractionMatrix::extended(&body_matrix, &self.body, &layout, &sim.physical);
+            let result = engine::simulate_with_matrix(&layout, &unit_sim, Some(&matrix));
+            let ground_state = result
+                .states
+                .first()
+                .map(|s| s.config.clone())
                 .expect("gate bodies are non-empty");
-            let ok = sim.outputs.len() == expected.len()
-                && sim
-                    .outputs
+            let outputs: Vec<Option<bool>> = self
+                .outputs
+                .iter()
+                .map(|o| o.pair.read(&layout, &ground_state))
+                .collect();
+            (outputs, result.stats)
+        });
+        let mut stats = SimStats {
+            recovered: run.recovered,
+            ..SimStats::default()
+        };
+        let mut status = OperationalStatus::Operational;
+        for (pattern, (outputs, pattern_stats)) in run.results.into_iter().enumerate() {
+            stats.merge(&pattern_stats);
+            if !status.is_operational() {
+                continue;
+            }
+            let expected = &self.truth_table[pattern];
+            let ok = outputs.len() == expected.len()
+                && outputs
                     .iter()
                     .zip(expected)
                     .all(|(obs, exp)| *obs == Some(*exp));
             if !ok {
-                return OperationalStatus::NonOperational {
-                    pattern,
-                    observed: sim.outputs,
+                status = OperationalStatus::NonOperational {
+                    pattern: pattern as u32,
+                    observed: outputs,
                     expected: expected.clone(),
                 };
             }
         }
-        OperationalStatus::Operational
+        OperationalReport { status, stats }
+    }
+
+    /// Validates the design against its truth table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the truth table does not cover every input pattern.
+    #[deprecated(since = "0.6.0", note = "use `check_operational_with(&SimParams)`")]
+    pub fn check_operational(&self, params: &PhysicalParams, engine: Engine) -> OperationalStatus {
+        self.check_operational_with(&SimParams::new(*params).with_engine(engine))
+            .status
     }
 
     /// Translated copy of the whole design.
@@ -175,6 +250,9 @@ impl GateDesign {
 mod tests {
     use super::*;
     use crate::bdl::BdlPair;
+    use crate::cache::SimCache;
+    use crate::engine::SimEngine;
+    use crate::simanneal::AnnealParams;
 
     /// A three-pair BDL wire in the validated geometry: vertical pairs
     /// `(0,y,0)/(0,y+1,0)` at a four-row pitch, input perturbers at the
@@ -219,10 +297,11 @@ mod tests {
     #[test]
     fn wire_design_is_operational() {
         let d = wire_design();
-        let params = PhysicalParams::default();
-        assert!(d
-            .check_operational(&params, Engine::Exhaustive)
-            .is_operational());
+        let report = d.check_operational_with(
+            &SimParams::new(PhysicalParams::default()).with_engine(SimEngine::Exhaustive),
+        );
+        assert!(report.is_operational());
+        assert!(report.stats.visited > 0);
     }
 
     #[test]
@@ -231,13 +310,40 @@ mod tests {
         let params = PhysicalParams::default();
         for pattern in 0..2 {
             let a = d
-                .simulate_pattern(pattern, &params, Engine::Exhaustive)
+                .simulate_pattern_with(
+                    pattern,
+                    &SimParams::new(params).with_engine(SimEngine::Exhaustive),
+                )
                 .expect("ok");
             let b = d
-                .simulate_pattern(pattern, &params, Engine::Anneal(AnnealParams::default()))
+                .simulate_pattern_with(
+                    pattern,
+                    &SimParams::new(params).with_engine(SimEngine::Anneal(AnnealParams::default())),
+                )
                 .expect("ok");
             assert_eq!(a.outputs, b.outputs, "pattern {pattern}");
         }
+    }
+
+    #[test]
+    fn verdicts_and_stats_are_thread_invariant() {
+        let d = wire_design();
+        let base = SimParams::new(PhysicalParams::default());
+        let one = d.check_core(&base.clone().with_threads(1));
+        let four = d.check_core(&base.clone().with_threads(4));
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn cached_validation_visits_fewer_configurations() {
+        let d = wire_design();
+        let sim = SimParams::new(PhysicalParams::default()).with_cache(SimCache::new());
+        let first = d.check_operational_with(&sim);
+        let second = d.check_operational_with(&sim);
+        assert_eq!(first.status, second.status);
+        assert!(first.stats.visited > 0);
+        assert_eq!(second.stats.visited, 0, "all patterns served from cache");
+        assert_eq!(second.stats.cache_hits, u64::from(d.num_patterns()));
     }
 
     #[test]
@@ -245,6 +351,17 @@ mod tests {
     fn short_truth_table_panics() {
         let mut d = wire_design();
         d.truth_table.pop();
-        d.check_operational(&PhysicalParams::default(), Engine::Exhaustive);
+        let _ = d.check_operational_with(&SimParams::new(PhysicalParams::default()));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_work() {
+        let d = wire_design();
+        let params = PhysicalParams::default();
+        assert!(d
+            .check_operational(&params, Engine::Exhaustive)
+            .is_operational());
+        assert!(d.simulate_pattern(1, &params, Engine::QuickExact).is_some());
     }
 }

@@ -16,26 +16,42 @@
 //! For gate-sized BDL structures this reduces the effective search to a
 //! few hundred branches, making exact validation cheap enough to sit in
 //! the inner loop of the automated gate designer.
+//!
+//! Under an interaction cutoff the layout may decompose into independent
+//! clusters; each cluster is an independent partition unit solved across
+//! the engine's worker pool, and the per-cluster spectra are merged
+//! best-first. The entry points here are deprecated wrappers; new code
+//! uses [`crate::engine::simulate_with`] with
+//! [`SimEngine::QuickExact`](crate::engine::SimEngine).
 
 use crate::charge::{ChargeConfiguration, ChargeState, InteractionMatrix};
+use crate::engine::{self, SimEngine, SimParams};
 use crate::exgs::SimulatedState;
 use crate::layout::SidbLayout;
 use crate::model::PhysicalParams;
 
-/// Exact ground state via branch and bound. Equivalent to
-/// [`crate::exgs::exhaustive_ground_state`] but typically orders of
-/// magnitude faster on BDL-structured layouts.
+/// Exact ground state via branch and bound. Equivalent to the
+/// exhaustive sweep but typically orders of magnitude faster on
+/// BDL-structured layouts.
 ///
 /// # Panics
 ///
 /// Panics if `params.three_state` is set.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `engine::simulate_with` with `SimEngine::QuickExact`"
+)]
 pub fn quick_exact_ground_state(
     layout: &SidbLayout,
     params: &PhysicalParams,
 ) -> Option<ChargeConfiguration> {
-    quick_exact_low_energy(layout, params, 1)
-        .pop()
-        .map(|s| s.config)
+    engine::simulate_with(
+        layout,
+        &SimParams::new(*params).with_engine(SimEngine::QuickExact),
+    )
+    .states
+    .pop()
+    .map(|s| s.config)
 }
 
 /// The `k` lowest-free-energy valid configurations via branch and bound,
@@ -44,29 +60,127 @@ pub fn quick_exact_ground_state(
 /// # Panics
 ///
 /// Panics if `params.three_state` is set.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `engine::simulate_with` with `SimEngine::QuickExact`"
+)]
 pub fn quick_exact_low_energy(
     layout: &SidbLayout,
     params: &PhysicalParams,
     k: usize,
 ) -> Vec<SimulatedState> {
+    engine::simulate_with(
+        layout,
+        &SimParams::new(*params)
+            .with_engine(SimEngine::QuickExact)
+            .with_k(k),
+    )
+    .states
+}
+
+/// One branch-and-bound run's outcome (for [`crate::engine`]).
+pub(crate) struct QeRun {
+    pub states: Vec<SimulatedState>,
+    /// Search-tree nodes expanded.
+    pub nodes: u64,
+    /// Subtrees cut by the bound and viability arguments.
+    pub prunes: u64,
+    /// Partition units recomputed after a worker fault.
+    pub recovered: u64,
+}
+
+/// The engine core: exact k-best search, decomposing into connected
+/// clusters of the interaction graph and solving them across the worker
+/// pool. `matrix`, when given, must be the interaction matrix of
+/// `layout` under `params` (shared by gate validation across input
+/// patterns).
+pub(crate) fn low_energy_core(
+    layout: &SidbLayout,
+    params: &PhysicalParams,
+    k: usize,
+    threads: usize,
+    matrix: Option<&InteractionMatrix>,
+) -> QeRun {
     assert!(
         !params.three_state,
         "quick-exact implements the two-state model"
     );
     let n = layout.num_sites();
     if n == 0 || k == 0 {
-        return Vec::new();
+        return QeRun {
+            states: Vec::new(),
+            nodes: 0,
+            prunes: 0,
+            recovered: 0,
+        };
     }
-    let m = InteractionMatrix::new(layout, params);
+    let owned;
+    let m = match matrix {
+        Some(m) if m.num_sites() == n => m,
+        _ => {
+            owned = InteractionMatrix::new(layout, params);
+            &owned
+        }
+    };
 
     // Under an interaction cutoff the layout may decompose into
     // independent clusters; solve each exactly and combine (energies add,
     // validity is per-cluster).
-    let components = connected_components(&m);
-    if components.len() > 1 {
-        fcn_telemetry::counter("qe.components", components.len() as u64);
-        return solve_componentwise(layout, params, k, &m, &components);
+    let components = connected_components(m);
+    if components.len() == 1 {
+        let (states, nodes, prunes) = solve_connected(layout, params, k, Some(m));
+        return QeRun {
+            states,
+            nodes,
+            prunes,
+            recovered: 0,
+        };
     }
+    let run = engine::run_partitioned(components.len(), threads, |ci| {
+        let sub = SidbLayout::from_sites(components[ci].iter().map(|&i| layout.sites()[i]));
+        solve_connected(&sub, params, k, None)
+    });
+    let mut nodes = 0u64;
+    let mut prunes = 0u64;
+    let mut per_cluster: Vec<Vec<SimulatedState>> = Vec::with_capacity(components.len());
+    for (states, n_nodes, n_prunes) in run.results {
+        nodes += n_nodes;
+        prunes += n_prunes;
+        if states.is_empty() {
+            return QeRun {
+                states: Vec::new(), // a cluster with no valid state (n=0 never)
+                nodes,
+                prunes,
+                recovered: run.recovered,
+            };
+        }
+        per_cluster.push(states);
+    }
+    QeRun {
+        states: combine_clusters(layout, k, &components, &per_cluster),
+        nodes,
+        prunes,
+        recovered: run.recovered,
+    }
+}
+
+/// Exact k-best search over one connected cluster. Returns the sorted
+/// states plus (nodes expanded, subtrees pruned).
+fn solve_connected(
+    layout: &SidbLayout,
+    params: &PhysicalParams,
+    k: usize,
+    matrix: Option<&InteractionMatrix>,
+) -> (Vec<SimulatedState>, u64, u64) {
+    let n = layout.num_sites();
+    let owned;
+    let m = match matrix {
+        Some(m) => m,
+        None => {
+            owned = InteractionMatrix::new(layout, params);
+            &owned
+        }
+    };
 
     // Decide physically close sites together — that is what makes the
     // bounds bite. A Prim-style proximity order (grow a connected blob,
@@ -173,16 +287,7 @@ pub fn quick_exact_low_energy(
             if self.best.iter().any(|s| s.config == state.config) {
                 return;
             }
-            let pos = self
-                .best
-                .binary_search_by(|s| {
-                    s.free_energy
-                        .partial_cmp(&state.free_energy)
-                        .unwrap_or(core::cmp::Ordering::Equal)
-                })
-                .unwrap_or_else(|p| p);
-            self.best.insert(pos, state);
-            self.best.truncate(self.k);
+            engine::insert_state(&mut self.best, state, self.k);
         }
 
         /// Checks whether the partial assignment can still extend to a
@@ -274,7 +379,7 @@ pub fn quick_exact_low_energy(
 
     const NODE_BUDGET: u64 = 20_000_000;
     let mut search = Search {
-        m: &m,
+        m,
         mu: params.mu_minus,
         order: &order,
         rem: &rem,
@@ -293,18 +398,18 @@ pub fn quick_exact_low_energy(
     // free energy under single flips and hops is exactly a physically
     // valid configuration, giving the branch-and-bound a strong initial
     // bound that usually *is* the ground state.
-    let incumbent = greedy_descent(&m, params, n);
+    let incumbent = greedy_descent(m, params, n);
     search.record(SimulatedState {
-        electrostatic_energy: incumbent.electrostatic_energy(&m),
-        free_energy: incumbent.free_energy(&m),
+        electrostatic_energy: incumbent.electrostatic_energy(m),
+        free_energy: incumbent.free_energy(m),
         config: incumbent,
     });
     search.recurse(0);
-    fcn_telemetry::counter("qe.sites", n as u64);
-    fcn_telemetry::counter("qe.nodes", NODE_BUDGET - search.nodes_left);
-    fcn_telemetry::counter("qe.bound_prunes", search.bound_prunes);
-    fcn_telemetry::counter("qe.viability_prunes", search.viability_prunes);
-    search.best
+    (
+        search.best,
+        NODE_BUDGET - search.nodes_left,
+        search.bound_prunes + search.viability_prunes,
+    )
 }
 
 /// Connected components of the (possibly cutoff) interaction graph.
@@ -335,26 +440,16 @@ fn connected_components(m: &InteractionMatrix) -> Vec<Vec<usize>> {
     groups
 }
 
-/// Solves each independent cluster and combines the per-cluster k-best
-/// lists into global k-best states (free energies add across clusters).
-fn solve_componentwise(
+/// Combines per-cluster k-best lists into global k-best states by
+/// best-first enumeration of index tuples (free energies add across
+/// clusters). Cluster counts are small (k per cluster), so a bounded
+/// product is fine.
+fn combine_clusters(
     layout: &SidbLayout,
-    params: &PhysicalParams,
     k: usize,
-    m: &InteractionMatrix,
     components: &[Vec<usize>],
+    per_cluster: &[Vec<SimulatedState>],
 ) -> Vec<SimulatedState> {
-    let mut per_cluster: Vec<Vec<SimulatedState>> = Vec::new();
-    for comp in components {
-        let sub = SidbLayout::from_sites(comp.iter().map(|&i| layout.sites()[i]));
-        let solved = quick_exact_low_energy(&sub, params, k);
-        if solved.is_empty() {
-            return Vec::new(); // a cluster with no valid state (n=0 never)
-        }
-        per_cluster.push(solved);
-    }
-    // Combine: enumerate index tuples in best-first fashion. Cluster
-    // counts are small (k per cluster), so a bounded product is fine.
     let mut combos: Vec<(f64, Vec<usize>)> = vec![(
         per_cluster.iter().map(|c| c[0].free_energy).sum(),
         vec![0; per_cluster.len()],
@@ -399,7 +494,6 @@ fn solve_componentwise(
             }
         }
     }
-    let _ = m;
     results
 }
 
@@ -471,6 +565,7 @@ fn greedy_descent(m: &InteractionMatrix, params: &PhysicalParams, n: usize) -> C
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::exgs::exhaustive_low_energy;
@@ -560,5 +655,22 @@ mod tests {
     #[test]
     fn empty_layout() {
         assert!(quick_exact_ground_state(&SidbLayout::new(), &PhysicalParams::default()).is_none());
+    }
+
+    #[test]
+    fn clustered_layouts_agree_across_thread_counts() {
+        // A 2 meV cutoff decomposes three far-apart pairs into clusters;
+        // the component partition must merge identically at any width.
+        let params = PhysicalParams::default().with_cutoff(0.002);
+        let mut layout = SidbLayout::new();
+        for c in 0..3 {
+            layout.add_site((40 * c, 0, 0));
+            layout.add_site((40 * c + 2, 0, 0));
+        }
+        let serial = low_energy_core(&layout, &params, 4, 1, None);
+        let wide = low_energy_core(&layout, &params, 4, 4, None);
+        assert_eq!(serial.states, wide.states);
+        assert!(!serial.states.is_empty());
+        assert_eq!(serial.nodes, wide.nodes);
     }
 }

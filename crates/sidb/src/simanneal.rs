@@ -161,19 +161,45 @@ impl<'a> Anneal<'a> {
 /// # Examples
 ///
 /// ```
+/// use sidb_sim::engine::{simulate_with, SimEngine, SimParams};
 /// use sidb_sim::layout::SidbLayout;
 /// use sidb_sim::model::PhysicalParams;
-/// use sidb_sim::simanneal::{simulated_annealing, AnnealParams};
+/// use sidb_sim::simanneal::AnnealParams;
 ///
 /// let layout = SidbLayout::from_sites([(0, 0, 0), (20, 0, 0)]);
-/// let state = simulated_annealing(&layout, &PhysicalParams::default(), &AnnealParams::default())
-///     .expect("non-empty layout");
-/// assert_eq!(state.config.num_negative(), 2);
+/// let result = simulate_with(
+///     &layout,
+///     &SimParams::new(PhysicalParams::default())
+///         .with_engine(SimEngine::Anneal(AnnealParams::default())),
+/// );
+/// assert_eq!(result.ground_state().expect("non-empty").config.num_negative(), 2);
 /// ```
+#[deprecated(
+    since = "0.6.0",
+    note = "use `engine::simulate_with` with `SimEngine::Anneal`"
+)]
 pub fn simulated_annealing(
     layout: &SidbLayout,
     params: &PhysicalParams,
     anneal: &AnnealParams,
+) -> Option<SimulatedState> {
+    crate::engine::simulate_with(
+        layout,
+        &crate::engine::SimParams::new(*params)
+            .with_engine(crate::engine::SimEngine::Anneal(*anneal)),
+    )
+    .states
+    .pop()
+}
+
+/// The annealing core (for [`crate::engine`]): the best physically
+/// valid state over `anneal.instances` independent Metropolis runs.
+/// `matrix`, when given, must belong to `layout` under `params`.
+pub(crate) fn anneal_core(
+    layout: &SidbLayout,
+    params: &PhysicalParams,
+    anneal: &AnnealParams,
+    matrix: Option<&InteractionMatrix>,
 ) -> Option<SimulatedState> {
     assert!(
         !params.three_state,
@@ -183,7 +209,14 @@ pub fn simulated_annealing(
     if n == 0 {
         return None;
     }
-    let m = InteractionMatrix::new(layout, params);
+    let owned;
+    let m = match matrix {
+        Some(m) if m.num_sites() == n => m,
+        _ => {
+            owned = InteractionMatrix::new(layout, params);
+            &owned
+        }
+    };
     let mut rng = StdRng::seed_from_u64(anneal.seed);
     let mut best: Option<SimulatedState> = None;
     let mut accepted: u64 = 0;
@@ -196,7 +229,7 @@ pub fn simulated_annealing(
                 config.set_state(i, ChargeState::Negative);
             }
         }
-        let mut state = Anneal::new(&m, params, config);
+        let mut state = Anneal::new(m, params, config);
         let mut temperature = anneal.initial_temperature;
         for _ in 0..anneal.sweeps {
             for _ in 0..n {
@@ -230,9 +263,9 @@ pub fn simulated_annealing(
             temperature *= anneal.cooling;
         }
         state.descend();
-        debug_assert!(state.config.is_physically_valid(&m));
+        debug_assert!(state.config.is_physically_valid(m));
         let candidate = SimulatedState {
-            electrostatic_energy: state.config.electrostatic_energy(&m),
+            electrostatic_energy: state.config.electrostatic_energy(m),
             free_energy: state.free_energy,
             config: state.config,
         };
@@ -244,14 +277,12 @@ pub fn simulated_annealing(
             best = Some(candidate);
         }
     }
-    let instances = anneal.instances.max(1) as u64;
-    fcn_telemetry::counter("anneal.instances", instances);
-    fcn_telemetry::counter("anneal.sweeps", instances * anneal.sweeps as u64);
-    fcn_telemetry::counter("anneal.accepted_moves", accepted);
+    let _ = accepted;
     best
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::exgs::exhaustive_low_energy;

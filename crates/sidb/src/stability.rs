@@ -11,9 +11,9 @@
 //! becomes comparable — the "energetic separation" analysis the SiDB
 //! literature (and the paper's SiQAD reference) perform on gate designs.
 
+use crate::engine::{simulate_with, SimParams};
 use crate::model::PhysicalParams;
 use crate::operational::{Engine, GateDesign};
-use crate::quickexact::quick_exact_low_energy;
 
 /// Boltzmann constant in eV/K.
 pub const BOLTZMANN_EV_PER_K: f64 = 8.617_333e-5;
@@ -59,10 +59,11 @@ pub fn logic_stability(
         ),
         "gap analysis requires an exact engine"
     );
+    let sim = SimParams::new(*params).with_engine(engine).with_k(k_states);
     (0..design.num_patterns())
         .map(|pattern| {
             let layout = design.layout_for_pattern(pattern);
-            let states = quick_exact_low_energy(&layout, params, k_states);
+            let states = simulate_with(&layout, &sim).states;
             let gap_ev = states.split_first().and_then(|(ground, rest)| {
                 let ground_read: Vec<_> = design
                     .outputs

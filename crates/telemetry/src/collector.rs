@@ -293,6 +293,19 @@ impl Report {
         self.root.child(name).map(|c| c.duration)
     }
 
+    /// Sum of the named counter over the whole span tree. Counters are
+    /// recorded against whichever span was innermost at the time, so
+    /// fleet-style assertions ("how many configurations did this run
+    /// visit in total?") need the tree-wide total rather than a single
+    /// span's cell.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        fn walk(span: &SpanReport, name: &str) -> u64 {
+            span.counters.get(name).copied().unwrap_or(0)
+                + span.children.iter().map(|c| walk(c, name)).sum::<u64>()
+        }
+        walk(&self.root, name)
+    }
+
     /// One line per top-level stage with duration and share of total.
     pub fn render_summary(&self) -> String {
         let mut out = String::new();

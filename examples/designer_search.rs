@@ -14,8 +14,8 @@
 use bestagon_lib::designer::{design_canvas, with_canvas, DesignerOptions};
 use bestagon_lib::geometry::{column, standard_input_port, standard_output_port, WEST_PORT_X};
 use sidb_sim::layout::SidbLayout;
-use sidb_sim::model::PhysicalParams;
-use sidb_sim::operational::{Engine, GateDesign};
+use sidb_sim::operational::GateDesign;
+use sidb_sim::{PhysicalParams, SimEngine, SimParams};
 
 fn main() {
     // A wire column with a hole: pairs at rows 1..13 and 19..22 — the gap
@@ -30,8 +30,9 @@ fn main() {
         truth_table: vec![vec![false], vec![true]],
     };
     let params = PhysicalParams::default();
-    let status = broken.check_operational(&params, Engine::QuickExact);
-    println!("starting point: {} — {status:?}", broken.name);
+    let sim = SimParams::new(params).with_engine(SimEngine::QuickExact);
+    let report = broken.check_operational_with(&sim);
+    println!("starting point: {} — {:?}", broken.name, report.status);
 
     let options = DesignerOptions {
         region: (WEST_PORT_X - 2, 14, WEST_PORT_X + 2, 18),
@@ -61,7 +62,7 @@ fn main() {
             );
             println!(
                 "verdict: {:?}",
-                repaired.check_operational(&params, Engine::QuickExact)
+                repaired.check_operational_with(&sim).status
             );
         }
         None => {
@@ -70,7 +71,7 @@ fn main() {
             let manual = with_canvas(&broken, &[(14, 16, 0).into(), (16, 16, 0).into()]);
             println!(
                 "manual reference (pair at row 16): {:?}",
-                manual.check_operational(&params, Engine::QuickExact)
+                manual.check_operational_with(&sim).status
             );
         }
     }

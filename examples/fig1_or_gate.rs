@@ -9,12 +9,12 @@
 
 use bestagon_lib::tiles::huff_style_or;
 use sidb_sim::charge::ChargeState;
-use sidb_sim::model::PhysicalParams;
-use sidb_sim::operational::Engine;
+use sidb_sim::{PhysicalParams, SimEngine, SimParams};
 
 fn main() {
     let gate = huff_style_or();
     let params = PhysicalParams::default().with_mu_minus(-0.28);
+    let sim_params = SimParams::new(params).with_engine(SimEngine::Exhaustive);
     println!("=== Figure 1c: Y-shaped OR gate, μ− = −0.28 eV ===");
     println!(
         "gate: {} ({} SiDBs + perturbers)\n",
@@ -26,7 +26,7 @@ fn main() {
         let a = pattern & 1 == 1;
         let b = pattern & 2 != 0;
         let sim = gate
-            .simulate_pattern(pattern, &params, Engine::Exhaustive)
+            .simulate_pattern_with(pattern, &sim_params)
             .expect("non-empty gate");
         let out = sim.outputs[0];
         println!(
@@ -45,6 +45,10 @@ fn main() {
         }
     }
 
-    let verdict = gate.check_operational(&params, Engine::Exhaustive);
-    println!("\noperational check: {verdict:?}");
+    let report = gate.check_operational_with(&sim_params);
+    println!("\noperational check: {:?}", report.status);
+    println!(
+        "configurations visited: {} (pruned {})",
+        report.stats.visited, report.stats.pruned
+    );
 }

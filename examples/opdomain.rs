@@ -10,20 +10,18 @@
 //! maps where each design still reproduces its truth table.
 
 use bestagon_lib::tiles::{huff_style_or, inverter_nw_sw, wire_nw_sw};
-use sidb_sim::model::PhysicalParams;
-use sidb_sim::opdomain::{operational_domain, DomainGrid};
-use sidb_sim::operational::Engine;
+use sidb_sim::opdomain::{operational_domain_with, DomainGrid};
+use sidb_sim::{PhysicalParams, SimCache, SimEngine, SimParams};
 
 fn main() {
     let grid = DomainGrid::default();
+    let mut sim = SimParams::new(PhysicalParams::default()).with_engine(SimEngine::QuickExact);
+    if let Some(cache) = SimCache::from_env() {
+        sim = sim.with_cache(cache);
+    }
     println!("=== Operational domains (■ = truth table reproduced) ===\n");
     for design in [huff_style_or(), wire_nw_sw(), inverter_nw_sw()] {
-        let domain = operational_domain(
-            &design,
-            &PhysicalParams::default(),
-            grid,
-            Engine::QuickExact,
-        );
+        let domain = operational_domain_with(&design, grid, &sim);
         println!(
             "{} — coverage {:.0}% of the swept window, nominal point {}:",
             design.name,

@@ -21,6 +21,12 @@
 //! thread count defaults to the machine's parallelism and is recorded in
 //! the JSON (`pnr_threads`). Override it with the `PNR_THREADS`
 //! environment variable — results are identical at any thread count.
+//!
+//! Step 7 additionally re-validates the distinct tile designs each
+//! layout uses with the cached exact simulation engine, so every
+//! report in the JSON carries the `sidb.*` counters (configurations
+//! visited/pruned, cache hits). `SIM_THREADS` and `SIM_CACHE` control
+//! the simulation pool and cache, mirroring `PNR_THREADS`.
 
 use bestagon_core::benchmarks::{benchmark, benchmark_names};
 use bestagon_core::flow::{run_flow, FlowOptions, PnrMethod};
@@ -41,7 +47,8 @@ fn main() {
         let started = Instant::now();
         let options = FlowOptions::new()
             .with_pnr(PnrMethod::ExactWithFallback { max_area: 120 })
-            .with_threads(pnr_threads);
+            .with_threads(pnr_threads)
+            .with_tile_validation();
         match run_flow(name, &b.xag, &options) {
             Ok(result) => {
                 let ratio = result.layout.ratio();

@@ -9,8 +9,11 @@
 
 use sidb_sim::charge::ChargeState::Negative;
 use sidb_sim::layout::SidbLayout;
-use sidb_sim::model::PhysicalParams;
-use sidb_sim::quickexact::quick_exact_ground_state;
+use sidb_sim::{simulate_with, PhysicalParams, SimEngine, SimParams};
+
+fn quickexact_params() -> SimParams {
+    SimParams::new(PhysicalParams::default()).with_engine(SimEngine::QuickExact)
+}
 
 fn hp(l: &mut SidbLayout, cx: i32, y: i32) {
     l.add_site((cx - 1, y, 0));
@@ -76,7 +79,7 @@ fn build(k: &Knobs, a: bool, b: bool) -> SidbLayout {
 }
 
 fn out_value(l: &SidbLayout) -> Option<bool> {
-    let gs = quick_exact_ground_state(l, &PhysicalParams::default())?;
+    let gs = simulate_with(l, &quickexact_params()).states.pop()?.config;
     let left = l.index_of((44, 22, 0))?;
     let right = l.index_of((46, 22, 0))?;
     // output convention: value 1 = electron LEFT
@@ -232,15 +235,15 @@ fn knob_sweep() {
 #[test]
 fn diagnose2() {
     use bestagon_lib::tiles::*;
-    use sidb_sim::operational::{Engine, OperationalStatus};
-    let p = PhysicalParams::default();
+    use sidb_sim::operational::OperationalStatus;
+    let sim_params = quickexact_params();
     for (name, d) in [
         ("straight inv", inverter_nw_sw()),
         ("double", double_wire()),
         ("diag wire", wire_nw_se()),
         ("fanout", fanout_nw()),
     ] {
-        match d.check_operational(&p, Engine::QuickExact) {
+        match d.check_operational_with(&sim_params).status {
             OperationalStatus::Operational => println!("{name}: OK"),
             OperationalStatus::NonOperational {
                 pattern,
@@ -250,7 +253,7 @@ fn diagnose2() {
                 println!(
                     "{name}: FAIL pattern {pattern} observed {observed:?} expected {expected:?}"
                 );
-                let sim = d.simulate_pattern(pattern, &p, Engine::QuickExact).unwrap();
+                let sim = d.simulate_pattern_with(pattern, &sim_params).unwrap();
                 let neg: Vec<String> = sim
                     .layout
                     .sites()
@@ -291,14 +294,13 @@ fn calibrated_and_frame_is_operational() {
 /// column sits within a couple of meV of the ground state.
 #[test]
 fn wire_phase_margins_are_milli_ev() {
-    use sidb_sim::quickexact::quick_exact_low_energy;
     let mut l = SidbLayout::new();
     for y in [1, 4, 7, 10, 13, 16, 19, 22] {
         hp(&mut l, 15, y);
     }
     l.add_site((14, -2, 1));
     l.add_site((15, 25, 0));
-    let states = quick_exact_low_energy(&l, &PhysicalParams::default(), 2);
+    let states = simulate_with(&l, &quickexact_params().with_k(2)).states;
     assert_eq!(states.len(), 2);
     let gap_ev = states[1].free_energy - states[0].free_energy;
     assert!(gap_ev > 0.0);

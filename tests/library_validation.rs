@@ -7,13 +7,19 @@ use bestagon_lib::tiles::{
     double_wire, gate_catalog, huff_style_or, inverter_nw_sw, two_input_gate, wire_nw_sw,
 };
 use fcn_logic::GateKind;
-use sidb_sim::model::PhysicalParams;
-use sidb_sim::operational::{Engine, GateDesign};
+use sidb_sim::operational::GateDesign;
 use sidb_sim::stability::{logic_stability, worst_case_gap_ev};
+use sidb_sim::{PhysicalParams, SimEngine, SimParams};
 
 fn assert_operational(design: &GateDesign) {
-    let verdict = design.check_operational(&PhysicalParams::default(), Engine::QuickExact);
-    assert!(verdict.is_operational(), "{}: {verdict:?}", design.name);
+    let sim = SimParams::new(PhysicalParams::default()).with_engine(SimEngine::QuickExact);
+    let report = design.check_operational_with(&sim);
+    assert!(
+        report.is_operational(),
+        "{}: {:?}",
+        design.name,
+        report.status
+    );
 }
 
 fn catalog_gate(kind: GateKind) -> GateDesign {
@@ -41,9 +47,10 @@ fn validated_tile_set_stays_operational() {
 
 #[test]
 fn huff_or_works_at_figure_1c_parameters() {
-    let params = PhysicalParams::default().with_mu_minus(-0.28);
-    let verdict = huff_style_or().check_operational(&params, Engine::Exhaustive);
-    assert!(verdict.is_operational(), "{verdict:?}");
+    let sim = SimParams::new(PhysicalParams::default().with_mu_minus(-0.28))
+        .with_engine(SimEngine::Exhaustive);
+    let report = huff_style_or().check_operational_with(&sim);
+    assert!(report.is_operational(), "{:?}", report.status);
 }
 
 #[test]
@@ -55,7 +62,12 @@ fn validated_gates_have_resolvable_stability_gaps() {
         catalog_gate(GateKind::And),
         catalog_gate(GateKind::Or),
     ] {
-        let stability = logic_stability(&design, &PhysicalParams::default(), 6, Engine::QuickExact);
+        let stability = logic_stability(
+            &design,
+            &PhysicalParams::default(),
+            6,
+            SimEngine::QuickExact,
+        );
         if let Some(gap) = worst_case_gap_ev(&stability) {
             assert!(gap > 0.0, "{}: non-positive gap", design.name);
         }
@@ -67,15 +79,18 @@ fn operational_gates_agree_with_their_truth_tables_under_annealing() {
     // The paper validated with SimAnneal; our annealer must agree with
     // the exact engine on the validated set.
     use sidb_sim::simanneal::AnnealParams;
-    let params = PhysicalParams::default();
+    let sim =
+        SimParams::new(PhysicalParams::default()).with_engine(SimEngine::Anneal(AnnealParams {
+            instances: 30,
+            ..Default::default()
+        }));
     for design in [wire_nw_sw(), inverter_nw_sw()] {
-        let verdict = design.check_operational(
-            &params,
-            Engine::Anneal(AnnealParams {
-                instances: 30,
-                ..Default::default()
-            }),
+        let report = design.check_operational_with(&sim);
+        assert!(
+            report.is_operational(),
+            "{}: {:?}",
+            design.name,
+            report.status
         );
-        assert!(verdict.is_operational(), "{}: {verdict:?}", design.name);
     }
 }

@@ -247,6 +247,83 @@ fn rewrite_iteration_budget_clamps_step2() {
     assert_eq!(r.equivalence, Some(Equivalence::Equivalent));
 }
 
+/// An injected panic in the simulation worker pool leaves empty result
+/// slots that the coordinator recomputes serially — the spectrum is
+/// bit-identical to a clean run and the recovery is counted.
+#[test]
+fn injected_sim_partition_panic_recovers_bit_identically() {
+    use bestagon_lib::tiles::huff_style_or;
+    use sidb_sim::{PhysicalParams, SimEngine, SimParams};
+    // Gate validation partitions the 2^k input patterns across the
+    // pool; every pattern unit is hit by the injected panic and
+    // recomputed by the coordinator.
+    let design = huff_style_or();
+    let params = SimParams::new(PhysicalParams::default())
+        .with_engine(SimEngine::QuickExact)
+        .with_threads(4);
+    let clean = design.check_operational_with(&params);
+    assert_eq!(clean.stats.recovered, 0);
+
+    let plan = Arc::new(FaultPlan::single("sidb.partition", Fault::Panic));
+    let scope = install(plan.clone());
+    let faulted = design.check_operational_with(&params);
+    drop(scope);
+    assert!(plan.hits("sidb.partition") > 0, "fault point was reached");
+    assert!(faulted.stats.recovered > 0, "recomputed units are counted");
+    assert_eq!(clean.status, faulted.status, "recovery is bit-identical");
+    assert_eq!(clean.stats.visited, faulted.stats.visited);
+}
+
+/// An injected exhaustion at the partition point stops parallel dispatch
+/// and the coordinator finishes serially — same results, degraded speed.
+#[test]
+fn injected_sim_partition_exhaust_serializes_without_changing_results() {
+    use bestagon_lib::tiles::huff_style_or;
+    use sidb_sim::{PhysicalParams, SimEngine, SimParams};
+    let design = huff_style_or();
+    let params = SimParams::new(PhysicalParams::default())
+        .with_engine(SimEngine::QuickExact)
+        .with_threads(4);
+    let clean = design.check_operational_with(&params);
+
+    let plan = Arc::new(FaultPlan::single("sidb.partition", Fault::Exhaust));
+    let scope = install(plan.clone());
+    let faulted = design.check_operational_with(&params);
+    drop(scope);
+    assert!(plan.hits("sidb.partition") > 0);
+    assert_eq!(clean.status, faulted.status, "verdict is fault-invariant");
+}
+
+/// A poisoned simulation cache behaves as absent: every access misses,
+/// nothing is stored, and the verdict is still correct — a broken cache
+/// costs time, never correctness.
+#[test]
+fn injected_cache_fault_degrades_to_recompute() {
+    use bestagon_lib::tiles::wire_nw_sw;
+    use sidb_sim::{PhysicalParams, SimCache, SimEngine, SimParams};
+    let design = wire_nw_sw();
+    let params = SimParams::new(PhysicalParams::default())
+        .with_engine(SimEngine::QuickExact)
+        .with_cache(SimCache::new());
+
+    let plan = Arc::new(FaultPlan::single("sidb.cache", Fault::Panic));
+    let scope = install(plan.clone());
+    let first = design.check_operational_with(&params);
+    let second = design.check_operational_with(&params);
+    drop(scope);
+    assert!(plan.hits("sidb.cache") > 0, "fault point was reached");
+    assert!(first.is_operational() && second.is_operational());
+    assert_eq!(second.stats.cache_hits, 0, "poisoned cache never hits");
+    assert!(second.stats.visited > 0, "revalidation recomputed");
+
+    // With the fault cleared the same cache object works again.
+    let third = design.check_operational_with(&params);
+    let fourth = design.check_operational_with(&params);
+    assert!(third.stats.cache_misses > 0);
+    assert!(fourth.stats.cache_hits > 0);
+    assert_eq!(fourth.stats.visited, 0);
+}
+
 /// Heuristic-only flows ignore the SAT probe budgets entirely.
 #[test]
 fn heuristic_flow_is_unaffected_by_probe_budgets() {
