@@ -16,7 +16,10 @@
 //!   data at named points, so every degradation edge is exercised by
 //!   tests rather than hoped-for.
 //!
-//! This crate sits below `msat` and has no dependencies.
+//! This crate sits below `msat`; its only dependency is the (itself
+//! dependency-free) `fcn-telemetry` crate, so deadline bookkeeping can
+//! be recorded against the same monotonic clock the span timings use
+//! ([`Deadline::record_remaining`]).
 
 #![forbid(unsafe_code)]
 
@@ -82,6 +85,19 @@ impl Deadline {
     /// Milliseconds left before expiry; `None` when unbounded.
     pub fn remaining_ms(&self) -> Option<u64> {
         self.remaining().map(|d| d.as_millis() as u64)
+    }
+
+    /// Records the remaining milliseconds as a telemetry counter named
+    /// `name` on the ambient collector's innermost open span. A no-op
+    /// when the deadline is unbounded (an unconstrained run's report is
+    /// unchanged) or when no collector is installed. Both the deadline
+    /// and the telemetry spans read `std::time::Instant`, so the
+    /// recorded headroom is directly comparable to the span durations
+    /// around it.
+    pub fn record_remaining(&self, name: &str) {
+        if let Some(ms) = self.remaining_ms() {
+            fcn_telemetry::counter(name, ms);
+        }
     }
 }
 
@@ -262,6 +278,22 @@ mod tests {
         let d = Deadline::after(Duration::from_secs(3600));
         assert!(!d.expired());
         assert!(d.remaining().expect("bounded") > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn record_remaining_feeds_the_ambient_collector() {
+        let collector = std::sync::Arc::new(fcn_telemetry::Collector::new("test"));
+        fcn_telemetry::with_collector(&collector, || {
+            Deadline::unbounded().record_remaining("headroom_ms");
+            Deadline::after(Duration::from_secs(3600)).record_remaining("headroom_ms");
+        });
+        let report = collector.report();
+        let recorded = report.root.counters.get("headroom_ms").copied();
+        // Unbounded recorded nothing; the bounded deadline recorded its
+        // (large) remaining headroom.
+        assert!(recorded.is_some_and(|ms| ms > 3_000_000), "{recorded:?}");
+        // Without a collector the call is a no-op rather than a panic.
+        Deadline::after_ms(5).record_remaining("headroom_ms");
     }
 
     #[test]

@@ -496,6 +496,10 @@ fn run_instrumented(
     collector.finish();
     let report = collector.report();
     fcn_telemetry::emit(&report);
+    // Fold the run into the process-wide aggregate (counters,
+    // histograms, flow wall times) — off the hot path, after the
+    // per-run report is frozen.
+    fcn_telemetry::Registry::global().absorb_report(&report);
     outcome.map(|mut result| {
         result.report = report;
         result
@@ -790,9 +794,9 @@ fn run_flow_steps(name: &str, xag: &Xag, options: &FlowOptions) -> Result<FlowRe
     if !degradations.is_empty() {
         fcn_telemetry::counter("flow.degraded", degradations.len() as u64);
     }
-    if let Some(ms) = budget.deadline.remaining_ms() {
-        fcn_telemetry::counter("flow.deadline_remaining_ms", ms);
-    }
+    budget
+        .deadline
+        .record_remaining("flow.deadline_remaining_ms");
 
     Ok(FlowResult {
         name: name.to_owned(),

@@ -935,6 +935,7 @@ fn solve_ratio_scratch(
     fcn_telemetry::counter("sat.decisions", stats.decisions);
     fcn_telemetry::counter("sat.propagations", stats.propagations);
     fcn_telemetry::counter("sat.restarts", stats.restarts);
+    fcn_telemetry::histogram("pnr.probe.conflicts", stats.conflicts);
     fcn_telemetry::note("verdict", verdict.to_string());
     let probe = RatioProbe {
         ratio,
@@ -990,6 +991,7 @@ fn solve_ratio_incremental(
     fcn_telemetry::counter("sat.decisions", stats.decisions);
     fcn_telemetry::counter("sat.propagations", stats.propagations);
     fcn_telemetry::counter("sat.restarts", stats.restarts);
+    fcn_telemetry::histogram("pnr.probe.conflicts", stats.conflicts);
     let verdict = match &outcome {
         BoundedResult::Sat(_) => "sat",
         BoundedResult::Unsat => "unsat",

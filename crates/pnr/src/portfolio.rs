@@ -212,88 +212,96 @@ where
 
     let workers = num_threads.min(candidates.len());
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let _fault_scope = fault_plan.clone().map(fcn_budget::fault::install);
-                let mut ctx = make_ctx();
-                loop {
-                    // Dispatch strictly in index order; stop once the
-                    // stream is exhausted, a SAT result rules out
-                    // everything that remains (indices past the best
-                    // SAT cannot win), or the scan halted (panic/abort).
-                    let (idx, flag) = {
-                        let mut s = shared.lock().unwrap();
-                        if s.halt || s.next >= candidates.len() || s.next > s.best_sat {
-                            break;
-                        }
-                        let idx = s.next;
-                        s.next += 1;
-                        let flag: CancelFlag = Arc::new(AtomicBool::new(false));
-                        s.inflight.push((idx, flag.clone()));
-                        (idx, flag)
-                    };
-
-                    // Run the probe, under a scoped child collector when
-                    // the coordinator has telemetry installed. The probe
-                    // is isolated with `catch_unwind`: a panic must not
-                    // unwind through the pool, it becomes a typed error
-                    // and cancels the siblings.
-                    let probed =
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &parent {
-                            Some(_) => {
-                                let child = Arc::new(fcn_telemetry::Collector::new("probe"));
-                                let outcome = fcn_telemetry::with_collector(&child, || {
-                                    probe(&mut ctx, idx, &candidates[idx], &flag)
-                                });
-                                child.finish();
-                                (outcome, Some(child.report()))
-                            }
-                            None => (probe(&mut ctx, idx, &candidates[idx], &flag), None),
-                        }));
-                    let (outcome, report) = match probed {
-                        Ok(pair) => pair,
-                        Err(payload) => {
+        for worker in 0..workers {
+            // Named threads label the tracks in exported Perfetto
+            // traces (`TELEMETRY_TRACE`).
+            std::thread::Builder::new()
+                .name(format!("pnr-worker-{worker}"))
+                .spawn_scoped(scope, || {
+                    let _fault_scope = fault_plan.clone().map(fcn_budget::fault::install);
+                    let mut ctx = make_ctx();
+                    loop {
+                        // Dispatch strictly in index order; stop once the
+                        // stream is exhausted, a SAT result rules out
+                        // everything that remains (indices past the best
+                        // SAT cannot win), or the scan halted (panic/abort).
+                        let (idx, flag) = {
                             let mut s = shared.lock().unwrap();
-                            s.inflight.retain(|(i, _)| *i != idx);
-                            s.halt = true;
-                            if s.panicked.is_none() {
-                                s.panicked = Some(payload_string(payload.as_ref()));
+                            if s.halt || s.next >= candidates.len() || s.next > s.best_sat {
+                                break;
                             }
-                            // Cancel every sibling: the scan's result is
-                            // an internal error either way, so pending
-                            // verdicts have no value and holding the
-                            // pool open only delays the caller.
-                            for (_, f) in &s.inflight {
-                                f.store(true, Ordering::Relaxed);
-                            }
-                            // The probe context may be poisoned by the
-                            // unwind; this worker retires.
-                            break;
-                        }
-                    };
+                            let idx = s.next;
+                            s.next += 1;
+                            let flag: CancelFlag = Arc::new(AtomicBool::new(false));
+                            s.inflight.push((idx, flag.clone()));
+                            (idx, flag)
+                        };
 
-                    {
-                        let mut s = shared.lock().unwrap();
-                        s.inflight.retain(|(i, _)| *i != idx);
-                        if outcome.layout.is_some() && idx < s.best_sat {
-                            s.best_sat = idx;
-                            for (i, f) in &s.inflight {
-                                if *i > idx {
+                        // Run the probe, under a scoped child collector when
+                        // the coordinator has telemetry installed. The probe
+                        // is isolated with `catch_unwind`: a panic must not
+                        // unwind through the pool, it becomes a typed error
+                        // and cancels the siblings.
+                        let probed =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                || match &parent {
+                                    Some(_) => {
+                                        let child =
+                                            Arc::new(fcn_telemetry::Collector::new("probe"));
+                                        let outcome = fcn_telemetry::with_collector(&child, || {
+                                            probe(&mut ctx, idx, &candidates[idx], &flag)
+                                        });
+                                        child.finish();
+                                        (outcome, Some(child.report()))
+                                    }
+                                    None => (probe(&mut ctx, idx, &candidates[idx], &flag), None),
+                                },
+                            ));
+                        let (outcome, report) = match probed {
+                            Ok(pair) => pair,
+                            Err(payload) => {
+                                let mut s = shared.lock().unwrap();
+                                s.inflight.retain(|(i, _)| *i != idx);
+                                s.halt = true;
+                                if s.panicked.is_none() {
+                                    s.panicked = Some(payload_string(payload.as_ref()));
+                                }
+                                // Cancel every sibling: the scan's result is
+                                // an internal error either way, so pending
+                                // verdicts have no value and holding the
+                                // pool open only delays the caller.
+                                for (_, f) in &s.inflight {
                                     f.store(true, Ordering::Relaxed);
                                 }
+                                // The probe context may be poisoned by the
+                                // unwind; this worker retires.
+                                break;
+                            }
+                        };
+
+                        {
+                            let mut s = shared.lock().unwrap();
+                            s.inflight.retain(|(i, _)| *i != idx);
+                            if outcome.layout.is_some() && idx < s.best_sat {
+                                s.best_sat = idx;
+                                for (i, f) in &s.inflight {
+                                    if *i > idx {
+                                        f.store(true, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                            if outcome.abort.is_some() {
+                                // Scan-wide limit: stop dispatching. Probes
+                                // already in flight conclude under their own
+                                // (identical) limits, so any SAT among them
+                                // still commits.
+                                s.halt = true;
                             }
                         }
-                        if outcome.abort.is_some() {
-                            // Scan-wide limit: stop dispatching. Probes
-                            // already in flight conclude under their own
-                            // (identical) limits, so any SAT among them
-                            // still commits.
-                            s.halt = true;
-                        }
+                        slots.lock().unwrap()[idx] = Some((outcome, report));
                     }
-                    slots.lock().unwrap()[idx] = Some((outcome, report));
-                }
-            });
+                })
+                .expect("spawn pnr worker");
         }
     });
 

@@ -214,6 +214,34 @@ pub struct SolverStats {
     pub restarts: u64,
     /// Number of learned clauses currently in the database.
     pub learned: u64,
+    /// Wall time spent inside [`Solver::solve_with`] since the stats
+    /// were last reset. Monotonic-clock-derived; zero when the stats
+    /// come from a context with no timing (hand-built literals).
+    pub solve_time: std::time::Duration,
+}
+
+impl SolverStats {
+    /// Conflicts per second of solve time; `None` without timing.
+    pub fn conflicts_per_sec(&self) -> Option<f64> {
+        (!self.solve_time.is_zero()).then(|| self.conflicts as f64 / self.solve_time.as_secs_f64())
+    }
+
+    /// Propagations per second of solve time; `None` without timing.
+    pub fn propagations_per_sec(&self) -> Option<f64> {
+        (!self.solve_time.is_zero())
+            .then(|| self.propagations as f64 / self.solve_time.as_secs_f64())
+    }
+
+    /// These statistics with [`SolverStats::solve_time`] zeroed: the
+    /// deterministic work counters alone. Reproducibility assertions
+    /// (e.g. "the portfolio does identical solver work at any thread
+    /// count") compare these, since wall time is never reproducible.
+    pub fn without_time(&self) -> SolverStats {
+        SolverStats {
+            solve_time: std::time::Duration::ZERO,
+            ..*self
+        }
+    }
 }
 
 impl std::fmt::Display for SolverStats {
@@ -222,7 +250,15 @@ impl std::fmt::Display for SolverStats {
             f,
             "{} conflicts, {} decisions, {} propagations, {} restarts, {} learned",
             self.conflicts, self.decisions, self.propagations, self.restarts, self.learned
-        )
+        )?;
+        if let (Some(cps), Some(pps)) = (self.conflicts_per_sec(), self.propagations_per_sec()) {
+            write!(
+                f,
+                ", {:.3?} ({cps:.0} conflicts/s, {pps:.0} propagations/s)",
+                self.solve_time
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -235,6 +271,7 @@ impl std::ops::AddAssign for SolverStats {
         // `learned` is a database size, not a flow: summing probe
         // snapshots would double-count, so keep the latest.
         self.learned = rhs.learned;
+        self.solve_time += rhs.solve_time;
     }
 }
 
@@ -809,12 +846,17 @@ impl Solver {
         let limit = params
             .max_conflicts
             .map(|b| self.stats.conflicts.saturating_add(b));
-        self.search(
+        let started = std::time::Instant::now();
+        let result = self.search(
             &params.assumptions,
             limit,
             params.interruptible,
             params.deadline.instant(),
-        )
+        );
+        // Accumulated like the work counters, so derived rates stay
+        // consistent across incremental probes until `stats_reset`.
+        self.stats.solve_time += started.elapsed();
+        result
     }
 
     /// Solves the formula.
@@ -1325,6 +1367,7 @@ mod tests {
             conflicts: 3,
             restarts: 4,
             learned: 5,
+            solve_time: std::time::Duration::ZERO,
         };
         let text = stats.to_string();
         for needle in [
@@ -1336,6 +1379,8 @@ mod tests {
         ] {
             assert!(text.contains(needle), "{text:?} missing {needle:?}");
         }
+        // No timing, no rates.
+        assert!(!text.contains("conflicts/s"), "{text:?}");
         let mut sum = stats;
         sum += SolverStats {
             decisions: 10,
@@ -1343,6 +1388,41 @@ mod tests {
         };
         assert_eq!(sum.decisions, 11);
         assert_eq!(sum.conflicts, 3);
+    }
+
+    #[test]
+    fn stats_display_derives_rates_from_solve_time() {
+        let stats = SolverStats {
+            conflicts: 100,
+            propagations: 5000,
+            solve_time: std::time::Duration::from_secs(2),
+            ..SolverStats::default()
+        };
+        assert_eq!(stats.conflicts_per_sec(), Some(50.0));
+        assert_eq!(stats.propagations_per_sec(), Some(2500.0));
+        let text = stats.to_string();
+        assert!(text.contains("50 conflicts/s"), "{text:?}");
+        assert!(text.contains("2500 propagations/s"), "{text:?}");
+        // Rates accumulate coherently: doubling work and time keeps
+        // the rate.
+        let mut sum = stats;
+        sum += stats;
+        assert_eq!(sum.conflicts_per_sec(), Some(50.0));
+        assert_eq!(SolverStats::default().conflicts_per_sec(), None);
+    }
+
+    #[test]
+    fn solve_with_records_solve_time() {
+        let mut s = pigeonhole(5, 4);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let timed = s.stats();
+        assert!(
+            !timed.solve_time.is_zero(),
+            "search work must accumulate solve_time"
+        );
+        assert!(timed.conflicts_per_sec().unwrap() > 0.0);
+        s.stats_reset();
+        assert!(s.stats().solve_time.is_zero(), "reset clears timing");
     }
 
     #[test]

@@ -46,7 +46,7 @@
 //! stops parallel dispatch so the remaining units run serially.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::cache::SimCache;
 use crate::charge::{ChargeConfiguration, ChargeState, InteractionMatrix};
@@ -256,6 +256,7 @@ pub(crate) fn simulate_with_matrix(
         let cache = params.cache.as_ref().expect("checked");
         let key = crate::cache::SimKey::for_simulation(layout, params);
         if let Some((states, truncated)) = cache.lookup(&key) {
+            fcn_telemetry::histogram("sidb.cache_lookup", 1);
             return SimResult {
                 states,
                 truncated,
@@ -265,6 +266,7 @@ pub(crate) fn simulate_with_matrix(
                 },
             };
         }
+        fcn_telemetry::histogram("sidb.cache_lookup", 0);
         let mut result = simulate_core(layout, params, matrix);
         result.stats.cache_misses = 1;
         cache.store(key, &result.states, result.truncated);
@@ -273,7 +275,9 @@ pub(crate) fn simulate_with_matrix(
     simulate_core(layout, params, matrix)
 }
 
-/// Records a run's counters into the ambient telemetry collector.
+/// Records a run's counters into the ambient telemetry collector,
+/// plus the `sidb.visited` histogram sample that lets reports show the
+/// *distribution* of per-simulation sweep sizes, not just the total.
 pub(crate) fn emit_stats(stats: &SimStats) {
     for (name, value) in [
         ("sidb.visited", stats.visited),
@@ -286,6 +290,9 @@ pub(crate) fn emit_stats(stats: &SimStats) {
         if value > 0 {
             fcn_telemetry::counter(name, value);
         }
+    }
+    if stats.visited > 0 {
+        fcn_telemetry::histogram("sidb.visited", stats.visited);
     }
 }
 
@@ -362,7 +369,47 @@ pub(crate) struct PoolRun<T> {
 /// `work` must be a pure function of the unit index — that is what
 /// makes the merged result independent of scheduling. Hosts the
 /// `sidb.partition` fault point (see the module docs).
+///
+/// When the coordinator has an ambient telemetry collector and there is
+/// more than one unit, each unit runs under a scoped child
+/// [`fcn_telemetry::Collector`] with a `sim.unit:<idx>` span — worker
+/// threads cannot see the coordinator's thread-local collector — and
+/// the snapshots are adopted in index order after the pool joins. The
+/// merged report (spans, histograms, trace events) is therefore
+/// independent of both the thread count and the scheduling; only the
+/// recorded wall times vary. Single-unit runs skip the wrapper: they
+/// execute inline under the ambient collector at any width.
 pub(crate) fn run_partitioned<T, F>(units: usize, threads: usize, work: F) -> PoolRun<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let instrument = units > 1 && fcn_telemetry::current().is_some();
+    if !instrument {
+        return run_partitioned_raw(units, threads, work);
+    }
+    let run = run_partitioned_raw(units, threads, |idx| {
+        let child = Arc::new(fcn_telemetry::Collector::new("sim.pool"));
+        let value = fcn_telemetry::with_collector(&child, || {
+            let _unit = fcn_telemetry::span(format!("sim.unit:{idx}"));
+            work(idx)
+        });
+        child.finish();
+        (value, child.report())
+    });
+    let mut results = Vec::with_capacity(units);
+    for (value, report) in run.results {
+        fcn_telemetry::adopt_report(&report);
+        results.push(value);
+    }
+    PoolRun {
+        results,
+        recovered: run.recovered,
+    }
+}
+
+/// The scheduling core of [`run_partitioned`], telemetry-agnostic.
+fn run_partitioned_raw<T, F>(units: usize, threads: usize, work: F) -> PoolRun<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -395,38 +442,43 @@ where
     let fault_plan = fcn_budget::fault::current();
     let workers = threads.min(units);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let _fault_scope = fault_plan.clone().map(fcn_budget::fault::install);
-                loop {
-                    let idx = {
-                        let mut next = cursor.lock().expect("cursor lock");
-                        if *next >= units {
-                            break;
+        for worker in 0..workers {
+            // Named threads label the tracks in exported Perfetto
+            // traces (`TELEMETRY_TRACE`).
+            let spawned = std::thread::Builder::new()
+                .name(format!("sim-worker-{worker}"))
+                .spawn_scoped(scope, || {
+                    let _fault_scope = fault_plan.clone().map(fcn_budget::fault::install);
+                    loop {
+                        let idx = {
+                            let mut next = cursor.lock().expect("cursor lock");
+                            if *next >= units {
+                                break;
+                            }
+                            let idx = *next;
+                            *next += 1;
+                            idx
+                        };
+                        match catch_unwind(AssertUnwindSafe(|| {
+                            fcn_budget::fault::check("sidb.partition")
+                        })) {
+                            // Injected panic: leave the slot empty; the
+                            // coordinator recomputes it after the join.
+                            Err(_) => continue,
+                            // Injected exhaustion: stop parallel dispatch;
+                            // the coordinator finishes serially.
+                            Ok(Some(fcn_budget::fault::Fault::Exhaust)) => {
+                                *cursor.lock().expect("cursor lock") = units;
+                                continue;
+                            }
+                            Ok(_) => {}
                         }
-                        let idx = *next;
-                        *next += 1;
-                        idx
-                    };
-                    match catch_unwind(AssertUnwindSafe(|| {
-                        fcn_budget::fault::check("sidb.partition")
-                    })) {
-                        // Injected panic: leave the slot empty; the
-                        // coordinator recomputes it after the join.
-                        Err(_) => continue,
-                        // Injected exhaustion: stop parallel dispatch;
-                        // the coordinator finishes serially.
-                        Ok(Some(fcn_budget::fault::Fault::Exhaust)) => {
-                            *cursor.lock().expect("cursor lock") = units;
-                            continue;
+                        if let Ok(value) = catch_unwind(AssertUnwindSafe(|| work(idx))) {
+                            slots.lock().expect("slot lock")[idx] = Some(value);
                         }
-                        Ok(_) => {}
                     }
-                    if let Ok(value) = catch_unwind(AssertUnwindSafe(|| work(idx))) {
-                        slots.lock().expect("slot lock")[idx] = Some(value);
-                    }
-                }
-            });
+                });
+            spawned.expect("spawn sim worker");
         }
     });
     let mut recovered = 0;

@@ -1,12 +1,21 @@
 //! The span collector: a thread-safe arena of timed, nested spans with
-//! attached counters, gauges, and notes, plus the snapshot [`Report`]
-//! and its renderers.
+//! attached counters, gauges, notes, and histograms, plus the snapshot
+//! [`Report`], its renderers, and the optional trace-event buffer.
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::hist::Histogram;
 use crate::json::Value;
+use crate::trace::{self, TraceEvent, MAX_TRACE_EVENTS};
+
+/// Histogram every span keeps of its direct children's wall times, in
+/// microseconds. Recorded on span close into the *parent*, so a stage
+/// span summarizes the distribution of the probes/units under it; the
+/// child-collector adoption path merges worker-side roots into the
+/// parent stage span, keeping the sequential and parallel shapes alike.
+pub const SPAN_DURATION_HISTOGRAM: &str = "span.us";
 
 #[derive(Debug)]
 struct SpanData {
@@ -17,6 +26,7 @@ struct SpanData {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     notes: BTreeMap<String, String>,
+    histograms: BTreeMap<String, Histogram>,
 }
 
 impl SpanData {
@@ -29,6 +39,7 @@ impl SpanData {
             counters: BTreeMap::new(),
             gauges: BTreeMap::new(),
             notes: BTreeMap::new(),
+            histograms: BTreeMap::new(),
         }
     }
 }
@@ -41,6 +52,11 @@ struct Inner {
     /// [`Collector::finish`] (or forever — snapshots time open spans
     /// against "now").
     stack: Vec<usize>,
+    /// Closed-span events, oldest first, capped at
+    /// [`MAX_TRACE_EVENTS`]. Empty unless the collector is traced.
+    events: Vec<TraceEvent>,
+    /// Events discarded after the buffer filled.
+    events_dropped: u64,
 }
 
 /// Thread-safe collector holding one tree of spans.
@@ -51,18 +67,42 @@ struct Inner {
 #[derive(Debug)]
 pub struct Collector {
     inner: Mutex<Inner>,
+    /// Whether closed spans are buffered as [`TraceEvent`]s. Decided at
+    /// creation from `TELEMETRY_TRACE` (so worker-thread child
+    /// collectors agree with their parent without plumbing) or forced
+    /// by [`Collector::new_traced`].
+    traced: bool,
 }
 
 impl Collector {
     /// Creates a collector whose root span is named `root_name` and
-    /// starts now.
+    /// starts now. Trace-event capture follows the `TELEMETRY_TRACE`
+    /// environment variable.
     pub fn new(root_name: impl Into<String>) -> Collector {
+        Collector::with_tracing(root_name, trace::trace_enabled_by_env())
+    }
+
+    /// Creates a collector with trace-event capture forced on,
+    /// independent of the environment (tests, embedded hosts).
+    pub fn new_traced(root_name: impl Into<String>) -> Collector {
+        Collector::with_tracing(root_name, true)
+    }
+
+    fn with_tracing(root_name: impl Into<String>, traced: bool) -> Collector {
         Collector {
             inner: Mutex::new(Inner {
                 spans: vec![SpanData::new(root_name.into())],
                 stack: vec![0],
+                events: Vec::new(),
+                events_dropped: 0,
             }),
+            traced,
         }
+    }
+
+    /// Whether this collector buffers trace events.
+    pub fn is_traced(&self) -> bool {
+        self.traced
     }
 
     /// Opens a child span under the innermost open span. Prefer the
@@ -107,11 +147,29 @@ impl Collector {
         inner.spans[top].notes.insert(name.to_owned(), value.into());
     }
 
+    /// Records one sample into a named histogram on the innermost open
+    /// span.
+    pub fn histogram(&self, name: &str, value: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let top = *inner.stack.last().expect("root span always open");
+        inner.spans[top]
+            .histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(value);
+    }
+
     /// Closes the root span, freezing the total wall time.
     pub fn finish(&self) {
         let mut inner = self.inner.lock().unwrap();
         if inner.spans[0].duration.is_none() {
             inner.spans[0].duration = Some(inner.spans[0].start.elapsed());
+            if self.traced {
+                let name = inner.spans[0].name.clone();
+                let start = inner.spans[0].start;
+                let duration = inner.spans[0].duration.expect("just set");
+                push_event(&mut inner, name, start, duration);
+            }
         }
     }
 
@@ -120,6 +178,8 @@ impl Collector {
         let inner = self.inner.lock().unwrap();
         Report {
             root: build_report(&inner.spans, 0),
+            events: inner.events.clone(),
+            events_dropped: inner.events_dropped,
         }
     }
 
@@ -138,8 +198,11 @@ impl Collector {
     }
 
     /// Adopts every top-level span of `report` in order, then merges the
-    /// report root's own counters, gauges, and notes into the innermost
-    /// open span (counters add; gauges and notes overwrite).
+    /// report root's own counters, gauges, notes, and histograms into
+    /// the innermost open span (counters add, histograms merge; gauges
+    /// and notes overwrite). The report's trace events — if either side
+    /// captured any — are appended to this collector's buffer, still
+    /// labeled with the worker thread they were recorded on.
     ///
     /// This is the parent-side half of the scoped child-collector
     /// pattern: a worker runs under its own `Collector`, finishes it,
@@ -164,12 +227,33 @@ impl Collector {
         for (name, value) in &root.notes {
             target.notes.insert(name.clone(), value.clone());
         }
+        for (name, hist) in &root.histograms {
+            target
+                .histograms
+                .entry(name.clone())
+                .or_default()
+                .merge(hist);
+        }
+        for event in &report.events {
+            if inner.events.len() < MAX_TRACE_EVENTS {
+                inner.events.push(event.clone());
+            } else {
+                inner.events_dropped += 1;
+            }
+        }
+        inner.events_dropped += report.events_dropped;
     }
 
     fn close(&self, id: usize) {
         let mut inner = self.inner.lock().unwrap();
         if inner.spans[id].duration.is_none() {
             inner.spans[id].duration = Some(inner.spans[id].start.elapsed());
+        }
+        let duration = inner.spans[id].duration.expect("just set");
+        if self.traced {
+            let name = inner.spans[id].name.clone();
+            let start = inner.spans[id].start;
+            push_event(&mut inner, name, start, duration);
         }
         // Unwinding can close spans out of order; drop every span the
         // closed one still (transitively) encloses.
@@ -179,6 +263,32 @@ impl Collector {
         if inner.stack.is_empty() {
             inner.stack.push(0);
         }
+        // Fold this span's wall time into the enclosing span's duration
+        // histogram (the root after an out-of-order unwind).
+        let parent = *inner.stack.last().expect("root span always open");
+        if parent != id {
+            inner.spans[parent]
+                .histograms
+                .entry(SPAN_DURATION_HISTOGRAM.to_owned())
+                .or_default()
+                .record(duration.as_micros() as u64);
+        }
+    }
+}
+
+/// Appends a closed span to the bounded event buffer, labeled with the
+/// calling thread.
+fn push_event(inner: &mut Inner, name: String, start: Instant, duration: Duration) {
+    if inner.events.len() < MAX_TRACE_EVENTS {
+        inner.events.push(TraceEvent {
+            name,
+            tid: trace::current_tid(),
+            thread_label: trace::current_thread_label(),
+            start,
+            duration,
+        });
+    } else {
+        inner.events_dropped += 1;
     }
 }
 
@@ -195,6 +305,7 @@ fn adopt_span(spans: &mut Vec<SpanData>, report: &SpanReport) -> usize {
         counters: report.counters.clone(),
         gauges: report.gauges.clone(),
         notes: report.notes.clone(),
+        histograms: report.histograms.clone(),
     });
     let children: Vec<usize> = report
         .children
@@ -213,6 +324,7 @@ fn build_report(spans: &[SpanData], id: usize) -> SpanReport {
         counters: span.counters.clone(),
         gauges: span.gauges.clone(),
         notes: span.notes.clone(),
+        histograms: span.histograms.clone(),
         children: span
             .children
             .iter()
@@ -255,6 +367,12 @@ impl Drop for SpanGuard {
 pub struct Report {
     /// The root span (the whole timed region).
     pub root: SpanReport,
+    /// Closed-span trace events in recording/adoption order. Empty
+    /// unless the collector was traced (`TELEMETRY_TRACE` or
+    /// [`Collector::new_traced`]).
+    pub events: Vec<TraceEvent>,
+    /// Events lost to the bounded buffer.
+    pub events_dropped: u64,
 }
 
 /// One span in a [`Report`].
@@ -270,6 +388,10 @@ pub struct SpanReport {
     pub gauges: BTreeMap<String, f64>,
     /// String annotations recorded while this span was innermost.
     pub notes: BTreeMap<String, String>,
+    /// Histograms recorded while this span was innermost, plus the
+    /// implicit [`SPAN_DURATION_HISTOGRAM`] of its children's wall
+    /// times.
+    pub histograms: BTreeMap<String, Histogram>,
     /// Nested child spans in opening order.
     pub children: Vec<SpanReport>,
 }
@@ -304,6 +426,32 @@ impl Report {
                 + span.children.iter().map(|c| walk(c, name)).sum::<u64>()
         }
         walk(&self.root, name)
+    }
+
+    /// The named histogram merged over the whole span tree (empty if
+    /// never recorded). The merge is bucket-wise and deterministic —
+    /// see [`Histogram::merge`].
+    pub fn histogram_total(&self, name: &str) -> Histogram {
+        fn walk(span: &SpanReport, name: &str, total: &mut Histogram) {
+            if let Some(hist) = span.histograms.get(name) {
+                total.merge(hist);
+            }
+            for child in &span.children {
+                walk(child, name, total);
+            }
+        }
+        let mut total = Histogram::new();
+        walk(&self.root, name, &mut total);
+        total
+    }
+
+    /// The buffered trace events as a Chrome trace-event JSON document
+    /// (`{"traceEvents": [...]}`), loadable in Perfetto and
+    /// `chrome://tracing`. Timestamps are normalized so the earliest
+    /// event starts at zero; every recording thread appears as its own
+    /// named track.
+    pub fn to_chrome_trace(&self) -> String {
+        trace::chrome_trace(&self.events, self.events_dropped).serialize()
     }
 
     /// One line per top-level stage with duration and share of total.
@@ -366,6 +514,9 @@ fn render_line(out: &mut String, span: &SpanReport, depth: usize, total: Duratio
     for (name, value) in &span.gauges {
         let _ = write!(out, "  {name}={value:.4}");
     }
+    for (name, hist) in &span.histograms {
+        let _ = write!(out, "  {name}~{{{}}}", hist.render_brief());
+    }
     for (name, value) in &span.notes {
         let _ = write!(out, "  {name}={value}");
     }
@@ -409,6 +560,17 @@ fn span_to_value(span: &SpanReport) -> Value {
                 span.gauges
                     .iter()
                     .map(|(k, &v)| (k.clone(), Value::Num(v)))
+                    .collect(),
+            ),
+        ));
+    }
+    if !span.histograms.is_empty() {
+        fields.push((
+            "histograms".to_owned(),
+            Value::Obj(
+                span.histograms
+                    .iter()
+                    .map(|(k, h)| (k.clone(), h.to_value()))
                     .collect(),
             ),
         ));
@@ -569,6 +731,112 @@ mod tests {
         let adopted = &parent.report().root.children[0];
         assert_eq!(adopted.duration, recorded, "duration must be preserved");
         assert_eq!(adopted.children[0].name, "inner");
+    }
+
+    #[test]
+    fn histograms_record_and_render() {
+        let collector = Arc::new(Collector::new("root"));
+        for v in [3u64, 5, 200] {
+            collector.histogram("probe.conflicts", v);
+        }
+        collector.finish();
+        let report = collector.report();
+        let hist = &report.root.histograms["probe.conflicts"];
+        assert_eq!(hist.count(), 3);
+        assert_eq!(hist.max(), 200);
+        let tree = report.render_tree();
+        assert!(tree.contains("probe.conflicts~{n=3"), "{tree}");
+        let encoded = report.to_json();
+        let value = crate::json::parse(&encoded).unwrap();
+        let count = value
+            .get("histograms")
+            .and_then(|h| h.get("probe.conflicts"))
+            .and_then(|h| h.get("count"))
+            .and_then(Value::as_f64);
+        assert_eq!(count, Some(3.0));
+    }
+
+    #[test]
+    fn span_close_feeds_parent_duration_histogram() {
+        let collector = Arc::new(Collector::new("root"));
+        {
+            let _stage = collector.span("stage");
+            for _ in 0..3 {
+                let _unit = collector.span("unit");
+            }
+        }
+        collector.finish();
+        let report = collector.report();
+        let stage = report.root.child("stage").unwrap();
+        assert_eq!(stage.histograms[SPAN_DURATION_HISTOGRAM].count(), 3);
+        // The root saw exactly one direct child close.
+        assert_eq!(report.root.histograms[SPAN_DURATION_HISTOGRAM].count(), 1);
+        // And the tree-wide merge sees all four.
+        assert_eq!(report.histogram_total(SPAN_DURATION_HISTOGRAM).count(), 4);
+    }
+
+    #[test]
+    fn adopt_report_merges_histograms_and_events() {
+        let make_worker = |values: &[u64]| {
+            let worker = Arc::new(Collector::new_traced("probe"));
+            {
+                let _span = worker.span("ratio:2x3");
+                for &v in values {
+                    worker.histogram("probe.conflicts", v);
+                }
+            }
+            worker.finish();
+            worker.report()
+        };
+        let a = make_worker(&[1, 2]);
+        let b = make_worker(&[4]);
+
+        let parent = Arc::new(Collector::new_traced("flow"));
+        {
+            let _pnr = parent.span("step4:pnr");
+            parent.adopt_report(&a);
+            parent.adopt_report(&b);
+        }
+        parent.finish();
+        let report = parent.report();
+        let pnr = report.root.child("step4:pnr").unwrap();
+        // Each worker's probe span kept its own histogram...
+        assert_eq!(pnr.children[0].histograms["probe.conflicts"].count(), 2);
+        assert_eq!(pnr.children[1].histograms["probe.conflicts"].count(), 1);
+        // ...and the tree-wide merge is the union, independent of order.
+        let total = report.histogram_total("probe.conflicts");
+        assert_eq!(total.count(), 3);
+        assert_eq!(total.sum(), 7);
+        // Worker events (ratio span + worker root each) rode along, then
+        // the parent's own closes appended.
+        let names: Vec<&str> = report.events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "ratio:2x3",
+                "probe",
+                "ratio:2x3",
+                "probe",
+                "step4:pnr",
+                "flow"
+            ]
+        );
+        assert_eq!(report.events_dropped, 0);
+    }
+
+    #[test]
+    fn untraced_collectors_buffer_no_events() {
+        let collector = Arc::new(Collector::new("root"));
+        if collector.is_traced() {
+            // Environment forced tracing on (TELEMETRY_TRACE set);
+            // nothing to assert in that configuration.
+            return;
+        }
+        {
+            let _span = collector.span("work");
+        }
+        collector.finish();
+        assert!(collector.report().events.is_empty());
     }
 
     #[test]

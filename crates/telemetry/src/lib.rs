@@ -21,18 +21,36 @@
 //! assert_eq!(report.root.children[0].counters["sat.conflicts"], 17);
 //! ```
 //!
+//! Beyond spans and counters, the layer records **histograms**
+//! ([`histogram`], log₂-bucketed and deterministically mergeable across
+//! worker threads — see [`Histogram`]), buffers **trace events** for
+//! Chrome/Perfetto visualization ([`Report::to_chrome_trace`], enabled
+//! by the `TELEMETRY_TRACE` environment variable), and feeds a
+//! process-wide [`Registry`] of aggregate metrics that survives across
+//! flow runs ([`Registry::global`], snapshot + diff API).
+//!
 //! Reports render three ways: an indented human-readable tree with
 //! durations and percentages ([`Report::render_tree`]), a one-level
 //! summary ([`Report::render_summary`]), and machine-readable JSON
 //! ([`Report::to_json`]) produced by the hand-rolled serializer in
 //! [`json`] — no serde, per DESIGN.md §6. The [`emit`] helper writes
 //! whichever form the `TELEMETRY` environment variable selects
-//! (`off`/`summary`/`tree`/`json`) to stderr, so stdout stays clean.
+//! (`off`/`summary`/`tree`/`json`) to stderr — or, for JSON, appends
+//! one compact document per run to the file named by `TELEMETRY_FILE`
+//! — so stdout stays clean. When `TELEMETRY_TRACE=<path>` is set,
+//! [`emit`] additionally writes the run's trace events to `<path>` in
+//! Chrome trace-event format (one file per run; the last run wins).
 
 mod collector;
+mod hist;
 pub mod json;
+mod registry;
+mod trace;
 
-pub use collector::{Collector, Report, SpanGuard, SpanReport};
+pub use collector::{Collector, Report, SpanGuard, SpanReport, SPAN_DURATION_HISTOGRAM};
+pub use hist::Histogram;
+pub use registry::{Registry, RegistrySnapshot};
+pub use trace::{TraceEvent, MAX_TRACE_EVENTS};
 
 use std::cell::RefCell;
 use std::sync::Arc;
@@ -96,6 +114,15 @@ pub fn note(name: &str, value: impl Into<String>) {
     }
 }
 
+/// Records one sample into a named histogram on the innermost open
+/// span. Histograms are log₂-bucketed and merge deterministically
+/// through [`adopt_report`]; see [`Histogram`].
+pub fn histogram(name: &str, value: u64) {
+    if let Some(collector) = current() {
+        collector.histogram(name, value);
+    }
+}
+
 /// Adopts a finished child-collector snapshot into the ambient
 /// collector (see [`Collector::adopt_report`]): its top-level spans are
 /// grafted under the innermost open span and its root counters, gauges,
@@ -125,26 +152,73 @@ pub enum Mode {
 }
 
 impl Mode {
-    /// Reads the `TELEMETRY` environment variable.
+    /// Reads the `TELEMETRY` environment variable. When `TELEMETRY` is
+    /// unset (or off) but `TELEMETRY_FILE` names a destination, the
+    /// mode is `Json` — asking for a report file implies wanting the
+    /// machine-readable report.
     pub fn from_env() -> Mode {
         match std::env::var("TELEMETRY").as_deref() {
             Ok("summary") => Mode::Summary,
             Ok("tree") => Mode::Tree,
             Ok("json") => Mode::Json,
+            _ if telemetry_file_from_env().is_some() => Mode::Json,
             _ => Mode::Off,
         }
     }
 }
 
+/// The `TELEMETRY_FILE` destination, if configured and non-empty.
+fn telemetry_file_from_env() -> Option<String> {
+    std::env::var("TELEMETRY_FILE")
+        .ok()
+        .filter(|path| !path.is_empty())
+}
+
 /// Writes `report` to stderr in the form selected by `TELEMETRY`
 /// (nothing when off). stdout is never touched, so pipelines that
 /// consume a tool's primary output stay stable.
+///
+/// Two file sinks augment the stderr stream, both env-driven:
+///
+/// * `TELEMETRY_FILE=<path>` — in `Json` mode the report is *appended*
+///   to `<path>` as one compact JSON document per line (JSON Lines, so
+///   multi-flow runs like the Table 1 harness accumulate cleanly)
+///   instead of printed to stderr.
+/// * `TELEMETRY_TRACE=<path>` — the report's trace events (captured
+///   because the same variable enabled tracing at collector creation)
+///   are written to `<path>` in Chrome trace-event format. One file per
+///   run: the last run wins.
+///
+/// File-sink I/O errors are reported to stderr and otherwise ignored —
+/// telemetry must never fail the flow.
 pub fn emit(report: &Report) {
-    emit_with_mode(report, Mode::from_env());
+    let mode = Mode::from_env();
+    match (mode, telemetry_file_from_env()) {
+        (Mode::Json, Some(path)) => {
+            use std::io::Write;
+            let result = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut file| writeln!(file, "{}", report.to_json()));
+            if let Err(e) = result {
+                eprintln!("telemetry: could not append report to {path}: {e}");
+            }
+        }
+        _ => emit_with_mode(report, mode),
+    }
+    if let Ok(path) = std::env::var("TELEMETRY_TRACE") {
+        if !path.is_empty() && !report.events.is_empty() {
+            if let Err(e) = std::fs::write(&path, report.to_chrome_trace() + "\n") {
+                eprintln!("telemetry: could not write trace to {path}: {e}");
+            }
+        }
+    }
 }
 
 /// Like [`emit`] but with an explicit mode, for callers that manage
-/// their own configuration.
+/// their own configuration. Always writes to stderr; the file sinks
+/// are [`emit`]'s.
 pub fn emit_with_mode(report: &Report, mode: Mode) {
     match mode {
         Mode::Off => {}
@@ -232,12 +306,15 @@ mod tests {
 
     #[test]
     fn mode_matches_environment() {
-        // Tolerates an inherited TELEMETRY value: tests must pass both
-        // in a clean environment and under e.g. `TELEMETRY=json`.
+        // Tolerates an inherited TELEMETRY/TELEMETRY_FILE value: tests
+        // must pass both in a clean environment and under e.g.
+        // `TELEMETRY=json`.
+        let file_set = std::env::var("TELEMETRY_FILE").is_ok_and(|p| !p.is_empty());
         let expected = match std::env::var("TELEMETRY").as_deref() {
             Ok("summary") => Mode::Summary,
             Ok("tree") => Mode::Tree,
             Ok("json") => Mode::Json,
+            _ if file_set => Mode::Json,
             _ => Mode::Off,
         };
         assert_eq!(Mode::from_env(), expected);

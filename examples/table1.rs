@@ -69,6 +69,7 @@ fn main() {
                     paper,
                     started.elapsed(),
                 );
+                let report = &result.report;
                 entries.push(Value::Obj(vec![
                     ("name".to_owned(), Value::Str(name.to_owned())),
                     (
@@ -76,7 +77,36 @@ fn main() {
                         Value::Num(started.elapsed().as_secs_f64()),
                     ),
                     ("exact".to_owned(), Value::Bool(result.exact)),
-                    ("report".to_owned(), result.report.to_value()),
+                    // Layout geometry: deterministic at any thread
+                    // count, so `bench-diff` gates on it strictly.
+                    ("width".to_owned(), Value::Num(ratio.width as f64)),
+                    ("height".to_owned(), Value::Num(ratio.height as f64)),
+                    (
+                        "area_tiles".to_owned(),
+                        Value::Num(ratio.tile_count() as f64),
+                    ),
+                    ("sidbs".to_owned(), Value::Num(cell.num_sidbs() as f64)),
+                    ("area_nm2".to_owned(), Value::Num(cell.area_nm2)),
+                    // Tree-wide work totals (deterministic at
+                    // PNR_THREADS=1 / any SIM_THREADS — see README).
+                    (
+                        "conflicts".to_owned(),
+                        Value::Num(report.counter_total("sat.conflicts") as f64),
+                    ),
+                    (
+                        "visited".to_owned(),
+                        Value::Num(report.counter_total("sidb.visited") as f64),
+                    ),
+                    // Distribution summaries (count/sum/min/max/p50/p90).
+                    (
+                        "conflicts_hist".to_owned(),
+                        report.histogram_total("pnr.probe.conflicts").to_value(),
+                    ),
+                    (
+                        "visited_hist".to_owned(),
+                        report.histogram_total("sidb.visited").to_value(),
+                    ),
+                    ("report".to_owned(), report.to_value()),
                 ]));
             }
             Err(e) => println!("{name:<16} FAILED: {e}"),
@@ -89,6 +119,13 @@ fn main() {
         ),
         ("pnr_threads".to_owned(), Value::Num(pnr_threads as f64)),
         ("benchmarks".to_owned(), Value::Arr(entries)),
+        // Process-wide aggregates across all fourteen flows: flow count,
+        // the flow-duration histogram, and every counter/histogram
+        // summed over the whole batch.
+        (
+            "registry".to_owned(),
+            fcn_telemetry::Registry::global().snapshot().to_value(),
+        ),
     ]);
     match std::fs::write("BENCH_table1.json", doc.serialize_pretty() + "\n") {
         Ok(()) => eprintln!("wrote BENCH_table1.json"),
