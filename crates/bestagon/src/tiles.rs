@@ -83,12 +83,16 @@ pub fn wire_nw_sw() -> GateDesign {
 }
 
 /// Builds the NW→SE wire tile: column down the west side, a copying run
-/// across the tile, and a column down to the east output port.
+/// across the tile, and a column down to the east output port, plus the
+/// stabilizing canvas dot found by the automated designer
+/// (`design_canvas`, region (18, 6, 42, 20), seed 1) that repairs the
+/// run-to-column turn under the default physical parameters.
 pub fn wire_nw_se() -> GateDesign {
     let mut body = SidbLayout::new();
     column(&mut body, WEST_PORT_X, &[1, 4, 7, 10]);
     balanced_run(&mut body, 10, &[WEST_PORT_X, 23, 31, 38, EAST_PORT_X]);
     column(&mut body, EAST_PORT_X, &[13, 16, 19, OUTPUT_ROW]);
+    body.add_site((28, 19, 0));
     GateDesign {
         name: "WIRE (NW→SE)".into(),
         body,
@@ -139,12 +143,18 @@ pub fn inverter_nw_sw() -> GateDesign {
 }
 
 /// Builds the diagonal inverter tile (NW→SE): the NW→SE wire with one
-/// pair removed from the entry column, flipping the parity.
+/// pair removed from the entry column, flipping the parity, plus the
+/// canvas dots found by the automated designer (`design_canvas`, region
+/// (18, 6, 42, 20), seed 7) that stabilize the tightened output column
+/// under the default physical parameters.
 pub fn inverter_nw_se() -> GateDesign {
     let mut body = SidbLayout::new();
     column(&mut body, WEST_PORT_X, &[1, 4, 7, 10]);
     balanced_run(&mut body, 10, &[WEST_PORT_X, 23, 31, 38, EAST_PORT_X]);
     column(&mut body, EAST_PORT_X, &[12, 14, 17, 19, OUTPUT_ROW]);
+    for dot in [(21, 11, 1), (18, 15, 0), (22, 18, 0), (40, 9, 0)] {
+        body.add_site(dot);
+    }
     GateDesign {
         name: "INV (NW→SE)".into(),
         body,
@@ -154,21 +164,23 @@ pub fn inverter_nw_se() -> GateDesign {
     }
 }
 
-/// Builds the fan-out tile (NW → SW + SE): the input column feeds a
-/// copying run; one branch continues east and down, the other turns back
-/// west through a lower run.
+/// Builds the fan-out tile (NW → SW + SE): the NW→SE wire backbone (run
+/// at row 10) with the input column continued straight down to the SW
+/// port, so both branches share the seven-anti-link copy parity. The
+/// branched structure on its own freezes into an input-independent
+/// ground state; the junction-balancing canvas dot found by the
+/// automated designer (`design_canvas`, region (44, 6, 50, 12), seed 1)
+/// restores signal propagation under the default physical parameters.
 pub fn fanout_nw() -> GateDesign {
     let mut body = SidbLayout::new();
-    column(&mut body, WEST_PORT_X, &[1, 4, 7]);
-    balanced_run(&mut body, 7, &[WEST_PORT_X, 22, 29, 37, EAST_PORT_X]);
+    column(&mut body, WEST_PORT_X, &[1, 4, 7, 10]);
+    balanced_run(&mut body, 10, &[WEST_PORT_X, 23, 31, 38, EAST_PORT_X]);
     // East branch straight down to the SE port.
-    column(&mut body, EAST_PORT_X, &[10, 13, 16, 19, OUTPUT_ROW]);
-    // West branch: anti-links below the run, then a run back to the west
-    // port and down. The vertical anti-couplings between the two runs
-    // reinforce the copied signal.
-    column(&mut body, 29, &[10, 13]);
-    balanced_run(&mut body, 13, &[29, 22, WEST_PORT_X]);
-    column(&mut body, WEST_PORT_X, &[16, 19, OUTPUT_ROW]);
+    column(&mut body, EAST_PORT_X, &[13, 16, 19, OUTPUT_ROW]);
+    // West branch: the input column continues straight down to the SW
+    // port, mirroring the straight NW→SW wire.
+    column(&mut body, WEST_PORT_X, &[13, 16, 19, OUTPUT_ROW]);
+    body.add_site((48, 9, 0));
     GateDesign {
         name: "FANOUT (NW→SW+SE)".into(),
         body,
@@ -778,12 +790,29 @@ mod tests {
     }
 
     #[test]
-    fn diagonal_wire_is_operational_under_domain_separation() {
-        // The diagonal wire's verdict depends on sub-meV far-field terms;
-        // it passes under the domain-separated simulation the calibration
-        // sweeps use (see EXPERIMENTS.md, Figure 5).
+    fn diagonal_wire_is_operational() {
+        // Repaired by the automated designer (one canvas dot); the tile
+        // passes under both the default parameters and the
+        // domain-separated simulation the calibration sweeps use.
         let d = wire_nw_se();
+        assert!(check(&d));
         assert!(check_at(&d, &crate::geometry::validation_params()));
+    }
+
+    #[test]
+    fn diagonal_inverter_is_operational() {
+        let d = inverter_nw_se();
+        assert!(check(&d));
+        assert!(check_at(&d, &crate::geometry::validation_params()));
+    }
+
+    #[test]
+    fn fanout_is_operational() {
+        // Repaired by the automated designer (junction-balancing canvas
+        // dot); the branched tile is pinned under the default parameters
+        // only — the 2 meV validation cutoff still freezes the junction,
+        // which the Figure 5 report tracks honestly.
+        assert!(check(&fanout_nw()));
     }
 
     #[test]

@@ -89,6 +89,27 @@ pub struct PatternSimulation {
     pub outputs: Vec<Option<bool>>,
 }
 
+/// The outcome of *evaluating* one input pattern of a candidate design:
+/// either decoded outputs from a complete ground-state search, or an
+/// honest record that the simulation could not finish (budget-truncated
+/// sweep, or no physically valid state found) and the outputs are
+/// therefore **unknown** — distinct from "simulated and read wrong".
+///
+/// Search-based designers score thousands of candidates under budgets;
+/// conflating "unevaluated" with "wrong" makes a budget-starved search
+/// discard designs it never actually measured.
+#[derive(Debug, Clone)]
+pub struct PatternEval {
+    /// Decoded output values; meaningful only when [`Self::evaluated`].
+    pub outputs: Vec<Option<bool>>,
+    /// True when a complete search determined the ground state. False
+    /// when the sweep was truncated by its budget or found no valid
+    /// state — the pattern is *unknown*, not failed.
+    pub evaluated: bool,
+    /// Work counters of the simulation.
+    pub stats: SimStats,
+}
+
 impl GateDesign {
     /// Number of input patterns (`2^inputs`).
     pub fn num_patterns(&self) -> u32 {
@@ -133,6 +154,34 @@ impl GateDesign {
             ground_state,
             outputs,
         })
+    }
+
+    /// Evaluates one input pattern for a candidate design, surfacing
+    /// budget truncation distinctly from a wrong read-out (see
+    /// [`PatternEval`]). This is the scoring hook the automated gate
+    /// designer uses.
+    pub fn evaluate_pattern_with(&self, pattern: u32, sim: &SimParams) -> PatternEval {
+        let layout = self.layout_for_pattern(pattern);
+        let result = engine::simulate_with(&layout, sim);
+        match (result.truncated, result.states.first()) {
+            (false, Some(state)) => PatternEval {
+                outputs: self
+                    .outputs
+                    .iter()
+                    .map(|o| o.pair.read(&layout, &state.config))
+                    .collect(),
+                evaluated: true,
+                stats: result.stats,
+            },
+            // A truncated spectrum's lowest state need not be the ground
+            // state; report the pattern as unevaluated rather than
+            // decoding a possibly-wrong read-out.
+            _ => PatternEval {
+                outputs: Vec::new(),
+                evaluated: false,
+                stats: result.stats,
+            },
+        }
     }
 
     /// Simulates one input pattern and decodes the outputs.
@@ -344,6 +393,29 @@ mod tests {
         assert!(first.stats.visited > 0);
         assert_eq!(second.stats.visited, 0, "all patterns served from cache");
         assert_eq!(second.stats.cache_hits, u64::from(d.num_patterns()));
+    }
+
+    #[test]
+    fn pattern_eval_surfaces_truncation_distinctly() {
+        use fcn_budget::StepBudget;
+        let d = wire_design();
+        let full = d.evaluate_pattern_with(
+            1,
+            &SimParams::new(PhysicalParams::default()).with_engine(SimEngine::Exhaustive),
+        );
+        assert!(full.evaluated);
+        assert_eq!(full.outputs, vec![Some(true)]);
+        // A two-step budget truncates the sweep: the pattern must come
+        // back as *unevaluated*, never as a (possibly wrong) read-out.
+        let starved = d.evaluate_pattern_with(
+            1,
+            &SimParams::new(PhysicalParams::default())
+                .with_engine(SimEngine::Exhaustive)
+                .with_budget(StepBudget::unbounded().with_max_steps(2)),
+        );
+        assert!(!starved.evaluated);
+        assert!(starved.outputs.is_empty());
+        assert_eq!(starved.stats.truncated, 1);
     }
 
     #[test]

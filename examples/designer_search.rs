@@ -6,12 +6,12 @@
 //! ```
 //!
 //! Takes a deliberately broken wire (one chain pair removed so the
-//! signal no longer transmits) and lets the hill-climbing canvas search
+//! signal no longer transmits) and lets the parallel canvas search
 //! repair it: the designer places dots inside the canvas region, scoring
 //! every candidate with exact ground-state simulation across all input
 //! patterns, until the truth table is reproduced.
 
-use bestagon_lib::designer::{design_canvas, with_canvas, DesignerOptions};
+use bestagon_lib::designer::{design_canvas, DesignerOptions};
 use bestagon_lib::geometry::{column, standard_input_port, standard_output_port, WEST_PORT_X};
 use sidb_sim::layout::SidbLayout;
 use sidb_sim::operational::GateDesign;
@@ -34,45 +34,45 @@ fn main() {
     let report = broken.check_operational_with(&sim);
     println!("starting point: {} — {:?}", broken.name, report.status);
 
-    let options = DesignerOptions {
-        region: (WEST_PORT_X - 2, 14, WEST_PORT_X + 2, 18),
-        max_dots: 3,
-        iterations: 250,
-        restarts: 8,
-        seed: 7,
-    };
+    let options = DesignerOptions::new()
+        .with_region((WEST_PORT_X - 2, 14, WEST_PORT_X + 2, 18))
+        .with_max_dots(3)
+        .with_iterations(250)
+        .with_restarts(8)
+        .with_seed(7);
+    let region = options.region.expect("region pinned above");
     println!(
         "searching: ≤{} canvas dots in x ∈ [{}, {}], y ∈ [{}, {}] …",
-        options.max_dots, options.region.0, options.region.2, options.region.1, options.region.3
+        options.max_dots, region.0, region.2, region.1, region.3
     );
 
-    match design_canvas(&broken, &options, &params) {
-        Some(repaired) => {
-            let added: Vec<String> = repaired
-                .body
-                .sites()
-                .iter()
-                .filter(|s| !broken.body.contains(**s))
-                .map(|s| format!("({}, {}, {})", s.x, s.y, s.b))
-                .collect();
-            println!(
-                "repaired with {} canvas dot(s) at {}",
-                added.len(),
-                added.join(", ")
-            );
-            println!(
-                "verdict: {:?}",
-                repaired.check_operational_with(&sim).status
-            );
-        }
-        None => {
-            println!("search budget exhausted without a repair — rerun with more restarts");
-            // Show what the best-known manual repair would be.
-            let manual = with_canvas(&broken, &[(14, 16, 0).into(), (16, 16, 0).into()]);
-            println!(
-                "manual reference (pair at row 16): {:?}",
-                manual.check_operational_with(&sim).status
-            );
+    let result = design_canvas(&broken, &options, &params);
+    println!(
+        "best score: {}/{} correct outputs after {} candidates ({} restarts)",
+        result.score.correct,
+        result.target,
+        result.stats.candidates,
+        result.stats.restarts_completed
+    );
+    if result.is_operational() {
+        let added: Vec<String> = result
+            .canvas
+            .iter()
+            .map(|s| format!("({}, {}, {})", s.x, s.y, s.b))
+            .collect();
+        println!(
+            "repaired with {} canvas dot(s) at {}",
+            added.len(),
+            added.join(", ")
+        );
+        println!(
+            "verdict: {:?}",
+            result.design.check_operational_with(&sim).status
+        );
+    } else {
+        println!("search exhausted without a full repair — rerun with more restarts");
+        if let Some(d) = &result.degradation {
+            println!("degraded: {:?} — {}", d.trigger, d.detail);
         }
     }
 }

@@ -339,3 +339,88 @@ fn heuristic_flow_is_unaffected_by_probe_budgets() {
         r.degradations
     );
 }
+
+/// A broken wire skeleton for the designer resilience cases: a column
+/// with a hole at rows 14–18, cheap to simulate.
+fn broken_wire_skeleton() -> sidb_sim::operational::GateDesign {
+    use bestagon_lib::geometry::{column, standard_input_port, standard_output_port, WEST_PORT_X};
+    let mut body = sidb_sim::layout::SidbLayout::new();
+    column(&mut body, WEST_PORT_X, &[1, 4, 7, 10, 13, 19, 22]);
+    sidb_sim::operational::GateDesign {
+        name: "WIRE (broken)".into(),
+        body,
+        inputs: vec![standard_input_port(WEST_PORT_X)],
+        outputs: vec![standard_output_port(WEST_PORT_X)],
+        truth_table: vec![vec![false], vec![true]],
+    }
+}
+
+/// A `FLOW_DEADLINE_MS`-scale budget makes the designer return its
+/// best-so-far with an honest degradation record instead of hanging.
+#[test]
+fn designer_degrades_under_flow_scale_deadline() {
+    use bestagon_lib::designer::{design_canvas, DesignTrigger, DesignerOptions};
+    use fcn_budget::StepBudget;
+    let base = broken_wire_skeleton();
+    // The region is pinned away from the wire column, so no repair
+    // exists and only the deadline can end the search.
+    let options = DesignerOptions::new()
+        .with_region((40, 3, 44, 8))
+        .with_iterations(10_000)
+        .with_restarts(64)
+        .with_budget(StepBudget::unbounded().with_deadline(Deadline::after_ms(25)));
+    let result = design_canvas(&base, &options, &sidb_sim::PhysicalParams::default());
+    let degradation = result.degradation.as_ref().expect("degradation recorded");
+    assert_eq!(degradation.trigger, DesignTrigger::Deadline);
+    assert!(result.stats.restarts_completed < 64, "search was cut short");
+}
+
+/// An injected panic at the `designer.restart` point loses every
+/// worker-side restart; the coordinator recomputes them from their
+/// seeds, so the repaired design is identical to the clean run's.
+#[test]
+fn injected_designer_restart_panic_recovers_identically() {
+    use bestagon_lib::designer::{design_canvas, DesignerOptions};
+    let base = broken_wire_skeleton();
+    let options = DesignerOptions::new()
+        .with_region((13, 14, 17, 18))
+        .with_max_dots(3)
+        .with_iterations(30)
+        .with_restarts(3)
+        .with_seed(7)
+        .with_threads(2);
+    let params = sidb_sim::PhysicalParams::default();
+    let clean = design_canvas(&base, &options, &params);
+    assert_eq!(clean.stats.recovered, 0);
+
+    let plan = Arc::new(FaultPlan::single("designer.restart", Fault::Panic));
+    let scope = install(plan.clone());
+    let faulted = design_canvas(&base, &options, &params);
+    drop(scope);
+    assert!(plan.hits("designer.restart") > 0, "fault point was reached");
+    assert!(faulted.stats.recovered > 0, "recomputed restarts counted");
+    assert_eq!(clean.canvas, faulted.canvas, "recovery is deterministic");
+    assert_eq!(clean.score, faulted.score);
+}
+
+/// An injected exhaustion at the `designer.restart` point halts restart
+/// dispatch: the search degrades with a fault-trigger record instead of
+/// erroring, and still returns a (possibly unimproved) design.
+#[test]
+fn injected_designer_restart_exhaust_degrades() {
+    use bestagon_lib::designer::{design_canvas, DesignTrigger, DesignerOptions};
+    let base = broken_wire_skeleton();
+    let options = DesignerOptions::new()
+        .with_region((13, 14, 17, 18))
+        .with_iterations(30)
+        .with_restarts(4)
+        .with_threads(2);
+    let plan = Arc::new(FaultPlan::single("designer.restart", Fault::Exhaust));
+    let scope = install(plan.clone());
+    let result = design_canvas(&base, &options, &sidb_sim::PhysicalParams::default());
+    drop(scope);
+    assert!(plan.hits("designer.restart") > 0);
+    let degradation = result.degradation.as_ref().expect("degradation recorded");
+    assert_eq!(degradation.trigger, DesignTrigger::Fault);
+    assert_eq!(result.stats.recovered, 0, "exhausted restarts do not run");
+}
