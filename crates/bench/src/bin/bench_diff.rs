@@ -1,4 +1,5 @@
-//! `bench-diff` — a regression gate over two `BENCH_table1.json` files.
+//! `bench-diff` — a regression gate over two benchmark JSON files
+//! (`BENCH_table1.json` or `BENCH_opdomain.json`).
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench_diff -- \
@@ -34,8 +35,11 @@ use std::process::ExitCode;
 const WALL_FLOOR_SECS: f64 = 0.25;
 
 /// Per-benchmark fields that must reproduce exactly (modulo
-/// `--work-tol`) between baseline and current run.
+/// `--work-tol`) between baseline and current run. A field only gates
+/// when present in both files, so `BENCH_table1.json` entries ignore
+/// the `BENCH_opdomain.json` columns and vice versa.
 const STRICT_FIELDS: &[&str] = &[
+    // Flow benchmarks (BENCH_table1.json).
     "width",
     "height",
     "area_tiles",
@@ -43,6 +47,15 @@ const STRICT_FIELDS: &[&str] = &[
     "area_nm2",
     "conflicts",
     "visited",
+    // Operational-domain benchmarks (BENCH_opdomain.json).
+    "points",
+    "operational",
+    "simulated",
+    "inferred",
+    "skipped",
+    "pattern_sims",
+    "dense_pattern_sims",
+    "dense_visited",
 ];
 
 struct Options {

@@ -26,7 +26,9 @@
 //!   near/far refinement of Huff et al.'s encoding), and logic read-out,
 //! * [`operational`] — truth-table validation of gate designs,
 //! * [`opdomain`] — operational-domain sweeps over `(ε_r, λ_TF)` — the
-//!   robustness analysis the paper's outlook calls for.
+//!   robustness analysis the paper's outlook calls for, behind one
+//!   [`opdomain::DomainParams`] builder with an adaptive
+//!   boundary-following sampler and a dense A/B reference.
 //!
 //! # Examples
 //!
@@ -63,3 +65,4 @@ pub use charge::{ChargeConfiguration, ChargeState};
 pub use engine::{simulate_with, SimEngine, SimParams, SimResult, SimStats};
 pub use layout::SidbLayout;
 pub use model::PhysicalParams;
+pub use opdomain::{DomainGrid, DomainParams, DomainSample, DomainStrategy, OperationalDomain};

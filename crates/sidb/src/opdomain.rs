@@ -4,19 +4,63 @@
 //! domain evaluation framework" — mapping the region of physical-
 //! parameter space in which a gate design works, instead of a single
 //! yes/no at nominal parameters. This module provides exactly that: a
-//! grid sweep over `(ε_r, λ_TF)` (optionally `μ−`) that validates the
-//! design at every grid point with the exact ground-state engine.
+//! sweep over `(ε_r, λ_TF)` that validates the design at every grid
+//! point with the exact ground-state engine.
 //!
 //! The *operational domain* is a standard robustness metric in the SiDB
 //! literature; fabricated devices experience parameter variation, so a
 //! larger domain means a more manufacturable gate.
+//!
+//! # Sampling strategies
+//!
+//! Two strategies sit behind one API ([`DomainParams::with_strategy`]):
+//!
+//! * [`DomainStrategy::Dense`] simulates every grid point with the full
+//!   pattern check — the legacy behavior and the A/B validation
+//!   reference. Work counters are a pure function of the design and
+//!   the grid.
+//! * [`DomainStrategy::Adaptive`] (the default) spends simulations
+//!   where the verdict can change. Starting from the window corners it
+//!   recursively bisects the grid: a cell whose simulated corners
+//!   *disagree* straddles the domain boundary and is split at its
+//!   index midpoints (a contour-following refinement); a cell whose
+//!   corners agree is split too while it is large, but once it is small
+//!   (spans ≤ 2 grid steps) its interior is *inferred* from the
+//!   agreeing corners instead of simulated. Per-point checks run in
+//!   refute-fast mode (stop at the first truth-table refutation), so
+//!   points deep in the non-operational region cost a single pattern
+//!   simulation. Each sample records its provenance
+//!   ([`DomainSample::provenance`]), so the saving is honest: inferred
+//!   points are labelled, never passed off as simulated.
+//!
+//! Refinement proceeds in waves; each wave is dispatched over the
+//! engine's partitioned worker pool in grid-index order, and every
+//! scheduling decision is a pure function of previously simulated
+//! verdicts — the sampled domain is therefore bit-identical at any
+//! `OPDOMAIN_THREADS` width. Deadlines ([`DomainParams::with_budget`])
+//! are honored between waves: an expired budget stops the sweep, marks
+//! the remaining points [`SampleStatus::Unknown`], and records an
+//! honest [`DomainDegradation`] instead of silently returning a
+//! partial map as complete. The `opdomain.point` fault-injection point
+//! exercises worker-loss (recompute) and point-skip (degradation)
+//! paths deterministically.
+//!
+//! With [`DomainParams::with_cache`] repeated sweeps of the same design
+//! (e.g. an adaptive sweep A/B-checked against a dense one) share
+//! ground states through the content-addressed [`SimCache`]. Cache keys
+//! include `ε_r` and `λ_TF`, so distinct grid points never alias.
 
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::cache::SimCache;
 use crate::engine::{self, SimParams, SimStats};
 use crate::model::PhysicalParams;
-use crate::operational::{Engine, GateDesign};
+use crate::operational::{CheckMode, Engine, GateDesign};
+use fcn_budget::StepBudget;
 
 /// The sweep grid for an operational-domain analysis.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DomainGrid {
     /// Inclusive range of relative permittivity values.
     pub epsilon_r: (f64, f64),
@@ -42,7 +86,7 @@ impl DomainGrid {
     /// The parameter values along one axis.
     fn axis(range: (f64, f64), steps: usize) -> Vec<f64> {
         if steps <= 1 {
-            return vec![range.0];
+            return (0..steps).map(|_| range.0).collect();
         }
         (0..steps)
             .map(|i| range.0 + (range.1 - range.0) * i as f64 / (steps - 1) as f64)
@@ -57,53 +101,359 @@ impl DomainGrid {
             .flat_map(|&e| lam.iter().map(move |&l| (e, l)))
             .collect()
     }
+
+    /// Index (row-major in ε_r) of the grid point nearest to the given
+    /// parameter pair, or `None` for an empty grid.
+    pub fn nearest_index(&self, epsilon_r: f64, lambda_tf_nm: f64) -> Option<usize> {
+        if self.steps == 0 {
+            return None;
+        }
+        let axis_pos = |range: (f64, f64), v: f64| -> usize {
+            if self.steps <= 1 || range.1 <= range.0 {
+                return 0;
+            }
+            let t = (v - range.0) / (range.1 - range.0) * (self.steps - 1) as f64;
+            (t.round().max(0.0) as usize).min(self.steps - 1)
+        };
+        Some(
+            axis_pos(self.epsilon_r, epsilon_r) * self.steps
+                + axis_pos(self.lambda_tf_nm, lambda_tf_nm),
+        )
+    }
+}
+
+/// How a domain sweep chooses which grid points to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomainStrategy {
+    /// Simulate every grid point, full pattern check per point. The
+    /// legacy behavior and the validation reference for A/B runs.
+    Dense,
+    /// Boundary-following bisection with interior inference and
+    /// refute-fast per-point checks (see the module docs). Same
+    /// per-point verdicts, a fraction of the simulations.
+    Adaptive,
+}
+
+impl DomainStrategy {
+    fn from_env() -> Option<DomainStrategy> {
+        match std::env::var("OPDOMAIN_STRATEGY").ok()?.trim() {
+            "dense" => Some(DomainStrategy::Dense),
+            "adaptive" => Some(DomainStrategy::Adaptive),
+            _ => None,
+        }
+    }
+}
+
+/// The default domain-sweep pool width: the `OPDOMAIN_THREADS`
+/// environment variable if set (minimum 1), else
+/// [`engine::default_sim_threads`] (which reads `SIM_THREADS`).
+pub fn default_opdomain_threads() -> usize {
+    if let Ok(v) = std::env::var("OPDOMAIN_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    engine::default_sim_threads()
+}
+
+/// Parameters of one operational-domain sweep, built by chaining.
+///
+/// Mirrors [`SimParams`] / `FlowOptions` / `DesignerOptions`: construct
+/// with [`DomainParams::new`] (or `Default`), then chain `with_*`
+/// calls. `#[non_exhaustive]` so fields can be added without breaking
+/// callers.
+///
+/// # Examples
+///
+/// ```
+/// use sidb_sim::engine::{SimEngine, SimParams};
+/// use sidb_sim::model::PhysicalParams;
+/// use sidb_sim::opdomain::{DomainGrid, DomainParams, DomainStrategy};
+///
+/// let params = DomainParams::new(
+///     SimParams::new(PhysicalParams::default()).with_engine(SimEngine::QuickExact),
+/// )
+/// .with_grid(DomainGrid { steps: 5, ..Default::default() })
+/// .with_strategy(DomainStrategy::Adaptive)
+/// .with_threads(2);
+/// assert_eq!(params.grid.steps, 5);
+/// ```
+#[non_exhaustive]
+#[derive(Debug, Clone)]
+pub struct DomainParams {
+    /// Simulation parameters for the non-swept quantities (μ−, engine,
+    /// cache, model flags). The grid overrides `ε_r` and `λ_TF` per
+    /// sample.
+    pub sim: SimParams,
+    /// The sweep window and resolution.
+    pub grid: DomainGrid,
+    /// Sampling strategy; `None` defers to the `OPDOMAIN_STRATEGY`
+    /// environment variable (`dense` / `adaptive`), then to
+    /// [`DomainStrategy::Adaptive`].
+    pub strategy: Option<DomainStrategy>,
+    /// Worker-pool width for the per-point checks; `None` defers to
+    /// [`default_opdomain_threads`].
+    pub threads: Option<usize>,
+    /// Sweep budget: the deadline is honored between refinement waves,
+    /// `max_steps` caps the number of *simulated grid points*. An
+    /// exhausted budget degrades honestly (see [`DomainDegradation`]).
+    pub budget: StepBudget,
+    /// The nominal physical-parameter point `(ε_r, λ_TF)` that
+    /// [`OperationalDomain::nominal_operational`] reports on.
+    pub nominal: (f64, f64),
+}
+
+impl DomainParams {
+    /// A sweep of the default window with the given simulation
+    /// parameters, environment-default strategy and threads, no
+    /// budget, and the experimentally calibrated nominal point
+    /// (ε_r = 5.6, λ_TF = 5 nm).
+    pub fn new(sim: SimParams) -> Self {
+        DomainParams {
+            sim,
+            grid: DomainGrid::default(),
+            strategy: None,
+            threads: None,
+            budget: StepBudget::unbounded(),
+            nominal: (5.6, 5.0),
+        }
+    }
+
+    /// Sets the sweep window and resolution.
+    #[must_use]
+    pub fn with_grid(mut self, grid: DomainGrid) -> Self {
+        self.grid = grid;
+        self
+    }
+
+    /// Pins the sampling strategy (overrides `OPDOMAIN_STRATEGY`).
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: DomainStrategy) -> Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Pins the worker-pool width (`1` = serial; overrides
+    /// `OPDOMAIN_THREADS`).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Bounds the sweep by a wall-clock deadline and/or a cap on
+    /// simulated grid points.
+    #[must_use]
+    pub fn with_budget(mut self, budget: StepBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Shares ground states through `cache` (forwarded to the
+    /// per-point simulations).
+    #[must_use]
+    pub fn with_cache(mut self, cache: SimCache) -> Self {
+        self.sim = self.sim.with_cache(cache);
+        self
+    }
+
+    /// Sets the nominal `(ε_r, λ_TF)` point reported by
+    /// [`OperationalDomain::nominal_operational`].
+    #[must_use]
+    pub fn with_nominal(mut self, epsilon_r: f64, lambda_tf_nm: f64) -> Self {
+        self.nominal = (epsilon_r, lambda_tf_nm);
+        self
+    }
+
+    /// The strategy after environment-variable resolution.
+    pub fn effective_strategy(&self) -> DomainStrategy {
+        self.strategy
+            .or_else(DomainStrategy::from_env)
+            .unwrap_or(DomainStrategy::Adaptive)
+    }
+
+    /// The pool width after environment-variable resolution.
+    pub fn effective_threads(&self) -> usize {
+        self.threads.unwrap_or_else(default_opdomain_threads)
+    }
+}
+
+impl Default for DomainParams {
+    fn default() -> Self {
+        DomainParams::new(SimParams::default())
+    }
+}
+
+/// The verdict at one grid point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleStatus {
+    /// The design reproduces its truth table at this point.
+    Operational,
+    /// At least one input pattern fails at this point.
+    NonOperational,
+    /// The point was never decided (budget-skipped or faulted).
+    Unknown,
+}
+
+/// How a sample's verdict was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// The ground states were simulated at this point.
+    Simulated,
+    /// The verdict was inferred from agreeing simulated neighbors
+    /// enclosing the point (adaptive strategy only).
+    Inferred,
+    /// The point was skipped (deadline, step budget, or injected
+    /// fault); its status is [`SampleStatus::Unknown`].
+    Skipped,
+}
+
+/// One grid point of a domain sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainSample {
+    /// Relative permittivity at this point.
+    pub epsilon_r: f64,
+    /// Thomas–Fermi screening length at this point, nm.
+    pub lambda_tf_nm: f64,
+    /// The verdict.
+    pub status: SampleStatus,
+    /// Whether the verdict was simulated, inferred, or skipped.
+    pub provenance: Provenance,
+}
+
+impl DomainSample {
+    /// True if the design is operational at this point.
+    pub fn is_operational(&self) -> bool {
+        self.status == SampleStatus::Operational
+    }
+}
+
+/// Work counters of one domain sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DomainStats {
+    /// Grid points in the sweep window.
+    pub points: u64,
+    /// Points whose verdict was simulated.
+    pub simulated: u64,
+    /// Points whose verdict was inferred from enclosing neighbors.
+    pub inferred: u64,
+    /// Points skipped by a budget or an injected fault.
+    pub skipped: u64,
+    /// Ground-state simulations issued (per-pattern; the unit the
+    /// adaptive-vs-dense saving is measured in).
+    pub pattern_sims: u64,
+    /// Refinement waves dispatched over the worker pool.
+    pub rounds: u64,
+    /// Summed simulation work counters.
+    pub sim: SimStats,
+}
+
+/// What cut a domain sweep short.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomainTrigger {
+    /// The wall-clock deadline expired between waves.
+    Deadline,
+    /// The simulated-point cap (`StepBudget::max_steps`) was reached.
+    Budget,
+    /// An injected `opdomain.point` fault skipped a grid point.
+    Fault,
+}
+
+/// An honest record that a sweep did not fully decide its grid.
+///
+/// Mirrors the designer's `DesignDegradation`: the sweep still returns
+/// a usable (partial) domain, but the caller can see that — and why —
+/// some points are [`SampleStatus::Unknown`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainDegradation {
+    /// What stopped the sweep.
+    pub trigger: DomainTrigger,
+    /// Human-readable context (remaining points, fault position, …).
+    pub detail: String,
 }
 
 /// The result of an operational-domain sweep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OperationalDomain {
     /// The grid that was swept.
     pub grid: DomainGrid,
-    /// Per grid point: `(ε_r, λ_TF, operational)`.
-    pub samples: Vec<(f64, f64, bool)>,
+    /// The nominal `(ε_r, λ_TF)` point this sweep reports on.
+    pub nominal: (f64, f64),
+    /// Per grid point samples, row-major in ε_r.
+    pub samples: Vec<DomainSample>,
+    /// Work counters.
+    pub stats: DomainStats,
+    /// Set when the sweep was cut short (see [`DomainDegradation`]).
+    pub degradation: Option<DomainDegradation>,
 }
 
 impl OperationalDomain {
     /// Fraction of grid points at which the design is operational.
+    /// Unknown points count against the coverage — a degraded sweep
+    /// never inflates the metric.
     pub fn coverage(&self) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().filter(|(_, _, ok)| *ok).count() as f64 / self.samples.len() as f64
+        self.samples.iter().filter(|s| s.is_operational()).count() as f64
+            / self.samples.len() as f64
     }
 
-    /// True if the nominal point (closest grid point to ε_r = 5.6,
-    /// λ_TF = 5 nm) is operational.
-    pub fn nominal_operational(&self) -> bool {
+    /// Whether the grid point closest to the nominal parameters is
+    /// operational — `None` when that point was never decided (empty
+    /// grid, budget-skipped, or faulted), rather than a misleading
+    /// `false`.
+    pub fn nominal_operational(&self) -> Option<bool> {
+        let (ne, nl) = self.nominal;
+        let sample = self.samples.iter().min_by(|a, b| {
+            let da = (a.epsilon_r - ne).powi(2) + (a.lambda_tf_nm - nl).powi(2);
+            let db = (b.epsilon_r - ne).powi(2) + (b.lambda_tf_nm - nl).powi(2);
+            da.partial_cmp(&db).expect("finite")
+        })?;
+        match sample.status {
+            SampleStatus::Operational => Some(true),
+            SampleStatus::NonOperational => Some(false),
+            SampleStatus::Unknown => None,
+        }
+    }
+
+    /// The sample nearest to the given parameter pair.
+    pub fn sample_at(&self, epsilon_r: f64, lambda_tf_nm: f64) -> Option<&DomainSample> {
+        let idx = self.grid.nearest_index(epsilon_r, lambda_tf_nm)?;
+        // Samples are produced row-major, but render defensively: look
+        // the point up through the grid, not through the ordering.
         self.samples
             .iter()
-            .min_by(|a, b| {
-                let da = (a.0 - 5.6).powi(2) + (a.1 - 5.0).powi(2);
-                let db = (b.0 - 5.6).powi(2) + (b.1 - 5.0).powi(2);
-                da.partial_cmp(&db).expect("finite")
-            })
-            .map(|s| s.2)
-            .unwrap_or(false)
+            .find(|s| self.grid.nearest_index(s.epsilon_r, s.lambda_tf_nm) == Some(idx))
     }
 
-    /// A textual map of the domain: rows are ε_r values (ascending), `■`
-    /// marks operational points.
+    /// A textual map of the domain: rows are ε_r values (ascending),
+    /// `■` marks operational points, `·` non-operational ones, and `?`
+    /// points a degraded sweep never decided.
+    ///
+    /// Samples are located through the grid (nearest index), not
+    /// through their ordering, so maps render correctly for any sample
+    /// order a strategy might produce.
     pub fn render_ascii(&self) -> String {
+        let n = self.grid.steps;
+        let mut cells: Vec<Option<SampleStatus>> = vec![None; n * n];
+        for s in &self.samples {
+            if let Some(idx) = self.grid.nearest_index(s.epsilon_r, s.lambda_tf_nm) {
+                cells[idx] = Some(s.status);
+            }
+        }
+        let eps = DomainGrid::axis(self.grid.epsilon_r, n);
         let mut out = String::new();
-        let lam_steps = self.grid.steps;
-        for (i, chunk) in self.samples.chunks(lam_steps).enumerate() {
-            let eps = chunk.first().map(|c| c.0).unwrap_or(0.0);
-            out.push_str(&format!("ε_r {eps:>5.2} | "));
-            for &(_, _, ok) in chunk {
-                out.push(if ok { '■' } else { '·' });
+        for (row, &e) in eps.iter().enumerate() {
+            out.push_str(&format!("ε_r {e:>5.2} | "));
+            for cell in cells.iter().skip(row * n).take(n) {
+                out.push(match cell {
+                    Some(SampleStatus::Operational) => '■',
+                    Some(SampleStatus::NonOperational) => '·',
+                    Some(SampleStatus::Unknown) | None => '?',
+                });
             }
             out.push('\n');
-            let _ = i;
         }
         out.push_str(&format!(
             "          λ_TF {:.1} … {:.1} nm →\n",
@@ -113,93 +463,529 @@ impl OperationalDomain {
     }
 }
 
-/// Sweeps the operational domain of a design.
+impl GateDesign {
+    /// Sweeps the operational domain of this design.
+    ///
+    /// See the [module docs](self) for the sampling strategies. The
+    /// sampled domain is bit-identical at any
+    /// [`DomainParams::with_threads`] width; only budget-degraded
+    /// sweeps (which depend on the wall clock) may differ between
+    /// runs, and those carry an explicit [`DomainDegradation`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sidb_sim::engine::{SimEngine, SimParams};
+    /// use sidb_sim::opdomain::{DomainGrid, DomainParams};
+    /// use sidb_sim::operational::GateDesign;
+    /// use sidb_sim::bdl::{BdlPair, InputPort, OutputPort};
+    /// use sidb_sim::layout::SidbLayout;
+    /// use sidb_sim::model::PhysicalParams;
+    ///
+    /// // A three-pair BDL wire.
+    /// let design = GateDesign {
+    ///     name: "wire".into(),
+    ///     body: SidbLayout::from_sites([(0,0,0),(0,1,0),(0,4,0),(0,5,0),(0,8,0),(0,9,0)]),
+    ///     inputs: vec![InputPort {
+    ///         pair: BdlPair::new((0,0,0),(0,1,0)),
+    ///         perturber_zero: (0,-4,0).into(),
+    ///         perturber_one: (0,-3,0).into(),
+    ///     }],
+    ///     outputs: vec![OutputPort {
+    ///         pair: BdlPair::new((0,8,0),(0,9,0)),
+    ///         perturber: Some((0,12,1).into()),
+    ///     }],
+    ///     truth_table: vec![vec![false], vec![true]],
+    /// };
+    /// let params = DomainParams::new(
+    ///     SimParams::new(PhysicalParams::default()).with_engine(SimEngine::QuickExact),
+    /// )
+    /// .with_grid(DomainGrid { steps: 3, ..Default::default() });
+    /// let domain = design.operational_domain(&params);
+    /// assert_eq!(domain.samples.len(), 9);
+    /// assert_eq!(domain.stats.simulated + domain.stats.inferred, 9);
+    /// ```
+    pub fn operational_domain(&self, params: &DomainParams) -> OperationalDomain {
+        let _sweep_span = fcn_telemetry::span("opdomain.sweep");
+        let strategy = params.effective_strategy();
+        let n = params.grid.steps;
+        let mut sweep = Sweep {
+            design: self,
+            sim: params.sim.clone(),
+            mode: match strategy {
+                DomainStrategy::Dense => CheckMode::Full,
+                DomainStrategy::Adaptive => CheckMode::RefuteFast,
+            },
+            grid: params.grid,
+            eps: DomainGrid::axis(params.grid.epsilon_r, n),
+            lam: DomainGrid::axis(params.grid.lambda_tf_nm, n),
+            threads: params.effective_threads(),
+            budget: params.budget,
+            decided: vec![None; n * n],
+            stats: DomainStats::default(),
+            degradation: None,
+        };
+        match strategy {
+            DomainStrategy::Dense => sweep.run_dense(),
+            DomainStrategy::Adaptive => sweep.run_adaptive(),
+        }
+        sweep.finalize(params.nominal)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sweep internals.
+
+/// Cells whose corners agree and span at most this many grid steps per
+/// axis have their interior inferred instead of simulated. Span 2 is
+/// the conservative setting: a cell infers at most the five points
+/// between its corners, and any disagreement anywhere in its
+/// neighborhood triggers full bisection down to single points.
+const INFER_SPAN: usize = 2;
+
+/// What checking one grid point produced.
+enum PointOutcome {
+    /// The point was simulated.
+    Checked {
+        operational: bool,
+        stats: SimStats,
+        pattern_sims: u64,
+    },
+    /// An injected `opdomain.point` panic unwound the check; the
+    /// coordinator recomputes the point (mirroring `run_partitioned`).
+    Faulted,
+    /// An injected `opdomain.point` exhaustion skipped the point.
+    Skipped,
+}
+
+/// Simulates one grid point, hosting the `opdomain.point` fault.
+fn check_point(
+    design: &GateDesign,
+    sim: &SimParams,
+    mode: CheckMode,
+    eps: f64,
+    lam: f64,
+) -> PointOutcome {
+    if fcn_budget::fault::armed() {
+        match catch_unwind(AssertUnwindSafe(|| {
+            fcn_budget::fault::check("opdomain.point")
+        })) {
+            Err(_) => return PointOutcome::Faulted,
+            Ok(Some(fcn_budget::fault::Fault::Exhaust)) => return PointOutcome::Skipped,
+            Ok(_) => {}
+        }
+    }
+    check_point_unchecked(design, sim, mode, eps, lam)
+}
+
+/// [`check_point`] without the fault check — the coordinator's
+/// recompute path, like `run_partitioned`'s.
+fn check_point_unchecked(
+    design: &GateDesign,
+    sim: &SimParams,
+    mode: CheckMode,
+    eps: f64,
+    lam: f64,
+) -> PointOutcome {
+    let point_sim = SimParams {
+        physical: PhysicalParams {
+            epsilon_r: eps,
+            lambda_tf_nm: lam,
+            ..sim.physical
+        },
+        ..sim.clone()
+    }
+    .with_threads(1);
+    let outcome = design.check_with_mode(&point_sim, mode);
+    PointOutcome::Checked {
+        operational: outcome.report.is_operational(),
+        stats: outcome.report.stats,
+        pattern_sims: u64::from(outcome.patterns_simulated),
+    }
+}
+
+/// An index rectangle of the grid, refined by bisection.
+struct Cell {
+    e0: usize,
+    e1: usize,
+    l0: usize,
+    l1: usize,
+}
+
+/// What processing a cell did.
+enum CellAction {
+    /// A corner is still waiting on a simulation wave.
+    Waiting,
+    /// The cell was resolved (interior inferred, or nothing to do).
+    Done,
+    /// The cell was bisected into the given children.
+    Subdivided(Vec<Cell>),
+}
+
+/// The mutable state of one sweep.
+struct Sweep<'a> {
+    design: &'a GateDesign,
+    sim: SimParams,
+    mode: CheckMode,
+    grid: DomainGrid,
+    eps: Vec<f64>,
+    lam: Vec<f64>,
+    threads: usize,
+    budget: StepBudget,
+    /// Per grid point: the decided status and provenance, `None` while
+    /// undecided.
+    decided: Vec<Option<(SampleStatus, Provenance)>>,
+    stats: DomainStats,
+    degradation: Option<DomainDegradation>,
+}
+
+impl Sweep<'_> {
+    fn n(&self) -> usize {
+        self.grid.steps
+    }
+
+    /// Checks the wave budget; records the degradation on first
+    /// exhaustion. Called before dispatching a wave, never after the
+    /// final one — a completed sweep is never marked degraded.
+    fn out_of_budget(&mut self, undecided: usize) -> bool {
+        if self.budget.deadline.expired() {
+            if self.degradation.is_none() {
+                self.degradation = Some(DomainDegradation {
+                    trigger: DomainTrigger::Deadline,
+                    detail: format!("deadline expired with {undecided} grid points undecided"),
+                });
+            }
+            return true;
+        }
+        if let Some(max) = self.budget.max_steps {
+            if self.stats.simulated >= max {
+                if self.degradation.is_none() {
+                    self.degradation = Some(DomainDegradation {
+                        trigger: DomainTrigger::Budget,
+                        detail: format!(
+                            "simulated-point cap {max} reached with {undecided} grid points undecided"
+                        ),
+                    });
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    fn undecided(&self) -> usize {
+        self.decided.iter().filter(|d| d.is_none()).count()
+    }
+
+    /// Dispatches one wave of point simulations over the worker pool
+    /// (grid-index order) and records the outcomes.
+    fn run_wave(&mut self, points: &[usize]) {
+        if points.is_empty() {
+            return;
+        }
+        let n = self.n();
+        let design = self.design;
+        let sim = &self.sim;
+        let mode = self.mode;
+        let eps = &self.eps;
+        let lam = &self.lam;
+        let run = engine::run_partitioned(points.len(), self.threads, |i| {
+            let idx = points[i];
+            check_point(design, sim, mode, eps[idx / n], lam[idx % n])
+        });
+        fcn_telemetry::histogram("opdomain.round_points", points.len() as u64);
+        self.stats.rounds += 1;
+        self.stats.sim.recovered += run.recovered;
+        for (i, outcome) in run.results.into_iter().enumerate() {
+            let idx = points[i];
+            let outcome = match outcome {
+                PointOutcome::Faulted => {
+                    // The injected panic unwound the point check:
+                    // recompute on the coordinator, without re-arming
+                    // the fault (mirrors `run_partitioned`'s recovery).
+                    self.stats.sim.recovered += 1;
+                    check_point_unchecked(
+                        self.design,
+                        &self.sim,
+                        self.mode,
+                        self.eps[idx / n],
+                        self.lam[idx % n],
+                    )
+                }
+                other => other,
+            };
+            match outcome {
+                PointOutcome::Checked {
+                    operational,
+                    stats,
+                    pattern_sims,
+                } => {
+                    self.stats.sim.merge(&stats);
+                    self.stats.pattern_sims += pattern_sims;
+                    self.stats.simulated += 1;
+                    let status = if operational {
+                        SampleStatus::Operational
+                    } else {
+                        SampleStatus::NonOperational
+                    };
+                    self.decided[idx] = Some((status, Provenance::Simulated));
+                }
+                PointOutcome::Skipped => {
+                    self.stats.skipped += 1;
+                    self.decided[idx] = Some((SampleStatus::Unknown, Provenance::Skipped));
+                    if self.degradation.is_none() {
+                        self.degradation = Some(DomainDegradation {
+                            trigger: DomainTrigger::Fault,
+                            detail: format!(
+                                "injected opdomain.point fault skipped grid point {idx}"
+                            ),
+                        });
+                    }
+                }
+                PointOutcome::Faulted => unreachable!("faulted points are recomputed above"),
+            }
+        }
+    }
+
+    /// Dense strategy: every point simulated, one wave per ε_r row (the
+    /// deadline checkpoints between rows).
+    fn run_dense(&mut self) {
+        let n = self.n();
+        for row in 0..n {
+            if self.out_of_budget(self.undecided()) {
+                break;
+            }
+            let points: Vec<usize> = (row * n..(row + 1) * n).collect();
+            self.run_wave(&points);
+        }
+    }
+
+    /// Adaptive strategy: recursive bisection from the window corners
+    /// (see the module docs).
+    fn run_adaptive(&mut self) {
+        let n = self.n();
+        if n == 0 {
+            return;
+        }
+        if n == 1 {
+            if !self.out_of_budget(1) {
+                self.run_wave(&[0]);
+            }
+            return;
+        }
+        let mut scheduled = vec![false; n * n];
+        let mut pending: Vec<usize> = Vec::new();
+        for idx in [0, n - 1, (n - 1) * n, n * n - 1] {
+            if !scheduled[idx] {
+                scheduled[idx] = true;
+                pending.push(idx);
+            }
+        }
+        let mut cells = vec![Cell {
+            e0: 0,
+            e1: n - 1,
+            l0: 0,
+            l1: n - 1,
+        }];
+        loop {
+            if pending.is_empty() {
+                break;
+            }
+            if self.out_of_budget(self.undecided()) {
+                break;
+            }
+            let mut wave = std::mem::take(&mut pending);
+            wave.sort_unstable();
+            self.run_wave(&wave);
+            // Process the cell queue to a fixed point: inference can
+            // decide a point another cell was waiting on, so passes
+            // repeat (in deterministic order) until nothing changes.
+            loop {
+                let mut progressed = false;
+                let mut waiting = Vec::new();
+                let mut queue: VecDeque<Cell> = std::mem::take(&mut cells).into();
+                while let Some(cell) = queue.pop_front() {
+                    match self.process_cell(&cell, &mut scheduled, &mut pending) {
+                        CellAction::Waiting => waiting.push(cell),
+                        CellAction::Done => progressed = true,
+                        CellAction::Subdivided(children) => {
+                            progressed = true;
+                            for child in children {
+                                queue.push_back(child);
+                            }
+                        }
+                    }
+                }
+                cells = waiting;
+                if !progressed {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Resolves one cell: infer an agreeing small cell's interior,
+    /// bisect anything else that still has undecided points.
+    fn process_cell(
+        &mut self,
+        cell: &Cell,
+        scheduled: &mut [bool],
+        pending: &mut Vec<usize>,
+    ) -> CellAction {
+        let n = self.n();
+        let idx = |e: usize, l: usize| e * n + l;
+        let corner_indices = [
+            idx(cell.e0, cell.l0),
+            idx(cell.e0, cell.l1),
+            idx(cell.e1, cell.l0),
+            idx(cell.e1, cell.l1),
+        ];
+        let mut corners = [SampleStatus::Unknown; 4];
+        for (slot, &c) in corners.iter_mut().zip(&corner_indices) {
+            match self.decided[c] {
+                Some((status, _)) => *slot = status,
+                None => return CellAction::Waiting,
+            }
+        }
+        let espan = cell.e1 - cell.e0;
+        let lspan = cell.l1 - cell.l0;
+        let agree = corners[0] != SampleStatus::Unknown && corners.iter().all(|s| *s == corners[0]);
+        if agree && espan <= INFER_SPAN && lspan <= INFER_SPAN {
+            for e in cell.e0..=cell.e1 {
+                for l in cell.l0..=cell.l1 {
+                    let i = idx(e, l);
+                    if self.decided[i].is_none() && !scheduled[i] {
+                        self.decided[i] = Some((corners[0], Provenance::Inferred));
+                        self.stats.inferred += 1;
+                    }
+                }
+            }
+            return CellAction::Done;
+        }
+        if espan <= 1 && lspan <= 1 {
+            return CellAction::Done;
+        }
+        // Bisect: probe the midpoint sub-lattice, recurse on the
+        // children. Probes already decided (or scheduled) are free.
+        let es: Vec<usize> = if espan > 1 {
+            vec![cell.e0, cell.e0 + espan / 2, cell.e1]
+        } else {
+            vec![cell.e0, cell.e1]
+        };
+        let ls: Vec<usize> = if lspan > 1 {
+            vec![cell.l0, cell.l0 + lspan / 2, cell.l1]
+        } else {
+            vec![cell.l0, cell.l1]
+        };
+        for &e in &es {
+            for &l in &ls {
+                let i = idx(e, l);
+                if self.decided[i].is_none() && !scheduled[i] {
+                    scheduled[i] = true;
+                    pending.push(i);
+                }
+            }
+        }
+        let mut children = Vec::new();
+        for we in es.windows(2) {
+            for wl in ls.windows(2) {
+                children.push(Cell {
+                    e0: we[0],
+                    e1: we[1],
+                    l0: wl[0],
+                    l1: wl[1],
+                });
+            }
+        }
+        CellAction::Subdivided(children)
+    }
+
+    /// Assembles the row-major sample list and emits telemetry.
+    fn finalize(mut self, nominal: (f64, f64)) -> OperationalDomain {
+        let n = self.n();
+        let mut samples = Vec::with_capacity(n * n);
+        for e in 0..n {
+            for l in 0..n {
+                let (status, provenance) = match self.decided[e * n + l] {
+                    Some(decided) => decided,
+                    None => {
+                        self.stats.skipped += 1;
+                        (SampleStatus::Unknown, Provenance::Skipped)
+                    }
+                };
+                samples.push(DomainSample {
+                    epsilon_r: self.eps[e],
+                    lambda_tf_nm: self.lam[l],
+                    status,
+                    provenance,
+                });
+            }
+        }
+        self.stats.points = (n * n) as u64;
+        for (name, value) in [
+            ("opdomain.points", self.stats.points),
+            ("opdomain.simulated", self.stats.simulated),
+            ("opdomain.inferred", self.stats.inferred),
+            ("opdomain.skipped", self.stats.skipped),
+            ("opdomain.pattern_sims", self.stats.pattern_sims),
+            ("opdomain.rounds", self.stats.rounds),
+            ("opdomain.degraded", u64::from(self.degradation.is_some())),
+        ] {
+            if value > 0 {
+                fcn_telemetry::counter(name, value);
+            }
+        }
+        engine::emit_stats(&self.stats.sim);
+        OperationalDomain {
+            grid: self.grid,
+            nominal,
+            samples,
+            stats: self.stats,
+            degradation: self.degradation,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deprecated entry points.
+
+/// Sweeps the operational domain of a design with the dense strategy.
 ///
 /// `sim.physical` supplies the non-swept parameters (μ−, model flags);
-/// the grid overrides ε_r and λ_TF per sample. Grid points are the
-/// partition units of the engine's worker pool (each point validates
-/// serially inside its unit), so the sampled domain is identical at any
-/// thread count. With `sim.cache` set, repeated sweeps of the same
-/// design are answered from the cache.
-///
-/// # Examples
-///
-/// ```
-/// use sidb_sim::engine::{SimEngine, SimParams};
-/// use sidb_sim::opdomain::{operational_domain_with, DomainGrid};
-/// use sidb_sim::operational::GateDesign;
-/// use sidb_sim::bdl::{BdlPair, InputPort, OutputPort};
-/// use sidb_sim::layout::SidbLayout;
-/// use sidb_sim::model::PhysicalParams;
-///
-/// // A three-pair BDL wire.
-/// let design = GateDesign {
-///     name: "wire".into(),
-///     body: SidbLayout::from_sites([(0,0,0),(0,1,0),(0,4,0),(0,5,0),(0,8,0),(0,9,0)]),
-///     inputs: vec![InputPort {
-///         pair: BdlPair::new((0,0,0),(0,1,0)),
-///         perturber_zero: (0,-4,0).into(),
-///         perturber_one: (0,-3,0).into(),
-///     }],
-///     outputs: vec![OutputPort {
-///         pair: BdlPair::new((0,8,0),(0,9,0)),
-///         perturber: Some((0,12,1).into()),
-///     }],
-///     truth_table: vec![vec![false], vec![true]],
-/// };
-/// let grid = DomainGrid { steps: 3, ..Default::default() };
-/// let sim = SimParams::new(PhysicalParams::default()).with_engine(SimEngine::QuickExact);
-/// let domain = operational_domain_with(&design, grid, &sim);
-/// assert_eq!(domain.samples.len(), 9);
-/// ```
+/// the grid overrides ε_r and λ_TF per sample.
+#[deprecated(
+    since = "0.8.0",
+    note = "use `GateDesign::operational_domain(&DomainParams)`"
+)]
 pub fn operational_domain_with(
     design: &GateDesign,
     grid: DomainGrid,
     sim: &SimParams,
 ) -> OperationalDomain {
-    let points = grid.points();
-    let threads = sim.threads.unwrap_or_else(engine::default_sim_threads);
-    let run = engine::run_partitioned(points.len(), threads, |i| {
-        let (eps, lam) = points[i];
-        let point_sim = SimParams {
-            physical: PhysicalParams {
-                epsilon_r: eps,
-                lambda_tf_nm: lam,
-                ..sim.physical
-            },
-            ..sim.clone()
-        }
-        .with_threads(1);
-        let report = design.check_core(&point_sim);
-        (eps, lam, report.is_operational(), report.stats)
-    });
-    let mut stats = SimStats {
-        recovered: run.recovered,
-        ..SimStats::default()
-    };
-    let samples = run
-        .results
-        .into_iter()
-        .map(|(eps, lam, ok, point_stats)| {
-            stats.merge(&point_stats);
-            (eps, lam, ok)
-        })
-        .collect();
-    engine::emit_stats(&stats);
-    OperationalDomain { grid, samples }
+    let mut params = DomainParams::new(sim.clone())
+        .with_grid(grid)
+        .with_strategy(DomainStrategy::Dense);
+    if let Some(threads) = sim.threads {
+        params = params.with_threads(threads);
+    }
+    design.operational_domain(&params)
 }
 
-/// Sweeps the operational domain of a design.
+/// Sweeps the operational domain of a design with the dense strategy.
 ///
 /// `base` supplies the non-swept parameters (μ−, model flags); the grid
 /// overrides ε_r and λ_TF per sample.
-#[deprecated(since = "0.6.0", note = "use `operational_domain_with(&SimParams)`")]
+#[deprecated(
+    since = "0.6.0",
+    note = "use `GateDesign::operational_domain(&DomainParams)`"
+)]
 pub fn operational_domain(
     design: &GateDesign,
     base: &PhysicalParams,
     grid: DomainGrid,
     engine: Engine,
 ) -> OperationalDomain {
+    #[allow(deprecated)]
     operational_domain_with(design, grid, &SimParams::new(*base).with_engine(engine))
 }
 
@@ -208,6 +994,7 @@ mod tests {
     use super::*;
     use crate::bdl::{BdlPair, InputPort, OutputPort};
     use crate::layout::SidbLayout;
+    use fcn_budget::Deadline;
 
     fn wire() -> GateDesign {
         GateDesign {
@@ -233,6 +1020,14 @@ mod tests {
         }
     }
 
+    fn params() -> DomainParams {
+        DomainParams::new(SimParams::new(PhysicalParams::default()).with_engine(Engine::QuickExact))
+            .with_grid(DomainGrid {
+                steps: 3,
+                ..Default::default()
+            })
+    }
+
     #[test]
     fn grid_points_cover_axes() {
         let grid = DomainGrid {
@@ -247,60 +1042,168 @@ mod tests {
         assert!(pts.contains(&(5.0, 5.0)));
     }
 
-    fn sim() -> SimParams {
-        SimParams::new(PhysicalParams::default()).with_engine(Engine::QuickExact)
+    #[test]
+    fn nearest_index_snaps_to_the_grid() {
+        let grid = DomainGrid {
+            epsilon_r: (4.0, 6.0),
+            lambda_tf_nm: (4.0, 6.0),
+            steps: 3,
+        };
+        assert_eq!(grid.nearest_index(4.0, 4.0), Some(0));
+        assert_eq!(grid.nearest_index(6.0, 6.0), Some(8));
+        assert_eq!(grid.nearest_index(5.1, 4.9), Some(4));
+        assert_eq!(grid.nearest_index(-100.0, 100.0), Some(2));
+        assert_eq!(
+            DomainGrid { steps: 0, ..grid }.nearest_index(5.0, 5.0),
+            None
+        );
+    }
+
+    #[test]
+    fn builder_chains_configure_the_sweep() {
+        let p = params()
+            .with_strategy(DomainStrategy::Dense)
+            .with_threads(2)
+            .with_nominal(4.1, 6.2);
+        assert_eq!(p.effective_strategy(), DomainStrategy::Dense);
+        assert_eq!(p.effective_threads(), 2);
+        assert_eq!(p.nominal, (4.1, 6.2));
     }
 
     #[test]
     fn wire_domain_includes_the_nominal_point() {
-        let grid = DomainGrid {
-            steps: 3,
-            ..Default::default()
-        };
-        let domain = operational_domain_with(&wire(), grid, &sim());
-        assert!(domain.nominal_operational());
+        let domain = wire().operational_domain(&params());
+        assert_eq!(domain.nominal_operational(), Some(true));
         assert!(domain.coverage() > 0.0);
     }
 
     #[test]
-    fn coverage_is_a_fraction() {
-        let grid = DomainGrid {
-            steps: 3,
-            ..Default::default()
-        };
-        let domain = operational_domain_with(&wire(), grid, &sim());
-        assert!((0.0..=1.0).contains(&domain.coverage()));
+    fn adaptive_matches_dense_on_a_boundary_window() {
+        // The default window straddles the fixture wire's domain
+        // boundary, so the adaptive sweep bisects down to every point.
+        let design = wire();
+        let dense = design.operational_domain(&params().with_strategy(DomainStrategy::Dense));
+        let adaptive = design.operational_domain(&params().with_strategy(DomainStrategy::Adaptive));
+        assert_eq!(dense.stats.simulated, 9);
+        assert_eq!(adaptive.stats.simulated + adaptive.stats.inferred, 9);
+        for (d, a) in dense.samples.iter().zip(&adaptive.samples) {
+            assert_eq!(
+                d.status, a.status,
+                "at ({}, {})",
+                d.epsilon_r, d.lambda_tf_nm
+            );
+            assert_eq!(d.provenance, Provenance::Simulated);
+        }
     }
 
     #[test]
-    fn ascii_map_has_one_row_per_epsilon() {
+    fn adaptive_infers_the_interior_of_a_uniform_window() {
+        // ε_r ≤ 5.5 keeps the fixture wire operational across the
+        // whole λ_TF range: the adaptive sweep simulates only the four
+        // window corners and infers the rest.
+        let design = wire();
         let grid = DomainGrid {
-            steps: 4,
-            ..Default::default()
+            epsilon_r: (4.0, 5.5),
+            lambda_tf_nm: (3.5, 6.5),
+            steps: 3,
         };
-        let domain = operational_domain_with(&wire(), grid, &sim());
-        let map = domain.render_ascii();
-        assert_eq!(map.lines().count(), 5); // 4 ε_r rows + axis caption
+        let dense = design.operational_domain(
+            &params()
+                .with_grid(grid)
+                .with_strategy(DomainStrategy::Dense),
+        );
+        let adaptive = design.operational_domain(
+            &params()
+                .with_grid(grid)
+                .with_strategy(DomainStrategy::Adaptive),
+        );
+        assert_eq!(dense.stats.simulated, 9);
+        assert_eq!(adaptive.stats.simulated, 4);
+        assert_eq!(adaptive.stats.inferred, 5);
+        assert!(adaptive.stats.pattern_sims < dense.stats.pattern_sims);
+        for (d, a) in dense.samples.iter().zip(&adaptive.samples) {
+            assert_eq!(
+                d.status, a.status,
+                "at ({}, {})",
+                d.epsilon_r, d.lambda_tf_nm
+            );
+        }
+        assert!(adaptive
+            .samples
+            .iter()
+            .any(|s| s.provenance == Provenance::Inferred));
     }
 
     #[test]
     fn domain_samples_are_thread_invariant() {
-        let grid = DomainGrid {
-            steps: 3,
+        for strategy in [DomainStrategy::Dense, DomainStrategy::Adaptive] {
+            let one = wire().operational_domain(&params().with_strategy(strategy).with_threads(1));
+            let four = wire().operational_domain(&params().with_strategy(strategy).with_threads(4));
+            assert_eq!(one.samples, four.samples);
+            assert_eq!(one.stats, four.stats);
+        }
+    }
+
+    #[test]
+    fn ascii_map_has_one_row_per_epsilon() {
+        let domain = wire().operational_domain(&params().with_grid(DomainGrid {
+            steps: 4,
             ..Default::default()
-        };
-        let one = operational_domain_with(&wire(), grid, &sim().with_threads(1));
-        let four = operational_domain_with(&wire(), grid, &sim().with_threads(4));
-        assert_eq!(one.samples, four.samples);
+        }));
+        let map = domain.render_ascii();
+        assert_eq!(map.lines().count(), 5); // 4 ε_r rows + axis caption
+        assert!(!map.contains('?'));
     }
 
     #[test]
     fn single_step_grid_degenerates_gracefully() {
-        let grid = DomainGrid {
+        let domain = wire().operational_domain(&params().with_grid(DomainGrid {
             steps: 1,
             ..Default::default()
-        };
-        let domain = operational_domain_with(&wire(), grid, &sim());
+        }));
         assert_eq!(domain.samples.len(), 1);
+        assert_eq!(domain.stats.simulated, 1);
+    }
+
+    #[test]
+    fn expired_deadline_degrades_honestly() {
+        let domain = wire().operational_domain(
+            &params().with_budget(StepBudget::unbounded().with_deadline(Deadline::after_ms(0))),
+        );
+        let degradation = domain.degradation.as_ref().expect("degraded");
+        assert_eq!(degradation.trigger, DomainTrigger::Deadline);
+        assert!(domain
+            .samples
+            .iter()
+            .all(|s| s.status == SampleStatus::Unknown && s.provenance == Provenance::Skipped));
+        assert_eq!(domain.nominal_operational(), None);
+        assert_eq!(domain.coverage(), 0.0);
+        assert!(domain.render_ascii().contains('?'));
+    }
+
+    #[test]
+    fn point_cap_degrades_honestly() {
+        let domain = wire()
+            .operational_domain(&params().with_budget(StepBudget::unbounded().with_max_steps(4)));
+        let degradation = domain.degradation.as_ref().expect("degraded");
+        assert_eq!(degradation.trigger, DomainTrigger::Budget);
+        assert_eq!(domain.stats.simulated, 4);
+        assert!(domain.stats.skipped > 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrapper_runs_the_dense_strategy() {
+        let grid = DomainGrid {
+            steps: 3,
+            ..Default::default()
+        };
+        let sim = SimParams::new(PhysicalParams::default()).with_engine(Engine::QuickExact);
+        let domain = operational_domain_with(&wire(), grid, &sim);
+        assert_eq!(domain.samples.len(), 9);
+        assert!(domain
+            .samples
+            .iter()
+            .all(|s| s.provenance == Provenance::Simulated));
     }
 }

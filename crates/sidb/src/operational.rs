@@ -9,9 +9,20 @@
 //! Validation fans the `2^k` input patterns out across the simulation
 //! engine's worker pool and shares the gate body's interaction matrix
 //! between them (patterns differ only in a few perturber dots, so the
-//! dominant O(n²) matrix build happens once). Every pattern is always
-//! simulated — no early exit — so verdicts *and* work counters are
-//! identical at any thread count.
+//! dominant O(n²) matrix build happens once).
+//!
+//! Two check modes exist (see the crate-internal `CheckMode`): the
+//! default *full* mode
+//! always simulates every pattern, so verdicts *and* work counters are
+//! identical at any thread count; the *refute-fast* mode evaluates
+//! patterns serially in pattern order and stops at the first pattern
+//! whose observed ground state contradicts the truth table — the
+//! verdict is provably the same (operational requires *every* pattern
+//! to pass, and full mode reports the lowest-numbered failing pattern),
+//! only the work after the first refutation is skipped. The adaptive
+//! operational-domain sweep runs thousands of point checks in regions
+//! where the design is broken; refute-fast is what makes those points
+//! cheap.
 
 use crate::bdl::{InputPort, OutputPort};
 use crate::charge::{ChargeConfiguration, InteractionMatrix};
@@ -37,6 +48,29 @@ pub struct GateDesign {
     /// Expected outputs per input pattern; row `p` corresponds to the
     /// pattern whose bit `i` is input `i`'s value.
     pub truth_table: Vec<Vec<bool>>,
+}
+
+/// How [`GateDesign::check_core`] treats a failing input pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CheckMode {
+    /// Simulate every pattern, even after a failure. Work counters are
+    /// a pure function of the design and parameters — this is the mode
+    /// behind [`GateDesign::check_operational_with`] and the dense
+    /// domain sweep.
+    Full,
+    /// Evaluate patterns serially in pattern order and stop at the
+    /// first refutation. Same verdict, same reported failing pattern,
+    /// strictly less work on non-operational designs.
+    RefuteFast,
+}
+
+/// A verdict together with how many patterns were actually simulated
+/// to reach it (all of them in [`CheckMode::Full`]; possibly fewer in
+/// [`CheckMode::RefuteFast`]).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CheckOutcome {
+    pub report: OperationalReport,
+    pub patterns_simulated: u32,
 }
 
 /// The validation verdict.
@@ -217,11 +251,19 @@ impl GateDesign {
     /// [`check_operational_with`](Self::check_operational_with) without
     /// telemetry emission, for callers that aggregate several designs.
     pub(crate) fn check_core(&self, sim: &SimParams) -> OperationalReport {
+        self.check_with_mode(sim, CheckMode::Full).report
+    }
+
+    /// The core checker behind both modes (see [`CheckMode`]).
+    pub(crate) fn check_with_mode(&self, sim: &SimParams, mode: CheckMode) -> CheckOutcome {
         assert_eq!(
             self.truth_table.len() as u32,
             self.num_patterns(),
             "truth table must cover all input patterns"
         );
+        if mode == CheckMode::RefuteFast {
+            return self.check_refute_fast(sim);
+        }
         let threads = sim.threads.unwrap_or_else(engine::default_sim_threads);
         // Patterns are the partition units; each unit simulates serially
         // so the pool width never changes any per-pattern arithmetic.
@@ -269,7 +311,58 @@ impl GateDesign {
                 };
             }
         }
-        OperationalReport { status, stats }
+        CheckOutcome {
+            report: OperationalReport { status, stats },
+            patterns_simulated: self.num_patterns(),
+        }
+    }
+
+    /// [`CheckMode::RefuteFast`]: serial pattern loop, early exit on
+    /// the first refutation. Patterns run one after another, so each
+    /// simulation keeps the caller's full thread budget (at
+    /// `with_threads(1)` — how domain sweeps call it — the per-pattern
+    /// arithmetic is identical to full mode's serial units).
+    fn check_refute_fast(&self, sim: &SimParams) -> CheckOutcome {
+        let body_matrix = InteractionMatrix::new(&self.body, &sim.physical);
+        let mut stats = SimStats::default();
+        let mut simulated = 0u32;
+        let mut status = OperationalStatus::Operational;
+        for pattern in 0..self.num_patterns() {
+            let layout = self.layout_for_pattern(pattern);
+            let matrix =
+                InteractionMatrix::extended(&body_matrix, &self.body, &layout, &sim.physical);
+            let result = engine::simulate_with_matrix(&layout, sim, Some(&matrix));
+            simulated += 1;
+            stats.merge(&result.stats);
+            let ground_state = result
+                .states
+                .first()
+                .map(|s| s.config.clone())
+                .expect("gate bodies are non-empty");
+            let outputs: Vec<Option<bool>> = self
+                .outputs
+                .iter()
+                .map(|o| o.pair.read(&layout, &ground_state))
+                .collect();
+            let expected = &self.truth_table[pattern as usize];
+            let ok = outputs.len() == expected.len()
+                && outputs
+                    .iter()
+                    .zip(expected)
+                    .all(|(obs, exp)| *obs == Some(*exp));
+            if !ok {
+                status = OperationalStatus::NonOperational {
+                    pattern,
+                    observed: outputs,
+                    expected: expected.clone(),
+                };
+                break;
+            }
+        }
+        CheckOutcome {
+            report: OperationalReport { status, stats },
+            patterns_simulated: simulated,
+        }
     }
 
     /// Validates the design against its truth table.
@@ -424,6 +517,39 @@ mod tests {
         let mut d = wire_design();
         d.truth_table.pop();
         let _ = d.check_operational_with(&SimParams::new(PhysicalParams::default()));
+    }
+
+    #[test]
+    fn refute_fast_agrees_with_full_mode_on_an_operational_design() {
+        let d = wire_design();
+        let sim = SimParams::new(PhysicalParams::default());
+        let full = d.check_with_mode(&sim, CheckMode::Full);
+        let fast = d.check_with_mode(&sim, CheckMode::RefuteFast);
+        assert_eq!(full.report.status, fast.report.status);
+        assert!(fast.report.status == OperationalStatus::Operational);
+        // No refutation exists, so refute-fast must simulate everything.
+        assert_eq!(full.patterns_simulated, d.num_patterns());
+        assert_eq!(fast.patterns_simulated, d.num_patterns());
+    }
+
+    #[test]
+    fn refute_fast_stops_at_the_first_refutation() {
+        // Inverting the truth table breaks the wire on pattern 0, so
+        // refute-fast must stop there while full mode simulates both
+        // patterns — and both must report the same failing pattern.
+        let mut d = wire_design();
+        d.truth_table = vec![vec![true], vec![false]];
+        let sim = SimParams::new(PhysicalParams::default());
+        let full = d.check_with_mode(&sim, CheckMode::Full);
+        let fast = d.check_with_mode(&sim, CheckMode::RefuteFast);
+        assert_eq!(full.report.status, fast.report.status);
+        assert!(matches!(
+            fast.report.status,
+            OperationalStatus::NonOperational { pattern: 0, .. }
+        ));
+        assert_eq!(full.patterns_simulated, d.num_patterns());
+        assert_eq!(fast.patterns_simulated, 1);
+        assert!(fast.report.stats.visited < full.report.stats.visited);
     }
 
     #[test]

@@ -7,30 +7,42 @@
 //! ```
 //!
 //! Sweeps `(ε_r, λ_TF)` around the experimentally calibrated point and
-//! maps where each design still reproduces its truth table.
+//! maps where each design still reproduces its truth table. The
+//! adaptive sampler (default; `OPDOMAIN_STRATEGY=dense` for the full
+//! sweep) follows the domain boundary and infers closed regions, so
+//! only a fraction of the grid is simulated — each map reports how
+//! many points were simulated vs inferred.
 
 use bestagon_lib::tiles::{huff_style_or, inverter_nw_sw, wire_nw_sw};
-use sidb_sim::opdomain::{operational_domain_with, DomainGrid};
+use sidb_sim::opdomain::DomainParams;
 use sidb_sim::{PhysicalParams, SimCache, SimEngine, SimParams};
 
 fn main() {
-    let grid = DomainGrid::default();
     let mut sim = SimParams::new(PhysicalParams::default()).with_engine(SimEngine::QuickExact);
     if let Some(cache) = SimCache::from_env() {
         sim = sim.with_cache(cache);
     }
+    let params = DomainParams::new(sim);
     println!("=== Operational domains (■ = truth table reproduced) ===\n");
     for design in [huff_style_or(), wire_nw_sw(), inverter_nw_sw()] {
-        let domain = operational_domain_with(&design, grid, &sim);
+        let domain = design.operational_domain(&params);
         println!(
             "{} — coverage {:.0}% of the swept window, nominal point {}:",
             design.name,
             domain.coverage() * 100.0,
-            if domain.nominal_operational() {
-                "operational"
-            } else {
-                "not operational"
+            match domain.nominal_operational() {
+                Some(true) => "operational",
+                Some(false) => "not operational",
+                None => "unknown",
             }
+        );
+        println!(
+            "  {} grid points: {} simulated, {} inferred, {} skipped ({} pattern simulations)",
+            domain.stats.points,
+            domain.stats.simulated,
+            domain.stats.inferred,
+            domain.stats.skipped,
+            domain.stats.pattern_sims,
         );
         println!("{}", domain.render_ascii());
     }

@@ -1,0 +1,153 @@
+//! Operational-domain engine acceptance tests: the adaptive sampler
+//! must reproduce the dense sweep's per-point verdicts exactly while
+//! issuing strictly fewer simulations, and domains must be
+//! bit-identical at any worker-pool width.
+//!
+//! The full-grid sweeps are `#[ignore]`d for debug runs; CI exercises
+//! them in the release legs with `--include-ignored`.
+
+use bestagon_lib::tiles::{huff_style_or, inverter_nw_sw, wire_nw_sw};
+use sidb_sim::opdomain::{DomainGrid, DomainParams, DomainStrategy, Provenance};
+use sidb_sim::operational::GateDesign;
+use sidb_sim::{PhysicalParams, SimEngine, SimParams};
+
+fn params(steps: usize) -> DomainParams {
+    DomainParams::new(SimParams::new(PhysicalParams::default()).with_engine(SimEngine::QuickExact))
+        .with_grid(DomainGrid {
+            steps,
+            ..Default::default()
+        })
+}
+
+fn tiles() -> Vec<GateDesign> {
+    vec![wire_nw_sw(), inverter_nw_sw(), huff_style_or()]
+}
+
+/// Adaptive and dense sweeps agree at every grid point of the default
+/// 7×7 window, on every tile — and the adaptive sweep gets there with
+/// fewer point and pattern simulations.
+#[test]
+#[ignore = "full-grid sweep; run in release (CI --include-ignored)"]
+fn adaptive_matches_dense_on_the_default_grid() {
+    for design in tiles() {
+        let dense = design.operational_domain(&params(7).with_strategy(DomainStrategy::Dense));
+        let adaptive =
+            design.operational_domain(&params(7).with_strategy(DomainStrategy::Adaptive));
+        assert_eq!(dense.stats.simulated, 49, "{}", design.name);
+        assert_eq!(
+            adaptive.stats.simulated + adaptive.stats.inferred,
+            49,
+            "{}",
+            design.name
+        );
+        assert!(
+            adaptive.stats.simulated < dense.stats.simulated,
+            "{}: adaptive simulated {} of 49 points",
+            design.name,
+            adaptive.stats.simulated
+        );
+        assert!(
+            adaptive.stats.pattern_sims < dense.stats.pattern_sims,
+            "{}: adaptive issued {} pattern sims vs dense {}",
+            design.name,
+            adaptive.stats.pattern_sims,
+            dense.stats.pattern_sims
+        );
+        for (d, a) in dense.samples.iter().zip(&adaptive.samples) {
+            assert_eq!(
+                d.status, a.status,
+                "{} at (ε_r {}, λ_TF {})",
+                design.name, d.epsilon_r, d.lambda_tf_nm
+            );
+        }
+        assert_eq!(dense.coverage(), adaptive.coverage(), "{}", design.name);
+        assert_eq!(
+            dense.nominal_operational(),
+            adaptive.nominal_operational(),
+            "{}",
+            design.name
+        );
+    }
+}
+
+/// On a finer 15×15 grid the relative saving grows: closed regions are
+/// larger in index space, so a bigger share of the grid is inferred.
+#[test]
+#[ignore = "full-grid sweep; run in release (CI --include-ignored)"]
+fn adaptive_saving_grows_on_a_fine_grid() {
+    for design in tiles() {
+        let dense = design.operational_domain(&params(15).with_strategy(DomainStrategy::Dense));
+        let adaptive =
+            design.operational_domain(&params(15).with_strategy(DomainStrategy::Adaptive));
+        assert_eq!(dense.stats.simulated, 225, "{}", design.name);
+        assert!(
+            adaptive.stats.simulated < dense.stats.simulated,
+            "{}: adaptive simulated {} of 225 points",
+            design.name,
+            adaptive.stats.simulated
+        );
+        for (d, a) in dense.samples.iter().zip(&adaptive.samples) {
+            assert_eq!(
+                d.status, a.status,
+                "{} at (ε_r {}, λ_TF {})",
+                design.name, d.epsilon_r, d.lambda_tf_nm
+            );
+        }
+        // The 15×15 fraction of simulated points must not exceed the
+        // 7×7 fraction for the same design: inference wins grow with
+        // resolution.
+        let coarse = design.operational_domain(&params(7).with_strategy(DomainStrategy::Adaptive));
+        let fine_fraction = adaptive.stats.simulated as f64 / 225.0;
+        let coarse_fraction = coarse.stats.simulated as f64 / 49.0;
+        assert!(
+            fine_fraction <= coarse_fraction,
+            "{}: simulated fraction grew from {coarse_fraction:.2} (7×7) to {fine_fraction:.2} (15×15)",
+            design.name
+        );
+    }
+}
+
+/// Sampled domains are bit-identical at any worker-pool width, for
+/// both strategies (the CI matrix additionally runs this suite under
+/// `OPDOMAIN_THREADS ∈ {1,4}`).
+#[test]
+#[ignore = "full-grid sweep; run in release (CI --include-ignored)"]
+fn domains_are_identical_at_any_thread_width() {
+    for design in tiles() {
+        for strategy in [DomainStrategy::Dense, DomainStrategy::Adaptive] {
+            let one = design.operational_domain(&params(7).with_strategy(strategy).with_threads(1));
+            let four =
+                design.operational_domain(&params(7).with_strategy(strategy).with_threads(4));
+            assert_eq!(one.samples, four.samples, "{}", design.name);
+            assert_eq!(one.stats, four.stats, "{}", design.name);
+            assert_eq!(one.degradation, four.degradation, "{}", design.name);
+        }
+    }
+}
+
+/// Every sample declares how its verdict was obtained, and only
+/// adaptive sweeps infer.
+#[test]
+#[ignore = "full-grid sweep; run in release (CI --include-ignored)"]
+fn samples_are_provenance_honest() {
+    let design = wire_nw_sw();
+    let dense = design.operational_domain(&params(7).with_strategy(DomainStrategy::Dense));
+    assert!(dense
+        .samples
+        .iter()
+        .all(|s| s.provenance == Provenance::Simulated));
+    let adaptive = design.operational_domain(&params(7).with_strategy(DomainStrategy::Adaptive));
+    let simulated = adaptive
+        .samples
+        .iter()
+        .filter(|s| s.provenance == Provenance::Simulated)
+        .count() as u64;
+    let inferred = adaptive
+        .samples
+        .iter()
+        .filter(|s| s.provenance == Provenance::Inferred)
+        .count() as u64;
+    assert_eq!(simulated, adaptive.stats.simulated);
+    assert_eq!(inferred, adaptive.stats.inferred);
+    assert!(inferred > 0);
+}

@@ -424,3 +424,101 @@ fn injected_designer_restart_exhaust_degrades() {
     assert_eq!(degradation.trigger, DesignTrigger::Fault);
     assert_eq!(result.stats.recovered, 0, "exhausted restarts do not run");
 }
+
+/// A domain sweep under an already-expired deadline returns every grid
+/// point as `Unknown` with an honest deadline degradation — the caller
+/// can see that nothing was decided, instead of reading a map of
+/// false `NonOperational` verdicts.
+#[test]
+fn opdomain_deadline_degrades_honestly() {
+    use sidb_sim::opdomain::{DomainGrid, DomainParams, DomainTrigger, SampleStatus};
+    use sidb_sim::{PhysicalParams, SimEngine, SimParams};
+    let design = bestagon_lib::tiles::wire_nw_sw();
+    let params = DomainParams::new(
+        SimParams::new(PhysicalParams::default()).with_engine(SimEngine::QuickExact),
+    )
+    .with_grid(DomainGrid {
+        steps: 3,
+        ..Default::default()
+    })
+    .with_budget(fcn_budget::StepBudget::unbounded().with_deadline(Deadline::after_ms(0)));
+    let domain = design.operational_domain(&params);
+    let degradation = domain.degradation.as_ref().expect("degradation recorded");
+    assert_eq!(degradation.trigger, DomainTrigger::Deadline);
+    assert!(domain
+        .samples
+        .iter()
+        .all(|s| s.status == SampleStatus::Unknown));
+    assert_eq!(domain.stats.simulated, 0);
+    assert_eq!(domain.nominal_operational(), None, "unknown, not `false`");
+    assert_eq!(domain.coverage(), 0.0);
+}
+
+/// An injected panic at every `opdomain.point` hit loses each worker's
+/// verdict; the coordinator recomputes all of them and the resulting
+/// domain is bit-identical to the fault-free run.
+#[test]
+fn injected_opdomain_point_panic_recovers_identically() {
+    use sidb_sim::opdomain::{DomainGrid, DomainParams, DomainStrategy};
+    use sidb_sim::{PhysicalParams, SimEngine, SimParams};
+    let design = bestagon_lib::tiles::wire_nw_sw();
+    let params = DomainParams::new(
+        SimParams::new(PhysicalParams::default()).with_engine(SimEngine::QuickExact),
+    )
+    .with_grid(DomainGrid {
+        steps: 3,
+        ..Default::default()
+    })
+    .with_strategy(DomainStrategy::Adaptive)
+    .with_threads(4);
+    let clean = design.operational_domain(&params);
+    assert_eq!(clean.stats.sim.recovered, 0);
+
+    let plan = Arc::new(FaultPlan::single("opdomain.point", Fault::Panic));
+    let scope = install(plan.clone());
+    let faulted = design.operational_domain(&params);
+    drop(scope);
+    assert!(plan.hits("opdomain.point") > 0, "fault point was reached");
+    assert!(faulted.stats.sim.recovered > 0, "recomputes are counted");
+    assert_eq!(clean.samples, faulted.samples, "recovery is bit-identical");
+    assert!(
+        faulted.degradation.is_none(),
+        "full recovery, no degradation"
+    );
+}
+
+/// An injected exhaustion at one `opdomain.point` hit skips exactly
+/// that grid point: the sample is reported `Unknown`/`Skipped` and the
+/// sweep records a fault degradation instead of guessing a verdict.
+#[test]
+fn injected_opdomain_point_exhaust_skips_honestly() {
+    use sidb_sim::opdomain::{
+        DomainGrid, DomainParams, DomainStrategy, DomainTrigger, Provenance, SampleStatus,
+    };
+    use sidb_sim::{PhysicalParams, SimEngine, SimParams};
+    let design = bestagon_lib::tiles::wire_nw_sw();
+    let params = DomainParams::new(
+        SimParams::new(PhysicalParams::default()).with_engine(SimEngine::QuickExact),
+    )
+    .with_grid(DomainGrid {
+        steps: 3,
+        ..Default::default()
+    })
+    .with_strategy(DomainStrategy::Adaptive)
+    .with_threads(1);
+    let plan = Arc::new(FaultPlan::new().with_rule("opdomain.point", Fault::Exhaust, Some(2)));
+    let scope = install(plan.clone());
+    let domain = design.operational_domain(&params);
+    drop(scope);
+    assert!(plan.hits("opdomain.point") > 1, "fault point was reached");
+    let degradation = domain.degradation.as_ref().expect("degradation recorded");
+    assert_eq!(degradation.trigger, DomainTrigger::Fault);
+    let skipped: Vec<_> = domain
+        .samples
+        .iter()
+        .filter(|s| s.provenance == Provenance::Skipped)
+        .collect();
+    assert_eq!(skipped.len(), 1, "exactly the faulted point is skipped");
+    assert_eq!(skipped[0].status, SampleStatus::Unknown);
+    assert_eq!(domain.stats.skipped, 1);
+}
