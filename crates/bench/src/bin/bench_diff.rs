@@ -1,5 +1,5 @@
 //! `bench-diff` — a regression gate over two benchmark JSON files
-//! (`BENCH_table1.json` or `BENCH_opdomain.json`).
+//! (`BENCH_table1.json`, `BENCH_opdomain.json`, or `BENCH_yield.json`).
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench_diff -- \
@@ -56,6 +56,10 @@ const STRICT_FIELDS: &[&str] = &[
     "pattern_sims",
     "dense_pattern_sims",
     "dense_visited",
+    // Defect-yield benchmarks (BENCH_yield.json).
+    "surfaces",
+    "aware_ok",
+    "blind_ok",
 ];
 
 struct Options {

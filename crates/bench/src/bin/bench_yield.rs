@@ -1,0 +1,183 @@
+//! `bench-yield` — the defect-aware yield benchmark.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_yield
+//! ```
+//!
+//! Sweeps seeded random defect surfaces at several densities over a
+//! Table 1 circuit subset and writes `BENCH_yield.json`: per circuit
+//! and density, how many surfaces yield a working chip when the flow
+//! designs *around* the defects (defect-aware exact P&R with the
+//! surface blacklist) versus when a pristine-designed layout is dropped
+//! onto the same surface blind. A placement "survives" a surface when
+//! no occupied tile is perturbed beyond the validation threshold by a
+//! defect — the same criterion step 7 of the flow reports as
+//! `defects.compromised`.
+//!
+//! Everything here is deterministic: the surfaces are seeded site-hash
+//! draws, the exact engine's layout is identical at any thread width,
+//! and the survival check is pure geometry. `bench_diff` therefore
+//! gates `surfaces`, `aware_ok`, and `blind_ok` strictly; wall clock
+//! gets the usual generous one-sided tolerance. The acceptance
+//! criterion is that defect-aware design strictly beats the blind
+//! baseline at every nonzero density.
+
+use bestagon_core::benchmarks::benchmark;
+use bestagon_core::flow::{run_flow, FlowOptions, PnrMethod};
+use fcn_layout::hexagonal::HexGateLayout;
+use fcn_telemetry::json::Value;
+use sidb_sim::{DefectKind, DefectMap};
+use std::collections::HashSet;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Table 1 subset: small enough that an exact re-placement per surface
+/// stays in seconds, large enough to include routing-heavy shapes.
+const CIRCUITS: &[&str] = &["xor2", "xnor2", "mux21"];
+
+/// Defect densities (per lattice site) of the sweep. Zero anchors the
+/// pristine limit where aware and blind must coincide.
+const DENSITIES: &[f64] = &[0.0, 2e-5, 5e-5, 1e-4];
+
+/// Seeded surfaces per (circuit, density) cell.
+const SEEDS: u64 = 6;
+
+/// Area bound of the defect-aware exact scan (every subset circuit fits
+/// well below it, leaving room to route around blacklisted tiles).
+const MAX_AREA: u64 = 40;
+
+/// Matches `bestagon_core::flow`'s compromise threshold (eV).
+const DEFECT_THRESHOLD_EV: f64 = 2e-3;
+
+fn flow_options(surface: DefectMap) -> FlowOptions {
+    // The layout is the only artifact under test: skip verification and
+    // library application, and pin the surface explicitly so the
+    // `SURFACE_DEFECTS` environment cannot leak into either arm (the
+    // blind baseline passes the pristine map).
+    FlowOptions::new()
+        .with_pnr(PnrMethod::Exact { max_area: MAX_AREA })
+        .without_verify()
+        .without_library()
+        .with_surface(surface)
+}
+
+/// Whether `layout` survives `surface`: no occupied tile is perturbed
+/// beyond the validation threshold by any defect.
+fn survives(layout: &HexGateLayout, surface: &DefectMap) -> bool {
+    let ratio = layout.ratio();
+    let compromised: HashSet<(i32, i32)> = surface
+        .compromised_hex_tiles(
+            &bestagon_lib::geometry::validation_params(),
+            DEFECT_THRESHOLD_EV,
+            ratio.width as i32,
+            ratio.height as i32,
+        )
+        .into_iter()
+        .collect();
+    layout
+        .occupied_tiles()
+        .all(|(c, _)| !compromised.contains(&(c.x, c.y)))
+}
+
+fn main() -> ExitCode {
+    println!("=== Defect-aware yield vs defect-blind baseline ===\n");
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9}",
+        "Circuit", "density", "surfaces", "aware", "blind"
+    );
+    let mut entries: Vec<Value> = Vec::new();
+    // aggregate[density] = (surfaces, aware_ok, blind_ok)
+    let mut aggregate = vec![(0u64, 0u64, 0u64); DENSITIES.len()];
+    for name in CIRCUITS {
+        let b = benchmark(name);
+        let pristine = match run_flow(name, &b.xag, &flow_options(DefectMap::pristine())) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("bench-yield: pristine flow failed for {name}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        for (di, &density) in DENSITIES.iter().enumerate() {
+            let started = Instant::now();
+            let mut aware_ok = 0u64;
+            let mut blind_ok = 0u64;
+            for seed in 1..=SEEDS {
+                let surface = DefectMap::random(seed, density, &DefectKind::ALL);
+                if survives(&pristine.layout, &surface) {
+                    blind_ok += 1;
+                }
+                match run_flow(name, &b.xag, &flow_options(surface.clone())) {
+                    Ok(r) if survives(&r.layout, &surface) => aware_ok += 1,
+                    Ok(_) => {}
+                    Err(e) => {
+                        eprintln!("bench-yield: aware flow failed for {name} seed {seed}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            let seconds = started.elapsed().as_secs_f64();
+            aggregate[di].0 += SEEDS;
+            aggregate[di].1 += aware_ok;
+            aggregate[di].2 += blind_ok;
+            println!("{name:<10} {density:>9.0e} {SEEDS:>9} {aware_ok:>9} {blind_ok:>9}");
+            entries.push(Value::Obj(vec![
+                ("name".to_owned(), Value::Str(format!("{name}@{density:e}"))),
+                ("seconds".to_owned(), Value::Num(seconds)),
+                ("density".to_owned(), Value::Num(density)),
+                // Deterministic (seeded surfaces, deterministic exact
+                // layouts, pure-geometry survival): gated strictly.
+                ("surfaces".to_owned(), Value::Num(SEEDS as f64)),
+                ("aware_ok".to_owned(), Value::Num(aware_ok as f64)),
+                ("blind_ok".to_owned(), Value::Num(blind_ok as f64)),
+            ]));
+        }
+    }
+    let mut shortfall = 0usize;
+    for (di, &density) in DENSITIES.iter().enumerate() {
+        let (surfaces, aware_ok, blind_ok) = aggregate[di];
+        println!(
+            "\naggregate @ {density:.0e}: aware {aware_ok}/{surfaces}, blind {blind_ok}/{surfaces}"
+        );
+        if density > 0.0 && aware_ok <= blind_ok {
+            shortfall += 1;
+            eprintln!(
+                "bench-yield: defect-aware yield ({aware_ok}) does not exceed the blind \
+                 baseline ({blind_ok}) at density {density:e}"
+            );
+        }
+        entries.push(Value::Obj(vec![
+            (
+                "name".to_owned(),
+                Value::Str(format!("aggregate@{density:e}")),
+            ),
+            ("density".to_owned(), Value::Num(density)),
+            ("surfaces".to_owned(), Value::Num(surfaces as f64)),
+            ("aware_ok".to_owned(), Value::Num(aware_ok as f64)),
+            ("blind_ok".to_owned(), Value::Num(blind_ok as f64)),
+        ]));
+    }
+    let doc = Value::Obj(vec![
+        (
+            "generator".to_owned(),
+            Value::Str("crates/bench/src/bin/bench_yield.rs".to_owned()),
+        ),
+        ("max_area".to_owned(), Value::Num(MAX_AREA as f64)),
+        ("benchmarks".to_owned(), Value::Arr(entries)),
+        (
+            "registry".to_owned(),
+            fcn_telemetry::Registry::global().snapshot().to_value(),
+        ),
+    ]);
+    match std::fs::write("BENCH_yield.json", doc.serialize_pretty() + "\n") {
+        Ok(()) => eprintln!("wrote BENCH_yield.json"),
+        Err(e) => {
+            eprintln!("could not write BENCH_yield.json: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if shortfall > 0 {
+        eprintln!("bench-yield: {shortfall} density level(s) without a defect-aware advantage");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

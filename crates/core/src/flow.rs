@@ -29,6 +29,12 @@ pub use fcn_budget::{Deadline, FlowBudget};
 /// Telemetry snapshot of one flow run (alias of [`fcn_telemetry::Report`]).
 pub type FlowReport = fcn_telemetry::Report;
 
+/// Local-potential perturbation (eV) above which a defect compromises a
+/// tile. Matches the validation simulation's interaction cutoff
+/// ([`bestagon_lib::geometry::validation_params`]): a defect below it is
+/// indistinguishable from truncation noise the gates already tolerate.
+const DEFECT_THRESHOLD_EV: f64 = 2e-3;
+
 /// Which physical-design engine the flow uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PnrMethod {
@@ -63,6 +69,10 @@ pub enum DegradeTrigger {
     /// The stage's preferred engine reported an error the flow could
     /// absorb by switching engines.
     EngineError,
+    /// The configured surface-defect map made the preferred placement
+    /// infeasible; the flow relaxed the search (larger area bound, or a
+    /// defect-blind placement as the last resort) instead of failing.
+    DefectAvoidance,
 }
 
 impl core::fmt::Display for DegradeTrigger {
@@ -71,6 +81,7 @@ impl core::fmt::Display for DegradeTrigger {
             DegradeTrigger::Deadline => "deadline",
             DegradeTrigger::Budget => "budget",
             DegradeTrigger::EngineError => "engine-error",
+            DegradeTrigger::DefectAvoidance => "defect-avoidance",
         })
     }
 }
@@ -146,6 +157,12 @@ pub struct FlowOptions {
     /// run. A relative deadline (`FLOW_DEADLINE_MS`) starts ticking when
     /// the options are constructed.
     pub budget: FlowBudget,
+    /// The surface-defect map to design around (step 4 blacklists
+    /// compromised tiles; step 7 re-validates the placement against the
+    /// map). `None` consults the `SURFACE_DEFECTS` environment variable
+    /// (a `seed:density[:kinds]` spec or a defect-file path); when that
+    /// is unset too, the flow is byte-identical to the pristine flow.
+    pub surface: Option<sidb_sim::DefectMap>,
 }
 
 impl Default for FlowOptions {
@@ -160,6 +177,7 @@ impl Default for FlowOptions {
             apply_library: true,
             tile_validation: false,
             budget: FlowBudget::from_env(),
+            surface: None,
         }
     }
 }
@@ -252,6 +270,14 @@ impl FlowOptions {
         self.budget.deadline = Deadline::after_ms(ms);
         self
     }
+
+    /// Designs around the given surface-defect map (see
+    /// [`FlowOptions::surface`]), overriding `SURFACE_DEFECTS`.
+    #[must_use]
+    pub fn with_surface(mut self, surface: sidb_sim::DefectMap) -> Self {
+        self.surface = Some(surface);
+        self
+    }
 }
 
 /// Everything the flow produces for one circuit.
@@ -320,6 +346,8 @@ pub enum FlowError {
     NetGraph(fcn_pnr::netgraph::NetGraphError),
     /// Step 4: no feasible layout.
     Pnr(PnrError),
+    /// Step 4: the `SURFACE_DEFECTS` spec or defect file is malformed.
+    Surface(sidb_sim::SurfaceSpecError),
     /// Step 5: equivalence checking failed to run.
     Equivalence(EquivError),
     /// Step 5: the layout does not implement the specification — a flow
@@ -350,6 +378,7 @@ impl core::fmt::Display for FlowError {
             FlowError::Map(e) => write!(f, "technology mapping: {e}"),
             FlowError::NetGraph(e) => write!(f, "netlist: {e}"),
             FlowError::Pnr(e) => write!(f, "physical design: {e}"),
+            FlowError::Surface(e) => write!(f, "surface defects: {e}"),
             FlowError::Equivalence(e) => write!(f, "equivalence checking: {e}"),
             FlowError::NotEquivalent { counterexample } => {
                 write!(f, "layout differs from specification at {counterexample:?}")
@@ -577,8 +606,65 @@ fn run_flow_steps(name: &str, xag: &Xag, options: &FlowOptions) -> Result<FlowRe
     })?;
 
     // Step 4: placement & routing.
-    let (layout, exact) = stage("step4:pnr", |_| {
-        let exact_options = |max_area: u64| {
+    let (layout, exact, surface) = stage("step4:pnr", |_| {
+        // Resolve the surface to design around: an explicit option wins,
+        // then the `SURFACE_DEFECTS` environment variable; neither leaves
+        // the step byte-identical to the pristine flow.
+        let surface: Option<sidb_sim::DefectMap> = match &options.surface {
+            Some(map) => Some(map.clone()),
+            None => match std::env::var("SURFACE_DEFECTS") {
+                Ok(spec) if !spec.trim().is_empty() => {
+                    Some(sidb_sim::DefectMap::from_spec(spec.trim()).map_err(FlowError::Surface)?)
+                }
+                _ => None,
+            },
+        };
+        // Tiles whose SiDB footprint a defect perturbs beyond the
+        // threshold, over the largest region the scan may explore —
+        // twice the area bound, so the defect-avoidance retry below
+        // never places on an unscanned tile.
+        let scan_extent = match options.pnr {
+            PnrMethod::Exact { max_area } | PnrMethod::ExactWithFallback { max_area } => {
+                (max_area * 2) as i32
+            }
+            PnrMethod::Heuristic => 0,
+        };
+        let mut blacklist: Vec<(i32, i32)> = Vec::new();
+        if let Some(map) = &surface {
+            // The surface fault point, exercised only when a surface is
+            // actually configured.
+            match fault::check("surface.defect") {
+                Some(Fault::Malform) => {
+                    // Injected corruption: the documented recovery for a
+                    // bad surface description is the typed spec error.
+                    return Err(FlowError::Surface(
+                        sidb_sim::DefectMap::parse_spec("corrupt:spec")
+                            .expect_err("deliberately malformed spec"),
+                    ));
+                }
+                Some(Fault::Exhaust) => {
+                    // Injected exhaustion: every candidate tile reads as
+                    // compromised — the unplaceable-surface edge.
+                    for y in 0..scan_extent {
+                        for x in 0..scan_extent {
+                            blacklist.push((x, y));
+                        }
+                    }
+                }
+                _ => {
+                    blacklist = map.compromised_hex_tiles(
+                        &bestagon_lib::geometry::validation_params(),
+                        DEFECT_THRESHOLD_EV,
+                        scan_extent,
+                        scan_extent,
+                    );
+                }
+            }
+            fcn_telemetry::counter("defects.count", map.len() as u64);
+            fcn_telemetry::counter("defects.blacklisted", blacklist.len() as u64);
+            fcn_telemetry::histogram("defects.blacklisted", blacklist.len() as u64);
+        }
+        let exact_options = |max_area: u64, blacklist: &[(i32, i32)]| {
             let mut eo = ExactOptions {
                 max_area,
                 num_threads: options
@@ -590,7 +676,8 @@ fn run_flow_steps(name: &str, xag: &Xag, options: &FlowOptions) -> Result<FlowRe
                 deadline: budget.deadline,
                 max_conflicts_total: budget.sat_conflicts_total,
                 ..Default::default()
-            };
+            }
+            .with_blacklist(blacklist.to_vec());
             if let Some(per_probe) = budget.sat_conflicts_per_probe {
                 eo.max_conflicts_per_ratio = per_probe;
             }
@@ -606,17 +693,75 @@ fn run_flow_steps(name: &str, xag: &Xag, options: &FlowOptions) -> Result<FlowRe
             },
             other => FlowError::Pnr(other),
         };
+        // Defect-avoidance relaxation: when the blacklist makes the scan
+        // infeasible, grow the area bound once (routing around defects
+        // costs area), then place defect-blind as the last resort —
+        // recorded as degradations, never an error of the surface alone.
+        let defect_aware_exact = |max_area: u64,
+                                  degradations: &mut Vec<Degradation>|
+         -> Result<fcn_pnr::PnrOutcome<HexGateLayout>, PnrError> {
+            let first = exact_pnr(&graph, &exact_options(max_area, &blacklist));
+            match first {
+                Err(PnrError::NoFeasibleRatio { .. }) if !blacklist.is_empty() => {
+                    record(
+                        degradations,
+                        Degradation {
+                            stage: "step4:pnr",
+                            trigger: DegradeTrigger::DefectAvoidance,
+                            action: format!(
+                                "grew the area bound to {} tiles to route around defects",
+                                max_area * 2
+                            ),
+                            detail: format!(
+                                "{} tiles blacklisted; no feasible layout within {max_area} tiles",
+                                blacklist.len()
+                            ),
+                        },
+                    );
+                    match exact_pnr(&graph, &exact_options(max_area * 2, &blacklist)) {
+                        Err(PnrError::NoFeasibleRatio { .. }) => {
+                            record(
+                                degradations,
+                                Degradation {
+                                    stage: "step4:pnr",
+                                    trigger: DegradeTrigger::DefectAvoidance,
+                                    action: "placed defect-blind: the surface admits no \
+                                                 avoiding layout"
+                                        .into(),
+                                    detail: format!(
+                                        "{} tiles blacklisted up to area {}",
+                                        blacklist.len(),
+                                        max_area * 2
+                                    ),
+                                },
+                            );
+                            fcn_telemetry::note("defects.placement", "defect-blind");
+                            exact_pnr(&graph, &exact_options(max_area, &[]))
+                        }
+                        other => other,
+                    }
+                }
+                other => other,
+            }
+        };
         let (layout, exact) = match options.pnr {
             PnrMethod::Exact { max_area } => {
-                let r = exact_pnr(&graph, &exact_options(max_area)).map_err(internal)?;
+                let r = defect_aware_exact(max_area, &mut degradations).map_err(internal)?;
                 (r.layout, true)
             }
-            PnrMethod::Heuristic => (heuristic_pnr(&graph).map_err(FlowError::Pnr)?, false),
+            PnrMethod::Heuristic => {
+                if surface.is_some() {
+                    // The one-pass baseline has no notion of forbidden
+                    // tiles; step 7 still reports what it hit.
+                    fcn_telemetry::note("defects.placement", "defect-blind");
+                }
+                (heuristic_pnr(&graph).map_err(FlowError::Pnr)?, false)
+            }
             PnrMethod::ExactWithFallback { max_area } => {
                 let attempt = if budget.deadline.expired() {
                     Err(PnrError::DeadlineExpired)
                 } else {
-                    exact_pnr(&graph, &exact_options(max_area))
+                    defect_aware_exact(max_area, &mut degradations)
                 };
                 match attempt {
                     Ok(r) => (r.layout, true),
@@ -640,6 +785,9 @@ fn run_flow_steps(name: &str, xag: &Xag, options: &FlowOptions) -> Result<FlowRe
                                 detail: e.to_string(),
                             },
                         );
+                        if surface.is_some() {
+                            fcn_telemetry::note("defects.placement", "defect-blind");
+                        }
                         (heuristic_pnr(&graph).map_err(FlowError::Pnr)?, false)
                     }
                 }
@@ -647,7 +795,7 @@ fn run_flow_steps(name: &str, xag: &Xag, options: &FlowOptions) -> Result<FlowRe
         };
         fcn_telemetry::note("engine", if exact { "exact" } else { "heuristic" });
         fcn_telemetry::note("ratio", layout.ratio().label());
-        Ok((layout, exact))
+        Ok((layout, exact, surface))
     })?;
 
     // Step 5: formal verification.
@@ -726,6 +874,27 @@ fn run_flow_steps(name: &str, xag: &Xag, options: &FlowOptions) -> Result<FlowRe
         let library = BestagonLibrary::new();
         let cell = apply_gate_library(&layout, &library).map_err(FlowError::Apply)?;
         fcn_telemetry::counter("sidbs", cell.num_sidbs() as u64);
+        if let Some(map) = &surface {
+            // Re-validate the placement against the surface: count the
+            // occupied tiles a defect still perturbs beyond threshold.
+            // Zero for a successful defect-avoiding placement; nonzero
+            // measures the exposure of a defect-blind fallback.
+            let ratio = layout.ratio();
+            let compromised: std::collections::HashSet<(i32, i32)> = map
+                .compromised_hex_tiles(
+                    &bestagon_lib::geometry::validation_params(),
+                    DEFECT_THRESHOLD_EV,
+                    ratio.width as i32,
+                    ratio.height as i32,
+                )
+                .into_iter()
+                .collect();
+            let hit = layout
+                .occupied_tiles()
+                .filter(|(c, _)| compromised.contains(&(c.x, c.y)))
+                .count();
+            fcn_telemetry::counter("defects.compromised", hit as u64);
+        }
         if options.tile_validation {
             if budget.deadline.expired() {
                 record(
@@ -921,6 +1090,42 @@ mod tests {
         // Figure 5); validation reports it honestly rather than hiding it.
         assert!(*apply.counters.get("tiles.failing").unwrap_or(&0) >= 1);
         assert!(r.report.counter_total("sidb.visited") > 0);
+    }
+
+    #[test]
+    fn surface_aware_flow_reports_defect_counters() {
+        let b = benchmark("xor2");
+        let surface = sidb_sim::DefectMap::random(7, 5e-5, &sidb_sim::DefectKind::ALL);
+        let defects = surface.len() as u64;
+        assert!(defects > 0, "seed 7 at 5e-5 populates the region");
+        let r = run_flow("xor2", &b.xag, &FlowOptions::new().with_surface(surface))
+            .expect("flow succeeds");
+        let pnr = r.report.root.child("step4:pnr").expect("pnr stage");
+        assert_eq!(pnr.counters.get("defects.count"), Some(&defects));
+        assert!(pnr.counters.contains_key("defects.blacklisted"));
+        let apply = r.report.root.child("step7:apply").expect("apply stage");
+        // An avoiding placement leaves no occupied tile compromised.
+        if r.exact && r.degradations.is_empty() {
+            assert_eq!(apply.counters.get("defects.compromised"), Some(&0));
+        } else {
+            assert!(apply.counters.contains_key("defects.compromised"));
+        }
+    }
+
+    #[test]
+    fn pristine_surface_leaves_report_untouched() {
+        let b = benchmark("xor2");
+        let base = run_flow("xor2", &b.xag, &FlowOptions::default()).expect("flow");
+        let with = run_flow(
+            "xor2",
+            &b.xag,
+            &FlowOptions::default().with_surface(sidb_sim::DefectMap::pristine()),
+        )
+        .expect("flow");
+        assert_eq!(base.layout.ratio(), with.layout.ratio());
+        let pnr = with.report.root.child("step4:pnr").expect("pnr stage");
+        assert_eq!(pnr.counters.get("defects.count"), Some(&0));
+        assert_eq!(pnr.counters.get("defects.blacklisted"), Some(&0));
     }
 
     #[test]

@@ -30,7 +30,7 @@ use fcn_layout::tile::TileContents;
 use fcn_logic::techmap::MappedId;
 use fcn_logic::GateKind;
 use msat::{BoundedResult, Lit, Model, SolveParams};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Historical name of [`PnrOutcome`] specialized to the Cartesian
 /// engine.
@@ -109,6 +109,7 @@ pub fn cartesian_exact_pnr(
     })();
 
     let limits = ScanLimits::new(options);
+    let blacklist: HashSet<(i32, i32)> = options.blacklist.iter().copied().collect();
 
     let outcome = run_portfolio(
         &candidates,
@@ -129,8 +130,16 @@ pub fn cartesian_exact_pnr(
                     budget,
                     limits.deadline(),
                     cancel,
+                    &blacklist,
                 ),
-                None => solve_ratio_scratch(graph, *ratio, budget, limits.deadline(), cancel),
+                None => solve_ratio_scratch(
+                    graph,
+                    *ratio,
+                    budget,
+                    limits.deadline(),
+                    cancel,
+                    &blacklist,
+                ),
             };
             if let Some(probe) = &out.probe {
                 limits.charge(probe.stats.conflicts);
@@ -199,6 +208,7 @@ fn encode_ratio<E: ProbeEmitter<CartKey>>(
     graph: &NetGraph,
     ratio: AspectRatio,
     session: Option<&SessionBounds>,
+    blacklist: &HashSet<(i32, i32)>,
 ) -> Option<CartEncoding> {
     let (w, h) = (ratio.width as i32, ratio.height as i32);
     let diagonals = ratio.width + ratio.height - 1;
@@ -259,6 +269,11 @@ fn encode_ratio<E: ProbeEmitter<CartKey>>(
                 } else {
                     em.guarded(vec![lit.negated()]);
                 }
+                // Defect avoidance: a compromised tile is off in every
+                // probe of the session — a shared fact, learned once.
+                if blacklist.contains(&(t.x, t.y)) {
+                    em.shared(vec![lit.negated()]);
+                }
             }
         }
         if admissible == 0 {
@@ -283,6 +298,9 @@ fn encode_ratio<E: ProbeEmitter<CartKey>>(
                 wire.insert((e.id, t), lit);
                 if !(in_ratio(t) && d > src_lo && d < dst_hi) {
                     em.guarded(vec![lit.negated()]);
+                }
+                if blacklist.contains(&(t.x, t.y)) {
+                    em.shared(vec![lit.negated()]);
                 }
             }
         }
@@ -422,12 +440,18 @@ fn encode_ratio<E: ProbeEmitter<CartKey>>(
 }
 
 /// Reads a satisfying model back into a Cartesian gate layout.
+///
+/// A satisfying model should always describe a coherent routing; if it
+/// does not (an unplaced node or a routed tile without a matching
+/// step), that is an encoding bug surfaced as a typed
+/// [`PnrError::RouterInvariant`] rather than a worker panic, so the
+/// flow's fallback path can degrade gracefully.
 fn extract_layout(
     model: &Model,
     enc: &CartEncoding,
     graph: &NetGraph,
     ratio: AspectRatio,
-) -> CartGateLayout {
+) -> Result<CartGateLayout, PnrError> {
     let (w, h) = (ratio.width as i32, ratio.height as i32);
     let mut layout = CartGateLayout::new(ratio, ClockingScheme::TwoDdWave);
     let mut node_tile: HashMap<usize, CartCoord> = HashMap::new();
@@ -449,18 +473,23 @@ fn extract_layout(
     let outgoing_dir = |e: usize, t: CartCoord| -> Option<CartDirection> {
         DIRS.into_iter().find(|&d| step_true(e, t, d))
     };
+    let invariant = |t: CartCoord| PnrError::RouterInvariant { row: t.y, pos: t.x };
 
     for n in graph.network.node_ids() {
-        let t = node_tile[&n.index()];
+        let Some(&t) = node_tile.get(&n.index()) else {
+            // The at-least-one placement clause guarantees a tile; a
+            // missing one means the model is incoherent.
+            return Err(PnrError::RouterInvariant { row: -1, pos: -1 });
+        };
         let node = graph.network.node(n);
-        let inputs: Vec<CartDirection> = graph.in_edges[n.index()]
-            .iter()
-            .map(|&e| incoming_dir(e, t).expect("routed input"))
-            .collect();
-        let outputs: Vec<CartDirection> = graph.out_edges[n.index()]
-            .iter()
-            .map(|&e| outgoing_dir(e, t).expect("routed output"))
-            .collect();
+        let mut inputs = Vec::with_capacity(graph.in_edges[n.index()].len());
+        for &e in &graph.in_edges[n.index()] {
+            inputs.push(incoming_dir(e, t).ok_or_else(|| invariant(t))?);
+        }
+        let mut outputs = Vec::with_capacity(graph.out_edges[n.index()].len());
+        for &e in &graph.out_edges[n.index()] {
+            outputs.push(outgoing_dir(e, t).ok_or_else(|| invariant(t))?);
+        }
         layout.place(
             t,
             TileContents::gate(node.kind, inputs, outputs, node.name.clone()),
@@ -478,8 +507,8 @@ fn extract_layout(
                 };
                 if model.lit_value(lit) {
                     segments.entry(t).or_default().push((
-                        incoming_dir(e.id, t).expect("wire predecessor"),
-                        outgoing_dir(e.id, t).expect("wire successor"),
+                        incoming_dir(e.id, t).ok_or_else(|| invariant(t))?,
+                        outgoing_dir(e.id, t).ok_or_else(|| invariant(t))?,
                     ));
                 }
             }
@@ -488,7 +517,7 @@ fn extract_layout(
     for (t, segs) in segments {
         layout.place(t, TileContents::Wire { segments: segs });
     }
-    layout
+    Ok(layout)
 }
 
 /// Attempts to place & route at a fixed aspect ratio on a fresh solver.
@@ -501,10 +530,11 @@ fn solve_ratio_scratch(
     max_conflicts: u64,
     deadline: Deadline,
     cancel: &CancelFlag,
+    blacklist: &HashSet<(i32, i32)>,
 ) -> ProbeOutcome<CartGateLayout, RatioProbe> {
     let _span = fcn_telemetry::span(format!("ratio:{}", ratio.label()));
     let mut em = ScratchEmitter::new();
-    let Some(enc) = encode_ratio(&mut em, graph, ratio, None) else {
+    let Some(enc) = encode_ratio(&mut em, graph, ratio, None, blacklist) else {
         return ProbeOutcome::concluded(None, None);
     };
     let mut cnf = em.cnf;
@@ -548,16 +578,26 @@ fn solve_ratio_scratch(
         BoundedResult::Sat(m) => m,
         _ => return ProbeOutcome::concluded(None, Some(probe)),
     };
-    ProbeOutcome::concluded(
-        Some(extract_layout(&model, &enc, graph, ratio)),
-        Some(probe),
-    )
+    match extract_layout(&model, &enc, graph, ratio) {
+        Ok(layout) => ProbeOutcome::concluded(Some(layout), Some(probe)),
+        Err(e) => {
+            // An incoherent model is an encoding bug; end the scan with
+            // a typed abort instead of panicking inside the worker.
+            fcn_telemetry::note("verdict", "router-invariant");
+            let (row, pos) = match e {
+                PnrError::RouterInvariant { row, pos } => (row, pos),
+                _ => (-1, -1),
+            };
+            ProbeOutcome::aborted(ScanAbort::Router { row, pos })
+        }
+    }
 }
 
 /// Probes a fixed aspect ratio on the worker's incremental session (see
 /// the hexagonal twin in [`crate::exact`] for the protocol: guarded
 /// encoding, assumption solve, retirement, and an authoritative fresh
 /// re-solve of SAT verdicts).
+#[allow(clippy::too_many_arguments)]
 fn solve_ratio_incremental(
     inc: &mut IncrementalCnf<CartKey>,
     graph: &NetGraph,
@@ -566,11 +606,12 @@ fn solve_ratio_incremental(
     max_conflicts: u64,
     deadline: Deadline,
     cancel: &CancelFlag,
+    blacklist: &HashSet<(i32, i32)>,
 ) -> ProbeOutcome<CartGateLayout, RatioProbe> {
     let _span = fcn_telemetry::span(format!("ratio:{}", ratio.label()));
     fcn_telemetry::note("mode", "incremental");
     let retained = inc.begin_probe();
-    let encoded = encode_ratio(inc, graph, ratio, Some(session)).is_some();
+    let encoded = encode_ratio(inc, graph, ratio, Some(session), blacklist).is_some();
     if !encoded {
         inc.end_probe();
         return ProbeOutcome::concluded(None, None);
@@ -616,7 +657,8 @@ fn solve_ratio_incremental(
             }),
         ),
         BoundedResult::Sat(_) => {
-            let scratch = solve_ratio_scratch(graph, ratio, max_conflicts, deadline, cancel);
+            let scratch =
+                solve_ratio_scratch(graph, ratio, max_conflicts, deadline, cancel, blacklist);
             if scratch.cancelled || scratch.abort.is_some() {
                 return scratch;
             }
@@ -729,7 +771,7 @@ mod tests {
             &graph,
             &ExactOptions {
                 incremental: true,
-                ..base
+                ..base.clone()
             },
         )
         .expect("feasible");

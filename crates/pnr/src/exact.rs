@@ -30,12 +30,12 @@ use fcn_layout::tile::TileContents;
 use fcn_logic::techmap::MappedId;
 use fcn_logic::GateKind;
 use msat::{BoundedResult, Lit, Model, SolveParams, SolverStats};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Options for the exact engine.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExactOptions {
     /// Upper bound on the explored layout area, in tiles.
     pub max_area: u64,
@@ -70,6 +70,22 @@ pub struct ExactOptions {
     /// guarantee for bounded work; `None` (the default) changes
     /// nothing.
     pub max_conflicts_total: Option<u64>,
+    /// Tiles (in tile coordinates `(x, y)`) no gate or wire may occupy —
+    /// typically tiles whose SiDB footprint a surface defect compromises.
+    /// Each blacklisted tile contributes session-shared unit clauses
+    /// forcing its placement and wire variables off, so the scan finds
+    /// the area-minimal layout *avoiding* those tiles. Empty (the
+    /// default) encodes nothing.
+    pub blacklist: Vec<(i32, i32)>,
+}
+
+impl ExactOptions {
+    /// Sets the tile blacklist (defect avoidance).
+    #[must_use]
+    pub fn with_blacklist(mut self, blacklist: Vec<(i32, i32)>) -> Self {
+        self.blacklist = blacklist;
+        self
+    }
 }
 
 impl Default for ExactOptions {
@@ -81,6 +97,7 @@ impl Default for ExactOptions {
             incremental: default_incremental(),
             deadline: Deadline::unbounded(),
             max_conflicts_total: None,
+            blacklist: Vec::new(),
         }
     }
 }
@@ -379,6 +396,7 @@ pub fn exact_pnr(
         .collect();
     let session = SessionBounds::from_candidates(&candidates);
     let limits = ScanLimits::new(options);
+    let blacklist: HashSet<(i32, i32)> = options.blacklist.iter().copied().collect();
 
     let outcome = run_portfolio(
         &candidates,
@@ -400,8 +418,17 @@ pub fn exact_pnr(
                     budget,
                     limits.deadline(),
                     cancel,
+                    &blacklist,
                 ),
-                None => solve_ratio_scratch(graph, *ratio, alap, budget, limits.deadline(), cancel),
+                None => solve_ratio_scratch(
+                    graph,
+                    *ratio,
+                    alap,
+                    budget,
+                    limits.deadline(),
+                    cancel,
+                    &blacklist,
+                ),
             };
             if let Some(probe) = &out.probe {
                 limits.charge(probe.stats.conflicts);
@@ -470,6 +497,10 @@ pub(crate) fn assemble_outcome<L>(
             Some(ScanAbort::ConflictBudget) => {
                 fcn_telemetry::note("verdict", "conflict-budget-exhausted");
                 Err(PnrError::ConflictBudgetExhausted)
+            }
+            Some(ScanAbort::Router { row, pos }) => {
+                fcn_telemetry::note("verdict", "router-invariant");
+                Err(PnrError::RouterInvariant { row, pos })
             }
             None => {
                 fcn_telemetry::note("verdict", "no-feasible-ratio");
@@ -600,6 +631,7 @@ fn encode_ratio<E: ProbeEmitter<HexKey>>(
     ratio: AspectRatio,
     alap: &[u32],
     session: Option<&SessionBounds>,
+    blacklist: &HashSet<(i32, i32)>,
 ) -> HexEncoding {
     let ratio_bounds;
     let bounds = match session {
@@ -638,6 +670,11 @@ fn encode_ratio<E: ProbeEmitter<HexKey>>(
                 if x >= w || y < lo || y > hi {
                     em.guarded(vec![lit.negated()]);
                 }
+                // Defect avoidance: a compromised tile is off in every
+                // probe of the session — a shared fact, learned once.
+                if blacklist.contains(&(x, y as i32)) {
+                    em.shared(vec![lit.negated()]);
+                }
             }
         }
         if vars.is_empty() {
@@ -663,6 +700,9 @@ fn encode_ratio<E: ProbeEmitter<HexKey>>(
                 wire.insert((e.id, t), lit);
                 if x >= w || y <= src_lo || y >= dst_hi {
                     em.guarded(vec![lit.negated()]);
+                }
+                if blacklist.contains(&(x, y as i32)) {
+                    em.shared(vec![lit.negated()]);
                 }
             }
         }
@@ -895,6 +935,7 @@ fn extract_layout(
 /// the from-scratch probe and the authoritative extraction path for the
 /// incremental mode's winning ratio, which is what keeps the two modes'
 /// layouts byte-identical.
+#[allow(clippy::too_many_arguments)]
 fn solve_ratio_scratch(
     graph: &NetGraph,
     ratio: AspectRatio,
@@ -902,10 +943,11 @@ fn solve_ratio_scratch(
     max_conflicts: u64,
     deadline: Deadline,
     cancel: &CancelFlag,
+    blacklist: &HashSet<(i32, i32)>,
 ) -> ProbeOutcome<HexGateLayout, RatioProbe> {
     let _span = fcn_telemetry::span(format!("ratio:{}", ratio.label()));
     let mut em = ScratchEmitter::new();
-    let enc = encode_ratio(&mut em, graph, ratio, alap, None);
+    let enc = encode_ratio(&mut em, graph, ratio, alap, None, blacklist);
     let mut cnf = em.cnf;
 
     fcn_telemetry::counter("cnf.vars", cnf.solver().num_vars() as u64);
@@ -976,13 +1018,14 @@ fn solve_ratio_incremental(
     max_conflicts: u64,
     deadline: Deadline,
     cancel: &CancelFlag,
+    blacklist: &HashSet<(i32, i32)>,
 ) -> ProbeOutcome<HexGateLayout, RatioProbe> {
     // One span covers the whole probe; the winning ratio's fresh
     // re-solve nests inside it as a child `ratio:` span.
     let _span = fcn_telemetry::span(format!("ratio:{}", ratio.label()));
     fcn_telemetry::note("mode", "incremental");
     let retained = inc.begin_probe();
-    encode_ratio(inc, graph, ratio, alap, Some(session));
+    encode_ratio(inc, graph, ratio, alap, Some(session), blacklist);
     fcn_telemetry::counter("sat.retained", retained);
     let outcome = inc.solve(max_conflicts, deadline, cancel);
     let stats = inc.stats();
@@ -1025,7 +1068,15 @@ fn solve_ratio_incremental(
             }),
         ),
         BoundedResult::Sat(_) => {
-            let scratch = solve_ratio_scratch(graph, ratio, alap, max_conflicts, deadline, cancel);
+            let scratch = solve_ratio_scratch(
+                graph,
+                ratio,
+                alap,
+                max_conflicts,
+                deadline,
+                cancel,
+                blacklist,
+            );
             if scratch.cancelled || scratch.abort.is_some() {
                 return scratch;
             }
@@ -1083,7 +1134,7 @@ mod tests {
             &graph,
             &ExactOptions {
                 incremental: true,
-                ..base
+                ..base.clone()
             },
         )
         .expect("feasible");

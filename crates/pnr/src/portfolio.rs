@@ -50,14 +50,27 @@ pub enum ScanAbort {
     Deadline,
     /// The cumulative conflict budget across all probes ran out.
     ConflictBudget,
+    /// Layout extraction from a SAT model violated a router invariant
+    /// (a routed tile without a coherent predecessor/successor chain).
+    /// Carries the offending tile so the caller can surface a typed
+    /// error instead of panicking inside a worker.
+    Router {
+        /// The layout row of the offending tile.
+        row: i32,
+        /// The column (x position) of the offending tile.
+        pos: i32,
+    },
 }
 
 impl std::fmt::Display for ScanAbort {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            ScanAbort::Deadline => "deadline expired",
-            ScanAbort::ConflictBudget => "cumulative conflict budget exhausted",
-        })
+        match self {
+            ScanAbort::Deadline => f.write_str("deadline expired"),
+            ScanAbort::ConflictBudget => f.write_str("cumulative conflict budget exhausted"),
+            ScanAbort::Router { row, pos } => {
+                write!(f, "router invariant violated at tile ({pos}, {row})")
+            }
+        }
     }
 }
 

@@ -58,6 +58,11 @@ pub struct InteractionMatrix {
     n: usize,
     /// Row-major `n × n`, diagonal zero, eV.
     v: Vec<f64>,
+    /// Per-site external potential (eV), e.g. from surface defects.
+    /// Empty on the pristine path — every engine gates its external
+    /// arithmetic on [`InteractionMatrix::has_external`], so a pristine
+    /// matrix executes bit-identical code to before the field existed.
+    ext: Vec<f64>,
     params: PhysicalParams,
 }
 
@@ -79,7 +84,54 @@ impl InteractionMatrix {
         InteractionMatrix {
             n,
             v,
+            ext: Vec::new(),
             params: *params,
+        }
+    }
+
+    /// Attaches a per-site external potential (eV) — typically
+    /// [`crate::defects::DefectMap::external_potentials`]. The energy
+    /// model becomes `E = Σ_{i<j} v_ij·n_i·n_j + Σ_i ext_i·n_i` and the
+    /// local potential `V_i = ext_i + Σ_j v_ij·n_j`; every engine and
+    /// stability check honors the offsets. An all-zero vector is
+    /// dropped, keeping the matrix on the pristine fast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ext.len()` differs from the number of sites.
+    pub fn with_external(mut self, ext: Vec<f64>) -> Self {
+        assert_eq!(ext.len(), self.n, "external potential length mismatch");
+        if ext.iter().any(|&e| e != 0.0) {
+            self.ext = ext;
+        } else {
+            self.ext.clear();
+        }
+        self
+    }
+
+    /// True when an external potential is attached.
+    #[inline]
+    pub fn has_external(&self) -> bool {
+        !self.ext.is_empty()
+    }
+
+    /// The external potential at site `i`, eV (0 on the pristine path).
+    #[inline]
+    pub fn external(&self, i: usize) -> f64 {
+        if self.ext.is_empty() {
+            0.0
+        } else {
+            self.ext[i]
+        }
+    }
+
+    /// The external potentials of all sites, or `None` on the pristine
+    /// path.
+    pub fn external_slice(&self) -> Option<&[f64]> {
+        if self.ext.is_empty() {
+            None
+        } else {
+            Some(&self.ext)
         }
     }
 
@@ -95,7 +147,10 @@ impl InteractionMatrix {
     ///
     /// # Panics
     ///
-    /// Panics if `base` was not built from `base_layout` with `params`.
+    /// Panics if `base` was not built from `base_layout` with `params`,
+    /// or carries an external potential (external offsets are per-site
+    /// and do not transfer across layouts — re-attach them on the
+    /// result with [`InteractionMatrix::with_external`]).
     pub fn extended(
         base: &InteractionMatrix,
         base_layout: &SidbLayout,
@@ -104,6 +159,10 @@ impl InteractionMatrix {
     ) -> Self {
         assert_eq!(base.n, base_layout.num_sites(), "base matrix mismatch");
         assert_eq!(base.params, *params, "base params mismatch");
+        assert!(
+            !base.has_external(),
+            "extend pristine matrices only; re-attach external potentials on the result"
+        );
         let n = layout.num_sites();
         let in_base: Vec<Option<usize>> = layout
             .sites()
@@ -130,6 +189,7 @@ impl InteractionMatrix {
         InteractionMatrix {
             n,
             v,
+            ext: Vec::new(),
             params: *params,
         }
     }
@@ -219,7 +279,9 @@ impl ChargeConfiguration {
             .count()
     }
 
-    /// The electrostatic energy `E = Σ_{i<j} v_ij·n_i·n_j`, eV.
+    /// The electrostatic energy `E = Σ_{i<j} v_ij·n_i·n_j` plus, when
+    /// the matrix carries an external potential,
+    /// `Σ_i ext_i·n_i` (the defect–site coupling), eV.
     pub fn electrostatic_energy(&self, m: &InteractionMatrix) -> f64 {
         let mut e = 0.0;
         for i in 0..self.states.len() {
@@ -231,6 +293,14 @@ impl ChargeConfiguration {
                 let nj = self.states[j].charge_number();
                 if nj != 0 {
                     e += m.interaction(i, j) * (ni as f64) * (nj as f64);
+                }
+            }
+        }
+        if m.has_external() {
+            for i in 0..self.states.len() {
+                let ni = self.states[i].charge_number();
+                if ni != 0 {
+                    e += m.external(i) * ni as f64;
                 }
             }
         }
@@ -254,9 +324,10 @@ impl ChargeConfiguration {
         f
     }
 
-    /// The local potential `V_i = Σ_{j≠i} v_ij·n_j` at site `i`, eV.
+    /// The local potential `V_i = ext_i + Σ_{j≠i} v_ij·n_j` at site
+    /// `i`, eV (`ext` is zero on the pristine path).
     pub fn local_potential(&self, m: &InteractionMatrix, i: usize) -> f64 {
-        let mut v = 0.0;
+        let mut v = if m.has_external() { m.external(i) } else { 0.0 };
         for j in 0..self.states.len() {
             if j != i {
                 let nj = self.states[j].charge_number();
@@ -271,7 +342,10 @@ impl ChargeConfiguration {
     /// All local potentials at once (O(n²) instead of n × O(n)).
     pub fn local_potentials(&self, m: &InteractionMatrix) -> Vec<f64> {
         let n = self.states.len();
-        let mut v = vec![0.0; n];
+        let mut v = match m.external_slice() {
+            Some(ext) => ext.to_vec(),
+            None => vec![0.0; n],
+        };
         for j in 0..n {
             let nj = self.states[j].charge_number();
             if nj == 0 {

@@ -243,6 +243,34 @@ pub fn simulate_with(layout: &SidbLayout, params: &SimParams) -> SimResult {
     result
 }
 
+/// Simulates a layout on a defective surface: the map's screened
+/// external potentials are folded into the interaction matrix (see
+/// [`crate::defects::DefectMap::external_potentials`]) and the selected
+/// engine runs unchanged on top. An empty map delegates to
+/// [`simulate_with`] and is bit-identical to the pristine path.
+///
+/// Defect-aware runs bypass the [`crate::cache::SimCache`]: cache keys
+/// are translation-invariant, while a surface pins layouts to absolute
+/// positions.
+///
+/// # Panics
+///
+/// Panics under the same engine preconditions as [`simulate_with`].
+pub fn simulate_on_surface(
+    layout: &SidbLayout,
+    params: &SimParams,
+    surface: &crate::defects::DefectMap,
+) -> SimResult {
+    if surface.is_empty() {
+        return simulate_with(layout, params);
+    }
+    let matrix = InteractionMatrix::new(layout, &params.physical)
+        .with_external(surface.external_potentials(layout, &params.physical));
+    let result = simulate_with_matrix(layout, params, Some(&matrix));
+    emit_stats(&result.stats);
+    result
+}
+
 /// [`simulate_with`] with an optional precomputed interaction matrix
 /// (shared across the input patterns of `GateDesign` validation) and no
 /// telemetry emission — callers that merge several runs emit once.
@@ -251,7 +279,13 @@ pub(crate) fn simulate_with_matrix(
     params: &SimParams,
     matrix: Option<&InteractionMatrix>,
 ) -> SimResult {
-    let cacheable = params.budget.is_unbounded() && params.cache.is_some();
+    // External potentials (surface defects) are absolute-position
+    // facts, but cache keys are translation-invariant — defect-aware
+    // runs must not share entries with pristine ones, so they bypass
+    // the cache entirely.
+    let cacheable = params.budget.is_unbounded()
+        && params.cache.is_some()
+        && matrix.is_none_or(|m| !m.has_external());
     if cacheable {
         let cache = params.cache.as_ref().expect("checked");
         let key = crate::cache::SimKey::for_simulation(layout, params);
@@ -304,7 +338,7 @@ fn simulate_core(
 ) -> SimResult {
     let threads = params.threads.unwrap_or_else(default_sim_threads);
     if params.three_state {
-        return run_three_state(layout, &params.physical, params.k);
+        return run_three_state(layout, &params.physical, params.k, matrix);
     }
     match params.engine {
         SimEngine::Exhaustive => run_exhaustive(
@@ -534,10 +568,13 @@ fn partition_sites(m: &InteractionMatrix, mu: f64) -> (Vec<usize>, Vec<bool>) {
     let mut free_sites: Vec<usize> = Vec::new();
     let mut fixed_negative = vec![false; n];
     for (i, fixed) in fixed_negative.iter_mut().enumerate() {
-        let lower_bound: f64 = (0..n)
+        let mut lower_bound: f64 = (0..n)
             .filter(|&j| j != i)
             .map(|j| -m.interaction(i, j))
             .sum();
+        if m.has_external() {
+            lower_bound += m.external(i);
+        }
         if lower_bound >= mu - 1e-9 {
             *fixed = true;
         } else {
@@ -568,7 +605,14 @@ fn seed_at(
 ) -> SweepState {
     let n = m.num_sites();
     let mut config = ChargeConfiguration::neutral(n);
-    let mut potentials = vec![0.0f64; n];
+    // External potentials seed the running local potentials, so every
+    // incremental toggle (`ΔE = Δn·V_i`) accounts the defect coupling
+    // automatically; the fixed-negative background adds its own
+    // `ext_i·n_i = −ext_i` terms below.
+    let mut potentials = match m.external_slice() {
+        Some(ext) => ext.to_vec(),
+        None => vec![0.0f64; n],
+    };
     let mut energy = 0.0f64;
     let mut num_negative = 0usize;
     for (i, &fixed) in fixed_negative.iter().enumerate() {
@@ -590,6 +634,9 @@ fn seed_at(
             .filter(|&j| fixed_negative[j])
             .map(|j| m.interaction(i, j))
             .sum::<f64>();
+        if m.has_external() {
+            energy -= m.external(i);
+        }
     }
     let mut state = SweepState {
         config,
@@ -847,7 +894,12 @@ fn run_quick_exact(
 // ---------------------------------------------------------------------
 // Three-state exhaustive model.
 
-fn run_three_state(layout: &SidbLayout, physical: &PhysicalParams, k: usize) -> SimResult {
+fn run_three_state(
+    layout: &SidbLayout,
+    physical: &PhysicalParams,
+    k: usize,
+    matrix: Option<&InteractionMatrix>,
+) -> SimResult {
     let n = layout.num_sites();
     assert!(
         n <= MAX_THREE_STATE_SITES,
@@ -860,7 +912,17 @@ fn run_three_state(layout: &SidbLayout, physical: &PhysicalParams, k: usize) -> 
         three_state: true,
         ..*physical
     };
-    let m = InteractionMatrix::new(layout, &physical);
+    let mut m = InteractionMatrix::new(layout, &physical);
+    // The three-state matrix is rebuilt with transition levels enabled,
+    // so only the external potentials carry over from the caller's
+    // matrix; interactions are recomputed.
+    if let Some(src) = matrix {
+        if let Some(ext) = src.external_slice() {
+            if src.num_sites() == n {
+                m = m.with_external(ext.to_vec());
+            }
+        }
+    }
     let mut best: Vec<SimulatedState> = Vec::new();
     let mut config = ChargeConfiguration::neutral(n);
     let mut visited = 0u64;

@@ -10,6 +10,9 @@
 //!   `λ_TF = 5 nm`),
 //! * [`charge`] — charge configurations, electrostatic energies,
 //!   *population* and *configuration* stability,
+//! * [`defects`] — surface defect maps (charged and structural species,
+//!   seeded random surfaces) whose screened-Coulomb influence folds into
+//!   the interaction matrix as an external potential,
 //! * [`engine`] — the unified simulation entry point:
 //!   [`engine::simulate_with`] dispatches to every engine behind one
 //!   [`engine::SimParams`] builder, partitions the search across a
@@ -50,6 +53,7 @@
 pub mod bdl;
 pub mod cache;
 pub mod charge;
+pub mod defects;
 pub mod engine;
 pub mod exgs;
 pub mod layout;
@@ -62,7 +66,8 @@ pub mod stability;
 
 pub use cache::SimCache;
 pub use charge::{ChargeConfiguration, ChargeState};
-pub use engine::{simulate_with, SimEngine, SimParams, SimResult, SimStats};
+pub use defects::{Defect, DefectKind, DefectMap, SurfaceSpecError};
+pub use engine::{simulate_on_surface, simulate_with, SimEngine, SimParams, SimResult, SimStats};
 pub use layout::SidbLayout;
 pub use model::PhysicalParams;
 pub use opdomain::{DomainGrid, DomainParams, DomainSample, DomainStrategy, OperationalDomain};

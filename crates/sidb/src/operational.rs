@@ -26,6 +26,7 @@
 
 use crate::bdl::{InputPort, OutputPort};
 use crate::charge::{ChargeConfiguration, InteractionMatrix};
+use crate::defects::DefectMap;
 use crate::engine::{self, SimParams, SimStats};
 use crate::layout::SidbLayout;
 use crate::model::PhysicalParams;
@@ -248,6 +249,26 @@ impl GateDesign {
         report
     }
 
+    /// Validates the design against its truth table *on a given
+    /// surface*: every pattern layout couples to the surface's defects
+    /// through external potentials folded into its interaction matrix,
+    /// so the verdict reflects the gate as it would behave at this
+    /// physical location. A pristine (empty) surface delegates to
+    /// [`check_operational_with`](Self::check_operational_with) — the
+    /// arithmetic is bit-identical and cache-eligible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the truth table does not cover every input pattern.
+    pub fn check_operational_on(&self, sim: &SimParams, surface: &DefectMap) -> OperationalReport {
+        if surface.is_empty() {
+            return self.check_operational_with(sim);
+        }
+        let report = self.check_full(sim, Some(surface)).report;
+        engine::emit_stats(&report.stats);
+        report
+    }
+
     /// [`check_operational_with`](Self::check_operational_with) without
     /// telemetry emission, for callers that aggregate several designs.
     pub(crate) fn check_core(&self, sim: &SimParams) -> OperationalReport {
@@ -264,6 +285,19 @@ impl GateDesign {
         if mode == CheckMode::RefuteFast {
             return self.check_refute_fast(sim);
         }
+        self.check_full(sim, None)
+    }
+
+    /// [`CheckMode::Full`], optionally on a defective surface: every
+    /// pattern simulated across the worker pool with a shared body
+    /// matrix. `surface`, when given, is non-empty and contributes
+    /// external potentials to each pattern's matrix.
+    fn check_full(&self, sim: &SimParams, surface: Option<&DefectMap>) -> CheckOutcome {
+        assert_eq!(
+            self.truth_table.len() as u32,
+            self.num_patterns(),
+            "truth table must cover all input patterns"
+        );
         let threads = sim.threads.unwrap_or_else(engine::default_sim_threads);
         // Patterns are the partition units; each unit simulates serially
         // so the pool width never changes any per-pattern arithmetic.
@@ -272,8 +306,11 @@ impl GateDesign {
         let patterns = self.num_patterns() as usize;
         let run = engine::run_partitioned(patterns, threads, |p| {
             let layout = self.layout_for_pattern(p as u32);
-            let matrix =
+            let mut matrix =
                 InteractionMatrix::extended(&body_matrix, &self.body, &layout, &sim.physical);
+            if let Some(map) = surface {
+                matrix = matrix.with_external(map.external_potentials(&layout, &sim.physical));
+            }
             let result = engine::simulate_with_matrix(&layout, &unit_sim, Some(&matrix));
             let ground_state = result
                 .states

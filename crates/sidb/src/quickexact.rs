@@ -138,7 +138,15 @@ pub(crate) fn low_energy_core(
     }
     let run = engine::run_partitioned(components.len(), threads, |ci| {
         let sub = SidbLayout::from_sites(components[ci].iter().map(|&i| layout.sites()[i]));
-        solve_connected(&sub, params, k, None)
+        if m.has_external() {
+            // External potentials are per-site, so they restrict to the
+            // component without coupling clusters together.
+            let ext: Vec<f64> = components[ci].iter().map(|&i| m.external(i)).collect();
+            let sub_m = InteractionMatrix::new(&sub, params).with_external(ext);
+            solve_connected(&sub, params, k, Some(&sub_m))
+        } else {
+            solve_connected(&sub, params, k, None)
+        }
     });
     let mut nodes = 0u64;
     let mut prunes = 0u64;
@@ -385,7 +393,10 @@ fn solve_connected(
         rem: &rem,
         n,
         states: vec![ChargeState::Neutral; n],
-        potentials: vec![0.0; n],
+        potentials: match m.external_slice() {
+            Some(ext) => ext.to_vec(),
+            None => vec![0.0; n],
+        },
         energy: 0.0,
         num_negative: 0,
         best: Vec::new(),
@@ -502,7 +513,10 @@ fn combine_clusters(
 fn greedy_descent(m: &InteractionMatrix, params: &PhysicalParams, n: usize) -> ChargeConfiguration {
     const EPS: f64 = 1e-12;
     let mut config = ChargeConfiguration::neutral(n);
-    let mut potentials = vec![0.0f64; n];
+    let mut potentials = match m.external_slice() {
+        Some(ext) => ext.to_vec(),
+        None => vec![0.0f64; n],
+    };
     let mu = params.mu_minus;
     loop {
         let mut improved = false;

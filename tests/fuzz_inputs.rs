@@ -13,6 +13,7 @@ use bestagon_core::flow::{
 use fcn_logic::blif::parse_blif;
 use fcn_logic::verilog::parse_verilog;
 use proptest::prelude::*;
+use sidb_sim::DefectMap;
 
 /// Raw bytes as a lossy string: parsers take `&str`, so invalid UTF-8
 /// becomes replacement characters — still arbitrary input to the lexer.
@@ -73,6 +74,36 @@ const BLIF_FRAGMENTS: &[&str] = &[
     "0 1",
 ];
 
+/// Surface-defect spec/file grammar fragments for token-soup
+/// composition: seeds, densities, kind tokens, separators, and the
+/// file format's comment and coordinate pieces.
+const SURFACE_FRAGMENTS: &[&str] = &[
+    "0",
+    "1",
+    "42",
+    "18446744073709551615",
+    "-3",
+    "1e-4",
+    "0.5",
+    "2.0",
+    "nan",
+    "inf",
+    ":",
+    ",",
+    " ",
+    "\n",
+    "\t",
+    "arsenic_dimer",
+    "db_pair",
+    "siloxane",
+    "charged_vacancy",
+    "vacancy",
+    "# comment\n",
+    "10 20 0 db_pair\n",
+    "10 20",
+    "b",
+];
+
 fn soup(fragments: &[&str], picks: &[usize]) -> String {
     picks
         .iter()
@@ -111,6 +142,35 @@ proptest! {
     #[test]
     fn blif_parser_never_panics_on_token_soup(picks in proptest::collection::vec(0usize..64, 0..96)) {
         let _ = parse_blif(&soup(BLIF_FRAGMENTS, &picks));
+    }
+
+    /// The `seed:density[:kinds]` spec parser returns typed errors on
+    /// arbitrary bytes — never panics. (`from_spec` is not fuzzed with
+    /// raw bytes because a string without `:` is treated as a file
+    /// path; `parse_spec` and `parse_file` cover both grammars purely.)
+    #[test]
+    fn surface_spec_parser_never_panics_on_bytes(bytes in proptest::collection::vec(0u8..=255u8, 0..128)) {
+        let _ = DefectMap::parse_spec(&lossy(&bytes));
+        let _ = DefectMap::parse_file(&lossy(&bytes));
+    }
+
+    #[test]
+    fn surface_spec_parser_never_panics_on_token_soup(picks in proptest::collection::vec(0usize..64, 0..48)) {
+        let text = soup(SURFACE_FRAGMENTS, &picks);
+        let _ = DefectMap::parse_spec(&text);
+        let _ = DefectMap::parse_file(&text);
+    }
+
+    /// Valid specs bounded to tiny densities must parse and generate
+    /// without panicking, and zero density must always be pristine.
+    #[test]
+    fn surface_spec_roundtrip_on_valid_inputs(seed in 0u64..u64::MAX, millionths in 0u32..100) {
+        let density = f64::from(millionths) * 1e-6;
+        let spec = format!("{seed}:{density}");
+        let map = DefectMap::parse_spec(&spec).expect("valid spec parses");
+        if millionths == 0 {
+            prop_assert!(map.is_empty());
+        }
     }
 }
 

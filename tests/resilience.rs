@@ -425,6 +425,117 @@ fn injected_designer_restart_exhaust_degrades() {
     assert_eq!(result.stats.recovered, 0, "exhausted restarts do not run");
 }
 
+/// A surface whose defects compromise every candidate tile makes the
+/// circuit unplaceable defect-aware. The flow records the documented
+/// defect-avoidance ladder (grown area bound, then a defect-blind
+/// placement) as degradations and still returns a layout — never an
+/// error or a panic.
+#[test]
+fn unplaceable_surface_degrades_honestly() {
+    use sidb_sim::{Defect, DefectKind, DefectMap};
+    let b = benchmark("xor2");
+    // One charged vacancy at the center of every tile of the (doubled)
+    // scan region: every tile is compromised at any ratio the scan or
+    // its defect-avoidance retry can reach.
+    let mut defects = Vec::new();
+    for ty in 0..12 {
+        for tx in 0..12 {
+            let (ox, oy) = fcn_coords::siqad::hex_tile_origin(tx, ty);
+            defects.push(Defect {
+                position: fcn_coords::LatticeCoord::new(ox + 30, oy + 11, 0),
+                kind: DefectKind::ChargedVacancy,
+            });
+        }
+    }
+    let options = unbounded()
+        .with_pnr(PnrMethod::Exact { max_area: 6 })
+        .with_surface(DefectMap::new(defects));
+    let r = run_flow("xor2", &b.xag, &options).expect("an unplaceable surface degrades");
+    assert!(
+        r.exact,
+        "the defect-blind retry still uses the exact engine"
+    );
+    let avoidance: Vec<_> = r
+        .degradations
+        .iter()
+        .filter(|d| d.stage == "step4:pnr" && d.trigger == DegradeTrigger::DefectAvoidance)
+        .collect();
+    assert_eq!(avoidance.len(), 2, "grow + defect-blind: {avoidance:?}");
+    assert!(avoidance[1].action.contains("defect-blind"));
+    assert!(r.layout.verify().is_empty());
+    // Step 7 reports the exposure of the defect-blind placement.
+    let apply = r.report.root.child("step7:apply").expect("apply stage");
+    assert!(*apply.counters.get("defects.compromised").unwrap_or(&0) > 0);
+}
+
+/// An injected exhaustion at the `surface.defect` fault point saturates
+/// the blacklist — the unplaceable-surface edge without building a
+/// dense map — and takes the same documented degradation ladder.
+#[test]
+fn injected_surface_exhaust_degrades_like_unplaceable() {
+    use sidb_sim::{DefectKind, DefectMap};
+    let b = benchmark("xor2");
+    let _scope = install(Arc::new(FaultPlan::single(
+        "surface.defect",
+        Fault::Exhaust,
+    )));
+    let options = unbounded()
+        .with_pnr(PnrMethod::ExactWithFallback { max_area: 6 })
+        .with_surface(DefectMap::random(3, 1e-5, &DefectKind::ALL));
+    let r = run_flow("xor2", &b.xag, &options).expect("degrades, never errors");
+    assert!(r
+        .degradations
+        .iter()
+        .any(|d| d.stage == "step4:pnr" && d.trigger == DegradeTrigger::DefectAvoidance));
+    assert!(r.layout.verify().is_empty());
+}
+
+/// An injected corruption of the surface description surfaces as the
+/// typed `FlowError::Surface` spec error — never a panic.
+#[test]
+fn injected_surface_malform_is_a_typed_error() {
+    use sidb_sim::{DefectKind, DefectMap};
+    let b = benchmark("xor2");
+    let _scope = install(Arc::new(FaultPlan::single(
+        "surface.defect",
+        Fault::Malform,
+    )));
+    let options = unbounded().with_surface(DefectMap::random(3, 1e-5, &DefectKind::ALL));
+    match run_flow("xor2", &b.xag, &options) {
+        Err(FlowError::Surface(e)) => assert!(!e.to_string().is_empty()),
+        other => panic!("expected FlowError::Surface, got {other:?}"),
+    }
+}
+
+/// An injected panic at the surface fault point is caught at the stage
+/// boundary like any other: a typed internal error naming step 4.
+#[test]
+fn injected_surface_panic_is_a_typed_internal_error() {
+    use sidb_sim::{DefectKind, DefectMap};
+    let b = benchmark("xor2");
+    let _scope = install(Arc::new(FaultPlan::single("surface.defect", Fault::Panic)));
+    let options = unbounded().with_surface(DefectMap::random(3, 1e-5, &DefectKind::ALL));
+    match run_flow("xor2", &b.xag, &options) {
+        Err(FlowError::Internal { stage, payload }) => {
+            assert_eq!(stage, "step4:pnr");
+            assert!(payload.contains("surface.defect"), "payload: {payload}");
+        }
+        other => panic!("expected Internal, got {other:?}"),
+    }
+}
+
+/// Without a configured surface the `surface.defect` fault point is
+/// never consulted: a pristine flow cannot be perturbed by it.
+#[test]
+fn surface_fault_point_is_inert_without_a_surface() {
+    let b = benchmark("xor2");
+    let plan = Arc::new(FaultPlan::single("surface.defect", Fault::Panic));
+    let _scope = install(plan.clone());
+    let r = run_flow("xor2", &b.xag, &unbounded()).expect("pristine flow unaffected");
+    assert_eq!(plan.hits("surface.defect"), 0, "point never reached");
+    assert!(r.degradations.is_empty());
+}
+
 /// A domain sweep under an already-expired deadline returns every grid
 /// point as `Unknown` with an honest deadline degradation — the caller
 /// can see that nothing was decided, instead of reading a map of
