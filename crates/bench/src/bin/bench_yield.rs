@@ -23,7 +23,7 @@
 //! baseline at every nonzero density.
 
 use bestagon_core::benchmarks::benchmark;
-use bestagon_core::flow::{run_flow, FlowOptions, PnrMethod};
+use bestagon_core::flow::{FlowOptions, FlowRequest, PnrMethod};
 use fcn_layout::hexagonal::HexGateLayout;
 use fcn_telemetry::json::Value;
 use sidb_sim::{DefectKind, DefectMap};
@@ -90,7 +90,10 @@ fn main() -> ExitCode {
     let mut aggregate = vec![(0u64, 0u64, 0u64); DENSITIES.len()];
     for name in CIRCUITS {
         let b = benchmark(name);
-        let pristine = match run_flow(name, &b.xag, &flow_options(DefectMap::pristine())) {
+        let pristine = match FlowRequest::netlist(*name, b.xag.clone())
+            .with_options(flow_options(DefectMap::pristine()))
+            .execute()
+        {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("bench-yield: pristine flow failed for {name}: {e}");
@@ -106,7 +109,10 @@ fn main() -> ExitCode {
                 if survives(&pristine.layout, &surface) {
                     blind_ok += 1;
                 }
-                match run_flow(name, &b.xag, &flow_options(surface.clone())) {
+                match FlowRequest::netlist(*name, b.xag.clone())
+                    .with_options(flow_options(surface.clone()))
+                    .execute()
+                {
                     Ok(r) if survives(&r.layout, &surface) => aware_ok += 1,
                     Ok(_) => {}
                     Err(e) => {

@@ -163,6 +163,19 @@ pub struct FlowOptions {
     /// (a `seed:density[:kinds]` spec or a defect-file path); when that
     /// is unset too, the flow is byte-identical to the pristine flow.
     pub surface: Option<sidb_sim::DefectMap>,
+    /// A shared simulation cache for step 7's tile validation. `None`
+    /// consults the `SIM_CACHE` environment variable
+    /// ([`sidb_sim::SimCache::from_env`]); a long-lived host (the design
+    /// server) installs one process-wide cache here so identical tile
+    /// simulations are shared across requests.
+    pub sim_cache: Option<sidb_sim::SimCache>,
+    /// A warm incremental-SAT session pool for step 4's exact engine
+    /// ([`fcn_pnr::SessionPool`]). `None` keeps sessions scoped to one
+    /// P&R call, exactly as before; a long-lived host installs a
+    /// per-worker pool so repeat netlists start from warm solvers.
+    /// Purely a work-counter optimization — layouts are byte-identical
+    /// with or without it.
+    pub session_pool: Option<fcn_pnr::SessionPool>,
 }
 
 impl Default for FlowOptions {
@@ -178,6 +191,8 @@ impl Default for FlowOptions {
             tile_validation: false,
             budget: FlowBudget::from_env(),
             surface: None,
+            sim_cache: None,
+            session_pool: None,
         }
     }
 }
@@ -276,6 +291,22 @@ impl FlowOptions {
     #[must_use]
     pub fn with_surface(mut self, surface: sidb_sim::DefectMap) -> Self {
         self.surface = Some(surface);
+        self
+    }
+
+    /// Shares the given simulation cache with step 7 (see
+    /// [`FlowOptions::sim_cache`]), overriding `SIM_CACHE`.
+    #[must_use]
+    pub fn with_sim_cache(mut self, cache: sidb_sim::SimCache) -> Self {
+        self.sim_cache = Some(cache);
+        self
+    }
+
+    /// Checks step 4's incremental SAT sessions out of (and back into)
+    /// the given pool (see [`FlowOptions::session_pool`]).
+    #[must_use]
+    pub fn with_session_pool(mut self, pool: fcn_pnr::SessionPool) -> Self {
+        self.session_pool = Some(pool);
         self
     }
 }
@@ -393,37 +424,96 @@ impl core::fmt::Display for FlowError {
 
 impl std::error::Error for FlowError {}
 
-/// Runs the flow from Verilog source.
-///
-/// # Errors
-///
-/// Any step's failure is reported as a [`FlowError`].
-pub fn run_flow_from_verilog(source: &str, options: &FlowOptions) -> Result<FlowResult, FlowError> {
-    run_instrumented(|| parse_verilog(source).map_err(FlowError::Parse), options)
+impl FlowError {
+    /// A stable machine-readable discriminant, one per variant. Server
+    /// responses and logs key on these; they are part of the wire
+    /// protocol and never change meaning.
+    pub fn code(&self) -> &'static str {
+        match self {
+            FlowError::Parse(_) => "parse",
+            FlowError::ParseBlif(_) => "parse-blif",
+            FlowError::Map(_) => "map",
+            FlowError::NetGraph(_) => "netgraph",
+            FlowError::Pnr(_) => "pnr",
+            FlowError::Surface(_) => "surface",
+            FlowError::Equivalence(_) => "equiv",
+            FlowError::NotEquivalent { .. } => "not-equivalent",
+            FlowError::Apply(_) => "apply",
+            FlowError::Internal { .. } => "internal",
+        }
+    }
+
+    /// The error as a JSON object with stable field names: always
+    /// `code` and `message`; `stage` for [`FlowError::Internal`] and
+    /// `counterexample` for [`FlowError::NotEquivalent`].
+    pub fn to_value(&self) -> fcn_telemetry::json::Value {
+        use fcn_telemetry::json::Value;
+        let mut fields = vec![
+            ("code".to_owned(), Value::Str(self.code().to_owned())),
+            ("message".to_owned(), Value::Str(self.to_string())),
+        ];
+        match self {
+            FlowError::Internal { stage, .. } => {
+                fields.push(("stage".to_owned(), Value::Str((*stage).to_owned())));
+            }
+            FlowError::NotEquivalent { counterexample } => {
+                fields.push((
+                    "counterexample".to_owned(),
+                    Value::Arr(counterexample.iter().map(|&b| Value::Bool(b)).collect()),
+                ));
+            }
+            _ => {}
+        }
+        Value::Obj(fields)
+    }
 }
 
-/// Runs the flow from BLIF source.
+/// The circuit specification a [`FlowRequest`] starts from.
 ///
-/// # Errors
-///
-/// Any step's failure is reported as a [`FlowError`].
-pub fn run_flow_from_blif(source: &str, options: &FlowOptions) -> Result<FlowResult, FlowError> {
-    run_instrumented(
-        || fcn_logic::blif::parse_blif(source).map_err(FlowError::ParseBlif),
-        options,
-    )
+/// `#[non_exhaustive]`: front-end formats may be added without breaking
+/// downstream matches.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum FlowInput {
+    /// Gate-level Verilog source (flow step 1 parses it).
+    Verilog(String),
+    /// BLIF source (flow step 1 parses it).
+    Blif(String),
+    /// An already parsed XAG, named for reports and exports.
+    Netlist {
+        /// Circuit name.
+        name: String,
+        /// The network itself.
+        xag: Xag,
+    },
 }
 
-/// Runs the flow from an already parsed XAG.
+impl FlowInput {
+    /// A stable label for the input format (`"verilog"`, `"blif"`,
+    /// `"netlist"`), used in protocol messages and fingerprints.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FlowInput::Verilog(_) => "verilog",
+            FlowInput::Blif(_) => "blif",
+            FlowInput::Netlist { .. } => "netlist",
+        }
+    }
+}
+
+/// One complete design job: a circuit specification plus the options to
+/// run the flow under. This is the unit the design server queues, the
+/// content-addressed cache keys on ([`FlowRequest::fingerprint`]), and
+/// the single entry point the former `run_flow*` free functions folded
+/// into.
 ///
-/// # Errors
-///
-/// Any step's failure is reported as a [`FlowError`].
+/// `#[non_exhaustive]`: construct with [`FlowRequest::verilog`],
+/// [`FlowRequest::blif`], [`FlowRequest::netlist`], or
+/// [`FlowRequest::new`], then chain [`FlowRequest::with_options`].
 ///
 /// # Examples
 ///
 /// ```
-/// use bestagon_core::flow::{run_flow, FlowOptions};
+/// use bestagon_core::flow::{FlowOptions, FlowRequest};
 /// use fcn_logic::network::Xag;
 ///
 /// let mut xag = Xag::new();
@@ -431,13 +521,191 @@ pub fn run_flow_from_blif(source: &str, options: &FlowOptions) -> Result<FlowRes
 /// let b = xag.primary_input("b");
 /// let f = xag.or(a, b);
 /// xag.primary_output("f", f);
-/// let result = run_flow("or2", &xag, &FlowOptions::default())?;
+/// let result = FlowRequest::netlist("or2", xag)
+///     .with_options(FlowOptions::default())
+///     .execute()?;
 /// assert!(result.layout.verify().is_empty());
 /// assert!(result.cell.expect("library applied").num_sidbs() > 0);
 /// # Ok::<(), bestagon_core::flow::FlowError>(())
 /// ```
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct FlowRequest {
+    /// The circuit specification.
+    pub input: FlowInput,
+    /// The options the flow runs under.
+    pub options: FlowOptions,
+}
+
+impl FlowRequest {
+    /// A request over any [`FlowInput`], with default options.
+    pub fn new(input: FlowInput) -> Self {
+        FlowRequest {
+            input,
+            options: FlowOptions::default(),
+        }
+    }
+
+    /// A request from gate-level Verilog source.
+    pub fn verilog(source: impl Into<String>) -> Self {
+        FlowRequest::new(FlowInput::Verilog(source.into()))
+    }
+
+    /// A request from BLIF source.
+    pub fn blif(source: impl Into<String>) -> Self {
+        FlowRequest::new(FlowInput::Blif(source.into()))
+    }
+
+    /// A request from an already parsed XAG.
+    pub fn netlist(name: impl Into<String>, xag: Xag) -> Self {
+        FlowRequest::new(FlowInput::Netlist {
+            name: name.into(),
+            xag,
+        })
+    }
+
+    /// Replaces the options wholesale (chain after a constructor).
+    #[must_use]
+    pub fn with_options(mut self, options: FlowOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Runs the full eight-step flow on this request.
+    ///
+    /// # Errors
+    ///
+    /// Any step's failure is reported as a [`FlowError`].
+    pub fn execute(&self) -> Result<FlowResult, FlowError> {
+        match &self.input {
+            FlowInput::Verilog(source) => run_instrumented(
+                || parse_verilog(source).map_err(FlowError::Parse),
+                &self.options,
+            ),
+            FlowInput::Blif(source) => run_instrumented(
+                || fcn_logic::blif::parse_blif(source).map_err(FlowError::ParseBlif),
+                &self.options,
+            ),
+            FlowInput::Netlist { name, xag } => {
+                run_instrumented(|| Ok((name.clone(), xag.clone())), &self.options)
+            }
+        }
+    }
+
+    /// Content fingerprint of this request: the canonical input text
+    /// plus every option that shapes the *result* — and none that only
+    /// shape the *work* (thread count, incremental mode, caches, pools,
+    /// and the wall-clock deadline are excluded; resource caps that can
+    /// change what a stage produces are included). Two requests with
+    /// equal fingerprints produce byte-identical results, which is what
+    /// lets the server answer the second one from memory.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.bytes(self.input.kind().as_bytes());
+        match &self.input {
+            FlowInput::Verilog(source) | FlowInput::Blif(source) => h.bytes(source.as_bytes()),
+            FlowInput::Netlist { name, xag } => {
+                h.bytes(fcn_logic::verilog::write_verilog(name, xag).as_bytes())
+            }
+        };
+        let o = &self.options;
+        h.bytes(format!("{:?}", o.rewrite).as_bytes());
+        h.bytes(format!("{:?}", o.map).as_bytes());
+        h.bytes(format!("{:?}", o.pnr).as_bytes());
+        h.bytes(format!("{:?}", (o.verify, o.apply_library, o.tile_validation)).as_bytes());
+        let b = &o.budget;
+        h.bytes(
+            format!(
+                "{:?}",
+                (
+                    b.rewrite_iterations,
+                    b.sat_conflicts_per_probe,
+                    b.sat_conflicts_total,
+                    b.equiv_conflicts,
+                    b.sim_steps,
+                )
+            )
+            .as_bytes(),
+        );
+        // The surface the flow will actually design around: the explicit
+        // option, else the environment fallback step 4 consults.
+        match &o.surface {
+            Some(map) => h.bytes(format!("{:?}", map).as_bytes()),
+            None => match std::env::var("SURFACE_DEFECTS") {
+                Ok(spec) if !spec.trim().is_empty() => h.bytes(spec.trim().as_bytes()),
+                _ => h.bytes(b"pristine"),
+            },
+        };
+        h.finish()
+    }
+}
+
+/// FNV-1a over the request content — a fixed algorithm (unlike
+/// `DefaultHasher`) so fingerprints are comparable across runs and Rust
+/// releases.
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Runs the flow from Verilog source.
+///
+/// # Errors
+///
+/// Any step's failure is reported as a [`FlowError`].
+#[deprecated(
+    since = "0.2.0",
+    note = "construct a `FlowRequest` and call `execute()`"
+)]
+pub fn run_flow_from_verilog(source: &str, options: &FlowOptions) -> Result<FlowResult, FlowError> {
+    FlowRequest::verilog(source)
+        .with_options(options.clone())
+        .execute()
+}
+
+/// Runs the flow from BLIF source.
+///
+/// # Errors
+///
+/// Any step's failure is reported as a [`FlowError`].
+#[deprecated(
+    since = "0.2.0",
+    note = "construct a `FlowRequest` and call `execute()`"
+)]
+pub fn run_flow_from_blif(source: &str, options: &FlowOptions) -> Result<FlowResult, FlowError> {
+    FlowRequest::blif(source)
+        .with_options(options.clone())
+        .execute()
+}
+
+/// Runs the flow from an already parsed XAG.
+///
+/// # Errors
+///
+/// Any step's failure is reported as a [`FlowError`].
+#[deprecated(
+    since = "0.2.0",
+    note = "construct a `FlowRequest` and call `execute()`"
+)]
 pub fn run_flow(name: &str, xag: &Xag, options: &FlowOptions) -> Result<FlowResult, FlowError> {
-    run_instrumented(|| Ok((name.to_owned(), xag.clone())), options)
+    FlowRequest::netlist(name, xag.clone())
+        .with_options(options.clone())
+        .execute()
 }
 
 /// Renders a caught panic payload for [`FlowError::Internal`].
@@ -675,6 +943,7 @@ fn run_flow_steps(name: &str, xag: &Xag, options: &FlowOptions) -> Result<FlowRe
                     .unwrap_or_else(fcn_pnr::default_incremental),
                 deadline: budget.deadline,
                 max_conflicts_total: budget.sat_conflicts_total,
+                session_pool: options.session_pool.clone(),
                 ..Default::default()
             }
             .with_blacklist(blacklist.to_vec());
@@ -911,7 +1180,11 @@ fn run_flow_steps(name: &str, xag: &Xag, options: &FlowOptions) -> Result<FlowRe
                     .map_err(FlowError::Apply)?;
                 let mut sim = sidb_sim::SimParams::new(bestagon_lib::geometry::validation_params())
                     .with_engine(sidb_sim::SimEngine::QuickExact);
-                if let Some(cache) = sidb_sim::SimCache::from_env() {
+                let cache = options
+                    .sim_cache
+                    .clone()
+                    .or_else(sidb_sim::SimCache::from_env);
+                if let Some(cache) = cache {
                     sim = sim.with_cache(cache);
                 }
                 let mut validated = 0u64;
@@ -988,10 +1261,17 @@ mod tests {
     use super::*;
     use crate::benchmarks::benchmark;
 
+    /// The former `run_flow` shape, on the request API.
+    fn run(name: &str, xag: &Xag, options: FlowOptions) -> Result<FlowResult, FlowError> {
+        FlowRequest::netlist(name, xag.clone())
+            .with_options(options)
+            .execute()
+    }
+
     #[test]
     fn flow_handles_xor2_end_to_end() {
         let b = benchmark("xor2");
-        let r = run_flow("xor2", &b.xag, &FlowOptions::default()).expect("flow succeeds");
+        let r = run("xor2", &b.xag, FlowOptions::default()).expect("flow succeeds");
         assert!(r.layout.verify().is_empty());
         assert_eq!(r.equivalence, Some(Equivalence::Equivalent));
         assert!(r.supertiles.is_fabricable());
@@ -1018,10 +1298,10 @@ mod tests {
     #[test]
     fn exact_flow_matches_paper_ratio_for_xor2() {
         let b = benchmark("xor2");
-        let r = run_flow(
+        let r = run(
             "xor2",
             &b.xag,
-            &FlowOptions::new().with_pnr(PnrMethod::Exact { max_area: 60 }),
+            FlowOptions::new().with_pnr(PnrMethod::Exact { max_area: 60 }),
         )
         .expect("flow succeeds");
         assert!(r.exact);
@@ -1032,16 +1312,16 @@ mod tests {
     #[test]
     fn heuristic_flow_is_larger_but_correct() {
         let b = benchmark("par_gen");
-        let exact = run_flow(
+        let exact = run(
             "par_gen",
             &b.xag,
-            &FlowOptions::new().with_pnr(PnrMethod::Exact { max_area: 80 }),
+            FlowOptions::new().with_pnr(PnrMethod::Exact { max_area: 80 }),
         )
         .expect("exact flow");
-        let heur = run_flow(
+        let heur = run(
             "par_gen",
             &b.xag,
-            &FlowOptions::new().with_pnr(PnrMethod::Heuristic),
+            FlowOptions::new().with_pnr(PnrMethod::Heuristic),
         )
         .expect("heuristic flow");
         assert!(heur.layout.ratio().tile_count() >= exact.layout.ratio().tile_count());
@@ -1051,18 +1331,18 @@ mod tests {
     #[test]
     fn rewrite_ablation_reports_gate_counts() {
         let b = benchmark("xor5_majority");
-        let with = run_flow(
+        let with = run(
             "x",
             &b.xag,
-            &FlowOptions::new()
+            FlowOptions::new()
                 .with_pnr(PnrMethod::Heuristic)
                 .without_library(),
         )
         .expect("flow");
-        let without = run_flow(
+        let without = run(
             "x",
             &b.xag,
-            &FlowOptions::new()
+            FlowOptions::new()
                 .without_rewrite()
                 .with_pnr(PnrMethod::Heuristic)
                 .without_library(),
@@ -1075,10 +1355,10 @@ mod tests {
     #[test]
     fn tile_validation_reports_simulation_counters() {
         let b = benchmark("xor2");
-        let r = run_flow(
+        let r = run(
             "xor2",
             &b.xag,
-            &FlowOptions::new()
+            FlowOptions::new()
                 .with_pnr(PnrMethod::Heuristic)
                 .with_tile_validation(),
         )
@@ -1098,8 +1378,8 @@ mod tests {
         let surface = sidb_sim::DefectMap::random(7, 5e-5, &sidb_sim::DefectKind::ALL);
         let defects = surface.len() as u64;
         assert!(defects > 0, "seed 7 at 5e-5 populates the region");
-        let r = run_flow("xor2", &b.xag, &FlowOptions::new().with_surface(surface))
-            .expect("flow succeeds");
+        let r =
+            run("xor2", &b.xag, FlowOptions::new().with_surface(surface)).expect("flow succeeds");
         let pnr = r.report.root.child("step4:pnr").expect("pnr stage");
         assert_eq!(pnr.counters.get("defects.count"), Some(&defects));
         assert!(pnr.counters.contains_key("defects.blacklisted"));
@@ -1115,11 +1395,11 @@ mod tests {
     #[test]
     fn pristine_surface_leaves_report_untouched() {
         let b = benchmark("xor2");
-        let base = run_flow("xor2", &b.xag, &FlowOptions::default()).expect("flow");
-        let with = run_flow(
+        let base = run("xor2", &b.xag, FlowOptions::default()).expect("flow");
+        let with = run(
             "xor2",
             &b.xag,
-            &FlowOptions::default().with_surface(sidb_sim::DefectMap::pristine()),
+            FlowOptions::default().with_surface(sidb_sim::DefectMap::pristine()),
         )
         .expect("flow");
         assert_eq!(base.layout.ratio(), with.layout.ratio());
@@ -1130,11 +1410,74 @@ mod tests {
 
     #[test]
     fn verilog_entry_point_works() {
-        let r = run_flow_from_verilog(
+        let r = FlowRequest::verilog(
             "module and2 (a, b, f); input a, b; output f; assign f = a & b; endmodule",
-            &FlowOptions::new().without_library(),
         )
+        .with_options(FlowOptions::new().without_library())
+        .execute()
         .expect("flow");
         assert_eq!(r.name, "and2");
+    }
+
+    #[test]
+    fn deprecated_wrappers_still_run() {
+        #[allow(deprecated)]
+        let r = run_flow_from_verilog(
+            "module buf1 (a, f); input a; output f; assign f = a; endmodule",
+            &FlowOptions::new().without_library().without_verify(),
+        )
+        .expect("flow");
+        assert_eq!(r.name, "buf1");
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_performance_knobs() {
+        let b = benchmark("xor2");
+        let base = FlowRequest::netlist("xor2", b.xag.clone());
+        // Performance knobs (threads, incremental, caches, pools,
+        // deadline) leave the fingerprint unchanged …
+        let tuned = FlowRequest::netlist("xor2", b.xag.clone()).with_options(
+            FlowOptions::new()
+                .with_threads(4)
+                .with_incremental(false)
+                .with_sim_cache(sidb_sim::SimCache::new())
+                .with_session_pool(fcn_pnr::SessionPool::new())
+                .with_deadline_ms(1_000),
+        );
+        assert_eq!(base.fingerprint(), tuned.fingerprint());
+        // … while anything that shapes the result moves it.
+        let other_input = FlowRequest::netlist("xor3", b.xag.clone());
+        assert_ne!(base.fingerprint(), other_input.fingerprint());
+        let other_options = FlowRequest::netlist("xor2", b.xag.clone())
+            .with_options(FlowOptions::new().without_verify());
+        assert_ne!(base.fingerprint(), other_options.fingerprint());
+        // Stable across calls.
+        assert_eq!(base.fingerprint(), base.fingerprint());
+    }
+
+    #[test]
+    fn flow_error_codes_are_stable_and_json_parseable() {
+        let err = FlowRequest::verilog("module broken (")
+            .execute()
+            .expect_err("parse fails");
+        assert_eq!(err.code(), "parse");
+        let text = err.to_value().serialize();
+        let parsed = fcn_telemetry::json::parse(&text).expect("well-formed JSON");
+        assert_eq!(parsed.get("code").and_then(|v| v.as_str()), Some("parse"));
+        assert!(parsed
+            .get("message")
+            .and_then(|v| v.as_str())
+            .is_some_and(|m| !m.is_empty()));
+        let not_equiv = FlowError::NotEquivalent {
+            counterexample: vec![true, false],
+        };
+        assert_eq!(not_equiv.code(), "not-equivalent");
+        let v = fcn_telemetry::json::parse(&not_equiv.to_value().serialize()).expect("json");
+        assert_eq!(
+            v.get("counterexample")
+                .and_then(|c| c.as_array())
+                .map(<[_]>::len),
+            Some(2)
+        );
     }
 }

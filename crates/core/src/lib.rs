@@ -12,7 +12,9 @@
 //! 7. gate-library application to a dot-accurate SiDB layout,
 //! 8. SiQAD design-file export.
 //!
-//! [`flow::run_flow`] drives all steps; [`benchmarks`] provides the
+//! A [`flow::FlowRequest`] (a [`flow::FlowInput`] specification plus
+//! [`flow::FlowOptions`]) drives all steps via
+//! [`flow::FlowRequest::execute`]; [`benchmarks`] provides the
 //! evaluation circuits of the paper's Table 1; [`pipeline`] contains the
 //! clocked signal-propagation simulation behind the Figure 2 experiment.
 
@@ -21,7 +23,9 @@ pub mod flow;
 pub mod pipeline;
 
 pub use benchmarks::{benchmark, benchmark_names, Benchmark};
+#[allow(deprecated)]
+pub use flow::run_flow;
 pub use flow::{
-    run_flow, Deadline, Degradation, DegradeTrigger, FlowBudget, FlowError, FlowOptions,
-    FlowResult, PnrMethod,
+    Deadline, Degradation, DegradeTrigger, FlowBudget, FlowError, FlowInput, FlowOptions,
+    FlowRequest, FlowResult, PnrMethod,
 };

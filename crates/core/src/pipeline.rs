@@ -154,7 +154,7 @@ impl<'a> PipelineSim<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flow::{run_flow, FlowOptions, PnrMethod};
+    use crate::flow::{FlowOptions, FlowRequest, PnrMethod};
     use fcn_logic::network::Xag;
 
     fn or_layout() -> HexGateLayout {
@@ -163,15 +163,15 @@ mod tests {
         let b = xag.primary_input("b");
         let f = xag.or(a, b);
         xag.primary_output("f", f);
-        run_flow(
-            "or2",
-            &xag,
-            &FlowOptions::new()
-                .with_pnr(PnrMethod::Exact { max_area: 60 })
-                .without_library(),
-        )
-        .expect("flow")
-        .layout
+        FlowRequest::netlist("or2", xag)
+            .with_options(
+                FlowOptions::new()
+                    .with_pnr(PnrMethod::Exact { max_area: 60 })
+                    .without_library(),
+            )
+            .execute()
+            .expect("flow")
+            .layout
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 use crate::incremental::{IncrementalCnf, ProbeEmitter, ReuseStats, ScratchEmitter};
 use crate::netgraph::NetGraph;
+use crate::pool::{Fnv64, PooledSession};
 use crate::portfolio::{run_portfolio, CancelFlag, ProbeOutcome, ScanAbort};
 use fcn_budget::Deadline;
 use fcn_coords::{AspectRatio, HexCoord, HexDirection};
@@ -77,6 +78,14 @@ pub struct ExactOptions {
     /// the area-minimal layout *avoiding* those tiles. Empty (the
     /// default) encodes nothing.
     pub blacklist: Vec<(i32, i32)>,
+    /// A pool of warm incremental sessions shared *across* `exact_pnr`
+    /// calls (see [`crate::pool`]). Workers check sessions out at scan
+    /// start (keyed by netlist + blacklist + area bound) and park them
+    /// back at scan end. `None` (the default) keeps sessions scan-local;
+    /// either way the layout is byte-identical — the winning ratio is
+    /// always re-solved from scratch. Ignored when
+    /// [`ExactOptions::incremental`] is off.
+    pub session_pool: Option<crate::pool::SessionPool>,
 }
 
 impl ExactOptions {
@@ -84,6 +93,13 @@ impl ExactOptions {
     #[must_use]
     pub fn with_blacklist(mut self, blacklist: Vec<(i32, i32)>) -> Self {
         self.blacklist = blacklist;
+        self
+    }
+
+    /// Shares warm incremental sessions across scans through `pool`.
+    #[must_use]
+    pub fn with_session_pool(mut self, pool: crate::pool::SessionPool) -> Self {
+        self.session_pool = Some(pool);
         self
     }
 }
@@ -98,6 +114,7 @@ impl Default for ExactOptions {
             deadline: Deadline::unbounded(),
             max_conflicts_total: None,
             blacklist: Vec::new(),
+            session_pool: None,
         }
     }
 }
@@ -398,10 +415,22 @@ pub fn exact_pnr(
     let limits = ScanLimits::new(options);
     let blacklist: HashSet<(i32, i32)> = options.blacklist.iter().copied().collect();
 
+    // With a pool installed, each worker's session is checked out by
+    // problem key at context creation and parked back (via the guard's
+    // drop) when the portfolio retires the worker.
+    let pool = options
+        .session_pool
+        .as_ref()
+        .map(|p| (p.clone(), session_key(graph, options)));
     let outcome = run_portfolio(
         &candidates,
         options.num_threads,
-        || options.incremental.then(IncrementalCnf::<HexKey>::new),
+        || {
+            options.incremental.then(|| match &pool {
+                Some((pool, key)) => PooledSession::checkout(pool, *key),
+                None => PooledSession::fresh(),
+            })
+        },
         |inc, _, (ratio, alap), cancel| {
             let budget = match limits.pre_probe(options.max_conflicts_per_ratio) {
                 ProbeGate::Go(budget) => budget,
@@ -410,7 +439,7 @@ pub fn exact_pnr(
             };
             let out = match inc {
                 Some(inc) => solve_ratio_incremental(
-                    inc,
+                    inc.get_mut(),
                     graph,
                     *ratio,
                     alap,
@@ -437,6 +466,34 @@ pub fn exact_pnr(
         },
     );
     assemble_outcome(outcome, |idx| candidates[idx].0, options)
+}
+
+/// Fingerprint of everything that shapes an incremental session's shared
+/// clause set: the netlist structure (node kinds in id order plus the
+/// port-accurate edge list), the tile blacklist (order-insensitive), and
+/// the area bound that fixes the candidate union the variable universe
+/// spans. Two `exact_pnr` calls with equal keys may safely exchange warm
+/// sessions through a [`crate::SessionPool`].
+fn session_key(graph: &NetGraph, options: &ExactOptions) -> u64 {
+    let mut h = Fnv64::new();
+    h.u64(options.max_area);
+    h.u64(graph.network.num_nodes() as u64);
+    for id in graph.network.node_ids() {
+        h.bytes(format!("{:?}", graph.network.node(id).kind).as_bytes());
+    }
+    for e in &graph.edges {
+        h.u64(e.source.index() as u64)
+            .u64(u64::from(e.source_port))
+            .u64(e.target.index() as u64)
+            .u64(u64::from(e.target_port));
+    }
+    let mut blacklist = options.blacklist.clone();
+    blacklist.sort_unstable();
+    blacklist.dedup();
+    for (x, y) in blacklist {
+        h.i64(i64::from(x)).i64(i64::from(y));
+    }
+    h.finish()
 }
 
 /// Folds a portfolio run into the engine result: cumulative solver
@@ -518,7 +575,7 @@ pub(crate) fn assemble_outcome<L>(
 /// coordinates are global, and PIs are pinned to row 0 in every ratio,
 /// so a key means the same thing in every probe).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum HexKey {
+pub(crate) enum HexKey {
     /// Node `n` occupies tile `t`.
     Place(usize, HexCoord),
     /// Edge `e` runs a wire segment through tile `t`.

@@ -195,6 +195,15 @@ impl<K: Eq + Hash> IncrementalCnf<K> {
         self.retained
     }
 
+    /// Whether a probe is currently open (`begin_probe` without a
+    /// matching `end_probe`). A session abandoned in this state — e.g.
+    /// by a panicking worker — must not be reused: its activation
+    /// literal was never retired, so its guarded clauses are still
+    /// armed.
+    pub fn mid_probe(&self) -> bool {
+        self.act.is_some()
+    }
+
     /// Solver work done since [`IncrementalCnf::begin_probe`].
     pub fn stats(&self) -> SolverStats {
         self.cnf.solver().stats()

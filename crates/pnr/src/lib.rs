@@ -29,6 +29,7 @@ pub mod exact;
 pub mod heuristic;
 pub mod incremental;
 pub mod netgraph;
+pub mod pool;
 pub mod portfolio;
 
 pub use cartesian_exact::cartesian_exact_pnr;
@@ -43,3 +44,4 @@ pub use exact::{
 pub use heuristic::heuristic_pnr;
 pub use incremental::ReuseStats;
 pub use netgraph::NetGraph;
+pub use pool::SessionPool;

@@ -1,0 +1,182 @@
+//! `fcn-server` binary: line-delimited JSON over stdin/stdout.
+//!
+//! Each input line is one job request object:
+//!
+//! ```json
+//! {"id": 7, "format": "verilog", "source": "module ...", "deadline_ms": 5000,
+//!  "pnr": "exact", "max_area": 60, "verify": true, "apply_library": false}
+//! ```
+//!
+//! * `format` — `"verilog"` or `"blif"` (required, with `source`).
+//! * `id` — optional client tag, echoed back verbatim in the response.
+//! * `deadline_ms` — optional wall-clock deadline, ticking from parse.
+//! * `pnr` — `"exact"`, `"heuristic"`, or `"exact-fallback"` (with
+//!   optional `max_area`); defaults to the flow's default engine.
+//! * `verify` / `apply_library` / `tile_validation` — optional booleans
+//!   overriding the flow defaults (on / on / off).
+//!
+//! Malformed lines are answered with a `status: "rejected"` line
+//! carrying a `protocol` error code — the server never dies on bad
+//! input. After stdin closes, responses are printed one JSON object per
+//! line in submission order, followed by a final
+//! `{"aggregate": {...}}` line with the windowed `server.*` counters
+//! and queue-depth histogram. Worker count and queue bound come from
+//! `SERVER_WORKERS` and `SERVER_QUEUE`.
+
+use std::io::{BufRead, Write};
+
+use bestagon_core::flow::{FlowOptions, FlowRequest, PnrMethod};
+use fcn_server::{JobTicket, Server, ServerConfig};
+use fcn_telemetry::json::{self, Value};
+
+/// One stdin line's fate: a live ticket, or an answer already decided
+/// (protocol error, admission rejection).
+enum Pending {
+    Ticket {
+        ticket: JobTicket,
+        client_id: Option<Value>,
+    },
+    Immediate(Value),
+}
+
+fn protocol_error(client_id: Option<&Value>, message: &str) -> Value {
+    let mut fields = Vec::new();
+    if let Some(id) = client_id {
+        fields.push(("id".to_owned(), id.clone()));
+    }
+    fields.push(("status".to_owned(), Value::Str("rejected".to_owned())));
+    fields.push(("cache_hit".to_owned(), Value::Bool(false)));
+    fields.push((
+        "error".to_owned(),
+        Value::Obj(vec![
+            ("code".to_owned(), Value::Str("protocol".to_owned())),
+            ("message".to_owned(), Value::Str(message.to_owned())),
+        ]),
+    ));
+    Value::Obj(fields)
+}
+
+/// Parses one request line into a [`FlowRequest`] (plus the client's
+/// tag), or a human-readable protocol complaint.
+fn parse_request(line: &str) -> Result<(FlowRequest, Option<Value>), (Option<Value>, String)> {
+    let value = json::parse(line).map_err(|e| (None, format!("malformed JSON: {e}")))?;
+    let client_id = value.get("id").cloned();
+    let fail = |message: String| (client_id.clone(), message);
+
+    let format = value
+        .get("format")
+        .and_then(Value::as_str)
+        .ok_or_else(|| fail("missing string field \"format\"".to_owned()))?;
+    let source = value
+        .get("source")
+        .and_then(Value::as_str)
+        .ok_or_else(|| fail("missing string field \"source\"".to_owned()))?;
+    let mut request = match format {
+        "verilog" => FlowRequest::verilog(source),
+        "blif" => FlowRequest::blif(source),
+        other => return Err(fail(format!("unknown format {other:?}"))),
+    };
+
+    let mut options = FlowOptions::new();
+    let max_area = value
+        .get("max_area")
+        .and_then(Value::as_f64)
+        .map(|a| a.max(0.0) as u64);
+    match value.get("pnr").and_then(Value::as_str) {
+        None => {}
+        Some("exact") => {
+            options = options.with_pnr(PnrMethod::Exact {
+                max_area: max_area.unwrap_or(100),
+            });
+        }
+        Some("heuristic") => options = options.with_pnr(PnrMethod::Heuristic),
+        Some("exact-fallback") => {
+            options = options.with_pnr(PnrMethod::ExactWithFallback {
+                max_area: max_area.unwrap_or(100),
+            });
+        }
+        Some(other) => return Err(fail(format!("unknown pnr engine {other:?}"))),
+    }
+    if value.get("verify").and_then(Value::as_bool) == Some(false) {
+        options = options.without_verify();
+    }
+    if value.get("apply_library").and_then(Value::as_bool) == Some(false) {
+        options = options.without_library();
+    }
+    if value.get("tile_validation").and_then(Value::as_bool) == Some(true) {
+        options = options.with_tile_validation();
+    }
+    if let Some(ms) = value.get("deadline_ms").and_then(Value::as_f64) {
+        options = options.with_deadline_ms(ms.max(0.0) as u64);
+    }
+    request = request.with_options(options);
+    Ok((request, client_id))
+}
+
+/// Stamps the client's tag over the server-assigned numeric id.
+fn with_client_id(mut response: Value, client_id: Option<Value>) -> Value {
+    if let (Some(tag), Value::Obj(fields)) = (client_id, &mut response) {
+        match fields.iter_mut().find(|(k, _)| k == "id") {
+            Some(slot) => slot.1 = tag,
+            None => fields.insert(0, ("id".to_owned(), tag)),
+        }
+    }
+    response
+}
+
+fn main() {
+    let server = Server::new(ServerConfig::from_env());
+    let stdin = std::io::stdin();
+    let mut pending = Vec::new();
+
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(&line) {
+            Err((client_id, message)) => {
+                pending.push(Pending::Immediate(protocol_error(
+                    client_id.as_ref(),
+                    &message,
+                )));
+            }
+            Ok((request, client_id)) => match server.submit(request) {
+                Ok(ticket) => pending.push(Pending::Ticket { ticket, client_id }),
+                Err(reason) => {
+                    let mut fields = Vec::new();
+                    if let Some(id) = &client_id {
+                        fields.push(("id".to_owned(), id.clone()));
+                    }
+                    fields.push(("status".to_owned(), Value::Str("rejected".to_owned())));
+                    fields.push(("cache_hit".to_owned(), Value::Bool(false)));
+                    fields.push((
+                        "error".to_owned(),
+                        Value::Obj(vec![
+                            ("code".to_owned(), Value::Str(reason.code().to_owned())),
+                            ("message".to_owned(), Value::Str(reason.to_string())),
+                        ]),
+                    ));
+                    pending.push(Pending::Immediate(Value::Obj(fields)));
+                }
+            },
+        }
+    }
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for entry in pending {
+        let value = match entry {
+            Pending::Immediate(value) => value,
+            Pending::Ticket { ticket, client_id } => {
+                with_client_id(ticket.wait().to_value(), client_id)
+            }
+        };
+        let _ = writeln!(out, "{}", value.serialize());
+    }
+    let aggregate = Value::Obj(vec![("aggregate".to_owned(), server.aggregate_value())]);
+    let _ = writeln!(out, "{}", aggregate.serialize());
+}

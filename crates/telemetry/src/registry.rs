@@ -68,6 +68,27 @@ impl Registry {
         walk(&mut inner, &report.root);
     }
 
+    /// Adds `delta` to the named counter total directly, without going
+    /// through a report. Long-lived hosts (the design server) account
+    /// events that happen *outside* any flow run — admission rejects,
+    /// cache hits — against the same aggregate namespace this way.
+    pub fn add_counter(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        *inner.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Records one sample into the named histogram directly (same
+    /// rationale as [`Registry::add_counter`] — e.g. the server's
+    /// queue-depth distribution, sampled at every admission).
+    pub fn record_histogram(&self, name: &str, value: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(value);
+    }
+
     /// An immutable copy of the current totals.
     pub fn snapshot(&self) -> RegistrySnapshot {
         self.inner.lock().unwrap().clone()
@@ -208,6 +229,27 @@ mod tests {
             .get("histograms")
             .and_then(|h| h.get("pnr.probe.conflicts"))
             .is_some());
+    }
+
+    #[test]
+    fn direct_recording_lands_in_the_same_namespace() {
+        let registry = Registry::new();
+        registry.add_counter("server.jobs", 2);
+        registry.add_counter("server.jobs", 1);
+        registry.record_histogram("server.queue_depth", 4);
+        registry.record_histogram("server.queue_depth", 1);
+        let before = registry.snapshot();
+        assert_eq!(before.counters.get("server.jobs"), Some(&3));
+        assert_eq!(
+            before.histograms.get("server.queue_depth").unwrap().count(),
+            2
+        );
+        // Direct records do not count as flows, and they diff like
+        // report-absorbed totals.
+        assert_eq!(before.flows, 0);
+        registry.add_counter("server.jobs", 5);
+        let delta = registry.snapshot().diff(&before);
+        assert_eq!(delta.counters.get("server.jobs"), Some(&5));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! signal wavefront advances row by row; then demonstrates the resulting
 //! pipeline throughput of one sample per clock cycle.
 
-use bestagon_core::flow::{run_flow, FlowOptions, PnrMethod};
+use bestagon_core::flow::{FlowOptions, FlowRequest, PnrMethod};
 use bestagon_core::pipeline::PipelineSim;
 use fcn_coords::HexCoord;
 use fcn_logic::network::Xag;
@@ -22,13 +22,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let b = xag.primary_input("b");
     let f = xag.or(a, b);
     xag.primary_output("f", f);
-    let result = run_flow(
-        "or2",
-        &xag,
-        &FlowOptions::new()
-            .with_pnr(PnrMethod::Exact { max_area: 60 })
-            .without_library(),
-    )?;
+    let result = FlowRequest::netlist("or2", xag)
+        .with_options(
+            FlowOptions::new()
+                .with_pnr(PnrMethod::Exact { max_area: 60 })
+                .without_library(),
+        )
+        .execute()?;
     let layout = &result.layout;
     println!("=== Figure 2: four-phase clocking wave ===\n");
     println!("{}", layout.render_ascii());

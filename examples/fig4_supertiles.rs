@@ -10,7 +10,7 @@
 //! metal pitch, merged super-tile electrodes satisfy it.
 
 use bestagon_core::benchmarks::{benchmark, benchmark_names};
-use bestagon_core::flow::{run_flow, FlowOptions, PnrMethod};
+use bestagon_core::flow::{FlowOptions, FlowRequest, PnrMethod};
 use fcn_layout::supertile::{
     minimum_rows_per_supertile, plan_supertiles, plan_supertiles_with_rows, MIN_METAL_PITCH_NM,
     ROW_PITCH_NM, TILE_WIDTH_NM,
@@ -36,7 +36,10 @@ fn main() {
         let options = FlowOptions::new()
             .with_pnr(PnrMethod::ExactWithFallback { max_area: 120 })
             .without_library();
-        match run_flow(name, &b.xag, &options) {
+        match FlowRequest::netlist(name, b.xag.clone())
+            .with_options(options)
+            .execute()
+        {
             Ok(result) => {
                 let fine = plan_supertiles_with_rows(&result.layout, 1);
                 let merged = plan_supertiles(&result.layout);

@@ -7,16 +7,14 @@
 //! ```
 
 use bestagon_core::benchmarks::benchmark;
-use bestagon_core::flow::{run_flow, FlowOptions, PnrMethod};
+use bestagon_core::flow::{FlowOptions, FlowRequest, PnrMethod};
 use std::io::Write;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let b = benchmark("par_check");
-    let result = run_flow(
-        "par_check",
-        &b.xag,
-        &FlowOptions::new().with_pnr(PnrMethod::ExactWithFallback { max_area: 120 }),
-    )?;
+    let result = FlowRequest::netlist("par_check", b.xag.clone())
+        .with_options(FlowOptions::new().with_pnr(PnrMethod::ExactWithFallback { max_area: 120 }))
+        .execute()?;
 
     println!("=== Figure 6: par_check on hexagonal Bestagon tiles ===\n");
     println!(

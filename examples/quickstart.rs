@@ -8,7 +8,7 @@
 //! and prints the gate-level layout, verification verdict, super-tile
 //! plan, SiDB statistics, and a snippet of the SiQAD export.
 
-use bestagon_core::flow::{run_flow_from_verilog, FlowOptions};
+use bestagon_core::flow::{FlowOptions, FlowRequest};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let source = "
@@ -19,7 +19,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         endmodule";
 
     println!("=== Bestagon quickstart: 2:1 multiplexer ===\n");
-    let result = run_flow_from_verilog(source, &FlowOptions::default())?;
+    let result = FlowRequest::verilog(source)
+        .with_options(FlowOptions::default())
+        .execute()?;
 
     println!("specification:   {}", result.name);
     println!(

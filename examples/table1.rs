@@ -29,7 +29,7 @@
 //! the simulation pool and cache, mirroring `PNR_THREADS`.
 
 use bestagon_core::benchmarks::{benchmark, benchmark_names};
-use bestagon_core::flow::{run_flow, FlowOptions, PnrMethod};
+use bestagon_core::flow::{FlowOptions, FlowRequest, PnrMethod};
 use fcn_telemetry::json::Value;
 use std::time::Instant;
 
@@ -49,7 +49,10 @@ fn main() {
             .with_pnr(PnrMethod::ExactWithFallback { max_area: 120 })
             .with_threads(pnr_threads)
             .with_tile_validation();
-        match run_flow(name, &b.xag, &options) {
+        match FlowRequest::netlist(name, b.xag.clone())
+            .with_options(options)
+            .execute()
+        {
             Ok(result) => {
                 let ratio = result.layout.ratio();
                 let cell = result.cell.as_ref().expect("library applied");

@@ -2,17 +2,30 @@
 //! dot-accurate SiDB layout, across the whole crate stack.
 
 use bestagon_core::benchmarks::benchmark;
-use bestagon_core::flow::{run_flow, run_flow_from_verilog, FlowOptions, PnrMethod};
+use bestagon_core::flow::{FlowError, FlowOptions, FlowRequest, FlowResult, PnrMethod};
 use fcn_equiv::Equivalence;
+use fcn_logic::network::Xag;
 
 fn default_options(pnr: PnrMethod) -> FlowOptions {
     FlowOptions::new().with_pnr(pnr)
 }
 
+fn run(name: &str, xag: &Xag, options: &FlowOptions) -> Result<FlowResult, FlowError> {
+    FlowRequest::netlist(name, xag.clone())
+        .with_options(options.clone())
+        .execute()
+}
+
+fn run_verilog(source: &str, options: &FlowOptions) -> Result<FlowResult, FlowError> {
+    FlowRequest::verilog(source)
+        .with_options(options.clone())
+        .execute()
+}
+
 #[test]
 fn xor2_flow_matches_paper_dimensions() {
     let b = benchmark("xor2");
-    let r = run_flow(
+    let r = run(
         "xor2",
         &b.xag,
         &default_options(PnrMethod::Exact { max_area: 60 }),
@@ -31,7 +44,7 @@ fn xor2_flow_matches_paper_dimensions() {
 fn all_small_benchmarks_flow_exactly() {
     for name in ["xor2", "xnor2", "par_gen", "majority"] {
         let b = benchmark(name);
-        let r = run_flow(
+        let r = run(
             name,
             &b.xag,
             &default_options(PnrMethod::Exact { max_area: 100 }),
@@ -48,7 +61,7 @@ fn all_small_benchmarks_flow_exactly() {
 fn heuristic_flow_covers_every_benchmark() {
     for name in bestagon_core::benchmarks::benchmark_names() {
         let b = benchmark(name);
-        let r = run_flow(name, &b.xag, &default_options(PnrMethod::Heuristic))
+        let r = run(name, &b.xag, &default_options(PnrMethod::Heuristic))
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(r.layout.verify().is_empty(), "{name}");
         assert_eq!(r.equivalence, Some(Equivalence::Equivalent), "{name}");
@@ -60,7 +73,7 @@ fn heuristic_flow_covers_every_benchmark() {
 #[test]
 fn sqd_export_contains_all_dots() {
     let b = benchmark("xor2");
-    let r = run_flow("xor2", &b.xag, &default_options(PnrMethod::Heuristic)).expect("flow");
+    let r = run("xor2", &b.xag, &default_options(PnrMethod::Heuristic)).expect("flow");
     let cell = r.cell.as_ref().expect("library applied");
     let sqd = r.to_sqd().expect("export");
     assert_eq!(sqd.matches("<dbdot>").count(), cell.num_sidbs());
@@ -74,7 +87,7 @@ fn verilog_to_layout_round_trip() {
           output f;
           assign f = (a & b) | (a & c) | (b & c);
         endmodule";
-    let r = run_flow_from_verilog(
+    let r = run_verilog(
         src,
         &default_options(PnrMethod::ExactWithFallback { max_area: 100 }),
     )
@@ -85,7 +98,7 @@ fn verilog_to_layout_round_trip() {
 
 #[test]
 fn broken_specifications_are_rejected() {
-    let err = run_flow_from_verilog(
+    let err = run_verilog(
         "module t (a, f); input a; output f; assign f = a & ghost; endmodule",
         &FlowOptions::default(),
     )
@@ -119,7 +132,7 @@ fn flow_exports_consistent_verilog() {
     // The optimized network the flow exports must be functionally
     // identical to the original specification.
     let b = benchmark("par_gen");
-    let r = run_flow("par_gen", &b.xag, &default_options(PnrMethod::Heuristic)).expect("flow");
+    let r = run("par_gen", &b.xag, &default_options(PnrMethod::Heuristic)).expect("flow");
     let exported = r.to_verilog();
     let (_, reparsed) =
         fcn_logic::verilog::parse_verilog(&exported).unwrap_or_else(|e| panic!("{e}\n{exported}"));
@@ -136,7 +149,7 @@ fn flow_exports_consistent_verilog() {
 #[test]
 fn svg_renderings_cover_the_layout() {
     let b = benchmark("xor2");
-    let r = run_flow("xor2", &b.xag, &default_options(PnrMethod::Heuristic)).expect("flow");
+    let r = run("xor2", &b.xag, &default_options(PnrMethod::Heuristic)).expect("flow");
     let cell = r.cell.as_ref().expect("library applied");
     let tiles_svg = bestagon_lib::svg::layout_to_svg(&r.layout);
     let dots_svg = bestagon_lib::svg::sidb_to_svg(&cell.sidb, Some(&r.layout));
@@ -149,9 +162,10 @@ fn svg_renderings_cover_the_layout() {
 
 #[test]
 fn blif_entry_point_matches_verilog() {
-    use bestagon_core::flow::run_flow_from_blif;
     let blif = ".model xor2\n.inputs a b\n.outputs f\n.names a b f\n10 1\n01 1\n.end\n";
-    let r = run_flow_from_blif(blif, &default_options(PnrMethod::Exact { max_area: 60 }))
+    let r = FlowRequest::blif(blif)
+        .with_options(default_options(PnrMethod::Exact { max_area: 60 }))
+        .execute()
         .expect("flow");
     assert_eq!(r.name, "xor2");
     assert_eq!((r.layout.ratio().width, r.layout.ratio().height), (2, 3));

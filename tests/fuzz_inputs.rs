@@ -7,9 +7,7 @@
 //! (penetrates deep into the parsers and occasionally produces valid
 //! netlists, exercising the full flow behind the parser).
 
-use bestagon_core::flow::{
-    run_flow_from_blif, run_flow_from_verilog, FlowBudget, FlowOptions, PnrMethod,
-};
+use bestagon_core::flow::{FlowBudget, FlowOptions, FlowRequest, PnrMethod};
 use fcn_logic::blif::parse_blif;
 use fcn_logic::verilog::parse_verilog;
 use proptest::prelude::*;
@@ -179,21 +177,21 @@ proptest! {
 
     #[test]
     fn flow_never_panics_on_arbitrary_verilog(bytes in proptest::collection::vec(0u8..=255u8, 0..256)) {
-        let _ = run_flow_from_verilog(&lossy(&bytes), &fuzz_flow_options());
+        let _ = FlowRequest::verilog(lossy(&bytes)).with_options(fuzz_flow_options()).execute();
     }
 
     #[test]
     fn flow_never_panics_on_arbitrary_blif(bytes in proptest::collection::vec(0u8..=255u8, 0..256)) {
-        let _ = run_flow_from_blif(&lossy(&bytes), &fuzz_flow_options());
+        let _ = FlowRequest::blif(lossy(&bytes)).with_options(fuzz_flow_options()).execute();
     }
 
     #[test]
     fn flow_never_panics_on_verilog_soup(picks in proptest::collection::vec(0usize..64, 0..64)) {
-        let _ = run_flow_from_verilog(&soup(VERILOG_FRAGMENTS, &picks), &fuzz_flow_options());
+        let _ = FlowRequest::verilog(soup(VERILOG_FRAGMENTS, &picks)).with_options(fuzz_flow_options()).execute();
     }
 
     #[test]
     fn flow_never_panics_on_blif_soup(picks in proptest::collection::vec(0usize..64, 0..64)) {
-        let _ = run_flow_from_blif(&soup(BLIF_FRAGMENTS, &picks), &fuzz_flow_options());
+        let _ = FlowRequest::blif(soup(BLIF_FRAGMENTS, &picks)).with_options(fuzz_flow_options()).execute();
     }
 }

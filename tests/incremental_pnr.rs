@@ -7,7 +7,7 @@
 //! bug, not a tuning difference.
 
 use bestagon_core::benchmarks::benchmark;
-use bestagon_core::flow::{run_flow, FlowOptions, FlowResult, PnrMethod};
+use bestagon_core::flow::{FlowOptions, FlowRequest, FlowResult, PnrMethod};
 
 /// The Table 1 evaluation circuits, minus the three slowest
 /// (`t_5`, `majority_5_r1`, `newtag`) which take minutes under a debug
@@ -32,7 +32,10 @@ fn flow(name: &str, incremental: bool, threads: usize) -> FlowResult {
         .with_pnr(PnrMethod::ExactWithFallback { max_area: 120 })
         .with_incremental(incremental)
         .with_threads(threads);
-    run_flow(name, &b.xag, &options).unwrap_or_else(|e| panic!("{name}: {e}"))
+    FlowRequest::netlist(name, b.xag.clone())
+        .with_options(options)
+        .execute()
+        .unwrap_or_else(|e| panic!("{name}: {e}"))
 }
 
 #[test]

@@ -10,16 +10,29 @@ use std::sync::Arc;
 
 use bestagon_core::benchmark;
 use bestagon_core::flow::{
-    run_flow, run_flow_from_verilog, Deadline, DegradeTrigger, FlowBudget, FlowError, FlowOptions,
+    Deadline, DegradeTrigger, FlowBudget, FlowError, FlowOptions, FlowRequest, FlowResult,
     PnrMethod,
 };
 use fcn_budget::fault::{install, Fault, FaultPlan};
 use fcn_equiv::{EquivError, Equivalence, MiterLimit};
+use fcn_logic::network::Xag;
 
 const AND2: &str = "module and2 (a, b, f); input a, b; output f; assign f = a & b; endmodule";
 
 fn unbounded() -> FlowOptions {
     FlowOptions::new().with_budget(FlowBudget::unbounded())
+}
+
+fn run(name: &str, xag: &Xag, options: &FlowOptions) -> Result<FlowResult, FlowError> {
+    FlowRequest::netlist(name, xag.clone())
+        .with_options(options.clone())
+        .execute()
+}
+
+fn run_verilog(source: &str, options: &FlowOptions) -> Result<FlowResult, FlowError> {
+    FlowRequest::verilog(source)
+        .with_options(options.clone())
+        .execute()
 }
 
 /// The acceptance scenario: a deliberately tiny deadline on a Table 1
@@ -30,7 +43,7 @@ fn tiny_deadline_degrades_to_heuristic_with_record() {
     let b = benchmark("par_gen");
     let options = FlowOptions::new()
         .with_budget(FlowBudget::unbounded().with_deadline(Deadline::after_ms(0)));
-    let r = run_flow("par_gen", &b.xag, &options).expect("a budgeted flow degrades, never errors");
+    let r = run("par_gen", &b.xag, &options).expect("a budgeted flow degrades, never errors");
     assert!(!r.exact, "expired deadline must force the heuristic engine");
     assert!(r.degraded());
     assert!(r
@@ -55,8 +68,8 @@ fn tiny_deadline_degrades_to_heuristic_with_record() {
 #[test]
 fn loose_budget_is_byte_identical_to_unbounded() {
     let b = benchmark("xor2");
-    let free = run_flow("xor2", &b.xag, &unbounded()).expect("flow");
-    let loose = run_flow(
+    let free = run("xor2", &b.xag, &unbounded()).expect("flow");
+    let loose = run(
         "xor2",
         &b.xag,
         &FlowOptions::new().with_budget(
@@ -94,7 +107,7 @@ fn stage_panics_become_typed_internal_errors() {
         "step8:export",
     ] {
         let _scope = install(Arc::new(FaultPlan::single(stage, Fault::Panic)));
-        match run_flow_from_verilog(AND2, &unbounded()) {
+        match run_verilog(AND2, &unbounded()) {
             Err(FlowError::Internal { stage: s, payload }) => {
                 assert_eq!(s, stage);
                 assert!(
@@ -115,7 +128,7 @@ fn worker_panic_is_typed_and_cancels_siblings() {
     for threads in [1, 4] {
         let b = benchmark("xor2");
         let _scope = install(Arc::new(FaultPlan::single("pnr.probe", Fault::Panic)));
-        match run_flow("xor2", &b.xag, &unbounded().with_threads(threads)) {
+        match run("xor2", &b.xag, &unbounded().with_threads(threads)) {
             Err(FlowError::Internal { stage, payload }) => {
                 assert_eq!(stage, "step4:pnr");
                 assert!(payload.contains("pnr.probe"), "payload: {payload}");
@@ -132,7 +145,7 @@ fn conflict_budget_exhaustion_falls_back_to_heuristic() {
     let b = benchmark("xor2");
     let options =
         FlowOptions::new().with_budget(FlowBudget::unbounded().with_sat_conflicts_total(0));
-    let r = run_flow("xor2", &b.xag, &options).expect("budget exhaustion degrades");
+    let r = run("xor2", &b.xag, &options).expect("budget exhaustion degrades");
     assert!(!r.exact);
     assert!(r
         .degradations
@@ -148,7 +161,7 @@ fn conflict_budget_exhaustion_falls_back_to_heuristic() {
 fn injected_probe_exhaust_falls_back_to_heuristic() {
     let b = benchmark("xor2");
     let _scope = install(Arc::new(FaultPlan::single("pnr.probe", Fault::Exhaust)));
-    let r = run_flow("xor2", &b.xag, &unbounded()).expect("injected exhaustion degrades");
+    let r = run("xor2", &b.xag, &unbounded()).expect("injected exhaustion degrades");
     assert!(!r.exact);
     assert!(r
         .degradations
@@ -163,7 +176,7 @@ fn injected_probe_exhaust_falls_back_to_heuristic() {
 fn injected_probe_interrupt_still_yields_a_layout() {
     let b = benchmark("xor2");
     let _scope = install(Arc::new(FaultPlan::single("pnr.probe", Fault::Interrupt)));
-    let r = run_flow("xor2", &b.xag, &unbounded()).expect("interrupts never fail the flow");
+    let r = run("xor2", &b.xag, &unbounded()).expect("interrupts never fail the flow");
     assert!(
         !r.exact,
         "every probe cancelled, so the heuristic engine produced the layout"
@@ -180,7 +193,7 @@ fn injected_miter_exhaust_downgrades_verification() {
     let _scope = install(Arc::new(FaultPlan::single("equiv.miter", Fault::Exhaust)));
     let options =
         FlowOptions::new().with_budget(FlowBudget::unbounded().with_equiv_conflicts(1_000_000));
-    let r = run_flow("xor2", &b.xag, &options).expect("bounded verification degrades");
+    let r = run("xor2", &b.xag, &options).expect("bounded verification degrades");
     assert!(r.exact, "the P&R stage was not budgeted");
     assert_eq!(
         r.equivalence,
@@ -202,7 +215,7 @@ fn injected_miter_interrupt_reports_deadline_unknown() {
     let _scope = install(Arc::new(FaultPlan::single("equiv.miter", Fault::Interrupt)));
     let options = FlowOptions::new()
         .with_budget(FlowBudget::unbounded().with_deadline(Deadline::after_ms(600_000)));
-    let r = run_flow("xor2", &b.xag, &options).expect("bounded verification degrades");
+    let r = run("xor2", &b.xag, &options).expect("bounded verification degrades");
     assert_eq!(
         r.equivalence,
         Some(Equivalence::Unknown {
@@ -221,7 +234,7 @@ fn injected_miter_interrupt_reports_deadline_unknown() {
 fn injected_malformed_network_is_a_typed_error() {
     let b = benchmark("xor2");
     let _scope = install(Arc::new(FaultPlan::single("step5:equiv", Fault::Malform)));
-    match run_flow("xor2", &b.xag, &unbounded()) {
+    match run("xor2", &b.xag, &unbounded()) {
         Err(FlowError::Equivalence(EquivError::MalformedNetwork(msg))) => {
             assert!(!msg.is_empty());
         }
@@ -239,7 +252,7 @@ fn rewrite_iteration_budget_clamps_step2() {
     let options = FlowOptions::new()
         .with_pnr(PnrMethod::Heuristic)
         .with_budget(FlowBudget::unbounded().with_rewrite_iterations(0));
-    let r = run_flow("xor5_majority", &b.xag, &options).expect("flow");
+    let r = run("xor5_majority", &b.xag, &options).expect("flow");
     assert!(r
         .degradations
         .iter()
@@ -331,7 +344,7 @@ fn heuristic_flow_is_unaffected_by_probe_budgets() {
     let options = FlowOptions::new()
         .with_pnr(PnrMethod::Heuristic)
         .with_budget(FlowBudget::unbounded().with_sat_conflicts_total(0));
-    let r = run_flow("xor2", &b.xag, &options).expect("flow");
+    let r = run("xor2", &b.xag, &options).expect("flow");
     assert!(!r.exact);
     assert!(
         r.degradations.is_empty(),
@@ -450,7 +463,7 @@ fn unplaceable_surface_degrades_honestly() {
     let options = unbounded()
         .with_pnr(PnrMethod::Exact { max_area: 6 })
         .with_surface(DefectMap::new(defects));
-    let r = run_flow("xor2", &b.xag, &options).expect("an unplaceable surface degrades");
+    let r = run("xor2", &b.xag, &options).expect("an unplaceable surface degrades");
     assert!(
         r.exact,
         "the defect-blind retry still uses the exact engine"
@@ -482,7 +495,7 @@ fn injected_surface_exhaust_degrades_like_unplaceable() {
     let options = unbounded()
         .with_pnr(PnrMethod::ExactWithFallback { max_area: 6 })
         .with_surface(DefectMap::random(3, 1e-5, &DefectKind::ALL));
-    let r = run_flow("xor2", &b.xag, &options).expect("degrades, never errors");
+    let r = run("xor2", &b.xag, &options).expect("degrades, never errors");
     assert!(r
         .degradations
         .iter()
@@ -501,7 +514,7 @@ fn injected_surface_malform_is_a_typed_error() {
         Fault::Malform,
     )));
     let options = unbounded().with_surface(DefectMap::random(3, 1e-5, &DefectKind::ALL));
-    match run_flow("xor2", &b.xag, &options) {
+    match run("xor2", &b.xag, &options) {
         Err(FlowError::Surface(e)) => assert!(!e.to_string().is_empty()),
         other => panic!("expected FlowError::Surface, got {other:?}"),
     }
@@ -515,7 +528,7 @@ fn injected_surface_panic_is_a_typed_internal_error() {
     let b = benchmark("xor2");
     let _scope = install(Arc::new(FaultPlan::single("surface.defect", Fault::Panic)));
     let options = unbounded().with_surface(DefectMap::random(3, 1e-5, &DefectKind::ALL));
-    match run_flow("xor2", &b.xag, &options) {
+    match run("xor2", &b.xag, &options) {
         Err(FlowError::Internal { stage, payload }) => {
             assert_eq!(stage, "step4:pnr");
             assert!(payload.contains("surface.defect"), "payload: {payload}");
@@ -531,7 +544,7 @@ fn surface_fault_point_is_inert_without_a_surface() {
     let b = benchmark("xor2");
     let plan = Arc::new(FaultPlan::single("surface.defect", Fault::Panic));
     let _scope = install(plan.clone());
-    let r = run_flow("xor2", &b.xag, &unbounded()).expect("pristine flow unaffected");
+    let r = run("xor2", &b.xag, &unbounded()).expect("pristine flow unaffected");
     assert_eq!(plan.hits("surface.defect"), 0, "point never reached");
     assert!(r.degradations.is_empty());
 }

@@ -5,10 +5,17 @@
 //! opt-in Chrome-trace export covers the parallel worker threads.
 
 use bestagon::flow::benchmarks::benchmark;
-use bestagon::flow::flow::{run_flow, FlowOptions, PnrMethod};
+use bestagon::flow::flow::{FlowError, FlowOptions, FlowRequest, FlowResult, PnrMethod};
 use bestagon::telemetry::json::{parse, Value};
 use bestagon::telemetry::{self, Collector, Report};
+use fcn_logic::network::Xag;
 use std::sync::{Arc, Mutex, OnceLock};
+
+fn run(name: &str, xag: &Xag, options: &FlowOptions) -> Result<FlowResult, FlowError> {
+    FlowRequest::netlist(name, xag.clone())
+        .with_options(options.clone())
+        .execute()
+}
 
 const STAGES: [&str; 8] = [
     "step1:parse",
@@ -24,7 +31,7 @@ const STAGES: [&str; 8] = [
 fn c17_report() -> bestagon::telemetry::Report {
     let b = benchmark("c17");
     let options = FlowOptions::new().with_pnr(PnrMethod::ExactWithFallback { max_area: 40 });
-    run_flow("c17", &b.xag, &options)
+    run("c17", &b.xag, &options)
         .expect("c17 flows end to end")
         .report
 }
@@ -116,7 +123,7 @@ fn flow_report_carries_work_histograms() {
     let options = FlowOptions::new()
         .with_pnr(PnrMethod::ExactWithFallback { max_area: 40 })
         .with_tile_validation();
-    let report = run_flow("c17", &b.xag, &options)
+    let report = run("c17", &b.xag, &options)
         .expect("c17 flows end to end")
         .report;
 
@@ -263,7 +270,7 @@ fn traced_parallel_flow_covers_multiple_worker_threads() {
     let options = FlowOptions::new()
         .with_pnr(PnrMethod::ExactWithFallback { max_area: 40 })
         .with_threads(4);
-    let result = run_flow("par_check", &b.xag, &options);
+    let result = run("par_check", &b.xag, &options);
     std::env::remove_var("TELEMETRY_TRACE");
     let report = result.expect("par_check flows end to end").report;
     let _ = std::fs::remove_file(&path);
@@ -308,8 +315,8 @@ fn telemetry_file_appends_one_json_line_per_flow() {
     std::env::set_var("TELEMETRY_FILE", &path);
     let b = benchmark("mux21");
     let options = FlowOptions::new().with_pnr(PnrMethod::ExactWithFallback { max_area: 40 });
-    let first = run_flow("mux21", &b.xag, &options);
-    let second = run_flow("mux21", &b.xag, &options);
+    let first = run("mux21", &b.xag, &options);
+    let second = run("mux21", &b.xag, &options);
     std::env::remove_var("TELEMETRY_FILE");
     first.expect("first run");
     second.expect("second run");
